@@ -1,0 +1,708 @@
+(* The experiment suite: one function per table/figure of the paper's
+   evaluation (see DESIGN.md §5 for the index and EXPERIMENTS.md for the
+   paper-vs-measured record). All simulations are deterministic. *)
+
+module E = Dmx_sim.Engine
+module Net = Dmx_sim.Network
+module W = Dmx_sim.Workload
+module R = Dmx_baselines.Runner
+module B = Dmx_quorum.Builder
+module Av = Dmx_quorum.Availability
+module S = Dmx_sim.Stats.Summary
+open Scenarios
+
+let check (r : E.report) =
+  if r.E.violations > 0 then
+    failwith
+      (Printf.sprintf "BUG: %s violated mutual exclusion %d times" r.E.protocol
+         r.E.violations);
+  if r.E.deadlocked then
+    failwith (Printf.sprintf "BUG: %s deadlocked" r.E.protocol);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* E10: §7 replica control — read/write quorums                        *)
+(* ------------------------------------------------------------------ *)
+
+let replica_control () =
+  let module RW = Dmx_quorum.Rw_quorum in
+  let n = 25 in
+  let trials = if !Scenarios.quick then 4_000 else 20_000 in
+  let rows =
+    List.map
+      (fun scheme ->
+        let t = RW.create scheme ~n in
+        (match RW.validate t with Ok () -> () | Error e -> failwith e);
+        let r80, w80 = RW.availability t ~p_up:0.8 ~trials ~seed:5 in
+        let r95, w95 = RW.availability t ~p_up:0.95 ~trials ~seed:5 in
+        [
+          RW.scheme_name scheme;
+          Tbl.f1 (RW.read_size t);
+          Tbl.f1 (RW.write_size t);
+          Tbl.f3 r80;
+          Tbl.f3 w80;
+          Tbl.f3 r95;
+          Tbl.f3 w95;
+        ])
+      [ RW.Rowa; RW.Majority_rw; RW.Grid_rw; RW.Tree_rw ]
+  in
+  Tbl.print
+    ~title:(Printf.sprintf "E10 (7): replica control with read/write quorums (N=%d)" n)
+    ~note:
+      "Section 7: 'the proposed idea can be used in replicated data \
+       management, as long as the quorum being used supports replica \
+       control.' Reads intersect every write quorum, so they are always \
+       fresh; the table shows the read-cost/availability tradeoff each \
+       scheme buys. Writes serialize through the delay-optimal mutex."
+    ~headers:
+      [
+        ("scheme", Tbl.L);
+        ("|R|", Tbl.R);
+        ("|W|", Tbl.R);
+        ("read@.8", Tbl.R);
+        ("write@.8", Tbl.R);
+        ("read@.95", Tbl.R);
+        ("write@.95", Tbl.R);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* MC: exhaustive small-scope model check                              *)
+(* ------------------------------------------------------------------ *)
+
+let model_check () =
+  let module MC = Dmx_sim.Model_check in
+  let module Check =
+    MC.Make (struct
+      include Dmx_core.Delay_optimal
+
+      let copy_state = Dmx_core.Delay_optimal.Internal.copy_state
+    end)
+  in
+  let row ?(staggered = false) (kind, n) =
+    let req_sets = B.req_sets kind ~n in
+    let o =
+      Check.explore ~staggered ~n
+        ~requesters:(List.init n Fun.id)
+        (Dmx_core.Delay_optimal.config req_sets)
+    in
+    [
+      Printf.sprintf "%s n=%d%s" (B.kind_name kind) n
+        (if staggered then " (staggered)" else "");
+      Tbl.i o.MC.distinct_states;
+      Tbl.i o.MC.violations;
+      Tbl.i o.MC.stuck_states;
+      Tbl.i o.MC.completed_schedules;
+    ]
+  in
+  let rows =
+    List.map row
+      [ (B.Grid, 2); (B.Star, 3); (B.Majority, 3); (B.Tree, 3); (B.Grid, 3) ]
+    @ [ row ~staggered:true (B.Tree, 3) ]
+  in
+  Tbl.print ~title:"MC: exhaustive schedule exploration (simultaneous requests)"
+    ~note:
+      "Every reachable interleaving of message deliveries and CS exits, \
+       with per-channel FIFO preserved. Zero violations and zero stuck \
+       states = mutual exclusion and deadlock-freedom hold for ALL \
+       schedules at these sizes. 'staggered' additionally explores every \
+       late-arrival schedule (request issuance interleaved with \
+       deliveries)."
+    ~headers:
+      [
+        ("configuration", Tbl.L);
+        ("states", Tbl.R);
+        ("violations", Tbl.R);
+        ("deadlocks", Tbl.R);
+        ("terminal", Tbl.R);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E11: the algorithm across quorum constructions (§3.1, §5.3)         *)
+(* ------------------------------------------------------------------ *)
+
+let constructions () =
+  let rows =
+    List.concat_map
+      (fun (kind, n) ->
+        let runner = R.delay_optimal ~kind ~n () in
+        let stats = B.size_stats (B.req_sets kind ~n) in
+        let l = check (runner.R.run (light ~runs:60 n)) in
+        let h = check (runner.R.run (heavy ~cs:2.0 ~runs:300 n)) in
+        [
+          [
+            B.kind_name kind;
+            Tbl.i n;
+            Tbl.f1 stats.B.k_mean;
+            Tbl.f1 l.E.messages_per_cs;
+            Tbl.f1 h.E.messages_per_cs;
+            Tbl.f2 (mean h.E.sync_delay);
+          ];
+        ])
+      [
+        (B.Grid, 13);
+        (B.Fpp, 13);
+        (B.Tree, 13);
+        (B.Majority, 13);
+        (B.Grid, 27);
+        (B.Tree, 27);
+        (B.Hqc, 27);
+        (B.Majority, 27);
+        (B.Grid_set 4, 27);
+        (B.Rst 4, 27);
+      ]
+  in
+  Tbl.print
+    ~title:"E11 (3.1, 5.3): delay-optimal across quorum constructions"
+    ~note:
+      "'Our scheme is independent of the quorum being used. K is sqrt(N) \
+       with Maekawa's construction and log N with Agrawal-El Abbadi's.' \
+       Message cost scales with the construction's K while the sync delay \
+       stays at T for every coterie."
+    ~headers:
+      [
+        ("construction", Tbl.L);
+        ("N", Tbl.R);
+        ("K", Tbl.R);
+        ("light msgs", Tbl.R);
+        ("heavy msgs", Tbl.R);
+        ("sync/T", Tbl.R);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the algorithm's design choices (DESIGN.md §3)          *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  let n = 25 in
+  let run ?(piggyback_next = true) ?(eager_fails = true) cfg =
+    let req_sets = B.req_sets B.Grid ~n in
+    let module M = E.Make (Dmx_core.Delay_optimal) in
+    M.run cfg (Dmx_core.Delay_optimal.config ~piggyback_next ~eager_fails req_sets)
+  in
+  (* piggybacked next-waiter hint: messages and delay with/without *)
+  let rows =
+    List.map
+      (fun (label, piggyback_next) ->
+        let r = run ~piggyback_next (heavy ~cs:1.0 ~runs:400 n) in
+        [
+          label;
+          Tbl.f1 r.E.messages_per_cs;
+          Tbl.f2 (mean r.E.sync_delay);
+          Tbl.f3 (r.E.throughput);
+        ])
+      [ ("piggyback next (paper)", true); ("separate transfer", false) ]
+  in
+  Tbl.print ~title:"A1: piggybacking the next-waiter hint on grants (N=25, heavy)"
+    ~note:
+      "The paper piggybacks transfer(p, j) on grant replies so it rides for \
+       free; sending it as its own message leaves delay intact but pays \
+       roughly one extra message per grant."
+    ~headers:
+      [
+        ("variant", Tbl.L);
+        ("msgs/CS", Tbl.R);
+        ("sync/T", Tbl.R);
+        ("throughput", Tbl.R);
+      ]
+    rows;
+  (* eager fails: the deadlock-freedom correction of DESIGN.md §3.7 *)
+  let seeds = List.init (if !Scenarios.quick then 8 else 20) (fun i -> i + 1) in
+  let stalled eager_fails =
+    List.length
+      (List.filter
+         (fun seed ->
+           let cfg =
+             {
+               (heavy ~cs:0.5 ~runs:150 n) with
+               seed;
+               delay = Net.Exponential { mean = 1.0 };
+               max_time = 20_000.0;
+               warmup = 0;
+             }
+           in
+           let r = run ~eager_fails cfg in
+           r.E.deadlocked || r.E.executions < 150)
+         seeds)
+  in
+  let rows =
+    [
+      [ "corrected (eager fails)"; Tbl.i (stalled true); Tbl.i (List.length seeds) ];
+      [ "OCR-literal A.2 rules"; Tbl.i (stalled false); Tbl.i (List.length seeds) ];
+    ]
+  in
+  Tbl.print ~title:"A2: the eager-fail discipline (exponential delays, per-seed outcome)"
+    ~note:
+      "Without a fail to a best waiter that ranks behind the lock (the \
+       message the OCR dropped but §5.2 Case 1 counts), a waiting cycle \
+       forms whose members never yield: runs deadlock. The corrected rule \
+       never stalls."
+    ~headers:[ ("variant", Tbl.L); ("stalled runs", Tbl.R); ("of", Tbl.R) ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* T1: Table 1 — message complexity and synchronization delay          *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  let n = 25 in
+  let k1 = grid_k n - 1 in
+  let theory =
+    [
+      ("lamport", (Printf.sprintf "3(N-1) = %d" (3 * (n - 1)), "T"));
+      ("ricart-agrawala", (Printf.sprintf "2(N-1) = %d" (2 * (n - 1)), "T"));
+      ( "singhal-dynamic",
+        (Printf.sprintf "N-1..2(N-1) = %d..%d" (n - 1) (2 * (n - 1)), "T") );
+      ("maekawa", (Printf.sprintf "3..5(K-1) = %d..%d" (3 * k1) (5 * k1), "2T"));
+      ( "delay-optimal",
+        (Printf.sprintf "3..6(K-1) = %d..%d" (3 * k1) (6 * k1), "T") );
+      ("suzuki-kasami", (Printf.sprintf "0..N = 0..%d" n, "T"));
+      ("singhal-heuristic", (Printf.sprintf "0..N = 0..%d" n, "T"));
+      ("raymond", ("O(log N)", "O(log N) T"));
+    ]
+  in
+  let rows =
+    List.map
+      (fun runner ->
+        let l = check (runner.R.run (light ~runs:80 n)) in
+        let h = check (runner.R.run (heavy ~cs:2.0 ~runs:300 n)) in
+        let msgs_th, delay_th =
+          match List.assoc_opt runner.R.name theory with
+          | Some (m, d) -> (m, d)
+          | None -> ("", "")
+        in
+        [
+          runner.R.name;
+          Tbl.f1 l.E.messages_per_cs;
+          Tbl.f1 h.E.messages_per_cs;
+          msgs_th;
+          Tbl.f2 (mean h.E.sync_delay);
+          delay_th;
+        ])
+      (R.all ~n)
+  in
+  Tbl.print
+    ~title:(Printf.sprintf "Table 1: message complexity and sync delay (N=%d, grid K=%d)" n (grid_k n))
+    ~note:
+      "Measured on the simulator (constant delay T=1, CS=2T); light load = \
+       rare Poisson arrivals, heavy = all sites saturated. Sync delay in \
+       units of T."
+    ~headers:
+      [
+        ("algorithm", Tbl.L);
+        ("msgs/CS light", Tbl.R);
+        ("msgs/CS heavy", Tbl.R);
+        ("theory (msgs)", Tbl.L);
+        ("sync delay", Tbl.R);
+        ("theory (delay)", Tbl.L);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E1: §5.1 light load — 3(K-1) messages, response 2T+E                *)
+(* ------------------------------------------------------------------ *)
+
+let light_load () =
+  let rows =
+    List.map
+      (fun n ->
+        let k1 = grid_k n - 1 in
+        let r = check ((R.delay_optimal ~n ()).R.run (light ~runs:80 n)) in
+        [
+          Tbl.i n;
+          Tbl.i (k1 + 1);
+          Tbl.f1 r.E.messages_per_cs;
+          Tbl.i (3 * k1);
+          Tbl.f2 (mean r.E.response_time);
+          "2.00";
+        ])
+      [ 9; 16; 25; 49; 81; 121 ]
+  in
+  Tbl.print ~title:"E1 (5.1): delay-optimal under light load"
+    ~note:
+      "Paper: 3(K-1) messages per CS; response time 2T + E (E excluded \
+       from the response column: request to entry = 2T)."
+    ~headers:
+      [
+        ("N", Tbl.R);
+        ("K", Tbl.R);
+        ("msgs/CS", Tbl.R);
+        ("3(K-1)", Tbl.R);
+        ("response/T", Tbl.R);
+        ("paper", Tbl.R);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E2: §5.2 heavy load — 5(K-1)..6(K-1) messages                       *)
+(* ------------------------------------------------------------------ *)
+
+let heavy_load () =
+  let rows =
+    List.map
+      (fun n ->
+        let k1 = grid_k n - 1 in
+        let r = check ((R.delay_optimal ~n ()).R.run (heavy ~runs:400 n)) in
+        [
+          Tbl.i n;
+          Tbl.i (k1 + 1);
+          Tbl.f1 r.E.messages_per_cs;
+          Printf.sprintf "%d..%d" (5 * k1) (6 * k1);
+          Tbl.f2 (r.E.messages_per_cs /. float_of_int k1);
+        ])
+      [ 9; 16; 25; 49; 81; 121 ]
+  in
+  Tbl.print ~title:"E2 (5.2): delay-optimal under heavy load"
+    ~note:
+      "Paper: 5(K-1) or 6(K-1) messages per CS depending on the contention \
+       case mix. The last column is the measured multiple of (K-1)."
+    ~headers:
+      [
+        ("N", Tbl.R);
+        ("K", Tbl.R);
+        ("msgs/CS", Tbl.R);
+        ("paper band", Tbl.R);
+        ("x(K-1)", Tbl.R);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3: sync delay T vs 2T across delay models                          *)
+(* ------------------------------------------------------------------ *)
+
+let sync_delay () =
+  let n = 25 in
+  let models =
+    [
+      ("constant", Net.Constant 1.0);
+      ("uniform(0.5,1.5)", Net.Uniform { lo = 0.5; hi = 1.5 });
+      ("exponential(1)", Net.Exponential { mean = 1.0 });
+      ("shifted-exp(.5+.5)", Net.Shifted_exponential { base = 0.5; extra_mean = 0.5 });
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (mname, delay) ->
+        List.map
+          (fun cs ->
+            let cfg = heavy ~cs ~delay ~runs:400 n in
+            let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
+            let rm = check ((R.maekawa ~n ()).R.run cfg) in
+            [
+              mname;
+              Tbl.f1 cs;
+              Tbl.f2 (mean rd.E.sync_delay);
+              Tbl.f2 (p50 rd.E.sync_delay);
+              Tbl.f2 (mean rm.E.sync_delay);
+              Tbl.f2 (mean rm.E.sync_delay /. mean rd.E.sync_delay);
+            ])
+          [ 1.0; 2.0 ])
+      models
+  in
+  Tbl.print ~title:(Printf.sprintf "E3 (5.2): synchronization delay, T vs 2T (N=%d)" n)
+    ~note:
+      "Paper: the proposed algorithm hands the CS off in T; every \
+       Maekawa-type algorithm needs 2T. Under random delays both inflate \
+       (the handoff waits for a specific message, i.e. a max of samples), \
+       but the 2x structural gap persists in the ratio."
+    ~headers:
+      [
+        ("delay model", Tbl.L);
+        ("E/T", Tbl.R);
+        ("proposed mean", Tbl.R);
+        ("proposed p50", Tbl.R);
+        ("maekawa mean", Tbl.R);
+        ("ratio", Tbl.R);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E4/E5: throughput doubled, waiting time halved                      *)
+(* ------------------------------------------------------------------ *)
+
+let throughput () =
+  let rows =
+    List.map
+      (fun n ->
+        let cfg = heavy ~cs:0.1 ~runs:500 n in
+        let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
+        let rm = check ((R.maekawa ~n ()).R.run cfg) in
+        [
+          Tbl.i n;
+          Tbl.f3 rd.E.throughput;
+          Tbl.f3 rm.E.throughput;
+          Tbl.f2 (rd.E.throughput /. rm.E.throughput);
+          "(2T+E)/(T+E) = " ^ Tbl.f2 (2.1 /. 1.1);
+        ])
+      [ 9; 25; 49; 81 ]
+  in
+  Tbl.print ~title:"E4 (5.2): heavy-load throughput, proposed vs Maekawa (E=0.1T)"
+    ~note:
+      "Paper: 'at heavy loads, the rate of CS execution is doubled'. The \
+       structural bound is (2T+E)/(T+E); small E approaches 2."
+    ~headers:
+      [
+        ("N", Tbl.R);
+        ("proposed /T", Tbl.R);
+        ("maekawa /T", Tbl.R);
+        ("ratio", Tbl.R);
+        ("ideal", Tbl.L);
+      ]
+    rows
+
+let waiting_time () =
+  let rows =
+    List.map
+      (fun n ->
+        let cfg = heavy ~cs:0.1 ~runs:500 n in
+        let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
+        let rm = check ((R.maekawa ~n ()).R.run cfg) in
+        [
+          Tbl.i n;
+          Tbl.f1 (mean rd.E.response_time);
+          Tbl.f1 (mean rm.E.response_time);
+          Tbl.f2 (mean rd.E.response_time /. mean rm.E.response_time);
+        ])
+      [ 9; 25; 49; 81 ]
+  in
+  Tbl.print ~title:"E5 (5.2): heavy-load waiting time, proposed vs Maekawa (E=0.1T)"
+    ~note:
+      "Paper: 'the waiting time of requests is nearly reduced to half \
+       because the CS executions proceed with twice the rate'."
+    ~headers:
+      [
+        ("N", Tbl.R);
+        ("proposed wait/T", Tbl.R);
+        ("maekawa wait/T", Tbl.R);
+        ("ratio", Tbl.R);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E6: light -> heavy load sweep                                       *)
+(* ------------------------------------------------------------------ *)
+
+let load_sweep () =
+  let n = 25 in
+  let k1 = grid_k n - 1 in
+  let rows =
+    List.map
+      (fun rate ->
+        let r =
+          check ((R.delay_optimal ~n ()).R.run (poisson ~rate ~runs:300 n))
+        in
+        [
+          Tbl.f4 rate;
+          Tbl.f1 r.E.messages_per_cs;
+          Tbl.f2 (r.E.messages_per_cs /. float_of_int k1);
+          Tbl.f1 (mean r.E.response_time);
+        ])
+      [ 0.0005; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ]
+  in
+  Tbl.print
+    ~title:
+      (Printf.sprintf
+         "E6: offered load sweep, delay-optimal (N=%d, K-1=%d, Poisson per site)"
+         n k1)
+    ~note:
+      "Messages per CS climb from the light-load 3(K-1) toward the \
+       heavy-load 5..6(K-1) band as contention rises; response time grows \
+       with queueing."
+    ~headers:
+      [
+        ("rate/site", Tbl.R);
+        ("msgs/CS", Tbl.R);
+        ("x(K-1)", Tbl.R);
+        ("response/T", Tbl.R);
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E7: quorum size vs N per construction (§5.3, §6)                    *)
+(* ------------------------------------------------------------------ *)
+
+let quorum_size () =
+  let sizes kind ns =
+    List.map
+      (fun n ->
+        if B.supports kind ~n then
+          let st = B.size_stats (B.req_sets kind ~n) in
+          Printf.sprintf "%.1f" st.B.k_mean
+        else "-")
+      ns
+  in
+  let ns = [ 7; 9; 13; 16; 27; 31; 49; 57; 81; 121; 133 ] in
+  let rows =
+    List.map
+      (fun (label, kind, formula) -> (label :: sizes kind ns) @ [ formula ])
+      [
+        ("grid", B.Grid, "2 sqrt(N) - 1");
+        ("fpp (Maekawa)", B.Fpp, "~ sqrt(N)");
+        ("tree (AE)", B.Tree, "log2(N+1)");
+        ("hqc", B.Hqc, "N^0.63");
+        ("grid-set g=4", B.Grid_set 4, "(N/g+1)/2*(2 sqrt g - 1)");
+        ("rst g=4", B.Rst 4, "(g+1)/2*(2 sqrt(N/g) - 1)");
+        ("majority", B.Majority, "(N+1)/2");
+      ]
+  in
+  Tbl.print ~title:"E7 (5.3, 6): mean quorum size K by construction"
+    ~note:"'-' marks universe sizes the construction does not support."
+    ~headers:
+      (("construction", Tbl.L)
+      :: List.map (fun n -> (Printf.sprintf "N=%d" n, Tbl.R)) ns
+      @ [ ("formula", Tbl.L) ])
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E8: availability vs per-site up-probability (§6)                    *)
+(* ------------------------------------------------------------------ *)
+
+let availability () =
+  let ps = [ 0.50; 0.70; 0.80; 0.90; 0.95; 0.99 ] in
+  let trials = if !Scenarios.quick then 4_000 else 20_000 in
+  let row (label, kind, n) =
+    label
+    :: Tbl.i n
+    :: List.map (fun p -> Tbl.f3 (Av.estimate ~trials kind ~n ~p_up:p)) ps
+  in
+  let rows =
+    List.map row
+      [
+        ("grid", B.Grid, 49);
+        ("fpp", B.Fpp, 57);
+        ("tree (AE)", B.Tree, 63);
+        ("hqc", B.Hqc, 81);
+        ("grid-set g=4", B.Grid_set 4, 64);
+        ("rst g=4", B.Rst 4, 64);
+        ("majority", B.Majority, 63);
+        ("star (central)", B.Star, 63);
+        ("all sites", B.All, 63);
+      ]
+  in
+  Tbl.print ~title:"E8 (6): coterie availability vs per-site up-probability p"
+    ~note:
+      "Probability that some quorum is fully alive (exact where closed \
+       forms exist, Monte Carlo otherwise). The fault-tolerant \
+       constructions approach majority voting; Maekawa-style quorums decay \
+       fastest; 'all sites' is the no-redundancy floor."
+    ~headers:
+      (("construction", Tbl.L) :: ("N", Tbl.R)
+      :: List.map (fun p -> (Printf.sprintf "p=%.2f" p, Tbl.R)) ps)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E9: fault tolerance — crashes, recovery, detector ablation (§6)     *)
+(* ------------------------------------------------------------------ *)
+
+let fault_tolerance () =
+  let n = 15 in
+  let base kind crashes recoveries detection =
+    {
+      (E.default ~n) with
+      seed = 11;
+      cs_duration = 1.0;
+      delay = Net.Uniform { lo = 0.5; hi = 1.5 };
+      detection_delay = detection;
+      crashes;
+      recoveries;
+      max_executions = execs 300;
+      warmup = 0;
+      max_time = 1.0e6;
+    }
+    |> fun cfg -> check ((R.ft_delay_optimal ~kind ~n ()).R.run cfg)
+  in
+  let rows =
+    List.map
+      (fun (label, kind, crashes, recoveries) ->
+        let r = base kind crashes recoveries 3.0 in
+        [
+          label;
+          Tbl.i (List.length crashes);
+          Tbl.i r.E.executions;
+          Tbl.f1 r.E.messages_per_cs;
+          Tbl.f2 (mean r.E.sync_delay);
+          Tbl.i r.E.violations;
+        ])
+      [
+        ("tree, no crash", B.Tree, [], []);
+        ("tree, leaf dies", B.Tree, [ (25.0, 14) ], []);
+        ("tree, root dies", B.Tree, [ (25.0, 0) ], []);
+        ("tree, 3 crashes", B.Tree, [ (20.0, 0); (40.0, 4); (60.0, 9) ], []);
+        ( "tree, root dies + rejoins",
+          B.Tree,
+          [ (25.0, 0) ],
+          [ (80.0, 0) ] );
+        ( "majority, 7 of 15 die",
+          B.Majority,
+          List.mapi
+            (fun i s -> (20.0 +. (5.0 *. float_of_int i), s))
+            [ 1; 3; 5; 7; 9; 11; 13 ],
+          [] );
+      ]
+  in
+  Tbl.print ~title:(Printf.sprintf "E9 (6): fault-tolerant delay-optimal under crash injection (N=%d)" n)
+    ~note:
+      "All runs complete their full execution quota: quorum reconstruction \
+       (tree substitution / live majorities) plus the Section 6 cleanup \
+       keep the system live through crashes, with zero safety violations; \
+       a crashed site can also rejoin with fresh state (fail-stop \
+       recovery). Detection latency 3.0 > max message delay 1.5."
+    ~headers:
+      [
+        ("scenario", Tbl.L);
+        ("crashes", Tbl.R);
+        ("CS served", Tbl.R);
+        ("msgs/CS", Tbl.R);
+        ("sync/T", Tbl.R);
+        ("violations", Tbl.R);
+      ]
+    rows;
+  (* Ablation: what the detection-latency assumption buys. A detector
+     faster than the network lets the cleanup race in-flight forwards. *)
+  let ablate detection =
+    let cfg =
+      {
+        (E.default ~n) with
+        seed = 11;
+        cs_duration = 1.0;
+        delay = Net.Uniform { lo = 0.5; hi = 1.5 };
+        detection_delay = detection;
+        crashes = [ (20.0, 0); (35.0, 4) ];
+        max_executions = execs 300;
+        warmup = 0;
+        max_time = 1.0e6;
+      }
+    in
+    (R.ft_delay_optimal ~kind:B.Tree ~n ()).R.run cfg
+  in
+  let rows =
+    List.map
+      (fun d ->
+        let r = ablate d in
+        [
+          Tbl.f2 d;
+          Tbl.i r.E.executions;
+          Tbl.i r.E.violations;
+          (if r.E.deadlocked then "yes" else "no");
+        ])
+      [ 0.1; 0.5; 1.0; 2.0; 3.0; 5.0 ]
+  in
+  Tbl.print ~title:"E9b: detector-latency ablation (crashes at t=20, t=35)"
+    ~note:
+      "The Section 6 recovery as written assumes failures are detected \
+       after in-flight messages drain (detection > max delay = 1.5); a \
+       faster detector can race a release that is still forwarding a \
+       permission. Our implementation hardens the arbiter against that \
+       race (it refuses to assign its lock to a known-dead site and \
+       reclaims permissions forwarded to one — DESIGN.md 3), so every \
+       latency below stays safe and live."
+    ~headers:
+      [
+        ("detect delay", Tbl.R);
+        ("CS served", Tbl.R);
+        ("violations", Tbl.R);
+        ("stalled", Tbl.L);
+      ]
+    rows

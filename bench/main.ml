@@ -1,0 +1,66 @@
+(* Benchmark/experiment driver: regenerates every table and figure of the
+   paper's evaluation (DESIGN.md §5). Run all:
+
+     dune exec bench/main.exe
+
+   or select experiments:
+
+     dune exec bench/main.exe -- table1 sync-delay --quick
+*)
+
+let registry =
+  [
+    ("table1", ("Table 1: messages and sync delay across algorithms", Experiments.table1));
+    ("light-load", ("E1: light load, 3(K-1) messages", Experiments.light_load));
+    ("heavy-load", ("E2: heavy load, 5..6(K-1) messages", Experiments.heavy_load));
+    ("sync-delay", ("E3: synchronization delay T vs 2T", Experiments.sync_delay));
+    ("throughput", ("E4: heavy-load throughput ratio", Experiments.throughput));
+    ("waiting-time", ("E5: heavy-load waiting time ratio", Experiments.waiting_time));
+    ("load-sweep", ("E6: offered load sweep", Experiments.load_sweep));
+    ("quorum-size", ("E7: quorum size by construction", Experiments.quorum_size));
+    ("constructions", ("E11: delay-optimal across quorum constructions", Experiments.constructions));
+    ("availability", ("E8: coterie availability", Experiments.availability));
+    ("fault-tolerance", ("E9: crash injection and detector ablation", Experiments.fault_tolerance));
+    ("replica-control", ("E10: read/write quorums for replica control", Experiments.replica_control));
+    ("model-check", ("MC: exhaustive small-scope schedule exploration", Experiments.model_check));
+    ("ablation", ("A1/A2: design-choice ablations (piggyback, eager fails)", Experiments.ablation));
+    ("micro", ("M1: substrate micro-benchmarks", Micro.run));
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--quick] [EXPERIMENT...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (name, (desc, _)) -> Printf.printf "  %-16s %s\n" name desc)
+    registry;
+  print_endline "  all              run everything (default)"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  Scenarios.quick := quick;
+  let selected = List.filter (fun a -> a <> "--quick" && a <> "all") args in
+  if List.mem "--help" selected || List.mem "-h" selected then usage ()
+  else begin
+    let unknown =
+      List.filter (fun a -> not (List.mem_assoc a registry)) selected
+    in
+    if unknown <> [] then begin
+      Printf.printf "unknown experiment(s): %s\n\n" (String.concat ", " unknown);
+      usage ();
+      exit 1
+    end;
+    let to_run = if selected = [] then List.map fst registry else selected in
+    Printf.printf
+      "dmx experiment suite - reproduction of Cao et al., ICDCS 1998%s\n"
+      (if quick then " (quick mode)" else "");
+    let t0 = Sys.time () in
+    List.iter
+      (fun name ->
+        let _, f = List.assoc name registry in
+        let t = Sys.time () in
+        f ();
+        Printf.printf "[%s finished in %.1fs]\n%!" name (Sys.time () -. t))
+      to_run;
+    Printf.printf "\nTotal: %.1fs\n" (Sys.time () -. t0)
+  end

@@ -1,0 +1,51 @@
+(* Plain-text table rendering for the experiment reports. ASCII only, so
+   the output reads the same in logs, diffs and terminals. *)
+
+type align = L | R
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with L -> s ^ fill | R -> fill ^ s
+
+let rule widths =
+  "+"
+  ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+  ^ "+"
+
+let row widths aligns cells =
+  let cells =
+    List.mapi
+      (fun i c ->
+        let w = List.nth widths i and a = List.nth aligns i in
+        " " ^ pad a w c ^ " ")
+      cells
+  in
+  "|" ^ String.concat "|" cells ^ "|"
+
+let print ~title ?note ~headers rows =
+  let aligns = List.map snd headers in
+  let head = List.map fst headers in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (List.nth r i)))
+          (String.length h) rows)
+      head
+  in
+  Printf.printf "\n== %s ==\n" title;
+  (match note with Some n -> Printf.printf "%s\n" n | None -> ());
+  print_endline (rule widths);
+  print_endline (row widths aligns head);
+  print_endline (rule widths);
+  List.iter (fun r -> print_endline (row widths aligns r)) rows;
+  print_endline (rule widths)
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+let i x = string_of_int x

@@ -1,0 +1,477 @@
+(* dmx-sim: command-line front end to the simulator.
+
+   dmx-sim run       -- simulate one algorithm and print its report
+   dmx-sim compare   -- run every algorithm under the same scenario
+   dmx-sim quorums   -- print and validate a quorum construction
+   dmx-sim avail     -- availability sweep for a construction
+   dmx-sim trace     -- short annotated execution trace of a run
+*)
+
+module E = Dmx_sim.Engine
+module Net = Dmx_sim.Network
+module W = Dmx_sim.Workload
+module R = Dmx_baselines.Runner
+module B = Dmx_quorum.Builder
+open Cmdliner
+
+(* ---- shared argument parsing ---- *)
+
+let delay_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad delay %S (expected constant:D | uniform:LO,HI | exp:MEAN \
+               | shifted:BASE,MEAN)" s))
+    in
+    match String.split_on_char ':' s with
+    | [ "constant"; d ] -> (
+      match float_of_string_opt d with
+      | Some d -> Ok (Net.Constant d)
+      | None -> fail ())
+    | [ "uniform"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ lo; hi ] -> (
+        match (float_of_string_opt lo, float_of_string_opt hi) with
+        | Some lo, Some hi -> Ok (Net.Uniform { lo; hi })
+        | _ -> fail ())
+      | _ -> fail ())
+    | [ "exp"; m ] -> (
+      match float_of_string_opt m with
+      | Some mean -> Ok (Net.Exponential { mean })
+      | None -> fail ())
+    | [ "shifted"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ b; m ] -> (
+        match (float_of_string_opt b, float_of_string_opt m) with
+        | Some base, Some extra_mean ->
+          Ok (Net.Shifted_exponential { base; extra_mean })
+        | _ -> fail ())
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  Arg.conv (parse, Net.pp_delay_model)
+
+let workload_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "saturated" ] -> Ok `Saturated_all
+    | [ "saturated"; c ] -> (
+      match int_of_string_opt c with
+      | Some c -> Ok (`Saturated c)
+      | None -> Error (`Msg "bad contender count"))
+    | [ "poisson"; r ] -> (
+      match float_of_string_opt r with
+      | Some r -> Ok (`Poisson r)
+      | None -> Error (`Msg "bad poisson rate"))
+    | [ "burst" ] -> Ok `Burst_all
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad workload %S (expected saturated[:C] | poisson:RATE | burst)"
+              s))
+  in
+  let pp ppf = function
+    | `Saturated_all -> Format.pp_print_string ppf "saturated"
+    | `Saturated c -> Format.fprintf ppf "saturated:%d" c
+    | `Poisson r -> Format.fprintf ppf "poisson:%g" r
+    | `Burst_all -> Format.pp_print_string ppf "burst"
+  in
+  Arg.conv (parse, pp)
+
+let kind_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (B.parse_kind s) in
+  Arg.conv (parse, B.pp_kind)
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ t; site ] -> (
+      match (float_of_string_opt t, int_of_string_opt site) with
+      | Some t, Some site -> Ok (t, site)
+      | _ -> Error (`Msg "bad crash (expected TIME:SITE)"))
+    | _ -> Error (`Msg "bad crash (expected TIME:SITE)")
+  in
+  let pp ppf (t, s) = Format.fprintf ppf "%g:%d" t s in
+  Arg.conv (parse, pp)
+
+let n_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "n"; "sites" ] ~docv:"N" ~doc:"Number of sites.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let execs_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "execs" ] ~docv:"COUNT" ~doc:"CS executions to simulate.")
+
+let warmup_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "warmup" ] ~docv:"COUNT"
+        ~doc:"Executions excluded from statistics.")
+
+let cs_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "cs" ] ~docv:"E" ~doc:"CS execution time, in units of T.")
+
+let delay_arg =
+  Arg.(
+    value
+    & opt delay_conv (Net.Constant 1.0)
+    & info [ "delay" ] ~docv:"MODEL"
+        ~doc:
+          "Message delay model: constant:D, uniform:LO,HI, exp:MEAN or \
+           shifted:BASE,MEAN.")
+
+let workload_arg =
+  Arg.(
+    value & opt workload_conv `Saturated_all
+    & info [ "load" ] ~docv:"WORKLOAD"
+        ~doc:"Workload: saturated[:CONTENDERS], poisson:RATE or burst.")
+
+let quorum_arg =
+  Arg.(
+    value & opt kind_conv B.Grid
+    & info [ "quorum" ] ~docv:"KIND"
+        ~doc:
+          "Quorum construction for quorum-based algorithms: grid, fpp, \
+           tree, majority, hqc, grid-set:G, rst:G, star, all.")
+
+let crashes_arg =
+  Arg.(
+    value & opt_all crash_conv []
+    & info [ "crash" ] ~docv:"TIME:SITE"
+        ~doc:"Inject a fail-stop crash (repeatable).")
+
+let detect_arg =
+  Arg.(
+    value & opt float 3.0
+    & info [ "detect" ] ~docv:"DELAY" ~doc:"Failure detection latency.")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Print a CSV record instead of text.")
+
+let make_cfg n seed execs warmup cs delay workload crashes detect =
+  let wl =
+    match workload with
+    | `Saturated_all -> W.Saturated { contenders = n }
+    | `Saturated c -> W.Saturated { contenders = min c n }
+    | `Poisson rate_per_site -> W.Poisson { rate_per_site }
+    | `Burst_all -> W.Burst { requesters = List.init n Fun.id; at = 0.0 }
+  in
+  {
+    (E.default ~n) with
+    seed;
+    max_executions = execs;
+    warmup;
+    cs_duration = cs;
+    delay;
+    workload = wl;
+    crashes;
+    detection_delay = detect;
+    max_time = 1.0e9;
+  }
+
+let runner_of_algo algo kind ~n =
+  match algo with
+  | "delay-optimal" -> Ok (R.delay_optimal ~kind ~n ())
+  | "ft-delay-optimal" -> Ok (R.ft_delay_optimal ~kind ~n ())
+  | "maekawa" -> Ok (R.maekawa ~kind ~n ())
+  | "raymond-chain" -> Ok (R.raymond ~chain:true ~n ())
+  | other -> Result.map (fun f -> f ~n) (R.by_name other)
+
+let csv_header =
+  "algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,\
+   resp_mean,resp_p99,throughput,violations,deadlocked,pending"
+
+let csv_line (r : E.report) variant =
+  let s = Dmx_sim.Stats.Summary.mean in
+  let p x = Dmx_sim.Stats.Summary.percentile x 99.0 in
+  Printf.sprintf "%s,%s,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.6f,%d,%b,%d"
+    r.E.protocol variant r.E.n r.E.executions r.E.total_messages
+    r.E.messages_per_cs (s r.E.sync_delay) (p r.E.sync_delay)
+    (s r.E.response_time) (p r.E.response_time) r.E.throughput r.E.violations
+    r.E.deadlocked r.E.pending_at_end
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let algo_arg =
+    Arg.(
+      value & opt string "delay-optimal"
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:
+            "Algorithm: delay-optimal, ft-delay-optimal, maekawa, lamport, \
+             ricart-agrawala, singhal-dynamic, suzuki-kasami, \
+             singhal-heuristic, raymond, raymond-chain.")
+  in
+  let action algo kind n seed execs warmup cs delay workload crashes detect csv
+      =
+    match runner_of_algo algo kind ~n with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok runner ->
+      let cfg = make_cfg n seed execs warmup cs delay workload crashes detect in
+      let r = runner.R.run cfg in
+      if csv then begin
+        print_endline csv_header;
+        print_endline (csv_line r runner.R.variant)
+      end
+      else Format.printf "%a@." E.pp_report r;
+      if r.E.violations > 0 then exit 2
+  in
+  let term =
+    Term.(
+      const action $ algo_arg $ quorum_arg $ n_arg $ seed_arg $ execs_arg
+      $ warmup_arg $ cs_arg $ delay_arg $ workload_arg $ crashes_arg
+      $ detect_arg $ csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one mutual exclusion algorithm.")
+    term
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let action n seed execs warmup cs delay workload csv =
+    let cfg = make_cfg n seed execs warmup cs delay workload [] 3.0 in
+    let runners = R.all ~n in
+    if csv then begin
+      print_endline csv_header;
+      List.iter
+        (fun runner ->
+          print_endline (csv_line (runner.R.run cfg) runner.R.variant))
+        runners
+    end
+    else begin
+      Format.printf "n=%d seed=%d delay=%a cs=%g load=%a@." n seed
+        Net.pp_delay_model delay cs W.pp cfg.E.workload;
+      Format.printf "%-16s %10s %10s %10s %12s %6s@." "algorithm" "msgs/CS"
+        "sync" "resp" "throughput/T" "viol";
+      List.iter
+        (fun runner ->
+          let r = runner.R.run cfg in
+          Format.printf "%-16s %10.1f %10.2f %10.1f %12.3f %6d%s@."
+            r.E.protocol r.E.messages_per_cs
+            (Dmx_sim.Stats.Summary.mean r.E.sync_delay)
+            (Dmx_sim.Stats.Summary.mean r.E.response_time)
+            (r.E.throughput *. r.E.mean_delay)
+            r.E.violations
+            (if r.E.deadlocked then " DEADLOCK" else ""))
+        runners
+    end
+  in
+  let term =
+    Term.(
+      const action $ n_arg $ seed_arg $ execs_arg $ warmup_arg $ cs_arg
+      $ delay_arg $ workload_arg $ csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every algorithm under one scenario and tabulate.")
+    term
+
+(* ---- quorums ---- *)
+
+let quorums_cmd =
+  let show_arg =
+    Arg.(value & flag & info [ "show" ] ~doc:"Print every request set.")
+  in
+  let action kind n show =
+    if not (B.supports kind ~n) then begin
+      Printf.printf "%s does not support n=%d\n" (B.kind_name kind) n;
+      exit 1
+    end;
+    let rs = B.req_sets kind ~n in
+    let st = B.size_stats rs in
+    (match B.validate ~n rs with
+    | Ok () -> Printf.printf "%s over %d sites: VALID coterie assignment\n" (B.kind_name kind) n
+    | Error e ->
+      Printf.printf "INVALID: %s\n" e;
+      exit 2);
+    Printf.printf "quorum size: min=%d max=%d mean=%.2f\n" st.B.k_min st.B.k_max
+      st.B.k_mean;
+    Printf.printf "minimal (no quorum contains another): %b\n" (B.minimal ~n rs);
+    if show then
+      Array.iteri
+        (fun i q ->
+          Printf.printf "  req_set(%d) = {%s}\n" i
+            (String.concat "," (List.map string_of_int q)))
+        rs
+  in
+  let term = Term.(const action $ quorum_arg $ n_arg $ show_arg) in
+  Cmd.v
+    (Cmd.info "quorums" ~doc:"Build, validate and display a quorum construction.")
+    term
+
+(* ---- avail ---- *)
+
+let avail_cmd =
+  let trials_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials.")
+  in
+  let action kind n trials =
+    if not (B.supports kind ~n) then begin
+      Printf.printf "%s does not support n=%d\n" (B.kind_name kind) n;
+      exit 1
+    end;
+    Printf.printf "availability of %s over %d sites\n" (B.kind_name kind) n;
+    Printf.printf "%8s %12s\n" "p(up)" "availability";
+    List.iter
+      (fun p ->
+        Printf.printf "%8.2f %12.4f\n" p
+          (Dmx_quorum.Availability.estimate ~trials kind ~n ~p_up:p))
+      [ 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 0.99; 1.0 ]
+  in
+  let term = Term.(const action $ quorum_arg $ n_arg $ trials_arg) in
+  Cmd.v
+    (Cmd.info "avail" ~doc:"Availability sweep for a quorum construction.")
+    term
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let axis_conv =
+    let parse = function
+      | "n" -> Ok `N
+      | "rate" -> Ok `Rate
+      | "cs" -> Ok `Cs
+      | s -> Error (`Msg (Printf.sprintf "bad axis %S (expected n|rate|cs)" s))
+    in
+    let pp ppf a =
+      Format.pp_print_string ppf
+        (match a with `N -> "n" | `Rate -> "rate" | `Cs -> "cs")
+    in
+    Arg.conv (parse, pp)
+  in
+  let axis_arg =
+    Arg.(
+      value & opt axis_conv `N
+      & info [ "axis" ] ~docv:"AXIS"
+          ~doc:
+            "Swept parameter: n (sites), rate (poisson load) or cs (CS \
+             duration).")
+  in
+  let values_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' float) [ 9.; 16.; 25.; 49. ]
+      & info [ "values" ] ~docv:"V1,V2,..." ~doc:"Values to sweep.")
+  in
+  let algos_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' string) [ "delay-optimal"; "maekawa" ]
+      & info [ "algos" ] ~docv:"A1,A2,..." ~doc:"Algorithms to include.")
+  in
+  let action axis values algos kind n seed execs warmup cs delay workload =
+    print_endline ("axis,value," ^ csv_header);
+    List.iter
+      (fun v ->
+        let n, cs, workload =
+          match axis with
+          | `N -> (int_of_float v, cs, workload)
+          | `Rate -> (n, cs, `Poisson v)
+          | `Cs -> (n, v, workload)
+        in
+        List.iter
+          (fun algo ->
+            match runner_of_algo algo kind ~n with
+            | Error e ->
+              prerr_endline e;
+              exit 1
+            | Ok runner ->
+              let cfg = make_cfg n seed execs warmup cs delay workload [] 3.0 in
+              let r = runner.R.run cfg in
+              Printf.printf "%s,%g,%s\n"
+                (match axis with `N -> "n" | `Rate -> "rate" | `Cs -> "cs")
+                v
+                (csv_line r runner.R.variant))
+          algos)
+      values
+  in
+  let term =
+    Term.(
+      const action $ axis_arg $ values_arg $ algos_arg $ quorum_arg $ n_arg
+      $ seed_arg $ execs_arg $ warmup_arg $ cs_arg $ delay_arg $ workload_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep one parameter across algorithms and print CSV (for plotting).")
+    term
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let limit_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "limit" ] ~docv:"LINES" ~doc:"Maximum trace lines to print.")
+  in
+  let action algo kind n seed execs cs delay workload limit =
+    match runner_of_algo algo kind ~n with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok _ ->
+      (* tracing needs the concrete engine; handle the common cases *)
+      let cfg =
+        { (make_cfg n seed execs 0 cs delay workload [] 3.0) with trace = true }
+      in
+      let sink = Dmx_sim.Trace.create ~enabled:true () in
+      let report =
+        match algo with
+        | "maekawa" ->
+          let module M = E.Make (Dmx_baselines.Maekawa_me) in
+          M.run ~trace_sink:sink cfg
+            { Dmx_baselines.Maekawa_me.req_sets = B.req_sets kind ~n }
+        | _ ->
+          let module M = E.Make (Dmx_core.Delay_optimal) in
+          M.run ~trace_sink:sink cfg
+            (Dmx_core.Delay_optimal.config (B.req_sets kind ~n))
+      in
+      let entries = Dmx_sim.Trace.entries sink in
+      List.iteri
+        (fun i e ->
+          if i < limit then
+            Format.printf "%a@." Dmx_sim.Trace.pp_entry e)
+        entries;
+      if List.length entries > limit then
+        Printf.printf "... (%d more lines)\n" (List.length entries - limit);
+      print_string (Dmx_sim.Trace.timeline sink ~n);
+      Format.printf "---@.%a@." E.pp_report report
+  in
+  let term =
+    Term.(
+      const action $ Arg.(value & opt string "delay-optimal" & info [ "algo"; "a" ])
+      $ quorum_arg $ n_arg $ seed_arg
+      $ Arg.(value & opt int 10 & info [ "execs" ])
+      $ cs_arg $ delay_arg $ workload_arg $ limit_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Print an annotated message trace of a short run (delay-optimal or \
+          maekawa).")
+    term
+
+let () =
+  let doc =
+    "Delay-optimal quorum-based distributed mutual exclusion (ICDCS'98) — \
+     simulator front end"
+  in
+  let info = Cmd.info "dmx-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; compare_cmd; sweep_cmd; quorums_cmd; avail_cmd; trace_cmd ]))

@@ -1,0 +1,69 @@
+(* Fault tolerance (paper Section 6): service survives the crash of the
+   most critical site.
+
+   With Agrawal–El Abbadi tree quorums over 15 sites, the ROOT belongs to
+   every failure-free quorum. We crash it mid-run: the fault-tolerant
+   delay-optimal algorithm detects the failure, every requester re-runs
+   the quorum construction (substituting root-to-leaf paths through the
+   dead node), arbiters purge the dead site's requests and reclaim
+   permissions it held — and the critical section keeps being granted.
+
+     dune exec examples/failover.exe
+*)
+
+module Engine = Dmx_sim.Engine
+module Trace = Dmx_sim.Trace
+module FT = Dmx_core.Ft_delay_optimal
+
+let () =
+  let n = 15 in
+  let crash_time = 40.0 in
+  let trace = Trace.create ~enabled:true () in
+  let scenario =
+    {
+      (Engine.default ~n) with
+      max_executions = 300;
+      warmup = 0;
+      cs_duration = 1.0;
+      delay = Dmx_sim.Network.Uniform { lo = 0.5; hi = 1.5 };
+      crashes = [ (crash_time, 0) ];  (* kill the tree root *)
+      detection_delay = 3.0;
+      max_time = 1.0e6;
+    }
+  in
+  let module M = Engine.Make (FT) in
+  let report =
+    M.run ~trace_sink:trace scenario
+      (FT.config_of_kind Tree ~n ~broadcast:true)
+  in
+
+  (* How long was service interrupted around the crash? *)
+  let entries =
+    List.filter_map
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Enter_cs -> Some e.Trace.time
+        | _ -> None)
+      (Trace.entries trace)
+  in
+  let before = List.filter (fun t -> t <= crash_time) entries in
+  let after = List.filter (fun t -> t > crash_time) entries in
+  let last_before = List.fold_left Float.max 0.0 before in
+  let first_after = List.fold_left Float.min infinity after in
+
+  Printf.printf "tree quorums over %d sites; root crashed at t=%.0f\n" n
+    crash_time;
+  Printf.printf "  CS executions served:      %d (all requested)\n"
+    report.Engine.executions;
+  Printf.printf "  safety violations:         %d\n" report.Engine.violations;
+  Printf.printf "  last grant before crash:   t=%.2f\n" last_before;
+  Printf.printf "  first grant after crash:   t=%.2f\n" first_after;
+  Printf.printf "  service gap across crash:  %.2f T (detection latency 3.0)\n"
+    (first_after -. last_before);
+  Printf.printf "  grants before / after:     %d / %d\n" (List.length before)
+    (List.length after);
+  if report.Engine.deadlocked || report.Engine.violations > 0 then begin
+    print_endline "FAILOVER FAILED";
+    exit 1
+  end
+  else print_endline "failover succeeded: mutual exclusion survived the root"

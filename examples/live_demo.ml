@@ -1,0 +1,70 @@
+(* Real parallelism: the same protocol module that runs in the simulator
+   executes here on OCaml 5 domains — one OS-scheduled domain per site plus
+   a postman delivering messages after genuine wall-clock delays. An atomic
+   occupancy counter cross-checks mutual exclusion the instant it would be
+   violated.
+
+     dune exec examples/live_demo.exe
+*)
+
+module Live = Dmx_runtime.Live
+
+let run_live name (report : Live.report) =
+  Printf.printf
+    "%-14s  %3d CS executions on %d domains, %4d real messages, %.0f ms \
+     wall, violations: %d (max occupancy %d)\n"
+    name report.Live.executions
+    (Array.length report.Live.per_site)
+    report.Live.messages
+    (report.Live.wall_seconds *. 1000.0)
+    report.Live.violations report.Live.max_occupancy
+
+let () =
+  let n = 4 in
+  let rounds = 8 in
+  let cfg =
+    {
+      (Live.default ~n) with
+      rounds_per_site = rounds;
+      cs_duration = 0.002;
+      min_delay = 0.0003;
+      max_delay = 0.0015;
+    }
+  in
+  print_endline
+    "running the delay-optimal algorithm and two baselines on real domains\n\
+     (4 sites, 8 CS rounds each, 0.3-1.5 ms message delays, 2 ms CS):\n";
+
+  let module DO = Live.Make (Dmx_core.Delay_optimal) in
+  let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
+  let r = DO.run cfg (Dmx_core.Delay_optimal.config req_sets) in
+  run_live "delay-optimal" r;
+  assert (r.Live.violations = 0);
+
+  let module MK = Live.Make (Dmx_baselines.Maekawa_me) in
+  let r = MK.run cfg { Dmx_baselines.Maekawa_me.req_sets } in
+  run_live "maekawa" r;
+  assert (r.Live.violations = 0);
+
+  let module RA = Live.Make (Dmx_baselines.Ricart_agrawala) in
+  let r = RA.run cfg () in
+  run_live "ricart-agrawala" r;
+  assert (r.Live.violations = 0);
+
+  (* and a real failover: one domain fail-stops 15 ms in; the
+     fault-tolerant variant's survivors rebuild and keep going *)
+  let module FT = Live.Make (Dmx_core.Ft_delay_optimal) in
+  let r =
+    FT.run
+      { cfg with crashes = [ (0.015, 3) ]; detection_delay = 0.005 }
+      (Dmx_core.Ft_delay_optimal.config_of_kind Tree ~n ~broadcast:false)
+  in
+  run_live "ft + crash" r;
+  assert (r.Live.violations = 0);
+  Printf.printf "  (site 3 fail-stopped mid-run; survivors each finished all %d rounds)\n"
+    rounds;
+
+  print_endline
+    "\nall runs completed with occupancy never exceeding one: the protocols\n\
+     hold up under true concurrency, not just under the simulator's\n\
+     deterministic schedules."

@@ -1,0 +1,54 @@
+(* Quickstart: the paper's headline result in thirty lines.
+
+   Build a Maekawa-style grid coterie over 25 sites, run the delay-optimal
+   algorithm and Maekawa's algorithm under identical heavy load, and watch
+   the synchronization delay drop from 2T to T (and throughput rise
+   accordingly).
+
+     dune exec examples/quickstart.exe
+*)
+
+module Engine = Dmx_sim.Engine
+module Summary = Dmx_sim.Stats.Summary
+
+let () =
+  let n = 25 in
+  (* request sets: one quorum per site; any construction from
+     Dmx_quorum.Builder works (the algorithm is quorum-independent) *)
+  let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
+
+  (* a scenario: all 25 sites permanently contend; message delay is the
+     unit of time (T = 1); each CS takes 2T *)
+  let scenario =
+    {
+      (Engine.default ~n) with
+      max_executions = 500;
+      warmup = 50;
+      cs_duration = 2.0;
+    }
+  in
+
+  (* the paper's algorithm *)
+  let module Proposed = Engine.Make (Dmx_core.Delay_optimal) in
+  let proposed = Proposed.run scenario (Dmx_core.Delay_optimal.config req_sets) in
+
+  (* the baseline it improves *)
+  let module Maekawa = Engine.Make (Dmx_baselines.Maekawa_me) in
+  let maekawa = Maekawa.run scenario { Dmx_baselines.Maekawa_me.req_sets } in
+
+  let show (r : Engine.report) =
+    Printf.printf
+      "%-14s  sync delay = %.2f T   messages/CS = %4.1f   throughput = %.3f/T\n"
+      r.Engine.protocol
+      (Summary.mean r.Engine.sync_delay)
+      r.Engine.messages_per_cs
+      (r.Engine.throughput *. r.Engine.mean_delay)
+  in
+  print_endline "heavy load, N=25, grid quorums (K=9), CS duration 2T:";
+  show maekawa;
+  show proposed;
+  Printf.printf
+    "\nThe proposed algorithm forwards permissions directly from the exiting\n\
+     site to the next entrant, so the handoff costs one message delay (T)\n\
+     instead of Maekawa's release-then-reply round (2T).\n";
+  assert (proposed.Engine.violations = 0 && maekawa.Engine.violations = 0)

@@ -1,0 +1,119 @@
+(* Replicated data management — the application the paper's introduction
+   motivates ("replicated data, atomic commitment, distributed shared
+   memory ... require that a resource be allocated to a single process at
+   a time").
+
+   Each site holds a replica of a register. A write must be globally
+   exclusive: the writer acquires the distributed mutex, applies its write
+   locally and propagates it to every replica before releasing. We replay
+   the CS schedule produced by the delay-optimal algorithm from the
+   execution trace and verify that (a) writes never overlapped and (b) all
+   replicas converge to the same final history — i.e. the mutex really
+   serialized the writers.
+
+     dune exec examples/replicated_store.exe
+*)
+
+module Engine = Dmx_sim.Engine
+module Trace = Dmx_sim.Trace
+
+type write = { writer : int; start : float; finish : float }
+
+let () =
+  let n = 16 in
+  let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
+  let trace = Trace.create ~enabled:true () in
+  let scenario =
+    {
+      (Engine.default ~n) with
+      workload = Dmx_sim.Workload.Poisson { rate_per_site = 0.05 };
+      max_executions = 200;
+      warmup = 0;
+      cs_duration = 0.8;
+      delay = Dmx_sim.Network.Uniform { lo = 0.5; hi = 1.5 };
+      max_time = 1.0e7;
+    }
+  in
+  let module M = Engine.Make (Dmx_core.Delay_optimal) in
+  let report = M.run ~trace_sink:trace scenario (Dmx_core.Delay_optimal.config req_sets) in
+
+  (* Reconstruct the write schedule from the CS entries/exits. *)
+  let writes =
+    let open_cs = Hashtbl.create 8 in
+    List.fold_left
+      (fun acc e ->
+        match e.Trace.kind with
+        | Trace.Enter_cs ->
+          Hashtbl.replace open_cs e.Trace.site e.Trace.time;
+          acc
+        | Trace.Exit_cs ->
+          let start = Hashtbl.find open_cs e.Trace.site in
+          Hashtbl.remove open_cs e.Trace.site;
+          { writer = e.Trace.site; start; finish = e.Trace.time } :: acc
+        | _ -> acc)
+      [] (Trace.entries trace)
+    |> List.rev
+  in
+
+  (* (a) exclusivity: no two writes overlap in time *)
+  let sorted = List.sort (fun a b -> Float.compare a.start b.start) writes in
+  let rec overlaps = function
+    | a :: (b :: _ as rest) -> a.finish > b.start || overlaps rest
+    | _ -> false
+  in
+
+  (* (b) every replica applies the same write sequence: writers propagate
+     inside the CS, so the globally ordered log IS the replica history *)
+  let replicas = Array.make n [] in
+  List.iter
+    (fun w ->
+      for replica = 0 to n - 1 do
+        replicas.(replica) <- w.writer :: replicas.(replica)
+      done)
+    sorted;
+  let reference = replicas.(0) in
+  let converged = Array.for_all (fun h -> h = reference) replicas in
+
+  Printf.printf "replicated register over %d sites\n" n;
+  Printf.printf "  writes committed:   %d\n" (List.length writes);
+  Printf.printf "  overlapping writes: %s\n"
+    (if overlaps sorted then "YES (broken!)" else "none");
+  Printf.printf "  replicas converged: %b\n" converged;
+  Printf.printf "  mutex violations:   %d\n" report.Engine.violations;
+  let writers = List.sort_uniq compare (List.map (fun w -> w.writer) writes) in
+  Printf.printf "  distinct writers:   %d of %d sites\n" (List.length writers) n;
+
+  (* Part two — Section 7's replica control: instead of propagating every
+     write to all N replicas, write only to the writer's WRITE quorum and
+     read from (smaller) READ quorums; quorum intersection alone must keep
+     reads fresh, even with a site down. *)
+  let module RW = Dmx_quorum.Rw_quorum in
+  let rw = RW.create RW.Grid_rw ~n in
+  (match RW.validate rw with Ok () -> () | Error e -> failwith e);
+  let version = Array.make n 0 in
+  let stale = ref 0 in
+  List.iteri
+    (fun i w ->
+      let v = i + 1 in
+      List.iter (fun rep -> version.(rep) <- v) rw.RW.writes.(w.writer);
+      (* interleave a read from an unrelated site after every write *)
+      let reader = (w.writer + 5) mod n in
+      let seen =
+        List.fold_left (fun acc rep -> max acc version.(rep)) 0
+          rw.RW.reads.(reader)
+      in
+      if seen <> v then incr stale)
+    sorted;
+  Printf.printf
+    "  quorum replica control: writes touch %.0f replicas, reads %.0f; \
+     stale reads: %d\n"
+    (RW.write_size rw) (RW.read_size rw) !stale;
+
+  if
+    overlaps sorted || (not converged) || report.Engine.violations > 0
+    || !stale > 0
+  then begin
+    print_endline "CONSISTENCY FAILURE";
+    exit 1
+  end
+  else print_endline "all writes serialized; store is consistent"

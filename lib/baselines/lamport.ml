@@ -1,0 +1,114 @@
+(** Lamport's mutual exclusion algorithm (1978): the timestamp-ordered
+    request queue replicated at every site. 3(N−1) messages per CS
+    execution ((N−1) each of request / reply / release), synchronization
+    delay T. The baseline for Table 1's "delay T but O(N) messages"
+    corner.
+
+    A site enters when its own request heads its local queue and it has
+    heard a later-timestamped message from every other site (FIFO channels
+    make that a promise that no earlier request is in flight). *)
+
+module Ts = Dmx_sim.Timestamp
+module Proto = Dmx_sim.Protocol
+
+(* Reuse the core library's timestamp queue for the replicated queue. *)
+module Ts_queue = Dmx_core.Ts_queue
+
+type config = unit
+
+type message =
+  | Request of Ts.t
+  | Reply of Ts.t  (** timestamp = sender's clock at send time *)
+  | Release of Ts.t
+
+type state = {
+  self : int;
+  n : int;
+  clock : Ts.Clock.t;
+  queue : Ts_queue.t;  (* replicated request queue, priority order *)
+  last_from : Ts.t array;  (* newest timestamp heard from each site *)
+  mutable req : Ts.t option;
+  mutable in_cs : bool;
+}
+
+let name = "lamport"
+let describe () = "broadcast"
+
+let message_kind = function
+  | Request _ -> "request"
+  | Reply _ -> "reply"
+  | Release _ -> "release"
+
+let pp_message ppf = function
+  | Request ts -> Format.fprintf ppf "request%a" Ts.pp ts
+  | Reply ts -> Format.fprintf ppf "reply%a" Ts.pp ts
+  | Release ts -> Format.fprintf ppf "release%a" Ts.pp ts
+
+let init (ctx : message Proto.ctx) () =
+  {
+    self = ctx.self;
+    n = ctx.n;
+    clock = Ts.Clock.create ();
+    queue = Ts_queue.create ();
+    last_from = Array.make ctx.n { Ts.sn = 0; site = 0 };
+    req = None;
+    in_cs = false;
+  }
+
+let others st = List.filter (fun j -> j <> st.self) (List.init st.n Fun.id)
+
+let check_enter (ctx : message Proto.ctx) st =
+  match st.req with
+  | Some own when not st.in_cs ->
+    let at_head =
+      match Ts_queue.head st.queue with
+      | Some h -> Ts.equal h own
+      | None -> false
+    in
+    let heard_later j = Ts.compare st.last_from.(j) own > 0 in
+    if at_head && List.for_all heard_later (others st) then begin
+      st.in_cs <- true;
+      ctx.enter_cs ()
+    end
+  | _ -> ()
+
+let note_heard st ~src ts =
+  Ts.Clock.observe st.clock ts;
+  if Ts.compare ts st.last_from.(src) > 0 then st.last_from.(src) <- ts
+
+let request_cs (ctx : message Proto.ctx) st =
+  assert (st.req = None && not st.in_cs);
+  let ts = Ts.Clock.next st.clock ~site:st.self in
+  st.req <- Some ts;
+  Ts_queue.insert st.queue ts;
+  List.iter (fun j -> ctx.send ~dst:j (Request ts)) (others st);
+  check_enter ctx st
+
+let release_cs (ctx : message Proto.ctx) st =
+  assert st.in_cs;
+  st.in_cs <- false;
+  (match st.req with
+  | Some own -> ignore (Ts_queue.remove_site st.queue own.Ts.site)
+  | None -> ());
+  st.req <- None;
+  let ts = Ts.Clock.next st.clock ~site:st.self in
+  List.iter (fun j -> ctx.send ~dst:j (Release ts)) (others st)
+
+let on_message (ctx : message Proto.ctx) st ~src = function
+  | Request ts ->
+    note_heard st ~src ts;
+    Ts_queue.insert st.queue ts;
+    let reply_ts = Ts.Clock.next st.clock ~site:st.self in
+    ctx.send ~dst:src (Reply reply_ts);
+    check_enter ctx st
+  | Reply ts ->
+    note_heard st ~src ts;
+    check_enter ctx st
+  | Release ts ->
+    note_heard st ~src ts;
+    ignore (Ts_queue.remove_site st.queue src);
+    check_enter ctx st
+
+let on_timer _ctx _st _tag = ()
+let on_failure _ctx _st _site = ()
+let on_recovery _ctx _st _site = ()

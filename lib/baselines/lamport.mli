@@ -1,0 +1,15 @@
+(** Lamport's mutual exclusion algorithm (1978): timestamp-ordered request
+    queue replicated at every site. 3(N−1) messages per CS execution,
+    synchronization delay T — Table 1's "delay T, O(N) messages" corner. *)
+
+type config = unit
+
+type message =
+  | Request of Dmx_sim.Timestamp.t
+  | Reply of Dmx_sim.Timestamp.t
+  | Release of Dmx_sim.Timestamp.t
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message := message

@@ -1,0 +1,216 @@
+(** Maekawa's quorum-based mutual exclusion (1985): the algorithm the paper
+    improves. Identical quorum machinery, but the permission handoff goes
+    {e through} the arbiter — exit sends [release] to each arbiter, which
+    then sends [reply] to the next site — so the synchronization delay is
+    2T. Message complexity 3(K−1) light / ~5(K−1) heavy, like the
+    delay-optimal algorithm. Deadlock resolution uses the classic
+    inquire / fail / yield triad with Lamport-timestamp priorities. *)
+
+module Ts = Dmx_sim.Timestamp
+module Proto = Dmx_sim.Protocol
+module Ts_queue = Dmx_core.Ts_queue
+
+type config = { req_sets : int list array }
+
+type message = Request of Ts.t | Reply | Release | Inquire | Fail | Yield
+
+type state = {
+  self : int;
+  quorum : int list;
+  clock : Ts.Clock.t;
+  (* requester role *)
+  mutable req : Ts.t option;
+  replied : bool array;
+  mutable failed : bool;
+  mutable in_cs : bool;
+  mutable pending_inquires : int list;
+  (* arbiter role *)
+  mutable lock : Ts.t;
+  queue : Ts_queue.t;
+  mutable inquired : bool;
+  fail_noted : bool array;  (* fail already sent for this site's request *)
+}
+
+let name = "maekawa"
+
+let describe (c : config) =
+  let sizes = Array.map List.length c.req_sets in
+  let n = Array.length sizes in
+  let mean =
+    if n = 0 then 0.0
+    else float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int n
+  in
+  Printf.sprintf "K=%.1f" mean
+
+let message_kind = function
+  | Request _ -> "request"
+  | Reply -> "reply"
+  | Release -> "release"
+  | Inquire -> "inquire"
+  | Fail -> "fail"
+  | Yield -> "yield"
+
+let pp_message ppf m =
+  match m with
+  | Request ts -> Format.fprintf ppf "request%a" Ts.pp ts
+  | _ -> Format.pp_print_string ppf (message_kind m)
+
+let init (ctx : message Proto.ctx) (c : config) =
+  if Array.length c.req_sets <> ctx.n then
+    invalid_arg "Maekawa_me.init: req_sets size mismatch";
+  {
+    self = ctx.self;
+    quorum = c.req_sets.(ctx.self);
+    clock = Ts.Clock.create ();
+    req = None;
+    replied = Array.make ctx.n false;
+    failed = false;
+    in_cs = false;
+    pending_inquires = [];
+    lock = Ts.infinity;
+    queue = Ts_queue.create ();
+    inquired = false;
+    fail_noted = Array.make ctx.n false;
+  }
+
+(* ---- requester ---- *)
+
+let all_replied st = List.for_all (fun k -> st.replied.(k)) st.quorum
+
+let check_enter (ctx : message Proto.ctx) st =
+  if st.req <> None && (not st.in_cs) && all_replied st then begin
+    st.in_cs <- true;
+    st.failed <- false;
+    st.pending_inquires <- [];
+    ctx.enter_cs ()
+  end
+
+let answer_inquire (ctx : message Proto.ctx) st arbiter =
+  if st.req <> None && (not st.in_cs) && not (all_replied st) then begin
+    if st.replied.(arbiter) && st.failed then begin
+      st.replied.(arbiter) <- false;
+      ctx.send ~dst:arbiter Yield
+    end
+    else if not (List.mem arbiter st.pending_inquires) then
+      st.pending_inquires <- arbiter :: st.pending_inquires
+  end
+
+let on_fail (ctx : message Proto.ctx) st =
+  if st.req <> None && (not st.in_cs) && not (all_replied st) then begin
+    st.failed <- true;
+    let pending = st.pending_inquires in
+    st.pending_inquires <- [];
+    List.iter (answer_inquire ctx st) pending
+  end
+
+let request_cs (ctx : message Proto.ctx) st =
+  assert (st.req = None && not st.in_cs);
+  let ts = Ts.Clock.next st.clock ~site:st.self in
+  st.req <- Some ts;
+  st.failed <- false;
+  st.pending_inquires <- [];
+  Array.fill st.replied 0 (Array.length st.replied) false;
+  List.iter (fun j -> ctx.send ~dst:j (Request ts)) st.quorum
+
+let release_cs (ctx : message Proto.ctx) st =
+  assert st.in_cs;
+  st.in_cs <- false;
+  st.req <- None;
+  List.iter (fun j -> ctx.send ~dst:j Release) st.quorum;
+  Array.fill st.replied 0 (Array.length st.replied) false;
+  st.failed <- false;
+  st.pending_inquires <- []
+
+(* ---- arbiter ---- *)
+
+let note_fail (ctx : message Proto.ctx) st (entry : Ts.t) =
+  if not st.fail_noted.(entry.Ts.site) then begin
+    st.fail_noted.(entry.Ts.site) <- true;
+    ctx.send ~dst:entry.Ts.site Fail
+  end
+
+let send_inquire (ctx : message Proto.ctx) st =
+  if not st.inquired then begin
+    st.inquired <- true;
+    ctx.send ~dst:st.lock.Ts.site Inquire
+  end
+
+(* After any lock reassignment: a head that outranks the new holder is the
+   reason to inquire it; a head ranking behind must have been failed (or
+   it would never yield elsewhere — Sanders' correction of the original
+   algorithm). *)
+let enforce_head_rule (ctx : message Proto.ctx) st =
+  match Ts_queue.head st.queue with
+  | Some h when Ts.(h < st.lock) -> send_inquire ctx st
+  | Some h -> note_fail ctx st h
+  | None -> ()
+
+let grant_next (ctx : message Proto.ctx) st =
+  match Ts_queue.pop st.queue with
+  | Some best ->
+    st.lock <- best;
+    st.inquired <- false;
+    st.fail_noted.(best.Ts.site) <- false;
+    ctx.send ~dst:best.Ts.site Reply;
+    enforce_head_rule ctx st
+  | None ->
+    st.lock <- Ts.infinity;
+    st.inquired <- false
+
+let on_request (ctx : message Proto.ctx) st ~src ts =
+  Ts.Clock.observe st.clock ts;
+  if Ts.is_infinity st.lock then begin
+    st.lock <- ts;
+    st.inquired <- false;
+    st.fail_noted.(src) <- false;
+    ctx.send ~dst:src Reply
+  end
+  else begin
+    let old_head = Ts_queue.head st.queue in
+    Ts_queue.insert st.queue ts;
+    st.fail_noted.(src) <- false;
+    let is_best =
+      match Ts_queue.head st.queue with
+      | Some h -> Ts.equal h ts
+      | None -> false
+    in
+    if is_best then begin
+      (match old_head with
+      | Some prev when prev.Ts.site <> src -> note_fail ctx st prev
+      | Some _ | None -> ());
+      if Ts.(ts < st.lock) then send_inquire ctx st else note_fail ctx st ts
+    end
+    else note_fail ctx st ts
+  end
+
+let on_yield (ctx : message Proto.ctx) st ~src =
+  if st.lock.Ts.site = src then begin
+    Ts_queue.insert st.queue st.lock;
+    grant_next ctx st
+  end
+
+let on_release (ctx : message Proto.ctx) st ~src =
+  if st.lock.Ts.site = src then grant_next ctx st
+
+let on_message (ctx : message Proto.ctx) st ~src = function
+  | Request ts -> on_request ctx st ~src ts
+  | Reply ->
+    st.replied.(src) <- true;
+    check_enter ctx st
+  | Release -> on_release ctx st ~src
+  | Inquire -> answer_inquire ctx st src
+  | Fail -> on_fail ctx st
+  | Yield -> on_yield ctx st ~src
+
+let on_timer _ctx _st _tag = ()
+let on_failure _ctx _st _site = ()
+let on_recovery _ctx _st _site = ()
+
+let copy_state st =
+  {
+    st with
+    replied = Array.copy st.replied;
+    queue = Ts_queue.copy st.queue;
+    fail_noted = Array.copy st.fail_noted;
+    clock = Ts.Clock.copy st.clock;
+  }

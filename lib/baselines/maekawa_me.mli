@@ -1,0 +1,16 @@
+(** Maekawa's quorum-based mutual exclusion (1985): the 2T baseline the
+    paper improves. Permissions return to the arbiter on release before
+    being re-granted, so every handoff costs two message delays. Includes
+    the eager fail/inquire discipline (Sanders' correction) that makes the
+    inquire/fail/yield deadlock avoidance actually sound. *)
+
+type config = { req_sets : int list array }
+type message = Request of Dmx_sim.Timestamp.t | Reply | Release | Inquire | Fail | Yield
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message := message
+
+val copy_state : state -> state
+(** Deep copy for the model checker. *)

@@ -1,0 +1,108 @@
+(** Raymond's tree-based token algorithm (1989): Table 1's "O(log N)
+    messages but O(log N) delay" row. Sites form a static spanning tree;
+    each holds a [holder] pointer toward the token. Requests travel up the
+    holder chain, the token travels back down, and the chain reverses as
+    it goes. Average message cost O(log N); the synchronization delay is a
+    token walk across the tree, hence also O(log N) — the paper's argument
+    for why low message count does not imply low delay. *)
+
+module Proto = Dmx_sim.Protocol
+
+type config = {
+  parent : int array;
+      (** [parent.(i)] in the spanning tree; the root (token minter) has
+          parent -1. *)
+}
+
+(** A balanced binary spanning tree rooted at site 0. *)
+let binary_tree ~n =
+  { parent = Array.init n (fun i -> if i = 0 then -1 else (i - 1) / 2) }
+
+(** A chain 0 - 1 - ... - n-1: the worst-case O(N) delay topology. *)
+let chain ~n = { parent = Array.init n (fun i -> i - 1) }
+
+type message = Request | Token
+
+type state = {
+  self : int;
+  mutable holder : int;  (* which neighbor leads to the token; self = here *)
+  mutable queue : int list;  (* FIFO of requesters, may include self *)
+  mutable asked : bool;  (* a Request is already on its way to holder *)
+  mutable in_cs : bool;
+}
+
+let name = "raymond"
+
+let describe (c : config) =
+  let n = Array.length c.parent in
+  let depth =
+    let rec up i d = if i < 0 || c.parent.(i) < 0 then d else up c.parent.(i) (d + 1) in
+    Array.fold_left max 0 (Array.init n (fun i -> up i 0))
+  in
+  Printf.sprintf "tree(depth=%d)" depth
+
+let message_kind = function Request -> "request" | Token -> "token"
+
+let pp_message ppf m = Format.pp_print_string ppf (message_kind m)
+
+let init (ctx : message Proto.ctx) (c : config) =
+  if Array.length c.parent <> ctx.n then
+    invalid_arg "Raymond.init: parent array size mismatch";
+  let holder =
+    if c.parent.(ctx.self) < 0 then ctx.self else c.parent.(ctx.self)
+  in
+  { self = ctx.self; holder; queue = []; asked = false; in_cs = false }
+
+(* The two routines of Raymond's paper. [assign_privilege]: a token holder
+   that is not using it passes it to the head of its queue (or enters the
+   CS if that head is itself). [make_request]: a site with a non-empty
+   queue and no token asks its current holder, once. *)
+let rec assign_privilege (ctx : message Proto.ctx) st =
+  if st.holder = st.self && not st.in_cs then begin
+    match st.queue with
+    | [] -> ()
+    | next :: rest ->
+      st.queue <- rest;
+      st.asked <- false;
+      if next = st.self then begin
+        st.in_cs <- true;
+        ctx.enter_cs ()
+      end
+      else begin
+        st.holder <- next;
+        ctx.send ~dst:next Token;
+        make_request ctx st
+      end
+  end
+
+and make_request (ctx : message Proto.ctx) st =
+  if st.holder <> st.self && st.queue <> [] && not st.asked then begin
+    st.asked <- true;
+    ctx.send ~dst:st.holder Request
+  end
+
+let request_cs (ctx : message Proto.ctx) st =
+  assert (not st.in_cs);
+  st.queue <- st.queue @ [ st.self ];
+  assign_privilege ctx st;
+  make_request ctx st
+
+let release_cs (ctx : message Proto.ctx) st =
+  assert st.in_cs;
+  st.in_cs <- false;
+  assign_privilege ctx st;
+  make_request ctx st
+
+let on_message (ctx : message Proto.ctx) st ~src = function
+  | Request ->
+    st.queue <- st.queue @ [ src ];
+    assign_privilege ctx st;
+    make_request ctx st
+  | Token ->
+    st.holder <- st.self;
+    assign_privilege ctx st;
+    make_request ctx st
+
+let on_timer _ctx _st _tag = ()
+let on_failure _ctx _st _site = ()
+let on_recovery _ctx _st _site = ()

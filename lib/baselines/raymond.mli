@@ -1,0 +1,19 @@
+(** Raymond's tree-based token algorithm (1989): O(log N) messages per CS
+    on a balanced tree but O(log N) synchronization delay — Table 1's
+    low-message/high-delay row, and the paper's argument that message
+    complexity and delay are separate axes. *)
+
+type config = { parent : int array }
+
+val binary_tree : n:int -> config
+(** Balanced binary spanning tree rooted at site 0 (the token minter). *)
+
+val chain : n:int -> config
+(** Linear chain: the O(N) worst-case delay topology. *)
+
+type message = Request | Token
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message := message

@@ -1,0 +1,92 @@
+(** Ricart–Agrawala (1981): Lamport's algorithm with releases merged into
+    deferred replies. 2(N−1) messages per CS execution, synchronization
+    delay T. Table 1's optimized broadcast baseline.
+
+    A site replies to an incoming request immediately unless it is in the
+    CS or requesting with higher priority — then the reply is deferred
+    until its own exit, which is exactly what serializes the executions. *)
+
+module Ts = Dmx_sim.Timestamp
+module Proto = Dmx_sim.Protocol
+
+type config = unit
+
+type message = Request of Ts.t | Reply
+
+type state = {
+  self : int;
+  n : int;
+  clock : Ts.Clock.t;
+  mutable req : Ts.t option;
+  mutable in_cs : bool;
+  replied : bool array;
+  mutable deferred : int list;
+}
+
+let name = "ricart-agrawala"
+let describe () = "broadcast"
+let message_kind = function Request _ -> "request" | Reply -> "reply"
+
+let pp_message ppf = function
+  | Request ts -> Format.fprintf ppf "request%a" Ts.pp ts
+  | Reply -> Format.pp_print_string ppf "reply"
+
+let init (ctx : message Proto.ctx) () =
+  {
+    self = ctx.self;
+    n = ctx.n;
+    clock = Ts.Clock.create ();
+    req = None;
+    in_cs = false;
+    replied = Array.make ctx.n false;
+    deferred = [];
+  }
+
+let others st = List.filter (fun j -> j <> st.self) (List.init st.n Fun.id)
+
+let check_enter (ctx : message Proto.ctx) st =
+  if
+    st.req <> None && (not st.in_cs)
+    && List.for_all (fun j -> st.replied.(j)) (others st)
+  then begin
+    st.in_cs <- true;
+    ctx.enter_cs ()
+  end
+
+let request_cs (ctx : message Proto.ctx) st =
+  assert (st.req = None && not st.in_cs);
+  let ts = Ts.Clock.next st.clock ~site:st.self in
+  st.req <- Some ts;
+  Array.fill st.replied 0 st.n false;
+  List.iter (fun j -> ctx.send ~dst:j (Request ts)) (others st);
+  check_enter ctx st (* n = 1 enters immediately *)
+
+let release_cs (ctx : message Proto.ctx) st =
+  assert st.in_cs;
+  st.in_cs <- false;
+  st.req <- None;
+  List.iter (fun j -> ctx.send ~dst:j Reply) st.deferred;
+  st.deferred <- []
+
+let on_message (ctx : message Proto.ctx) st ~src = function
+  | Request ts ->
+    Ts.Clock.observe st.clock ts;
+    let defer =
+      st.in_cs
+      ||
+      match st.req with
+      | Some own -> Ts.compare own ts < 0 (* our request outranks theirs *)
+      | None -> false
+    in
+    if defer then st.deferred <- src :: st.deferred
+    else ctx.send ~dst:src Reply
+  | Reply ->
+    st.replied.(src) <- true;
+    check_enter ctx st
+
+let on_timer _ctx _st _tag = ()
+let on_failure _ctx _st _site = ()
+let on_recovery _ctx _st _site = ()
+
+let copy_state st =
+  { st with replied = Array.copy st.replied; clock = Ts.Clock.copy st.clock }

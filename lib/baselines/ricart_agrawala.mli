@@ -1,0 +1,14 @@
+(** Ricart–Agrawala (1981): Lamport's algorithm with releases merged into
+    deferred replies. 2(N−1) messages per CS execution, synchronization
+    delay T. *)
+
+type config = unit
+type message = Request of Dmx_sim.Timestamp.t | Reply
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message := message
+
+val copy_state : state -> state
+(** Deep copy for the model checker. *)

@@ -1,0 +1,104 @@
+module E = Dmx_sim.Engine
+module B = Dmx_quorum.Builder
+
+type t = {
+  name : string;
+  variant : string;
+  run : Dmx_sim.Engine.config -> Dmx_sim.Engine.report;
+}
+
+let delay_optimal ?(kind = B.Grid) ~n () =
+  let req_sets = B.req_sets kind ~n in
+  let module M = E.Make (Dmx_core.Delay_optimal) in
+  {
+    name = "delay-optimal";
+    variant = B.kind_name kind;
+    run = (fun cfg -> M.run cfg (Dmx_core.Delay_optimal.config req_sets));
+  }
+
+let ft_delay_optimal ?(kind = B.Tree) ~n () =
+  let config = Dmx_core.Ft_delay_optimal.config_of_kind kind ~n ~broadcast:false in
+  let module M = E.Make (Dmx_core.Ft_delay_optimal) in
+  {
+    name = "ft-delay-optimal";
+    variant = B.kind_name kind;
+    run = (fun cfg -> M.run cfg config);
+  }
+
+let maekawa ?(kind = B.Grid) ~n () =
+  let req_sets = B.req_sets kind ~n in
+  let module M = E.Make (Maekawa_me) in
+  {
+    name = "maekawa";
+    variant = B.kind_name kind;
+    run = (fun cfg -> M.run cfg { Maekawa_me.req_sets });
+  }
+
+let lamport ~n =
+  ignore n;
+  let module M = E.Make (Lamport) in
+  { name = "lamport"; variant = ""; run = (fun cfg -> M.run cfg ()) }
+
+let ricart_agrawala ~n =
+  ignore n;
+  let module M = E.Make (Ricart_agrawala) in
+  { name = "ricart-agrawala"; variant = ""; run = (fun cfg -> M.run cfg ()) }
+
+let singhal_dynamic ~n =
+  ignore n;
+  let module M = E.Make (Singhal_dynamic) in
+  { name = "singhal-dynamic"; variant = ""; run = (fun cfg -> M.run cfg ()) }
+
+let suzuki_kasami ~n =
+  ignore n;
+  let module M = E.Make (Suzuki_kasami) in
+  { name = "suzuki-kasami"; variant = ""; run = (fun cfg -> M.run cfg ()) }
+
+let singhal_heuristic ~n =
+  ignore n;
+  let module M = E.Make (Singhal_heuristic) in
+  { name = "singhal-heuristic"; variant = ""; run = (fun cfg -> M.run cfg ()) }
+
+let raymond ?(chain = false) ~n () =
+  let topology = if chain then Raymond.chain ~n else Raymond.binary_tree ~n in
+  let module M = E.Make (Raymond) in
+  {
+    name = "raymond";
+    variant = (if chain then "chain" else "binary-tree");
+    run = (fun cfg -> M.run cfg topology);
+  }
+
+let all ~n =
+  [
+    lamport ~n;
+    ricart_agrawala ~n;
+    singhal_dynamic ~n;
+    maekawa ~n ();
+    delay_optimal ~n ();
+    suzuki_kasami ~n;
+    singhal_heuristic ~n;
+    raymond ~n ();
+  ]
+
+let registry =
+  [
+    ("delay-optimal", fun ~n -> delay_optimal ~n ());
+    ("ft-delay-optimal", fun ~n -> ft_delay_optimal ~n ());
+    ("maekawa", fun ~n -> maekawa ~n ());
+    ("lamport", lamport);
+    ("ricart-agrawala", ricart_agrawala);
+    ("singhal-dynamic", singhal_dynamic);
+    ("suzuki-kasami", suzuki_kasami);
+    ("singhal-heuristic", singhal_heuristic);
+    ("raymond", fun ~n -> raymond ~n ());
+  ]
+
+let names = List.map fst registry
+
+let by_name name =
+  match List.assoc_opt name registry with
+  | Some f -> Ok f
+  | None ->
+    Error
+      (Printf.sprintf "unknown algorithm %S (expected one of: %s)" name
+         (String.concat ", " names))

@@ -1,0 +1,38 @@
+(** Heterogeneous protocol runners.
+
+    [Engine.Make] produces one module per protocol; experiments, the CLI
+    and the examples want to iterate over {e all} algorithms uniformly.
+    A [t] packages "run this protocol under that engine config" behind a
+    first-class function, with the protocol's static parameters (quorum
+    construction, token topology) already applied. *)
+
+type t = {
+  name : string;  (** e.g. "delay-optimal" *)
+  variant : string;  (** e.g. the quorum kind, "" when not applicable *)
+  run : Dmx_sim.Engine.config -> Dmx_sim.Engine.report;
+}
+
+val delay_optimal : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
+(** Default quorum: [Grid]. *)
+
+val ft_delay_optimal : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
+(** Fault-tolerant variant (default quorum: [Tree], the reconstruction-
+    friendly coterie). *)
+
+val maekawa : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
+val lamport : n:int -> t
+val ricart_agrawala : n:int -> t
+val singhal_dynamic : n:int -> t
+val suzuki_kasami : n:int -> t
+val singhal_heuristic : n:int -> t
+val raymond : ?chain:bool -> n:int -> unit -> t
+
+val all : n:int -> t list
+(** One of each algorithm with its default parameters: the Table 1 set. *)
+
+val by_name : string -> (n:int -> t, string) result
+(** Look up a runner constructor by [name] ("delay-optimal", "maekawa",
+    "lamport", "ricart-agrawala", "singhal-dynamic", "suzuki-kasami",
+    "singhal-heuristic", "raymond", "ft-delay-optimal"). *)
+
+val names : string list

@@ -1,0 +1,119 @@
+(** Singhal's dynamic information-structure algorithm (1992): an adaptive
+    Ricart–Agrawala in which the request set shrinks as sites learn about
+    each other, forming the classic "staircase" pattern. Averages N−1
+    messages per CS at light load and 2(N−1) at heavy load, with
+    synchronization delay T (Table 1's dynamic row).
+
+    The safety invariant is pairwise asymmetry: for every pair of sites, at
+    least one holds the other in its request set [r_set]. Initially site i
+    asks exactly the lower-numbered sites. Whenever a site {e sends} a
+    reply it adds the recipient to its request set (it has surrendered
+    precedence and must consult that site next time); whenever it
+    {e receives} a reply it drops the sender (the sender has committed to
+    asking it in the future). A requester that replies to a
+    higher-priority request it had already collected a reply from
+    re-issues its own request to that site. *)
+
+module Ts = Dmx_sim.Timestamp
+module Proto = Dmx_sim.Protocol
+
+type config = unit
+
+type message = Request of Ts.t | Reply
+
+type state = {
+  self : int;
+  clock : Ts.Clock.t;
+  mutable r_set : int list;  (* sites to consult; sorted, never self *)
+  mutable pending : int list;  (* replies still awaited this round *)
+  mutable deferred : int list;  (* requests to answer at exit *)
+  mutable req : Ts.t option;
+  mutable in_cs : bool;
+}
+
+let name = "singhal-dynamic"
+let describe () = "staircase"
+let message_kind = function Request _ -> "request" | Reply -> "reply"
+
+let pp_message ppf = function
+  | Request ts -> Format.fprintf ppf "request%a" Ts.pp ts
+  | Reply -> Format.pp_print_string ppf "reply"
+
+let init (ctx : message Proto.ctx) () =
+  {
+    self = ctx.self;
+    clock = Ts.Clock.create ();
+    r_set = List.init ctx.self Fun.id;  (* S_i initially asks S_0..S_{i-1} *)
+    pending = [];
+    deferred = [];
+    req = None;
+    in_cs = false;
+  }
+
+let add_set l x = if List.mem x l then l else List.sort Int.compare (x :: l)
+let remove_set l x = List.filter (fun y -> y <> x) l
+
+let check_enter (ctx : message Proto.ctx) st =
+  if st.req <> None && (not st.in_cs) && st.pending = [] then begin
+    st.in_cs <- true;
+    ctx.enter_cs ()
+  end
+
+let request_cs (ctx : message Proto.ctx) st =
+  assert (st.req = None && not st.in_cs);
+  let ts = Ts.Clock.next st.clock ~site:st.self in
+  st.req <- Some ts;
+  st.pending <- st.r_set;
+  List.iter (fun j -> ctx.send ~dst:j (Request ts)) st.r_set;
+  check_enter ctx st
+
+let release_cs (ctx : message Proto.ctx) st =
+  assert st.in_cs;
+  st.in_cs <- false;
+  st.req <- None;
+  (* Deferred requesters get their reply now and join the request set:
+     having surrendered precedence to us once, they must ask us again. *)
+  List.iter
+    (fun j ->
+      st.r_set <- add_set st.r_set j;
+      ctx.send ~dst:j Reply)
+    st.deferred;
+  st.deferred <- []
+
+let on_message (ctx : message Proto.ctx) st ~src = function
+  | Request ts -> begin
+    Ts.Clock.observe st.clock ts;
+    if st.in_cs then st.deferred <- add_set st.deferred src
+    else begin
+      match st.req with
+      | Some own when Ts.compare own ts < 0 ->
+        (* Our request outranks theirs: they wait for our exit. *)
+        st.deferred <- add_set st.deferred src
+      | Some own ->
+        (* Theirs outranks ours: reply now; they owe us a consult next
+           time. If we had already pocketed their reply this round, that
+           permission is void — re-request it. *)
+        ctx.send ~dst:src Reply;
+        if not (List.mem src st.r_set) then begin
+          st.r_set <- add_set st.r_set src;
+          st.pending <- add_set st.pending src;
+          ctx.send ~dst:src (Request own)
+        end
+      | None ->
+        ctx.send ~dst:src Reply;
+        st.r_set <- add_set st.r_set src
+    end
+  end
+  | Reply ->
+    st.pending <- remove_set st.pending src;
+    st.r_set <- remove_set st.r_set src;
+    check_enter ctx st
+
+let on_timer _ctx _st _tag = ()
+let on_failure _ctx _st _site = ()
+let on_recovery _ctx _st _site = ()
+
+module Internal = struct
+  let r_set st = st.r_set
+  let pending st = st.pending
+end

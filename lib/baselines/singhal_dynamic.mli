@@ -1,0 +1,22 @@
+(** Singhal's dynamic information-structure algorithm (1992): adaptive
+    Ricart–Agrawala whose request sets shrink as sites learn about each
+    other ("staircase" pattern). N−1 messages per CS at light load,
+    2(N−1) at heavy load, synchronization delay T.
+
+    Safety rests on pairwise asymmetry: for every pair of sites at least
+    one has the other in its request set; replying adds the recipient to
+    the replier's set, receiving a reply removes the sender. *)
+
+type config = unit
+type message = Request of Dmx_sim.Timestamp.t | Reply
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message := message
+
+(** White-box access for tests of the staircase invariant. *)
+module Internal : sig
+  val r_set : state -> int list
+  val pending : state -> int list
+end

@@ -1,0 +1,169 @@
+(** Singhal's heuristically-aided token algorithm (1989) — the actual
+    "Singhal's token-based heuristic" row of the paper's Table 1 (0..N
+    messages per CS, synchronization delay T).
+
+    Each site tracks a state vector [sv] guessing every site's state
+    (Requesting / Executing / Holding the idle token / None) plus the
+    highest request number heard per site. A requester sends its request
+    only to sites it believes are requesting, executing or holding — the
+    heuristic set — rather than broadcasting. The token carries its own
+    vector and request numbers; on release, the token's and the holder's
+    information are merged (freshness decided by request numbers), the
+    token goes to some site the merged view shows requesting, or is held
+    idle. The staircase initialization (site i believes 1..i-1 are
+    requesting, site 0 holds the token) guarantees that for any two sites
+    at least one will reach the other, which is what makes the heuristic
+    safe rather than merely lucky. *)
+
+module Proto = Dmx_sim.Protocol
+
+type site_state = Requesting | Executing | Holding | Nothing
+
+type token = {
+  tsv : site_state array;  (** token's view of every site *)
+  tsn : int array;  (** request number that view is based on *)
+}
+
+type message =
+  | Request of int  (** the sender's current request number *)
+  | Token of token
+
+type config = unit
+
+type state = {
+  self : int;
+  n : int;
+  sv : site_state array;
+  sn : int array;
+  mutable has_token : bool;
+  mutable in_cs : bool;
+}
+
+let name = "singhal-heuristic"
+let describe () = "state-vector token"
+let message_kind = function Request _ -> "request" | Token _ -> "token"
+
+let pp_message ppf = function
+  | Request k -> Format.fprintf ppf "request(#%d)" k
+  | Token _ -> Format.pp_print_string ppf "token"
+
+(* Staircase initialization: site i assumes all lower-numbered sites are
+   requesting (so it will consult them), and that site 0 holds the token. *)
+let init (ctx : message Proto.ctx) () =
+  let n = ctx.n in
+  let sv =
+    Array.init n (fun j -> if j < ctx.self then Requesting else Nothing)
+  in
+  if ctx.self = 0 then sv.(0) <- Holding;
+  {
+    self = ctx.self;
+    n;
+    sv;
+    sn = Array.make n 0;
+    has_token = (ctx.self = 0);
+    in_cs = false;
+  }
+
+let enter (ctx : message Proto.ctx) st =
+  st.sv.(st.self) <- Executing;
+  st.in_cs <- true;
+  ctx.enter_cs ()
+
+let send_token (ctx : message Proto.ctx) st tok dst =
+  st.has_token <- false;
+  if st.sv.(st.self) = Holding then st.sv.(st.self) <- Nothing;
+  ctx.send ~dst (Token tok)
+
+(* The idle-token record this site would attach when passing it on. The
+   token structure is only materialized while traveling; a holder's local
+   sv/sn ARE the freshest view, so we build the token from them. *)
+let make_token st = { tsv = Array.copy st.sv; tsn = Array.copy st.sn }
+
+let request_cs (ctx : message Proto.ctx) st =
+  assert ((not st.in_cs) && st.sv.(st.self) <> Requesting);
+  if st.has_token then enter ctx st
+  else begin
+    st.sv.(st.self) <- Requesting;
+    st.sn.(st.self) <- st.sn.(st.self) + 1;
+    for j = 0 to st.n - 1 do
+      if j <> st.self then begin
+        match st.sv.(j) with
+        | Requesting | Executing | Holding ->
+          ctx.send ~dst:j (Request st.sn.(st.self))
+        | Nothing -> ()
+      end
+    done
+  end
+
+(* On exit: merge local and token views site by site — whichever is based
+   on the newer request number wins — then ship the token to a requesting
+   site (round-robin from self+1 for fairness) or keep holding it. *)
+let release_cs (ctx : message Proto.ctx) st =
+  assert (st.in_cs && st.has_token);
+  st.in_cs <- false;
+  st.sv.(st.self) <- Nothing;
+  let tok = make_token st in
+  tok.tsv.(st.self) <- Nothing;
+  let next = ref None in
+  for k = 1 to st.n - 1 do
+    let j = (st.self + k) mod st.n in
+    if !next = None && tok.tsv.(j) = Requesting then next := Some j
+  done;
+  match !next with
+  | Some j -> send_token ctx st tok j
+  | None -> st.sv.(st.self) <- Holding
+
+let on_request (ctx : message Proto.ctx) st ~src k =
+  if k > st.sn.(src) then begin
+    st.sn.(src) <- k;
+    match st.sv.(st.self) with
+    | Nothing -> st.sv.(src) <- Requesting
+    | Executing -> st.sv.(src) <- Requesting
+    | Requesting ->
+      if st.sv.(src) <> Requesting then begin
+        (* The staircase repair: they did not know about us, so they are
+           not waiting on us — tell them we compete too. *)
+        st.sv.(src) <- Requesting;
+        ctx.send ~dst:src (Request st.sn.(st.self))
+      end
+    | Holding ->
+      (* idle token holder serves immediately *)
+      st.sv.(src) <- Requesting;
+      st.sv.(st.self) <- Nothing;
+      let tok = make_token st in
+      send_token ctx st tok src
+  end
+
+let on_token (ctx : message Proto.ctx) st (tok : token) =
+  st.has_token <- true;
+  (* adopt whatever the token knows better than we do *)
+  for j = 0 to st.n - 1 do
+    if tok.tsn.(j) > st.sn.(j) then begin
+      st.sn.(j) <- tok.tsn.(j);
+      st.sv.(j) <- tok.tsv.(j)
+    end
+  done;
+  if st.sv.(st.self) = Requesting then enter ctx st
+  else begin
+    (* token arrived while not requesting (stale pass): hold it *)
+    st.sv.(st.self) <- Holding
+  end
+
+let on_message (ctx : message Proto.ctx) st ~src = function
+  | Request k -> on_request ctx st ~src k
+  | Token tok -> on_token ctx st tok
+
+let on_timer _ctx _st _tag = ()
+let on_failure _ctx _st _site = ()
+let on_recovery _ctx _st _site = ()
+
+module Internal = struct
+  let heuristic_set st =
+    List.filter
+      (fun j ->
+        j <> st.self
+        && match st.sv.(j) with Requesting | Executing | Holding -> true | Nothing -> false)
+      (List.init st.n Fun.id)
+
+  let has_token st = st.has_token
+end

@@ -1,0 +1,24 @@
+(** Singhal's heuristically-aided token algorithm (1989): Table 1's
+    "token-based heuristic" row. Message complexity varies between 0 (the
+    requester already holds the token) and N (it must consult everyone);
+    synchronization delay T. Each site guesses who is requesting, executing
+    or holding the token and sends its request only to that set; the
+    staircase initialization and on-the-fly repairs keep the guesses safe. *)
+
+type config = unit
+type site_state = Requesting | Executing | Holding | Nothing
+type token = { tsv : site_state array; tsn : int array }
+type message = Request of int | Token of token
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message := message
+
+(** White-box access for tests. *)
+module Internal : sig
+  val heuristic_set : state -> int list
+  (** The sites this site would consult if it requested now. *)
+
+  val has_token : state -> bool
+end

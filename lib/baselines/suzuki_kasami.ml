@@ -1,0 +1,114 @@
+(** Suzuki–Kasami broadcast token algorithm (1985): the executable
+    representative of Table 1's token-based corner (see DESIGN.md,
+    substitutions). A single PRIVILEGE token carries the last-served
+    request number of every site plus a FIFO queue of waiting sites;
+    requests are broadcast sequence numbers. N messages per CS when the
+    requester lacks the token (N−1 requests + 1 token), 0 when it holds
+    it; synchronization delay T. *)
+
+module Proto = Dmx_sim.Protocol
+
+type config = unit
+
+type token = { last_served : int array; mutable waiting : int list }
+
+type message =
+  | Request of int  (** the sender's current request number *)
+  | Token of token
+
+type state = {
+  self : int;
+  n : int;
+  highest : int array;  (* RN: highest request number heard per site *)
+  mutable token : token option;
+  mutable requesting : bool;
+  mutable in_cs : bool;
+}
+
+let name = "suzuki-kasami"
+let describe () = "broadcast-token"
+let message_kind = function Request _ -> "request" | Token _ -> "token"
+
+let pp_message ppf = function
+  | Request k -> Format.fprintf ppf "request(#%d)" k
+  | Token t ->
+    Format.fprintf ppf "token(queue=[%s])"
+      (String.concat "," (List.map string_of_int t.waiting))
+
+let init (ctx : message Proto.ctx) () =
+  {
+    self = ctx.self;
+    n = ctx.n;
+    highest = Array.make ctx.n 0;
+    (* site 0 mints the token *)
+    token =
+      (if ctx.self = 0 then
+         Some { last_served = Array.make ctx.n 0; waiting = [] }
+       else None);
+    requesting = false;
+    in_cs = false;
+  }
+
+let others st = List.filter (fun j -> j <> st.self) (List.init st.n Fun.id)
+
+let enter (ctx : message Proto.ctx) st =
+  st.in_cs <- true;
+  ctx.enter_cs ()
+
+let has_fresh_request st tok j = st.highest.(j) = tok.last_served.(j) + 1
+
+(* Pass the token to the head of its queue, topping the queue up with every
+   site whose request is newer than its last service. *)
+let dispatch_token (ctx : message Proto.ctx) st =
+  match st.token with
+  | None -> ()
+  | Some tok ->
+    List.iter
+      (fun j ->
+        if
+          j <> st.self
+          && has_fresh_request st tok j
+          && not (List.mem j tok.waiting)
+        then tok.waiting <- tok.waiting @ [ j ])
+      (List.init st.n Fun.id);
+    (match tok.waiting with
+    | next :: rest ->
+      tok.waiting <- rest;
+      st.token <- None;
+      ctx.send ~dst:next (Token tok)
+    | [] -> ())
+
+let request_cs (ctx : message Proto.ctx) st =
+  assert ((not st.requesting) && not st.in_cs);
+  st.requesting <- true;
+  match st.token with
+  | Some _ -> enter ctx st
+  | None ->
+    st.highest.(st.self) <- st.highest.(st.self) + 1;
+    List.iter
+      (fun j -> ctx.send ~dst:j (Request st.highest.(st.self)))
+      (others st)
+
+let release_cs (ctx : message Proto.ctx) st =
+  assert st.in_cs;
+  st.in_cs <- false;
+  st.requesting <- false;
+  (match st.token with
+  | Some tok -> tok.last_served.(st.self) <- st.highest.(st.self)
+  | None -> assert false);
+  dispatch_token ctx st
+
+let on_message (ctx : message Proto.ctx) st ~src = function
+  | Request k ->
+    if k > st.highest.(src) then st.highest.(src) <- k;
+    (* An idle token holder serves immediately. *)
+    if (not st.in_cs) && not st.requesting then dispatch_token ctx st
+  | Token tok ->
+    st.token <- Some tok;
+    st.highest.(st.self) <- max st.highest.(st.self) tok.last_served.(st.self);
+    if st.requesting && not st.in_cs then enter ctx st
+    else dispatch_token ctx st
+
+let on_timer _ctx _st _tag = ()
+let on_failure _ctx _st _site = ()
+let on_recovery _ctx _st _site = ()

@@ -1,0 +1,13 @@
+(** Suzuki–Kasami broadcast token algorithm (1985): N messages per CS when
+    the requester lacks the token (N−1 request broadcasts + 1 token), 0
+    when it holds it; synchronization delay T. The executable stand-in for
+    Table 1's token-based algorithms (see DESIGN.md substitutions). *)
+
+type config = unit
+type token = { last_served : int array; mutable waiting : int list }
+type message = Request of int | Token of token
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message := message

@@ -1,0 +1,81 @@
+(** The delay-optimal quorum-based mutual exclusion algorithm (Section 3).
+
+    Each site plays two roles. As a {e requester} it collects permissions
+    ([reply]) from every member of its request set; as an {e arbiter} it
+    grants its single permission to one request at a time ([lock]),
+    queueing the rest by priority. The paper's key idea: when the arbiter
+    is already locked, it does not wait for the holder's [release] —
+    instead it sends the holder a [transfer] naming the best waiter, and
+    the holder {e forwards the permission directly} to that waiter when it
+    exits the CS. The CS-exit-to-next-entry path is then one message
+    ([reply]) instead of two ([release]; [reply]), cutting synchronization
+    delay from 2T to the optimal T while message complexity stays
+    3(K−1) under light load and 5(K−1)–6(K−1) under heavy load.
+
+    Deadlock is avoided exactly as in Maekawa's algorithm: arbiters
+    [inquire] lower-priority lock holders (piggybacked on the transfer),
+    holders that have [fail]ed elsewhere [yield], and priorities are
+    Lamport timestamps, so a waiting cycle always contains an arbiter that
+    preempts. See DESIGN.md §3 for the OCR reconstruction notes. *)
+
+type config = {
+  req_sets : int list array;
+      (** one request set (quorum) per site, e.g. from {!Dmx_quorum.Builder} *)
+  piggyback_next : bool;
+      (** piggyback a transfer naming the runner-up on direct grants (steps
+          A.4 / release(max)); ablation knob — benchmark [ablation] shows
+          what it buys *)
+  eager_fails : bool;
+      (** the corrected fail discipline of DESIGN.md §3.7: also fail a best
+          waiter that ranks behind the lock, and re-check at every lock
+          reassignment. Disabling reverts to the OCR-literal A.2 rules,
+          which deadlock under message reordering — kept as an ablation to
+          demonstrate exactly that. *)
+}
+
+val config :
+  ?piggyback_next:bool -> ?eager_fails:bool -> int list array -> config
+(** [config req_sets] with both flags defaulting to [true] (the correct,
+    fully-optimized algorithm). *)
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message = Messages.t
+
+(** White-box access for the unit test suite. *)
+module Internal : sig
+  val lock : state -> Dmx_sim.Timestamp.t
+  (** The arbiter-side lock, [Timestamp.infinity] when free. *)
+
+  val req_queue : state -> Dmx_sim.Timestamp.t list
+  val inquired : state -> bool
+  val request : state -> Dmx_sim.Timestamp.t option
+  val replied_from : state -> int list
+  val failed : state -> bool
+  val in_cs : state -> bool
+  val tran_stack : state -> (int * Dmx_sim.Timestamp.t) list
+  (** (arbiter, target) pairs, newest first. *)
+
+  val inq_queue : state -> int list
+  val quorum : state -> int list
+  val set_quorum : state -> int list -> unit
+  (** Used by the fault-tolerant variant when it reconstructs quorums. *)
+
+  val copy_state : state -> state
+  (** Deep copy, used by the model checker to branch executions. *)
+
+  val mark_alive : state -> int -> unit
+  (** Clear the arbiter's dead flag for a recovered site (the FT variant's
+      rejoin path). *)
+
+  val handle_site_failure :
+    Messages.t Dmx_sim.Protocol.ctx ->
+    state ->
+    failed_site:int ->
+    rebuild:(self:int -> avoid:(int -> bool) -> int list option) ->
+    unit
+  (** Section 6 recovery actions (requester re-quorum + arbiter cleanup);
+      exposed here so {!Ft_delay_optimal} and the tests share one
+      implementation. *)
+end

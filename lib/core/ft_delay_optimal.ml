@@ -1,0 +1,113 @@
+module Ts = Dmx_sim.Timestamp
+module Proto = Dmx_sim.Protocol
+
+type config = {
+  base : Delay_optimal.config;
+  rebuild : self:int -> avoid:(int -> bool) -> int list option;
+  broadcast_failures : bool;
+}
+
+type message = Messages.t
+
+type state = {
+  base : Delay_optimal.state;
+  cfg : config;
+  dead : bool array;
+}
+
+let name = "ft-delay-optimal"
+let describe (c : config) = Delay_optimal.describe c.base
+let message_kind = Messages.kind
+let pp_message = Messages.pp
+
+let init (ctx : message Proto.ctx) (c : config) =
+  { base = Delay_optimal.init ctx c.base; cfg = c; dead = Array.make ctx.n false }
+
+let rebuild_avoiding_dead st ~self ~avoid =
+  st.cfg.rebuild ~self ~avoid:(fun s -> st.dead.(s) || avoid s)
+
+let note_failure (ctx : message Proto.ctx) st site =
+  if site <> ctx.self && not st.dead.(site) then begin
+    st.dead.(site) <- true;
+    if st.cfg.broadcast_failures then
+      for other = 0 to ctx.n - 1 do
+        if other <> ctx.self && other <> site then
+          ctx.send ~dst:other (Messages.Failure_note site)
+      done;
+    Delay_optimal.Internal.handle_site_failure ctx st.base ~failed_site:site
+      ~rebuild:(rebuild_avoiding_dead st)
+  end
+
+let request_cs (ctx : message Proto.ctx) st =
+  (* The paper rebuilds on failure detection; a site that was idle at
+     detection time refreshes its quorum lazily, here. *)
+  let quorum = Delay_optimal.Internal.quorum st.base in
+  if List.exists (fun s -> st.dead.(s)) quorum then begin
+    match rebuild_avoiding_dead st ~self:ctx.self ~avoid:(fun _ -> false) with
+    | Some q -> Delay_optimal.Internal.set_quorum st.base q
+    | None -> ctx.trace_note "ft: no live quorum available; request will hang"
+  end;
+  Delay_optimal.request_cs ctx st.base
+
+let release_cs (ctx : message Proto.ctx) st = Delay_optimal.release_cs ctx st.base
+
+let on_message (ctx : message Proto.ctx) st ~src (msg : message) =
+  match msg with
+  | Messages.Failure_note site -> note_failure ctx st site
+  | _ -> Delay_optimal.on_message ctx st.base ~src msg
+
+let on_timer _ctx _st _tag = ()
+let on_failure ctx st site = note_failure ctx st site
+
+(* Fail-stop recovery (Section 6's "a recovery scheme increases the failure
+   resiliency"): the rejoined site restarts with fresh state, so survivors
+   simply forget it was dead — its requests are accepted again and future
+   quorum rebuilds may route through it. Because all rebuilt quorums come
+   from the same coterie family, quorums chosen while the site was dead
+   still intersect quorums chosen through it afterwards, so no
+   stop-the-world resynchronization is needed. *)
+let on_recovery (ctx : message Proto.ctx) st site =
+  if site <> ctx.self && st.dead.(site) then begin
+    st.dead.(site) <- false;
+    Delay_optimal.Internal.mark_alive st.base site
+  end
+
+let config_of_kind kind ~n ~broadcast =
+  let req_sets = Dmx_quorum.Builder.req_sets kind ~n in
+  let rebuild =
+    match (kind : Dmx_quorum.Builder.kind) with
+    | Tree ->
+      let tree = Dmx_quorum.Tree_quorum.create ~n in
+      fun ~self:_ ~avoid ->
+        Dmx_quorum.Tree_quorum.quorum tree ~available:(fun s -> not (avoid s))
+    | Majority ->
+      let m = Dmx_quorum.Majority.quorum_size ~n in
+      fun ~self ~avoid ->
+        (* Any m live sites form a majority; start the window at self for
+           the same load spreading as the static assignment. *)
+        let live =
+          List.filter
+            (fun s -> not (avoid s))
+            (List.init n (fun k -> (self + k) mod n))
+        in
+        if List.length live >= m then
+          Some
+            (Dmx_quorum.Coterie.normalize_quorum
+               (List.filteri (fun i _ -> i < m) live))
+        else None
+    | Grid | Fpp | Hqc | Grid_set _ | Rst _ | Star | All ->
+      fun ~self:_ ~avoid ->
+        (* Generic fallback: any fully-live quorum of the coterie serves any
+           requester (quorums need not contain their user). *)
+        Array.find_opt
+          (fun q -> List.for_all (fun s -> not (avoid s)) q)
+          req_sets
+  in
+  { base = Delay_optimal.config req_sets; rebuild; broadcast_failures = broadcast }
+
+module Internal = struct
+  let base_state st = st.base
+
+  let known_dead st =
+    List.filter (fun s -> st.dead.(s)) (List.init (Array.length st.dead) Fun.id)
+end

@@ -1,0 +1,47 @@
+(** Fault-tolerant delay-optimal mutual exclusion (paper Section 6).
+
+    Wraps {!Delay_optimal} with the failure machinery the paper sketches:
+    when a site learns (from the failure detector, or from a [failure(i)]
+    broadcast) that a site crashed, it (a) as a requester whose quorum
+    contains the dead site: releases the permissions it gathered, runs the
+    quorum construction algorithm again avoiding dead sites, and re-issues
+    its request; (b) as an arbiter: drops the dead site's queued request
+    (re-pointing the pending transfer), voids transfers naming it, and
+    reclaims its own permission if the dead site was holding it.
+
+    {b Model requirement}: recovery is safe when the failure detection
+    latency exceeds the maximum in-flight message delay, so that a release
+    forwarded by a crashing site is processed before the crash is acted
+    upon. Use a bounded delay model ([Constant]/[Uniform]) and a larger
+    [detection_delay]; EXPERIMENTS.md E9 demonstrates both the safe and
+    the violated configuration. *)
+
+type config = {
+  base : Delay_optimal.config;
+  rebuild : self:int -> avoid:(int -> bool) -> int list option;
+      (** Quorum reconstruction avoiding failed sites, e.g.
+          {!Dmx_quorum.Tree_quorum.quorum} restricted to live sites. [None]
+          when no live quorum exists — the request is then abandoned. *)
+  broadcast_failures : bool;
+      (** Re-broadcast a [failure(i)] note on first detection (the paper's
+          dissemination); with the simulator's oracle detector this is
+          redundant but exercises the paper's message path. *)
+}
+
+val config_of_kind :
+  Dmx_quorum.Builder.kind -> n:int -> broadcast:bool -> config
+(** Convenience: initial request sets and a rebuild function for the given
+    construction. Rebuilding is construction-aware for [Tree] (path
+    substitution) and [Majority]/[Grid_set]/[Rst] (live-member windows);
+    other kinds fall back to retrying the static set without the dead site
+    when it still intersects every other quorum. *)
+
+include
+  Dmx_sim.Protocol.PROTOCOL
+    with type config := config
+     and type message = Messages.t
+
+module Internal : sig
+  val base_state : state -> Delay_optimal.state
+  val known_dead : state -> int list
+end

@@ -1,0 +1,68 @@
+(** Control messages of the delay-optimal algorithm (paper Section 3.1).
+
+    The seven message types of the paper map onto six constructors because
+    an [inquire] is always piggybacked with a [transfer] (Section 3.2), so
+    the pair travels as one [Transfer] with the [inquire] flag — and is
+    counted as one message, as in the paper's analysis. A [Reply] may carry
+    a piggybacked transfer ([next]) when an arbiter grants and immediately
+    names the following waiter (step A.4 and the release path). *)
+
+module Ts = Dmx_sim.Timestamp
+
+type t =
+  | Request of Ts.t  (** request(sn, i): asking for the receiver's permission *)
+  | Reply of { arbiter : int; for_req : Ts.t; next : Ts.t option }
+      (** grants [arbiter]'s permission to the request [for_req]; sent by
+          the arbiter itself or forwarded by an exiting CS holder on the
+          arbiter's behalf. [next], when present, is a piggybacked
+          transfer: the receiver must forward [arbiter]'s permission to
+          [next] when it exits the CS. *)
+  | Release of { of_req : Ts.t; forwarded_to : Ts.t option }
+      (** release(i, x): the sender exited the CS executed for its request
+          [of_req]. [Some x] means the sender already forwarded this
+          arbiter's permission to the site of [x]; [None] is the paper's
+          [release(i, max)]. [of_req] lets the arbiter pair the release
+          with the right lock tenure: because permissions travel through
+          proxies, a forwardee's release can overtake the forwarder's on a
+          different channel (the FIFO guarantee is only per channel). *)
+  | Transfer of { target : Ts.t; inquire : bool }
+      (** transfer(target, j) from arbiter j to its current permission
+          holder: forward a reply to [target] upon exiting the CS. When
+          [inquire] is set, the arbiter simultaneously asks whether the
+          holder can still win (inquire(j), piggybacked). *)
+  | Fail  (** the sending arbiter serves a higher-priority request *)
+  | Yield of { of_req : Ts.t }
+      (** the sender gives the (receiving) arbiter's permission, granted to
+          its request [of_req], back *)
+  | Failure_note of int
+      (** failure(i) broadcast of Section 6: the given site has crashed.
+          Only used by the fault-tolerant variant. *)
+
+let kind = function
+  | Request _ -> "request"
+  | Reply { next = None; _ } -> "reply"
+  | Reply { next = Some _; _ } -> "reply+transfer"
+  | Release _ -> "release"
+  | Transfer { inquire = false; _ } -> "transfer"
+  | Transfer { inquire = true; _ } -> "inquire+transfer"
+  | Fail -> "fail"
+  | Yield _ -> "yield"
+  | Failure_note _ -> "failure"
+
+let pp ppf = function
+  | Request ts -> Format.fprintf ppf "request%a" Ts.pp ts
+  | Reply { arbiter; for_req; next = None } ->
+    Format.fprintf ppf "reply(%d)@%a" arbiter Ts.pp for_req
+  | Reply { arbiter; for_req; next = Some p } ->
+    Format.fprintf ppf "reply(%d)@%a+transfer%a" arbiter Ts.pp for_req Ts.pp p
+  | Release { of_req; forwarded_to = None } ->
+    Format.fprintf ppf "release(%a,max)" Ts.pp of_req
+  | Release { of_req; forwarded_to = Some x } ->
+    Format.fprintf ppf "release(%a,->%a)" Ts.pp of_req Ts.pp x
+  | Transfer { target; inquire } ->
+    Format.fprintf ppf "%stransfer%a"
+      (if inquire then "inquire+" else "")
+      Ts.pp target
+  | Fail -> Format.pp_print_string ppf "fail"
+  | Yield { of_req } -> Format.fprintf ppf "yield(%a)" Ts.pp of_req
+  | Failure_note i -> Format.fprintf ppf "failure(%d)" i

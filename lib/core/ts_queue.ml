@@ -1,0 +1,53 @@
+module Ts = Dmx_sim.Timestamp
+
+type t = { mutable entries : Ts.t list (* ascending = highest priority first *) }
+
+let create () = { entries = [] }
+let copy t = { entries = t.entries }
+let is_empty t = t.entries = []
+let length t = List.length t.entries
+
+let insert t ts =
+  (* One entry per site, keeping the one with the larger sequence number: a
+     site's re-issued request supersedes its old one, and a stale re-enqueue
+     of an old request (e.g. an out-of-order yield resolving after the site
+     already re-requested) must never clobber the newer entry. *)
+  let newer_exists =
+    List.exists
+      (fun (e : Ts.t) -> e.site = ts.Ts.site && e.sn >= ts.Ts.sn)
+      t.entries
+  in
+  if not newer_exists then begin
+    let without =
+      List.filter (fun (e : Ts.t) -> e.site <> ts.Ts.site) t.entries
+    in
+    let rec ins = function
+      | [] -> [ ts ]
+      | e :: rest as l -> if Ts.compare ts e < 0 then ts :: l else e :: ins rest
+    in
+    t.entries <- ins without
+  end
+
+let head t = match t.entries with [] -> None | e :: _ -> Some e
+
+let pop t =
+  match t.entries with
+  | [] -> None
+  | e :: rest ->
+    t.entries <- rest;
+    Some e
+
+let remove_site t site =
+  let before = List.length t.entries in
+  t.entries <- List.filter (fun (e : Ts.t) -> e.site <> site) t.entries;
+  List.length t.entries < before
+
+let remove_ts t ts =
+  let before = List.length t.entries in
+  t.entries <- List.filter (fun e -> not (Ts.equal e ts)) t.entries;
+  List.length t.entries < before
+
+let mem_site t site = List.exists (fun (e : Ts.t) -> e.site = site) t.entries
+let find_site t site = List.find_opt (fun (e : Ts.t) -> e.site = site) t.entries
+let to_list t = t.entries
+let clear t = t.entries <- []

@@ -1,0 +1,38 @@
+(** Arbiter request queue: a tiny priority queue of request timestamps,
+    highest priority (smallest timestamp) first.
+
+    Queues hold at most one entry per site (a site has at most one
+    outstanding request, Section 2) and are short (bounded by the number of
+    sites whose quorum contains this arbiter), so a sorted list keeps the
+    code obviously correct; removal by site id is needed by the release
+    path and the Section 6 failure cleanup. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val is_empty : t -> bool
+val length : t -> int
+
+val insert : t -> Dmx_sim.Timestamp.t -> unit
+(** At most one entry per site, keeping the newest (largest sequence
+    number): a re-issued request supersedes the old one, while a stale
+    re-enqueue of an already-superseded request is dropped. *)
+
+val head : t -> Dmx_sim.Timestamp.t option
+(** Highest-priority entry, not removed. *)
+
+val pop : t -> Dmx_sim.Timestamp.t option
+val remove_site : t -> int -> bool
+(** Remove the entry of the given site; returns whether one was present. *)
+
+val remove_ts : t -> Dmx_sim.Timestamp.t -> bool
+(** Remove exactly this timestamp's entry; a newer request from the same
+    site is left alone. *)
+
+val mem_site : t -> int -> bool
+val find_site : t -> int -> Dmx_sim.Timestamp.t option
+val to_list : t -> Dmx_sim.Timestamp.t list
+(** Priority order. *)
+
+val clear : t -> unit

@@ -1,0 +1,44 @@
+(* Tree availability: A(s) for the subtree rooted at s.
+   Live(s) = root up ∧ (left live ∨ right live ∨ s is a leaf)
+           ∨ root down ∧ left live ∧ right live  — with empty subtrees
+   vacuously live, mirroring Tree_quorum.quorum. *)
+let tree_exact ~n ~p_up =
+  let rec avail s =
+    let l = (2 * s) + 1 and r = (2 * s) + 2 in
+    if l >= n then p_up (* leaf: must be up *)
+    else if r >= n then avail l (* single child: pass through (alive or dead) *)
+    else begin
+      let al = avail l and ar = avail r in
+      let either = al +. ar -. (al *. ar) in
+      (p_up *. either) +. ((1.0 -. p_up) *. al *. ar)
+    end
+  in
+  avail 0
+
+let exact kind ~n ~p_up =
+  match (kind : Builder.kind) with
+  | Majority -> Some (Majority.availability ~n ~p_up)
+  | Hqc -> Some (Hqc.availability (Hqc.create ~n) ~p_up)
+  | Tree -> Some (tree_exact ~n ~p_up)
+  | Star -> Some p_up (* site 0 must be up; {0,i} needs i too, but the
+                         coterie contains quorum {0} via i=0 *)
+  | All -> Some (p_up ** float_of_int n)
+  | Grid | Fpp | Grid_set _ | Rst _ -> None
+
+let monte_carlo kind ~n ~p_up ~trials ~seed =
+  if trials <= 0 then invalid_arg "Availability.monte_carlo: trials";
+  let rng = Dmx_sim.Rng.create seed in
+  let up = Array.make n true in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    for i = 0 to n - 1 do
+      up.(i) <- Dmx_sim.Rng.float rng 1.0 < p_up
+    done;
+    if Builder.has_live_quorum kind ~n ~up then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+let estimate ?(trials = 20_000) ?(seed = 7) kind ~n ~p_up =
+  match exact kind ~n ~p_up with
+  | Some a -> a
+  | None -> monte_carlo kind ~n ~p_up ~trials ~seed

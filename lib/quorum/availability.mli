@@ -1,0 +1,20 @@
+(** Quorum availability under independent site failures (Section 6).
+
+    Availability = probability that at least one quorum of the coterie is
+    entirely alive when each site is independently up with probability
+    [p_up]. This is the quantity behind the paper's resiliency claims for
+    the fault-tolerant constructions; experiment E8 plots it for every
+    construction in the repo. *)
+
+val exact : Builder.kind -> n:int -> p_up:float -> float option
+(** Closed-form/exact recursion where one is known: [Majority], [Hqc],
+    [Tree] (subtree recursion), [Star], [All]. [None] for the rest. *)
+
+val monte_carlo :
+  Builder.kind -> n:int -> p_up:float -> trials:int -> seed:int -> float
+(** Generic estimate via the construction's live-quorum oracle. *)
+
+val estimate :
+  ?trials:int -> ?seed:int -> Builder.kind -> n:int -> p_up:float -> float
+(** [exact] if available, otherwise [monte_carlo] (default 20_000 trials,
+    seed 7). *)

@@ -1,0 +1,134 @@
+type kind =
+  | Grid
+  | Fpp
+  | Tree
+  | Majority
+  | Hqc
+  | Grid_set of int
+  | Rst of int
+  | Star
+  | All
+
+let kind_name = function
+  | Grid -> "grid"
+  | Fpp -> "fpp"
+  | Tree -> "tree"
+  | Majority -> "majority"
+  | Hqc -> "hqc"
+  | Grid_set g -> Printf.sprintf "grid-set:%d" g
+  | Rst g -> Printf.sprintf "rst:%d" g
+  | Star -> "star"
+  | All -> "all"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_name k)
+
+let parse_kind s =
+  let group_arg prefix =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      int_of_string_opt (String.sub s plen (String.length s - plen))
+    else None
+  in
+  match s with
+  | "grid" -> Ok Grid
+  | "fpp" -> Ok Fpp
+  | "tree" -> Ok Tree
+  | "majority" -> Ok Majority
+  | "hqc" -> Ok Hqc
+  | "star" -> Ok Star
+  | "all" -> Ok All
+  | _ ->
+    (match group_arg "grid-set:" with
+    | Some g -> Ok (Grid_set g)
+    | None ->
+      (match group_arg "rst:" with
+      | Some g -> Ok (Rst g)
+      | None ->
+        Error
+          (Printf.sprintf
+             "unknown quorum kind %S (expected grid|fpp|tree|majority|hqc|\
+              grid-set:<g>|rst:<g>|star|all)" s)))
+
+let all_kinds ~group =
+  [ Grid; Fpp; Tree; Majority; Hqc; Grid_set group; Rst group; Star; All ]
+
+let is_power_of_3 n =
+  let rec loop v = if v = n then true else if v > n then false else loop (3 * v) in
+  n >= 3 && loop 3
+
+let supports kind ~n =
+  n > 0
+  &&
+  match kind with
+  | Grid | Tree | Majority | Star | All -> true
+  | Fpp -> Fpp.order_for n <> None
+  | Hqc -> is_power_of_3 n
+  | Grid_set g | Rst g -> g >= 1 && g <= n
+
+let req_sets kind ~n =
+  if not (supports kind ~n) then
+    invalid_arg
+      (Printf.sprintf "Builder.req_sets: %s does not support n=%d"
+         (kind_name kind) n);
+  match kind with
+  | Grid -> Grid.req_sets ~n
+  | Fpp -> Fpp.req_sets ~n
+  | Tree -> Tree_quorum.req_sets ~n
+  | Majority -> Majority.req_sets ~n
+  | Hqc -> Hqc.req_sets ~n
+  | Grid_set g -> Grid_set.req_sets ~n ~group:g
+  | Rst g -> Rst.req_sets ~n ~group:g
+  | Star -> Array.init n (fun i -> Coterie.normalize_quorum [ 0; i ])
+  | All -> Array.init n (fun _ -> List.init n Fun.id)
+
+let has_live_quorum kind ~n ~up =
+  match kind with
+  | Grid -> Grid.has_live_quorum (Grid.create ~n) ~up
+  | Fpp -> Fpp.has_live_quorum (Fpp.create ~n) ~up
+  | Tree -> Tree_quorum.has_live_quorum (Tree_quorum.create ~n) ~up
+  | Majority -> Majority.has_live_quorum ~n ~up
+  | Hqc -> Hqc.has_live_quorum (Hqc.create ~n) ~up
+  | Grid_set g -> Grid_set.has_live_quorum (Grid_set.create ~n ~group:g) ~up
+  | Rst g -> Rst.has_live_quorum (Rst.create ~n ~group:g) ~up
+  | Star -> up.(0)
+  | All -> Array.for_all Fun.id up
+
+type size_stats = { k_min : int; k_max : int; k_mean : float }
+
+let size_stats req_sets =
+  let sizes = Array.map List.length req_sets in
+  let n = Array.length sizes in
+  if n = 0 then { k_min = 0; k_max = 0; k_mean = 0.0 }
+  else
+    {
+      k_min = Array.fold_left min max_int sizes;
+      k_max = Array.fold_left max 0 sizes;
+      k_mean =
+        float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int n;
+    }
+
+let validate ~n req_sets =
+  if Array.length req_sets <> n then Error "wrong number of request sets"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i q ->
+        if !bad = None then begin
+          if q = [] then bad := Some (Printf.sprintf "req_set(%d) is empty" i);
+          List.iter
+            (fun s ->
+              if (s < 0 || s >= n) && !bad = None then
+                bad := Some (Printf.sprintf "req_set(%d) contains %d" i s))
+            q
+        end)
+      req_sets;
+    match !bad with
+    | Some e -> Error e
+    | None ->
+      let t = Coterie.assignment_of_req_sets ~n req_sets in
+      if Coterie.intersecting t then Ok ()
+      else Error "intersection property violated"
+  end
+
+let minimal ~n req_sets =
+  Coterie.minimal (Coterie.assignment_of_req_sets ~n req_sets)

@@ -1,0 +1,48 @@
+(** Uniform front door to all quorum constructions.
+
+    The paper's algorithm "is independent of the quorum being used"
+    (Section 3.1); protocols take a request-set assignment ([int list
+    array]) and never care where it came from. This module names each
+    construction, builds assignments, validates them, and reports size
+    statistics for the Section 5.3 / Section 6 comparisons. *)
+
+type kind =
+  | Grid  (** Maekawa-like grid, K ≈ 2√N − 1, any N *)
+  | Fpp  (** projective plane, K ≈ √N, N = q²+q+1, q prime *)
+  | Tree  (** Agrawal–El Abbadi, K = ⌈log₂(N+1)⌉ failure-free *)
+  | Majority  (** K = ⌈(N+1)/2⌉ *)
+  | Hqc  (** hierarchical 2-of-3, K = N^0.63, N = 3^k *)
+  | Grid_set of int  (** majority over groups of given size, grid inside *)
+  | Rst of int  (** grid over groups of given size, majority inside *)
+  | Star  (** centralized: every quorum = {0, i}; K ≤ 2, delay-optimal but a
+              single point of failure — the degenerate baseline *)
+  | All  (** the full site set: unanimous consent, K = N *)
+
+val kind_name : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val parse_kind : string -> (kind, string) result
+(** Inverse of {!kind_name}; group sizes as ["grid-set:4"], ["rst:4"]. *)
+
+val all_kinds : group:int -> kind list
+(** One of each construction, using [group] for the two grouped schemes. *)
+
+val supports : kind -> n:int -> bool
+(** Does the construction exist for this universe size? *)
+
+val req_sets : kind -> n:int -> int list array
+(** Request-set assignment for every site.
+    @raise Invalid_argument when [supports kind ~n] is false. *)
+
+val has_live_quorum : kind -> n:int -> up:bool array -> bool
+(** Availability oracle: does a fully-live quorum exist in the coterie? *)
+
+type size_stats = { k_min : int; k_max : int; k_mean : float }
+
+val size_stats : int list array -> size_stats
+val validate : n:int -> int list array -> (unit, string) result
+(** Checks the Intersection Property over all distinct request sets, and
+    that every set is non-empty and in range. Minimality is reported
+    separately by {!minimal} since several practical constructions
+    (ragged grids) violate it harmlessly. *)
+
+val minimal : n:int -> int list array -> bool

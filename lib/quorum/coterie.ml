@@ -1,0 +1,91 @@
+type quorum = int list
+type t = { n : int; quorums : quorum list }
+
+let normalize_quorum q = List.sort_uniq Int.compare q
+
+let make ~n qs =
+  if n <= 0 then invalid_arg "Coterie.make: n must be positive";
+  let check q =
+    if q = [] then invalid_arg "Coterie.make: empty quorum";
+    List.iter
+      (fun s ->
+        if s < 0 || s >= n then
+          invalid_arg (Printf.sprintf "Coterie.make: site %d outside [0,%d)" s n))
+      q
+  in
+  let qs = List.map normalize_quorum qs in
+  List.iter check qs;
+  (* Drop duplicate quorums while keeping first-seen order. *)
+  let seen = Hashtbl.create 16 in
+  let qs =
+    List.filter
+      (fun q ->
+        if Hashtbl.mem seen q then false
+        else begin
+          Hashtbl.add seen q ();
+          true
+        end)
+      qs
+  in
+  { n; quorums = qs }
+
+let quorums t = t.quorums
+let universe_size t = t.n
+
+let rec quorum_mem x = function
+  | [] -> false
+  | y :: rest -> if y = x then true else if y > x then false else quorum_mem x rest
+
+let rec quorum_inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: a', y :: b' ->
+    if x = y then x :: quorum_inter a' b'
+    else if x < y then quorum_inter a' b
+    else quorum_inter a b'
+
+let rec quorum_subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' ->
+    if x = y then quorum_subset a' b'
+    else if x > y then quorum_subset a b'
+    else false
+
+let pairwise p l =
+  let rec loop = function
+    | [] -> true
+    | x :: rest -> List.for_all (p x) rest && loop rest
+  in
+  loop l
+
+let intersecting t =
+  pairwise (fun g h -> quorum_inter g h <> []) t.quorums
+
+let minimal t =
+  pairwise
+    (fun g h -> not (quorum_subset g h || quorum_subset h g))
+    t.quorums
+
+let is_coterie t =
+  t.quorums <> []
+  && List.for_all (fun q -> q <> []) t.quorums
+  && intersecting t && minimal t
+
+let dominates c d =
+  c.quorums <> d.quorums
+  && List.for_all
+       (fun h -> List.exists (fun g -> quorum_subset g h) c.quorums)
+       d.quorums
+
+let assignment_of_req_sets ~n req_sets =
+  make ~n (Array.to_list req_sets)
+
+let pp_quorum ppf q =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int q))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>coterie over %d sites:@,%a@]" t.n
+    (Format.pp_print_list pp_quorum)
+    t.quorums

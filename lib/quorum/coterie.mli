@@ -1,0 +1,50 @@
+(** Coteries and quorums (paper Section 2).
+
+    A coterie [C] under a universe of [n] sites is a set of quorums
+    satisfying: every quorum is a non-empty subset of the universe;
+    {e Intersection} — any two quorums share a site (this is what yields
+    mutual exclusion); {e Minimality} — no quorum contains another (an
+    efficiency condition, not needed for safety).
+
+    The mutual exclusion algorithms consume a coterie as a {e request-set
+    assignment}: one quorum per site ([req_set(i)]). This module holds the
+    explicit representation and the validation predicates used throughout
+    the test suite; the construction algorithms live in sibling modules. *)
+
+type quorum = int list
+(** Sorted, duplicate-free site ids. *)
+
+type t = private { n : int; quorums : quorum list }
+
+val make : n:int -> int list list -> t
+(** Normalizes (sorts, dedups) the given quorums.
+    @raise Invalid_argument if a quorum is empty or mentions a site outside
+    [0, n). *)
+
+val quorums : t -> quorum list
+val universe_size : t -> int
+
+val intersecting : t -> bool
+(** Pairwise Intersection Property. *)
+
+val minimal : t -> bool
+(** Minimality Property: no quorum is a subset of another. *)
+
+val is_coterie : t -> bool
+(** Both properties, plus non-emptiness. *)
+
+val dominates : t -> t -> bool
+(** [dominates c d]: coterie [c] dominates [d] — they differ and every
+    quorum of [d] contains some quorum of [c]. Non-dominated coteries give
+    strictly better availability. *)
+
+val assignment_of_req_sets : n:int -> int list array -> t
+(** View a request-set assignment as the coterie of its distinct quorums. *)
+
+val quorum_mem : int -> quorum -> bool
+val quorum_inter : quorum -> quorum -> quorum
+val quorum_subset : quorum -> quorum -> bool
+val normalize_quorum : int list -> quorum
+
+val pp : Format.formatter -> t -> unit
+val pp_quorum : Format.formatter -> quorum -> unit

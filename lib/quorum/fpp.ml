@@ -1,0 +1,94 @@
+(* Points and lines of PG(2,q) are the normalized nonzero triples over GF(q):
+   (1,a,b), (0,1,a), (0,0,1). A point lies on a line iff their dot product is
+   0 mod q. Both families are enumerated in the same canonical order, so the
+   plane is self-dual under the identity map. *)
+
+let is_prime q =
+  q >= 2
+  &&
+  let rec loop d = d * d > q || (q mod d <> 0 && loop (d + 1)) in
+  loop 2
+
+let order_for n =
+  (* Solve q^2 + q + 1 = n for integer prime q. *)
+  let rec search q =
+    let v = (q * q) + q + 1 in
+    if v > n then None else if v = n && is_prime q then Some q else search (q + 1)
+  in
+  search 1
+
+let supported_sizes ~max =
+  let rec loop q acc =
+    let v = (q * q) + q + 1 in
+    if v > max then List.rev acc
+    else loop (q + 1) (if is_prime q then v :: acc else acc)
+  in
+  loop 2 []
+
+type t = {
+  n : int;
+  q : int;
+  points : (int * int * int) array;
+  lines_by_index : int list array;  (* line index -> member point indices *)
+  line_of_point : int array;  (* canonical line through each point *)
+}
+
+let normalized_triples q =
+  let acc = ref [] in
+  for a = q - 1 downto 0 do
+    for b = q - 1 downto 0 do
+      acc := (1, a, b) :: !acc
+    done
+  done;
+  for a = q - 1 downto 0 do
+    acc := (0, 1, a) :: !acc
+  done;
+  acc := (0, 0, 1) :: !acc;
+  Array.of_list (List.rev !acc)
+
+let dot q (a1, a2, a3) (b1, b2, b3) = ((a1 * b1) + (a2 * b2) + (a3 * b3)) mod q
+
+let create ~n =
+  match order_for n with
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Fpp.create: %d is not q^2+q+1 for a prime q (try sizes %s)" n
+         (String.concat ", "
+            (List.map string_of_int (supported_sizes ~max:200))))
+  | Some q ->
+    let points = normalized_triples q in
+    assert (Array.length points = n);
+    let lines_by_index =
+      Array.map
+        (fun line ->
+          let members = ref [] in
+          Array.iteri
+            (fun i p -> if dot q p line = 0 then members := i :: !members)
+            points;
+          List.rev !members)
+        points
+    in
+    let line_of_point = Array.make n (-1) in
+    Array.iteri
+      (fun li members ->
+        List.iter
+          (fun p -> if line_of_point.(p) < 0 then line_of_point.(p) <- li)
+          members)
+      lines_by_index;
+    { n; q; points; lines_by_index; line_of_point }
+
+let order t = t.q
+let lines t = Array.to_list t.lines_by_index
+
+let req_set t s =
+  if s < 0 || s >= t.n then invalid_arg "Fpp.req_set: site out of range";
+  t.lines_by_index.(t.line_of_point.(s))
+
+let req_sets ~n =
+  let t = create ~n in
+  Array.init n (req_set t)
+
+let has_live_quorum t ~up =
+  if Array.length up <> t.n then invalid_arg "Fpp.has_live_quorum";
+  Array.exists (fun line -> List.for_all (fun p -> up.(p)) line) t.lines_by_index

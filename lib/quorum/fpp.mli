@@ -1,0 +1,36 @@
+(** Finite-projective-plane quorums (Maekawa's √N construction).
+
+    For a prime q, the projective plane PG(2,q) has N = q² + q + 1 points
+    and equally many lines; every line carries q + 1 ≈ √N points and any
+    two lines meet in exactly one point. Using points as sites and lines as
+    quorums yields Maekawa's optimal symmetric coterie: K = √N (up to the
+    +1), every site appears in exactly K quorums, and all quorums pairwise
+    intersect in exactly one site.
+
+    Only prime orders are supported (prime-power fields would need GF(p^k)
+    arithmetic for a vanishing set of extra sizes); use {!Grid} for other
+    N. *)
+
+val order_for : int -> int option
+(** [order_for n] is [Some q] when [n = q² + q + 1] for a prime [q]. *)
+
+val supported_sizes : max:int -> int list
+(** All n ≤ max for which the construction applies: 7, 13, 21, 31, 57, 133,
+    183, ... *)
+
+type t
+
+val create : n:int -> t
+(** @raise Invalid_argument when {!order_for} [n] is [None]. *)
+
+val order : t -> int
+val lines : t -> int list list
+(** All N lines (the full coterie). *)
+
+val req_set : t -> int -> int list
+(** A canonical line through the given point: the request set of that
+    site. Every returned line contains the site. *)
+
+val req_sets : n:int -> int list array
+
+val has_live_quorum : t -> up:bool array -> bool

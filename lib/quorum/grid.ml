@@ -1,0 +1,57 @@
+(* Ragged grids stay correct without special-casing: for sites A=(ra,ca) and
+   B=(rb,cb), cell (ra,cb) or (rb,ca) exists unless both ra and rb are the
+   partial last row — in which case the two quorums share that whole row. *)
+
+type t = { n : int; rows : int; cols : int }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Grid.create: n must be positive";
+  let cols = int_of_float (ceil (sqrt (float_of_int n))) in
+  let rows = (n + cols - 1) / cols in
+  { n; rows; cols }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let position t s =
+  if s < 0 || s >= t.n then invalid_arg "Grid.position: site out of range";
+  (s / t.cols, s mod t.cols)
+
+let req_set t s =
+  let r, c = position t s in
+  let row =
+    List.filter (fun x -> x < t.n)
+      (List.init t.cols (fun j -> (r * t.cols) + j))
+  in
+  let col =
+    List.filter (fun x -> x < t.n)
+      (List.init t.rows (fun i -> (i * t.cols) + c))
+  in
+  Coterie.normalize_quorum (row @ col)
+
+let req_sets ~n =
+  let t = create ~n in
+  Array.init n (req_set t)
+
+let row_alive t ~up r =
+  let len = min t.cols (t.n - (r * t.cols)) in
+  let rec loop j = j >= len || (up.((r * t.cols) + j) && loop (j + 1)) in
+  len > 0 && loop 0
+
+let col_alive t ~up c =
+  let rec loop i =
+    let s = (i * t.cols) + c in
+    i >= t.rows || s >= t.n || (up.(s) && loop (i + 1))
+  in
+  c < t.cols && loop 0
+
+let has_live_quorum t ~up =
+  if Array.length up <> t.n then invalid_arg "Grid.has_live_quorum";
+  (* A live quorum exists iff some site's full row and column are live;
+     equivalently some live row r and live column c with cell (r,c) present. *)
+  let live_rows = List.filter (row_alive t ~up) (List.init t.rows Fun.id) in
+  let live_cols = List.filter (col_alive t ~up) (List.init t.cols Fun.id) in
+  List.exists
+    (fun r ->
+      List.exists (fun c -> (r * t.cols) + c < t.n) live_cols)
+    live_rows

@@ -1,0 +1,28 @@
+(** Maekawa-style grid quorums.
+
+    Sites are arranged in a near-square grid; the quorum of a site is its
+    full row plus its full column, giving K = r + c - 1 ≈ 2√N - 1. Any two
+    quorums intersect because one's row crosses the other's column. This is
+    the simple, always-constructible variant of Maekawa's √N idea; the
+    projective-plane construction in {!Fpp} achieves K ≈ √N exactly when
+    the plane exists. Non-square N leaves the last row partial; intersection
+    still holds because when both crossing cells are missing the two sites
+    share the partial row itself. *)
+
+type t
+
+val create : n:int -> t
+val rows : t -> int
+val cols : t -> int
+val position : t -> int -> int * int
+(** (row, column) of a site. *)
+
+val req_set : t -> int -> int list
+(** The row-plus-column quorum of a site, sorted, including the site. *)
+
+val req_sets : n:int -> int list array
+(** All request sets at once. *)
+
+val has_live_quorum : t -> up:bool array -> bool
+(** Does any site's quorum consist entirely of live sites? (Availability
+    oracle for Monte Carlo experiments.) *)

@@ -1,0 +1,62 @@
+type t = { n : int; group : int; n_groups : int }
+
+let create ~n ~group =
+  if n <= 0 then invalid_arg "Grid_set.create: n must be positive";
+  if group < 1 || group > n then invalid_arg "Grid_set.create: bad group size";
+  { n; group; n_groups = (n + group - 1) / group }
+
+let n t = t.n
+let groups t = t.n_groups
+
+let group_of t s = s / t.group
+let group_members t g =
+  let lo = g * t.group in
+  let hi = min t.n (lo + t.group) in
+  List.init (hi - lo) (fun k -> lo + k)
+
+let majority t = (t.n_groups / 2) + 1
+
+(* Grid quorum inside one group, through [anchor] (a member of the group). *)
+let inner_quorum t g anchor =
+  let members = Array.of_list (group_members t g) in
+  let size = Array.length members in
+  let grid = Grid.create ~n:size in
+  let local =
+    let rec find i = if members.(i) = anchor then i else find (i + 1) in
+    find 0
+  in
+  List.map (fun k -> members.(k)) (Grid.req_set grid local)
+
+let quorum_size_estimate t =
+  let g_grid = Grid.create ~n:t.group in
+  majority t * (Grid.cols g_grid + Grid.rows g_grid - 1)
+
+let req_set t s =
+  if s < 0 || s >= t.n then invalid_arg "Grid_set.req_set: site out of range";
+  let home = group_of t s in
+  let m = majority t in
+  let chosen = List.init m (fun k -> (home + k) mod t.n_groups) in
+  let pick g =
+    let anchor = if g = home then s else g * t.group in
+    inner_quorum t g anchor
+  in
+  Coterie.normalize_quorum (List.concat_map pick chosen)
+
+let req_sets ~n ~group =
+  let t = create ~n ~group in
+  Array.init n (req_set t)
+
+let has_live_quorum t ~up =
+  if Array.length up <> t.n then invalid_arg "Grid_set.has_live_quorum";
+  (* Available iff a majority of groups each contain a live grid quorum. *)
+  let group_ok g =
+    let members = Array.of_list (group_members t g) in
+    let grid = Grid.create ~n:(Array.length members) in
+    let local_up = Array.map (fun s -> up.(s)) members in
+    Grid.has_live_quorum grid ~up:local_up
+  in
+  let ok = ref 0 in
+  for g = 0 to t.n_groups - 1 do
+    if group_ok g then incr ok
+  done;
+  !ok >= majority t

@@ -1,0 +1,26 @@
+(** Grid-set quorums (Cheung–Ammar–Ahamad style; reference [2] of the
+    paper): two levels, {e majority voting over groups} at the upper level
+    for resiliency and a {e Maekawa-like grid inside each group} at the
+    lower level to cut messages.
+
+    A quorum selects a majority of the site groups and, inside every
+    selected group, a full grid quorum over that group's members. Two
+    quorums share at least one group (majorities intersect) and inside the
+    shared group their grid quorums intersect, so the Intersection Property
+    holds. Quorum size ≈ ⌈(N/G+1)/2⌉ · (2√G − 1), where G is the group
+    size. A whole minority of groups can fail without any recovery
+    action. *)
+
+type t
+
+val create : n:int -> group:int -> t
+(** Sites [0..n-1] are split into ⌈n/G⌉ groups of [group] consecutive
+    sites (the last group may be smaller).
+    @raise Invalid_argument if [group] is not in [1, n]. *)
+
+val n : t -> int
+val groups : t -> int
+val quorum_size_estimate : t -> int
+val req_set : t -> int -> int list
+val req_sets : n:int -> group:int -> int list array
+val has_live_quorum : t -> up:bool array -> bool

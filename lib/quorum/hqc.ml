@@ -1,0 +1,94 @@
+type t = { n : int; branching : int list }
+
+let create_branching branching =
+  if branching = [] then invalid_arg "Hqc.create_branching: empty";
+  List.iter
+    (fun b -> if b < 1 then invalid_arg "Hqc.create_branching: branch < 1")
+    branching;
+  { n = List.fold_left ( * ) 1 branching; branching }
+
+let create ~n =
+  let rec levels n acc =
+    if n = 1 then Some acc
+    else if n mod 3 = 0 then levels (n / 3) (3 :: acc)
+    else None
+  in
+  match levels n [] with
+  | Some branching when branching <> [] -> { n; branching }
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Hqc.create: %d is not a power of 3 (>= 3); use \
+                       create_branching for other shapes" n)
+
+let n t = t.n
+
+let majority_of b = (b / 2) + 1
+
+let quorum_size t =
+  List.fold_left (fun acc b -> acc * majority_of b) 1 t.branching
+
+(* Quorum containing leaf [i], assembled by taking at every level the child
+   holding [i] plus the cyclically-next children to complete the majority;
+   other chosen children contribute their canonical (first-leaf) quorums. *)
+let req_set t i =
+  if i < 0 || i >= t.n then invalid_arg "Hqc.req_set: site out of range";
+  let rec go branching lo size i =
+    match branching with
+    | [] -> [ lo ]
+    | b :: rest ->
+      let child_size = size / b in
+      let ci = (i - lo) / child_size in
+      let m = majority_of b in
+      let chosen = List.init m (fun k -> (ci + k) mod b) in
+      List.concat_map
+        (fun c ->
+          let child_lo = lo + (c * child_size) in
+          let anchor = if c = ci then i else child_lo in
+          go rest child_lo child_size anchor)
+        chosen
+  in
+  Coterie.normalize_quorum (go t.branching 0 t.n i)
+
+let req_sets ~n =
+  let t = create ~n in
+  Array.init n (req_set t)
+
+let has_live_quorum t ~up =
+  if Array.length up <> t.n then invalid_arg "Hqc.has_live_quorum";
+  let rec live branching lo size =
+    match branching with
+    | [] -> up.(lo)
+    | b :: rest ->
+      let child_size = size / b in
+      let alive = ref 0 in
+      for c = 0 to b - 1 do
+        if live rest (lo + (c * child_size)) child_size then incr alive
+      done;
+      !alive >= majority_of b
+  in
+  live t.branching 0 t.n
+
+let binomial_tail ~trials ~at_least ~p =
+  let q = 1.0 -. p in
+  if q <= 0.0 then if at_least <= trials then 1.0 else 0.0
+  else begin
+    let total = ref 0.0 in
+    let term = ref (q ** float_of_int trials) in
+    for k = 0 to trials do
+      if k >= at_least then total := !total +. !term;
+      if k < trials then
+        term :=
+          !term *. (float_of_int (trials - k) /. float_of_int (k + 1)) *. (p /. q)
+    done;
+    Float.min 1.0 !total
+  end
+
+let availability t ~p_up =
+  if p_up < 0.0 || p_up > 1.0 then invalid_arg "Hqc.availability";
+  (* Bottom-up: a leaf is available with probability p_up; a level-ℓ node is
+     available iff a majority of its children are. *)
+  List.fold_left
+    (fun child_avail b ->
+      binomial_tail ~trials:b ~at_least:(majority_of b) ~p:child_avail)
+    p_up
+    (List.rev t.branching)

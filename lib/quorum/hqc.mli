@@ -1,0 +1,32 @@
+(** Hierarchical Quorum Consensus (Kumar; reference [4] of the paper).
+
+    Sites are the leaves of a multilevel tree; a quorum is formed by
+    recursively assembling majorities: at each internal node, take quorums
+    from a majority of its children. With the classic ternary hierarchy
+    (branching 3 at every level, majority 2-of-3), the quorum size is
+    2^levels = N^(log₃ 2) ≈ N^0.63 — between Maekawa's √N and majority's
+    N/2, with availability close to majority's.
+
+    Arbitrary branching vectors are supported; [create ~n] picks the pure
+    ternary hierarchy and therefore requires N = 3^k. *)
+
+type t
+
+val create : n:int -> t
+(** Ternary hierarchy. @raise Invalid_argument unless [n] is a power of 3. *)
+
+val create_branching : int list -> t
+(** [create_branching [b1; ...; bk]] builds a hierarchy with [bi] children
+    at level i; N = b1 * ... * bk. Each [bi] must be ≥ 1. *)
+
+val n : t -> int
+val quorum_size : t -> int
+(** Size of every quorum: Π ⌈(bi+1)/2⌉. *)
+
+val req_set : t -> int -> int list
+(** Canonical quorum containing the given site. *)
+
+val req_sets : n:int -> int list array
+val has_live_quorum : t -> up:bool array -> bool
+val availability : t -> p_up:float -> float
+(** Exact, by the level recursion on majority-of-children. *)

@@ -1,0 +1,40 @@
+let quorum_size ~n =
+  if n <= 0 then invalid_arg "Majority.quorum_size";
+  (n / 2) + 1
+
+let req_set ~n i =
+  if i < 0 || i >= n then invalid_arg "Majority.req_set: site out of range";
+  let m = quorum_size ~n in
+  Coterie.normalize_quorum (List.init m (fun k -> (i + k) mod n))
+
+let req_sets ~n = Array.init n (req_set ~n)
+
+let is_quorum ~n q =
+  let q = Coterie.normalize_quorum q in
+  List.length q >= quorum_size ~n
+  && List.for_all (fun s -> s >= 0 && s < n) q
+
+let has_live_quorum ~n ~up =
+  if Array.length up <> n then invalid_arg "Majority.has_live_quorum";
+  let alive = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 up in
+  alive >= quorum_size ~n
+
+let availability ~n ~p_up =
+  (* Binomial tail computed with incremental term updates to avoid
+     factorial overflow. *)
+  if p_up < 0.0 || p_up > 1.0 then invalid_arg "Majority.availability";
+  let m = quorum_size ~n in
+  let q = 1.0 -. p_up in
+  (* term_k = C(n,k) p^k q^(n-k); start at k=0 and walk up. *)
+  let total = ref 0.0 in
+  let term = ref (q ** float_of_int n) in
+  for k = 0 to n do
+    if k >= m then total := !total +. !term;
+    if k < n then begin
+      let ratio =
+        float_of_int (n - k) /. float_of_int (k + 1) *. (p_up /. q)
+      in
+      term := !term *. ratio
+    end
+  done;
+  if q = 0.0 then (if m <= n then 1.0 else 0.0) else Float.min 1.0 !total

@@ -1,0 +1,20 @@
+(** Majority voting quorums (Thomas; reference [18] of the paper).
+
+    Any ⌈(N+1)/2⌉ sites form a quorum: two majorities always share a site.
+    Message complexity is O(N) but availability is the maximum possible for
+    a symmetric scheme, which is why the paper uses majority voting as the
+    high-resiliency end of the tradeoff spectrum. *)
+
+val quorum_size : n:int -> int
+(** ⌈(N+1)/2⌉; for even N, N/2 + 1. *)
+
+val req_set : n:int -> int -> int list
+(** Canonical majority for a site: the window [i, i+m) modulo N, so request
+    sets are spread evenly instead of all hammering sites 0..m-1. *)
+
+val req_sets : n:int -> int list array
+
+val is_quorum : n:int -> int list -> bool
+val has_live_quorum : n:int -> up:bool array -> bool
+val availability : n:int -> p_up:float -> float
+(** Exact: probability at least ⌈(N+1)/2⌉ of N iid sites are up. *)

@@ -1,0 +1,56 @@
+type t = { n : int; group : int; n_groups : int; group_grid : Grid.t }
+
+let create ~n ~group =
+  if n <= 0 then invalid_arg "Rst.create: n must be positive";
+  if group < 1 || group > n then invalid_arg "Rst.create: bad group size";
+  let n_groups = (n + group - 1) / group in
+  { n; group; n_groups; group_grid = Grid.create ~n:n_groups }
+
+let n t = t.n
+let groups t = t.n_groups
+let group_of t s = s / t.group
+
+let group_members t g =
+  let lo = g * t.group in
+  let hi = min t.n (lo + t.group) in
+  List.init (hi - lo) (fun k -> lo + k)
+
+let subgroup_majority t g =
+  (List.length (group_members t g) / 2) + 1
+
+(* Majority of group [g], anchored to include [anchor] when it belongs. *)
+let inner_majority t g anchor =
+  let members = Array.of_list (group_members t g) in
+  let size = Array.length members in
+  let m = (size / 2) + 1 in
+  let start =
+    match Array.find_index (fun s -> s = anchor) members with
+    | Some i -> i
+    | None -> 0
+  in
+  List.init m (fun k -> members.((start + k) mod size))
+
+let quorum_size_estimate t =
+  let per_group = (t.group / 2) + 1 in
+  (Grid.cols t.group_grid + Grid.rows t.group_grid - 1) * per_group
+
+let req_set t s =
+  if s < 0 || s >= t.n then invalid_arg "Rst.req_set: site out of range";
+  let home = group_of t s in
+  let chosen_groups = Grid.req_set t.group_grid home in
+  Coterie.normalize_quorum
+    (List.concat_map (fun g -> inner_majority t g s) chosen_groups)
+
+let req_sets ~n ~group =
+  let t = create ~n ~group in
+  Array.init n (req_set t)
+
+let has_live_quorum t ~up =
+  if Array.length up <> t.n then invalid_arg "Rst.has_live_quorum";
+  let group_ok g =
+    let members = group_members t g in
+    let alive = List.length (List.filter (fun s -> up.(s)) members) in
+    alive >= subgroup_majority t g
+  in
+  let ok = Array.init t.n_groups group_ok in
+  Grid.has_live_quorum t.group_grid ~up:ok

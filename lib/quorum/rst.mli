@@ -1,0 +1,22 @@
+(** Rangarajan–Setia–Tripathi quorums (reference [11] of the paper): the
+    dual of {!Grid_set} — a {e Maekawa-like grid over the groups} at the
+    upper level and {e majority voting inside each subgroup} at the lower
+    level.
+
+    A quorum selects a grid quorum of groups (the home group's row and
+    column in the group grid) and, inside every selected group, a majority
+    of that group's members. Two quorums share a group (grid quorums
+    intersect) and within it their majorities intersect. Quorum size
+    ≈ ⌈(G+1)/2⌉ · (2√(N/G) − 1), which the paper quotes as
+    ((G+1)/2)·√(N/G). A minority of any subgroup can fail with no recovery
+    action needed. *)
+
+type t
+
+val create : n:int -> group:int -> t
+val n : t -> int
+val groups : t -> int
+val quorum_size_estimate : t -> int
+val req_set : t -> int -> int list
+val req_sets : n:int -> group:int -> int list array
+val has_live_quorum : t -> up:bool array -> bool

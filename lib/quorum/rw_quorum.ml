@@ -1,0 +1,125 @@
+type scheme = Rowa | Majority_rw | Grid_rw | Tree_rw
+
+let scheme_name = function
+  | Rowa -> "rowa"
+  | Majority_rw -> "majority-rw"
+  | Grid_rw -> "grid-rw"
+  | Tree_rw -> "tree-rw"
+
+type t = {
+  n : int;
+  reads : int list array;
+  writes : int list array;
+  read_oracle : bool array -> bool;
+  write_oracle : bool array -> bool;
+}
+
+let window ~n ~len start =
+  Coterie.normalize_quorum (List.init len (fun k -> (start + k) mod n))
+
+let count_live up = Array.fold_left (fun a b -> if b then a + 1 else a) 0 up
+
+let create scheme ~n =
+  if n <= 0 then invalid_arg "Rw_quorum.create: n must be positive";
+  match scheme with
+  | Rowa ->
+    {
+      n;
+      reads = Array.init n (fun s -> [ s ]);
+      writes = Array.init n (fun _ -> List.init n Fun.id);
+      read_oracle = (fun up -> count_live up >= 1);
+      write_oracle = (fun up -> count_live up = n);
+    }
+  | Majority_rw ->
+    let w = (n / 2) + 1 in
+    let r = n + 1 - w in
+    {
+      n;
+      reads = Array.init n (window ~n ~len:r);
+      writes = Array.init n (window ~n ~len:w);
+      (* ANY r (resp. w) live sites form a quorum, not just the windows *)
+      read_oracle = (fun up -> count_live up >= r);
+      write_oracle = (fun up -> count_live up >= w);
+    }
+  | Grid_rw ->
+    let g = Grid.create ~n in
+    let cols = Grid.cols g in
+    let full_row r = ((r + 1) * cols) - 1 < n in
+    let row_members r = List.init cols (fun j -> (r * cols) + j) in
+    let reads =
+      Array.init n (fun s ->
+          let r, _ = Grid.position g s in
+          (* sites in a partial last row read a full row instead, keeping
+             the read-write intersection argument valid on ragged grids *)
+          if full_row r then row_members r else row_members 0)
+    in
+    let any_full_row up =
+      let rec loop r =
+        r * cols < n
+        && ((full_row r
+            && List.for_all (fun s -> up.(s)) (row_members r))
+           || loop (r + 1))
+      in
+      loop 0
+    in
+    {
+      n;
+      reads;
+      writes = Grid.req_sets ~n;
+      read_oracle = any_full_row;
+      write_oracle = (fun up -> Grid.has_live_quorum g ~up);
+    }
+  | Tree_rw ->
+    let sets = Tree_quorum.req_sets ~n in
+    let tree = Tree_quorum.create ~n in
+    let oracle up = Tree_quorum.has_live_quorum tree ~up in
+    {
+      n;
+      reads = Array.map Fun.id sets;
+      writes = sets;
+      read_oracle = oracle;
+      write_oracle = oracle;
+    }
+
+let validate t =
+  let inter a b = Coterie.quorum_inter a b <> [] in
+  let bad = ref None in
+  Array.iteri
+    (fun i w ->
+      Array.iteri
+        (fun j w' ->
+          if !bad = None && not (inter w w') then
+            bad := Some (Printf.sprintf "write(%d) and write(%d) disjoint" i j))
+        t.writes;
+      Array.iteri
+        (fun j r ->
+          if !bad = None && not (inter r w) then
+            bad := Some (Printf.sprintf "read(%d) and write(%d) disjoint" j i))
+        t.reads)
+    t.writes;
+  match !bad with Some e -> Error e | None -> Ok ()
+
+let mean_size sets =
+  let total = Array.fold_left (fun acc q -> acc + List.length q) 0 sets in
+  float_of_int total /. float_of_int (Array.length sets)
+
+let read_size t = mean_size t.reads
+let write_size t = mean_size t.writes
+
+let read_available t ~up = t.read_oracle up
+let write_available t ~up = t.write_oracle up
+
+let availability t ~p_up ~trials ~seed =
+  if trials <= 0 then invalid_arg "Rw_quorum.availability: trials";
+  let rng = Dmx_sim.Rng.create seed in
+  let up = Array.make t.n true in
+  let r_hits = ref 0 and w_hits = ref 0 in
+  for _ = 1 to trials do
+    for i = 0 to t.n - 1 do
+      up.(i) <- Dmx_sim.Rng.float rng 1.0 < p_up
+    done;
+    if read_available t ~up then incr r_hits;
+    if write_available t ~up then incr w_hits
+  done;
+  ( float_of_int !r_hits /. float_of_int trials,
+    float_of_int !w_hits /. float_of_int trials )

@@ -1,0 +1,45 @@
+(** Read/write quorums for replica control (paper Section 7: "the proposed
+    idea can be used in replicated data management, as long as the quorum
+    being used supports replica control").
+
+    Replica control needs two families: write quorums that pairwise
+    intersect (so the mutex/version order is total — this is where the
+    delay-optimal algorithm plugs in) and read quorums that intersect every
+    write quorum (so a read always sees the newest committed version).
+    Reads may then be much cheaper than writes. *)
+
+type scheme =
+  | Rowa  (** read-one / write-all: cheapest reads, fragile writes *)
+  | Majority_rw  (** r + w > N with w a majority: balanced *)
+  | Grid_rw  (** read = one row, write = row + column: O(√N) both ways *)
+  | Tree_rw  (** both sides use Agrawal–El Abbadi tree quorums *)
+
+val scheme_name : scheme -> string
+
+type t = private {
+  n : int;
+  reads : int list array;  (** read quorum used by each site *)
+  writes : int list array;  (** write quorum used by each site *)
+  read_oracle : bool array -> bool;
+  write_oracle : bool array -> bool;
+}
+
+val create : scheme -> n:int -> t
+
+val validate : t -> (unit, string) result
+(** Checks write-write and read-write intersection over all assigned
+    quorums. *)
+
+val read_size : t -> float
+val write_size : t -> float
+(** Mean quorum sizes. *)
+
+val read_available : t -> up:bool array -> bool
+val write_available : t -> up:bool array -> bool
+(** Does some read (resp. write) quorum of the scheme's full family consist
+    of live sites? (For majority this is any r/w live sites, not just the
+    per-site windows; for grid/tree, the construction's whole coterie.) *)
+
+val availability :
+  t -> p_up:float -> trials:int -> seed:int -> float * float
+(** Monte-Carlo (read, write) availability under iid site failures. *)

@@ -1,0 +1,83 @@
+type t = { n : int }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Tree_quorum.create: n must be positive";
+  { n }
+
+let left s = (2 * s) + 1
+let right s = (2 * s) + 2
+let exists t s = s < t.n
+
+let depth t =
+  let rec loop s d = if exists t s then loop (left s) (d + 1) else d in
+  loop 0 0
+
+(* Path from the root to [s] in the array-encoded binary tree. *)
+let path_to_root t s =
+  if s < 0 || s >= t.n then invalid_arg "Tree_quorum: site out of range";
+  let rec up s acc = if s = 0 then 0 :: acc else up ((s - 1) / 2) (s :: acc) in
+  up s []
+
+let rec descend_leftmost t s acc =
+  if exists t (left s) then descend_leftmost t (left s) (left s :: acc)
+  else acc
+
+let req_set t s =
+  let prefix = path_to_root t s in
+  Coterie.normalize_quorum (descend_leftmost t s prefix)
+
+let req_sets ~n =
+  let t = create ~n in
+  Array.init n (req_set t)
+
+(* GetQuorum(T): if the root is up, root :: quorum of either subtree; if the
+   root is down, quorums of BOTH subtrees. A node with a single child (the
+   array-complete tree's ragged edge) must continue through that child —
+   terminating there would create quorums disjoint from the child's own
+   substitutions. A dead leaf yields failure. *)
+let quorum t ~available =
+  let rec get s =
+    let l = left s and r = right s in
+    if available s then
+      if not (exists t l) then Some [ s ]
+      else if not (exists t r) then Option.map (fun q -> s :: q) (get l)
+      else begin
+        match get l with
+        | Some q -> Some (s :: q)
+        | None ->
+          (match get r with Some q -> Some (s :: q) | None -> None)
+      end
+    else if not (exists t l) then None
+    else if not (exists t r) then get l
+    else begin
+      match (get l, get r) with
+      | Some a, Some b -> Some (a @ b)
+      | _ -> None
+    end
+  in
+  Option.map Coterie.normalize_quorum (get 0)
+
+let quorum_avoiding t ~avoid =
+  quorum t ~available:(fun s -> not (List.mem s avoid))
+
+let quorum_family t =
+  let rec family s =
+    let l = left s and r = right s in
+    if not (exists t l) then [ [ s ] ]
+    else if not (exists t r) then
+      let ls = family l in
+      List.map (fun q -> s :: q) ls @ ls
+    else begin
+      let ls = family l and rs = family r in
+      let through = List.map (fun q -> s :: q) (ls @ rs) in
+      let substituted =
+        List.concat_map (fun a -> List.map (fun b -> a @ b) rs) ls
+      in
+      through @ substituted
+    end
+  in
+  List.sort_uniq compare (List.map Coterie.normalize_quorum (family 0))
+
+let has_live_quorum t ~up =
+  if Array.length up <> t.n then invalid_arg "Tree_quorum.has_live_quorum";
+  quorum t ~available:(fun s -> up.(s)) <> None

@@ -1,0 +1,35 @@
+(** Agrawal–El Abbadi tree quorums (reference [1] of the paper).
+
+    The N sites are the nodes of a complete binary tree (array layout,
+    node 0 = root). A quorum is any root-to-leaf path; when a node on the
+    path has failed it is replaced by {e two} paths, one through each of
+    its children down to leaves. Quorum size is ⌈log₂(N+1)⌉ with no
+    failures and degrades gracefully toward ⌈(N+1)/2⌉ (the leaf majority)
+    under failures; availability is the best of the constructions in this
+    repo for small K. *)
+
+type t
+
+val create : n:int -> t
+val depth : t -> int
+
+val req_set : t -> int -> int list
+(** All-sites-up quorum through the given site: the path from the root down
+    to the site, extended from the site to its leftmost leaf. *)
+
+val req_sets : n:int -> int list array
+
+val quorum : t -> available:(int -> bool) -> int list option
+(** The Agrawal–El Abbadi recursive construction under failures: [None]
+    when no live quorum exists (e.g. both children of a dead node are
+    unobtainable). Prefers left children, so the result is deterministic. *)
+
+val quorum_avoiding : t -> avoid:int list -> int list option
+(** Convenience wrapper of {!quorum}: treat [avoid] as failed. *)
+
+val quorum_family : t -> int list list
+(** The full recursive quorum family: paths where each node is either taken
+    or replaced by both child-subtree quorums. Exponential in depth —
+    intended for validating the intersection property on small n. *)
+
+val has_live_quorum : t -> up:bool array -> bool

@@ -1,0 +1,260 @@
+type config = {
+  n : int;
+  rounds_per_site : int;
+  cs_duration : float;
+  min_delay : float;
+  max_delay : float;
+  seed : int;
+  crashes : (float * int) list;
+  detection_delay : float;
+}
+
+let default ~n =
+  {
+    n;
+    rounds_per_site = 10;
+    cs_duration = 0.001;
+    min_delay = 0.0002;
+    max_delay = 0.0012;
+    seed = 42;
+    crashes = [];
+    detection_delay = 0.005;
+  }
+
+type report = {
+  executions : int;
+  violations : int;
+  max_occupancy : int;
+  messages : int;
+  wall_seconds : float;
+  per_site : int array;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "live: executions=%d violations=%d max-occupancy=%d messages=%d wall=%.3fs"
+    r.executions r.violations r.max_occupancy r.messages r.wall_seconds
+
+(* A tiny thread-safe FIFO; consumers poll (no Condition.timedwait in the
+   stdlib), which is fine at the sub-millisecond scales used here. *)
+module Mailbox = struct
+  type 'a t = { lock : Mutex.t; q : 'a Queue.t }
+
+  let create () = { lock = Mutex.create (); q = Queue.create () }
+
+  let push t x =
+    Mutex.lock t.lock;
+    Queue.push x t.q;
+    Mutex.unlock t.lock
+
+  let pop t =
+    Mutex.lock t.lock;
+    let x = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.lock;
+    x
+end
+
+module Make (P : Dmx_sim.Protocol.PROTOCOL) = struct
+  type parcel = { deliver_at : float; seq : int; src : int; dst : int; msg : P.message }
+
+  let run (cfg : config) pconfig =
+    if cfg.n <= 0 then invalid_arg "Live.run: n must be positive";
+    if cfg.min_delay < 0.0 || cfg.max_delay < cfg.min_delay then
+      invalid_arg "Live.run: bad delay bounds";
+    List.iter
+      (fun (_, s) ->
+        if s < 0 || s >= cfg.n then invalid_arg "Live.run: crash site")
+      cfg.crashes;
+    let start = Unix.gettimeofday () in
+    let now () = Unix.gettimeofday () -. start in
+    let stop = Atomic.make false in
+    let dead = Array.init cfg.n (fun _ -> Atomic.make false) in
+    (* safety: CS occupancy, violations, and the high-water mark *)
+    let occupancy = Atomic.make 0 in
+    let violations = Atomic.make 0 in
+    let max_occ = Atomic.make 0 in
+    let messages = Atomic.make 0 in
+    let per_site = Array.init cfg.n (fun _ -> Atomic.make 0) in
+    let force_exit = Atomic.make false in
+    let mailboxes = Array.init cfg.n (fun _ -> Mailbox.create ()) in
+    (* postman state: messages in flight, ordered by delivery deadline *)
+    let post_lock = Mutex.create () in
+    let in_flight =
+      Dmx_sim.Heap.create
+        ~cmp:(fun a b ->
+          let c = Float.compare a.deliver_at b.deliver_at in
+          if c <> 0 then c else Int.compare a.seq b.seq)
+        ()
+    in
+    let post_seq = ref 0 in
+    let watermark = Array.make (cfg.n * cfg.n) 0.0 in
+    let delay_rng = Dmx_sim.Rng.create cfg.seed in
+    let detector_state =
+      List.map (fun (t, s) -> (t, s, ref false)) cfg.crashes
+    in
+    let post src dst msg =
+      if Atomic.get dead.(src) || Atomic.get dead.(dst) then ()
+      else begin
+      Mutex.lock post_lock;
+      let delay =
+        Dmx_sim.Rng.uniform delay_rng ~lo:cfg.min_delay ~hi:cfg.max_delay
+      in
+      let idx = (src * cfg.n) + dst in
+      let at = Float.max (now () +. delay) watermark.(idx) in
+      watermark.(idx) <- at;
+      incr post_seq;
+      Dmx_sim.Heap.add in_flight
+        { deliver_at = at; seq = !post_seq; src; dst; msg };
+      Mutex.unlock post_lock
+      end
+    in
+    let postman () =
+      let rec loop () =
+        Mutex.lock post_lock;
+        let due = ref [] in
+        let rec drain () =
+          match Dmx_sim.Heap.peek in_flight with
+          | Some p when p.deliver_at <= now () ->
+            ignore (Dmx_sim.Heap.pop in_flight);
+            due := p :: !due;
+            drain ()
+          | Some _ | None -> ()
+        in
+        drain ();
+        let empty = Dmx_sim.Heap.is_empty in_flight in
+        Mutex.unlock post_lock;
+        List.iter
+          (fun p ->
+            if not (Atomic.get dead.(p.dst)) then begin
+              Atomic.incr messages;
+              Mailbox.push mailboxes.(p.dst) (`Msg (p.src, p.msg))
+            end)
+          (List.rev !due);
+        (* failure detector: tell survivors about crashes, once, after the
+           detection latency *)
+        List.iter
+          (fun (t, victim, notified) ->
+            if (not !notified) && now () >= t +. cfg.detection_delay then begin
+              notified := true;
+              for s = 0 to cfg.n - 1 do
+                if s <> victim && not (Atomic.get dead.(s)) then
+                  Mailbox.push mailboxes.(s) (`Failed victim)
+              done
+            end)
+          detector_state;
+        if Atomic.get force_exit || (Atomic.get stop && empty && !due = [])
+        then ()
+        else begin
+          Unix.sleepf 0.0001;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* per-site worker: drives the protocol state machine *)
+    let site_worker self =
+      let pending_enter = ref false in
+      let ctx : P.message Dmx_sim.Protocol.ctx =
+        {
+          self;
+          n = cfg.n;
+          now;
+          send =
+            (fun ~dst msg ->
+              if dst = self then Mailbox.push mailboxes.(self) (`Msg (self, msg))
+              else post self dst msg);
+          enter_cs = (fun () -> pending_enter := true);
+          set_timer =
+            (fun ~delay:_ ~tag:_ ->
+              invalid_arg "Live: protocols with timers are not supported");
+          rng = Dmx_sim.Rng.create (cfg.seed + self + 1);
+          trace_note = ignore;
+        }
+      in
+      let state = P.init ctx pconfig in
+      let completed = ref 0 in
+      let in_cs = ref false in
+      let cs_deadline = ref 0.0 in
+      let my_crash = List.assoc_opt self (List.map (fun (t, s) -> (s, t)) cfg.crashes) in
+      P.request_cs ctx state;
+      let rec loop () =
+        (* fail-stop: this site's domain dies at its scheduled time *)
+        (match my_crash with
+        | Some t when now () >= t && not (Atomic.get dead.(self)) ->
+          if !in_cs then ignore (Atomic.fetch_and_add occupancy (-1));
+          Atomic.set dead.(self) true
+        | _ -> ());
+        if Atomic.get dead.(self) then () (* exit the worker *)
+        else begin
+        (* leave the CS once its duration elapsed *)
+        if !in_cs && now () >= !cs_deadline then begin
+          let occ = Atomic.fetch_and_add occupancy (-1) in
+          ignore occ;
+          in_cs := false;
+          P.release_cs ctx state;
+          incr completed;
+          Atomic.incr per_site.(self);
+          if !completed < cfg.rounds_per_site then P.request_cs ctx state
+        end;
+        (* absorb a granted entry *)
+        if !pending_enter then begin
+          pending_enter := false;
+          let occ = 1 + Atomic.fetch_and_add occupancy 1 in
+          if occ > 1 then Atomic.incr violations;
+          let rec bump () =
+            let m = Atomic.get max_occ in
+            if occ > m && not (Atomic.compare_and_set max_occ m occ) then bump ()
+          in
+          bump ();
+          in_cs := true;
+          cs_deadline := now () +. cfg.cs_duration
+        end;
+        (* serve the mailbox *)
+        (match Mailbox.pop mailboxes.(self) with
+        | Some (`Msg (src, msg)) -> P.on_message ctx state ~src msg
+        | Some (`Failed victim) -> P.on_failure ctx state victim
+        | None -> Unix.sleepf 0.00005);
+        if
+          Atomic.get force_exit
+          || (Atomic.get stop && !completed >= cfg.rounds_per_site
+             && not !in_cs)
+        then () (* keep arbitrating until everyone is done, then exit *)
+        else loop ()
+        end
+      in
+      loop ()
+    in
+    let postman_d = Domain.spawn postman in
+    let workers = Array.init cfg.n (fun s -> Domain.spawn (fun () -> site_worker s)) in
+    (* orchestrator: wait until every surviving site finished its rounds
+       (crashed sites' remaining rounds are waived); a hard wall-clock
+       bound guards against a protocol that cannot make progress *)
+    let deadline = Unix.gettimeofday () +. 60.0 in
+    let rec wait () =
+      let done_ =
+        Array.for_all Fun.id
+          (Array.init cfg.n (fun s ->
+               Atomic.get per_site.(s) >= cfg.rounds_per_site
+               || Atomic.get dead.(s)))
+      in
+      if (not done_) && Unix.gettimeofday () < deadline then begin
+        Unix.sleepf 0.001;
+        wait ()
+      end
+    in
+    wait ();
+    Atomic.set stop true;
+    (* give stragglers a moment to notice, then force the exit *)
+    Unix.sleepf 0.25;
+    Atomic.set force_exit true;
+    Array.iter Domain.join workers;
+    Domain.join postman_d;
+    {
+      executions = Array.fold_left (fun a c -> a + Atomic.get c) 0 per_site;
+      violations = Atomic.get violations;
+      max_occupancy = Atomic.get max_occ;
+      messages = Atomic.get messages;
+      wall_seconds = Unix.gettimeofday () -. start;
+      per_site = Array.map Atomic.get per_site;
+    }
+end

@@ -1,0 +1,51 @@
+(** Live execution of a protocol on OCaml 5 domains.
+
+    The simulator ({!Dmx_sim.Engine}) runs protocols in virtual time; this
+    runtime runs the {e same} protocol modules ({!Dmx_sim.Protocol.PROTOCOL})
+    over real parallelism: one domain per site plus a postman domain that
+    delivers messages after genuine wall-clock delays (per-channel FIFO
+    preserved, like the model in the paper's Section 2). Mutual exclusion
+    is checked with an atomic occupancy counter, so a violation is caught
+    the instant two sites overlap in the critical section.
+
+    This is a demonstration runtime — timing is real and therefore
+    non-deterministic; use the simulator for measurements and this module
+    to show the algorithm surviving true concurrency. Protocols that use
+    timers are not supported. *)
+
+type config = {
+  n : int;  (** number of sites = number of worker domains *)
+  rounds_per_site : int;  (** each site acquires the CS this many times *)
+  cs_duration : float;  (** seconds spent inside the CS *)
+  min_delay : float;  (** per-message delay lower bound, seconds *)
+  max_delay : float;  (** upper bound (uniform in [min, max]) *)
+  seed : int;  (** seeds the delay sampler *)
+  crashes : (float * int) list;
+      (** (seconds-from-start, site): the site's domain fail-stops — its
+          mailbox goes dark and its in-flight channels are cut; survivors
+          get [on_failure] callbacks after [detection_delay]. A crashed
+          site's remaining rounds are waived. *)
+  detection_delay : float;  (** failure-detector latency, seconds *)
+}
+
+val default : n:int -> config
+(** 10 rounds/site, 1 ms CS, 0.2–1.2 ms delays, no crashes, 5 ms
+    detection. *)
+
+type report = {
+  executions : int;
+      (** CS executions completed (= rounds_per_site x surviving sites,
+          plus whatever crashed sites finished before dying) *)
+  violations : int;  (** overlapping CS occupancies observed (must be 0) *)
+  max_occupancy : int;  (** highest simultaneous occupancy seen (must be 1) *)
+  messages : int;  (** network messages delivered *)
+  wall_seconds : float;
+  per_site : int array;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+module Make (P : Dmx_sim.Protocol.PROTOCOL) : sig
+  val run : config -> P.config -> report
+  (** Blocks until every site has completed its rounds. *)
+end

@@ -1,0 +1,462 @@
+type config = {
+  n : int;
+  seed : int;
+  delay : Network.delay_model;
+  cs_duration : float;
+  workload : Workload.t;
+  max_executions : int;
+  max_time : float;
+  warmup : int;
+  crashes : (float * int) list;
+  recoveries : (float * int) list;
+  detection_delay : float;
+  trace : bool;
+}
+
+let default ~n =
+  {
+    n;
+    seed = 42;
+    delay = Network.Constant 1.0;
+    cs_duration = 0.5;
+    workload = Workload.Saturated { contenders = n };
+    max_executions = 200;
+    max_time = 1.0e9;
+    warmup = 20;
+    crashes = [];
+    recoveries = [];
+    detection_delay = 1.0;
+    trace = false;
+  }
+
+type report = {
+  protocol : string;
+  params : string;
+  n : int;
+  executions : int;
+  total_messages : int;
+  messages_by_kind : (string * int) list;
+  messages_per_cs : float;
+  sync_delay : Stats.Summary.t;
+  response_time : Stats.Summary.t;
+  throughput : float;
+  sim_time : float;
+  mean_delay : float;
+  violations : int;
+  deadlocked : bool;
+  pending_at_end : int;
+  per_site_executions : int array;
+  fairness : float;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s (%s): n=%d executions=%d@,\
+     messages: total=%d per-cs=%.2f by-kind=[%s]@,\
+     sync delay: %a@,\
+     response time: %a@,\
+     throughput=%.4f /T  fairness=%.3f  sim-time=%.1f  violations=%d%s pending=%d@]"
+    r.protocol r.params r.n r.executions r.total_messages r.messages_per_cs
+    (String.concat "; "
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) r.messages_by_kind))
+    Stats.Summary.pp r.sync_delay Stats.Summary.pp r.response_time
+    (r.throughput *. r.mean_delay)
+    r.fairness r.sim_time r.violations
+    (if r.deadlocked then " DEADLOCK" else "")
+    r.pending_at_end
+
+module Make (P : Protocol.PROTOCOL) = struct
+  type ev =
+    | Deliver of { src : int; dst : int; msg : P.message; self_msg : bool }
+    | Timer of { site : int; tag : int }
+    | Arrival of { site : int }
+    | Cs_exit of { site : int }
+    | Crash_ev of { site : int }
+    | Recover_ev of { site : int }
+    | Detect of { observer : int; failed : int }
+    | Detect_recovery of { observer : int; recovered : int }
+
+  type sim = {
+    cfg : config;
+    q : ev Event_queue.t;
+    net : Network.t;
+    trace : Trace.t;
+    counters : Stats.Counter.t;
+    sync_delay : Stats.Summary.t;
+    response_time : Stats.Summary.t;
+    request_time : float array;  (* issue time of outstanding request, or nan *)
+    backlog : int array;  (* application requests queued behind an active one *)
+    site_execs : int array;  (* post-warmup CS completions per site *)
+    wl_rng : Rng.t;
+    mutable outstanding : int;  (* sites waiting for the CS *)
+    mutable in_cs : int;  (* current CS holder, -1 if none *)
+    mutable executions : int;  (* completed CS executions, including warmup *)
+    mutable messages : int;  (* post-warmup network messages *)
+    mutable last_exit : float;
+    mutable waiting_at_exit : bool;
+    mutable had_exit : bool;
+    mutable violations : int;
+    mutable warmup_time : float;
+    mutable stop : bool;
+  }
+
+  let warmed sim = sim.executions >= sim.cfg.warmup
+
+  let target sim = sim.cfg.warmup + sim.cfg.max_executions
+
+  (* Builds the per-site contexts and protocol states; mutual recursion with
+     event handling is broken by routing everything through the queue. *)
+  let make_sites sim site_rngs =
+    let states = Array.make sim.cfg.n None in
+    let ctxs =
+      Array.init sim.cfg.n (fun self ->
+          let now () = Event_queue.now sim.q in
+          let send ~dst msg =
+            if dst = self then begin
+              Trace.record sim.trace ~time:(now ()) ~site:self
+                (Trace.Send
+                   { dst; msg = Format.asprintf "%a" P.pp_message msg });
+              Event_queue.schedule sim.q ~time:(now ())
+                (Deliver { src = self; dst = self; msg; self_msg = true })
+            end
+            else begin
+              match Network.delivery_time sim.net ~src:self ~dst ~now:(now ()) with
+              | None ->
+                Trace.record sim.trace ~time:(now ()) ~site:self
+                  (Trace.Note
+                     (Format.asprintf "drop (crashed endpoint) -> %d : %a" dst
+                        P.pp_message msg))
+              | Some at ->
+                if warmed sim then begin
+                  sim.messages <- sim.messages + 1;
+                  Stats.Counter.incr sim.counters (P.message_kind msg)
+                end;
+                Trace.record sim.trace ~time:(now ()) ~site:self
+                  (Trace.Send { dst; msg = Format.asprintf "%a" P.pp_message msg });
+                Event_queue.schedule sim.q ~time:at
+                  (Deliver { src = self; dst; msg; self_msg = false })
+            end
+          in
+          let enter_cs () =
+            let t = now () in
+            if Float.is_nan sim.request_time.(self) then begin
+              sim.violations <- sim.violations + 1;
+              Trace.record sim.trace ~time:t ~site:self
+                (Trace.Note "VIOLATION: CS entry without outstanding request")
+            end
+            else begin
+              if sim.in_cs >= 0 then begin
+                sim.violations <- sim.violations + 1;
+                Trace.record sim.trace ~time:t ~site:self
+                  (Trace.Note
+                     (Printf.sprintf "VIOLATION: CS entry while site %d is in CS"
+                        sim.in_cs))
+              end;
+              Trace.record sim.trace ~time:t ~site:self Trace.Enter_cs;
+              if warmed sim then begin
+                Stats.Summary.add sim.response_time (t -. sim.request_time.(self));
+                if sim.had_exit && sim.waiting_at_exit then
+                  Stats.Summary.add sim.sync_delay (t -. sim.last_exit)
+              end;
+              sim.request_time.(self) <- Float.nan;
+              sim.outstanding <- sim.outstanding - 1;
+              sim.in_cs <- self;
+              Event_queue.schedule sim.q
+                ~time:(t +. sim.cfg.cs_duration)
+                (Cs_exit { site = self })
+            end
+          in
+          let set_timer ~delay ~tag =
+            Event_queue.schedule sim.q
+              ~time:(now () +. delay)
+              (Timer { site = self; tag })
+          in
+          let trace_note s =
+            Trace.record sim.trace ~time:(now ()) ~site:self (Trace.Note s)
+          in
+          {
+            Protocol.self;
+            n = sim.cfg.n;
+            now;
+            send;
+            enter_cs;
+            set_timer;
+            rng = site_rngs.(self);
+            trace_note;
+          })
+    in
+    (ctxs, states)
+
+  let issue_request sim ctxs states site =
+    sim.request_time.(site) <- Event_queue.now sim.q;
+    sim.outstanding <- sim.outstanding + 1;
+    match states.(site) with
+    | Some st -> P.request_cs ctxs.(site) st
+    | None -> assert false
+
+  let handle_arrival sim ctxs states site =
+    (* Open-loop sources immediately schedule the site's next arrival. *)
+    (match sim.cfg.workload with
+    | Workload.Poisson _ ->
+      (match
+         Workload.next_arrival sim.cfg.workload ~site
+           ~now:(Event_queue.now sim.q) ~rng:sim.wl_rng
+       with
+      | Some at when at <= sim.cfg.max_time ->
+        Event_queue.schedule sim.q ~time:at (Arrival { site })
+      | Some _ | None -> ())
+    | Workload.Saturated _ | Workload.Burst _ -> ());
+    if Network.is_up sim.net site then begin
+      if Float.is_nan sim.request_time.(site) && sim.in_cs <> site then
+        issue_request sim ctxs states site
+      else sim.backlog.(site) <- sim.backlog.(site) + 1
+    end
+
+  let handle_cs_exit sim ctxs states site =
+    if sim.in_cs = site then sim.in_cs <- -1;
+    Trace.record sim.trace ~time:(Event_queue.now sim.q) ~site Trace.Exit_cs;
+    sim.executions <- sim.executions + 1;
+    if sim.executions > sim.cfg.warmup then
+      sim.site_execs.(site) <- sim.site_execs.(site) + 1;
+    if sim.executions = sim.cfg.warmup then begin
+      sim.warmup_time <- Event_queue.now sim.q;
+      sim.messages <- 0;
+      (* per-kind counters restart with the measurement window *)
+      List.iter
+        (fun (k, v) -> Stats.Counter.incr ~by:(-v) sim.counters k)
+        (Stats.Counter.bindings sim.counters)
+    end;
+    sim.had_exit <- true;
+    sim.last_exit <- Event_queue.now sim.q;
+    sim.waiting_at_exit <- sim.outstanding > 0;
+    (match states.(site) with
+    | Some st -> P.release_cs ctxs.(site) st
+    | None -> assert false);
+    if sim.executions >= target sim then sim.stop <- true
+    else begin
+      (* Application layer: serve the local backlog, or re-request in the
+         closed-loop (saturated) workload. *)
+      if sim.backlog.(site) > 0 then begin
+        sim.backlog.(site) <- sim.backlog.(site) - 1;
+        issue_request sim ctxs states site
+      end
+      else if Workload.is_closed_loop sim.cfg.workload then
+        match
+          Workload.next_arrival sim.cfg.workload ~site
+            ~now:(Event_queue.now sim.q) ~rng:sim.wl_rng
+        with
+        | Some at -> Event_queue.schedule sim.q ~time:at (Arrival { site })
+        | None -> ()
+    end
+
+  let handle_crash sim ctxs states site =
+    Network.crash sim.net site;
+    Trace.record sim.trace ~time:(Event_queue.now sim.q) ~site Trace.Crash;
+    (* In-flight messages to the dead site are lost; its timers and pending
+       CS exit die with it. *)
+    Event_queue.drop_if sim.q (function
+      | Deliver { dst; _ } -> dst = site
+      | Timer { site = s; _ } -> s = site
+      | Cs_exit { site = s } -> s = site
+      | Arrival _ | Crash_ev _ | Recover_ev _ | Detect _ | Detect_recovery _ ->
+        false);
+    if sim.in_cs = site then sim.in_cs <- -1;
+    if not (Float.is_nan sim.request_time.(site)) then begin
+      sim.request_time.(site) <- Float.nan;
+      sim.outstanding <- sim.outstanding - 1
+    end;
+    sim.backlog.(site) <- 0;
+    ignore states;
+    ignore ctxs;
+    List.iter
+      (fun observer ->
+        if observer <> site then
+          Event_queue.schedule sim.q
+            ~time:(Event_queue.now sim.q +. sim.cfg.detection_delay)
+            (Detect { observer; failed = site }))
+      (Network.up_sites sim.net)
+
+  let run ?trace_sink ?inspect (cfg : config) pcfg =
+    if cfg.n <= 0 then invalid_arg "Engine.run: n must be positive";
+    if cfg.warmup < 0 || cfg.max_executions <= 0 then
+      invalid_arg "Engine.run: bad execution counts";
+    let master_rng = Rng.create cfg.seed in
+    let net_rng = Rng.split master_rng in
+    let site_rngs = Array.init cfg.n (fun _ -> Rng.split master_rng) in
+    let wl_rng = Rng.split master_rng in
+    let trace =
+      match trace_sink with
+      | Some t -> t
+      | None -> Trace.create ~enabled:cfg.trace ()
+    in
+    let sim =
+      {
+        cfg;
+        q = Event_queue.create ();
+        net = Network.create ~n:cfg.n ~delay:cfg.delay ~rng:net_rng;
+        trace;
+        counters = Stats.Counter.create ();
+        sync_delay = Stats.Summary.create ();
+        response_time = Stats.Summary.create ();
+        request_time = Array.make cfg.n Float.nan;
+        backlog = Array.make cfg.n 0;
+        site_execs = Array.make cfg.n 0;
+        wl_rng;
+        outstanding = 0;
+        in_cs = -1;
+        executions = 0;
+        messages = 0;
+        last_exit = 0.0;
+        waiting_at_exit = false;
+        had_exit = false;
+        violations = 0;
+        warmup_time = 0.0;
+        stop = false;
+      }
+    in
+    let ctxs, states = make_sites sim site_rngs in
+    for site = 0 to cfg.n - 1 do
+      states.(site) <- Some (P.init ctxs.(site) pcfg)
+    done;
+    List.iter
+      (fun (time, site) ->
+        Event_queue.schedule sim.q ~time (Arrival { site }))
+      (Workload.initial_arrivals cfg.workload ~n:cfg.n ~rng:wl_rng);
+    List.iter
+      (fun (time, site) ->
+        if site < 0 || site >= cfg.n then invalid_arg "Engine: crash site";
+        Event_queue.schedule sim.q ~time (Crash_ev { site }))
+      cfg.crashes;
+    List.iter
+      (fun (time, site) ->
+        if site < 0 || site >= cfg.n then invalid_arg "Engine: recovery site";
+        Event_queue.schedule sim.q ~time (Recover_ev { site }))
+      cfg.recoveries;
+    let deliver src dst msg self_msg =
+      if Network.is_up sim.net dst then begin
+        if not self_msg then
+          Trace.record sim.trace
+            ~time:(Event_queue.now sim.q)
+            ~site:dst
+            (Trace.Receive { src; msg = Format.asprintf "%a" P.pp_message msg });
+        match states.(dst) with
+        | Some st -> P.on_message ctxs.(dst) st ~src msg
+        | None -> assert false
+      end
+    in
+    let rec loop () =
+      if (not sim.stop) && Event_queue.now sim.q <= cfg.max_time then
+        match Event_queue.next sim.q with
+        | None -> ()
+        | Some { payload; time; _ } ->
+          if time > cfg.max_time then ()
+          else begin
+            (match payload with
+            | Deliver { src; dst; msg; self_msg } -> deliver src dst msg self_msg
+            | Timer { site; tag } ->
+              if Network.is_up sim.net site then begin
+                Trace.record sim.trace ~time ~site (Trace.Timer tag);
+                match states.(site) with
+                | Some st -> P.on_timer ctxs.(site) st tag
+                | None -> assert false
+              end
+            | Arrival { site } -> handle_arrival sim ctxs states site
+            | Cs_exit { site } -> handle_cs_exit sim ctxs states site
+            | Crash_ev { site } -> handle_crash sim ctxs states site
+            | Recover_ev { site } ->
+              if not (Network.is_up sim.net site) then begin
+                Network.recover sim.net site;
+                Trace.record sim.trace ~time ~site Trace.Recover;
+                (* fail-stop recovery: the site rejoins with FRESH protocol
+                   state (its old volatile state died with it) *)
+                states.(site) <- Some (P.init ctxs.(site) pcfg);
+                (* Restart its workload source, which died with it. The
+                   first arrival waits until every survivor has processed
+                   the recovery notification — otherwise its request lands
+                   on arbiters that still flag it dead and is dropped. *)
+                let resume = time +. (2.0 *. sim.cfg.detection_delay) in
+                (match
+                   Workload.next_arrival sim.cfg.workload ~site ~now:resume
+                     ~rng:sim.wl_rng
+                 with
+                | Some at when at <= cfg.max_time ->
+                  Event_queue.schedule sim.q
+                    ~time:(Float.max at resume)
+                    (Arrival { site })
+                | Some _ | None -> ());
+                List.iter
+                  (fun observer ->
+                    if observer <> site then
+                      Event_queue.schedule sim.q
+                        ~time:
+                          (Event_queue.now sim.q +. sim.cfg.detection_delay)
+                        (Detect_recovery { observer; recovered = site }))
+                  (Network.up_sites sim.net)
+              end
+            | Detect { observer; failed } ->
+              if Network.is_up sim.net observer then begin
+                match states.(observer) with
+                | Some st -> P.on_failure ctxs.(observer) st failed
+                | None -> assert false
+              end
+            | Detect_recovery { observer; recovered } ->
+              if Network.is_up sim.net observer then begin
+                match states.(observer) with
+                | Some st -> P.on_recovery ctxs.(observer) st recovered
+                | None -> assert false
+              end);
+            loop ()
+          end
+    in
+    loop ();
+    (match inspect with
+    | Some f ->
+      Array.iteri
+        (fun site st -> match st with Some st -> f site st | None -> ())
+        states
+    | None -> ());
+    let sim_time = Event_queue.now sim.q in
+    let deadlocked =
+      Event_queue.is_empty sim.q && sim.outstanding > 0 && not sim.stop
+    in
+    let executions = max 0 (sim.executions - cfg.warmup) in
+    let window = sim_time -. sim.warmup_time in
+    (* Jain's fairness index over sites that completed at least one CS:
+       (sum x)^2 / (n * sum x^2); 1.0 = perfectly even service. *)
+    let fairness =
+      let xs =
+        Array.to_list sim.site_execs
+        |> List.filter (fun x -> x > 0)
+        |> List.map float_of_int
+      in
+      match xs with
+      | [] -> 1.0
+      | xs ->
+        let sum = List.fold_left ( +. ) 0.0 xs in
+        let sq = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+        sum *. sum /. (float_of_int (List.length xs) *. sq)
+    in
+    {
+      protocol = P.name;
+      params = P.describe pcfg;
+      n = cfg.n;
+      executions;
+      total_messages = sim.messages;
+      messages_by_kind =
+        List.filter (fun (_, v) -> v > 0) (Stats.Counter.bindings sim.counters);
+      messages_per_cs =
+        (if executions = 0 then 0.0
+         else float_of_int sim.messages /. float_of_int executions);
+      sync_delay = sim.sync_delay;
+      response_time = sim.response_time;
+      throughput =
+        (if window > 0.0 then float_of_int executions /. window else 0.0);
+      sim_time;
+      mean_delay = Network.mean_delay cfg.delay;
+      violations = sim.violations;
+      deadlocked;
+      pending_at_end = sim.outstanding;
+      per_site_executions = Array.copy sim.site_execs;
+      fairness;
+    }
+end

@@ -1,0 +1,79 @@
+(** Discrete-event simulation engine.
+
+    [Make (P)] runs protocol [P] over the Section-2 system model and
+    measures what the paper's Section 5 derives analytically:
+
+    - {e messages per CS execution}, total and by message kind;
+    - {e synchronization delay}: time between a CS exit and the next CS
+      entry, recorded only for contended handoffs (some site was already
+      waiting when the exit happened) — exactly the paper's definition;
+    - {e response time}: request issue to CS entry;
+    - {e throughput}: CS executions per unit of simulated time.
+
+    The engine also {e checks} mutual exclusion on every entry and flags
+    deadlock (event queue drained while requests are outstanding), so every
+    simulation doubles as a safety/liveness test. *)
+
+type config = {
+  n : int;  (** number of sites *)
+  seed : int;
+  delay : Network.delay_model;  (** message delay; its mean is the paper's T *)
+  cs_duration : float;  (** CS execution time E *)
+  workload : Workload.t;
+  max_executions : int;  (** stop after this many completed CS executions *)
+  max_time : float;  (** hard stop on simulated time *)
+  warmup : int;
+      (** executions excluded from all statistics (steady-state measurement
+          under heavy load) *)
+  crashes : (float * int) list;  (** (time, site) fail-stop injections *)
+  recoveries : (float * int) list;
+      (** (time, site) rejoin injections: the site comes back with fresh
+          protocol state; survivors learn of it after [detection_delay] *)
+  detection_delay : float;
+      (** failure-detector latency: every surviving site learns of a crash
+          this long after it happens *)
+  trace : bool;  (** record a full event trace *)
+}
+
+val default : n:int -> config
+(** Constant delay 1.0 (so times are in units of T), E = 0.5, saturated
+    workload with all sites contending, 200 executions, 20 warmup,
+    seed 42, no crashes. *)
+
+type report = {
+  protocol : string;
+  params : string;
+  n : int;
+  executions : int;  (** completed CS executions after warmup *)
+  total_messages : int;  (** sent after warmup, self-messages excluded *)
+  messages_by_kind : (string * int) list;
+  messages_per_cs : float;
+  sync_delay : Stats.Summary.t;
+  response_time : Stats.Summary.t;
+  throughput : float;
+  sim_time : float;  (** simulated time at stop *)
+  mean_delay : float;  (** the model's T, for normalizing *)
+  violations : int;  (** mutual exclusion violations observed (must be 0) *)
+  deadlocked : bool;
+  pending_at_end : int;  (** requests never granted (0 unless deadlocked/crashed) *)
+  per_site_executions : int array;  (** post-warmup CS completions per site *)
+  fairness : float;
+      (** Jain's index over sites that entered at least once: 1.0 = every
+          such site was served equally often — the quantified form of the
+          paper's starvation-freedom theorem *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+module Make (P : Protocol.PROTOCOL) : sig
+  val run :
+    ?trace_sink:Trace.t ->
+    ?inspect:(int -> P.state -> unit) ->
+    config ->
+    P.config ->
+    report
+  (** Run one simulation. [trace_sink], when given, receives the execution
+      trace (the [config.trace] flag is ignored in that case). [inspect] is
+      called with each site's final protocol state before returning — the
+      white-box hook used by tests and debugging. *)
+end

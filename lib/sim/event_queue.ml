@@ -1,0 +1,37 @@
+type 'a event = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  heap : 'a event Heap.t;
+  mutable next_seq : int;
+  mutable clock : float;
+}
+
+let compare_events a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { heap = Heap.create ~cmp:compare_events (); next_seq = 0; clock = 0.0 }
+
+let schedule t ~time payload =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_queue.schedule: non-finite time";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Event_queue.schedule: time %g is before now %g" time
+         t.clock);
+  Heap.add t.heap { time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1
+
+let next t =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some ev ->
+    t.clock <- ev.time;
+    Some ev
+
+let peek_time t = Option.map (fun ev -> ev.time) (Heap.peek t.heap)
+let is_empty t = Heap.is_empty t.heap
+let length t = Heap.length t.heap
+let now t = t.clock
+let drop_if t p = Heap.filter_in_place t.heap (fun ev -> not (p ev.payload))

@@ -1,0 +1,33 @@
+(** Time-ordered event queue for the discrete-event simulator.
+
+    Events are ordered by (time, insertion sequence number): simultaneous
+    events fire in insertion order, which makes every simulation run fully
+    deterministic for a given seed regardless of floating-point tie
+    patterns. *)
+
+type 'a t
+
+type 'a event = { time : float; seq : int; payload : 'a }
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> time:float -> 'a -> unit
+(** Enqueue a payload to fire at [time]. [time] must be finite and not less
+    than the last popped time (no scheduling into the past).
+    @raise Invalid_argument otherwise. *)
+
+val next : 'a t -> 'a event option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+(** Firing time of the earliest pending event. *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val now : 'a t -> float
+(** Time of the last popped event, 0.0 initially. *)
+
+val drop_if : 'a t -> ('a -> bool) -> unit
+(** Remove pending events whose payload satisfies the predicate (used for
+    crash injection: dropping in-flight messages to a dead site). *)

@@ -1,0 +1,84 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t x =
+  let new_cap = if Array.length t.data = 0 then 16 else 2 * Array.length t.data in
+  let data = Array.make new_cap x in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i in
+  let smallest =
+    if r < t.size && t.cmp t.data.(r) t.data.(smallest) < 0 then r else smallest
+  in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let add t x =
+  if t.size = Array.length t.data then grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let peek_exn t =
+  if t.size = 0 then invalid_arg "Heap.peek_exn: empty heap";
+  t.data.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let root = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  (* Release the reference so the GC can reclaim popped elements. *)
+  t.data.(t.size) <- root;
+  root
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.size - 1) []
+
+let filter_in_place t keep =
+  let kept = List.filter keep (to_list t) in
+  clear t;
+  List.iter (add t) kept
+
+let exists t p =
+  let rec loop i = i < t.size && (p t.data.(i) || loop (i + 1)) in
+  loop 0

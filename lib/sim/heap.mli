@@ -1,0 +1,40 @@
+(** Growable binary min-heap parameterized by an ordering function.
+
+    The simulator's event queue and several protocol-internal priority
+    queues are built on this structure. Operations are the textbook
+    O(log n); the backing array doubles on demand. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** Insert an element. *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, if any, without removing it. *)
+
+val peek_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove all elements (O(1), releases references). *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in unspecified order. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keep only elements satisfying the predicate, restoring heap order. *)
+
+val exists : 'a t -> ('a -> bool) -> bool
+(** Does any element satisfy the predicate? *)

@@ -1,0 +1,78 @@
+type delay_model =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Shifted_exponential of { base : float; extra_mean : float }
+
+let mean_delay = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean } -> mean
+  | Shifted_exponential { base; extra_mean } -> base +. extra_mean
+
+let pp_delay_model ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%g)" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%g,%g)" lo hi
+  | Exponential { mean } -> Format.fprintf ppf "exponential(mean=%g)" mean
+  | Shifted_exponential { base; extra_mean } ->
+    Format.fprintf ppf "shifted-exp(base=%g,extra=%g)" base extra_mean
+
+type t = {
+  n : int;
+  delay : delay_model;
+  rng : Rng.t;
+  up : bool array;
+  (* last_delivery.(src * n + dst): latest delivery time handed out on that
+     channel, used to enforce FIFO under random delays. *)
+  last_delivery : float array;
+}
+
+let create ~n ~delay ~rng =
+  if n <= 0 then invalid_arg "Network.create: n must be positive";
+  { n; delay; rng; up = Array.make n true; last_delivery = Array.make (n * n) 0.0 }
+
+let n t = t.n
+
+let sample t =
+  match t.delay with
+  | Constant d -> d
+  | Uniform { lo; hi } -> Rng.uniform t.rng ~lo ~hi
+  | Exponential { mean } -> Rng.exponential t.rng ~mean
+  | Shifted_exponential { base; extra_mean } ->
+    base +. Rng.exponential t.rng ~mean:extra_mean
+
+let check_site t i name =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Network.%s: site %d out of range" name i)
+
+let delivery_time t ~src ~dst ~now =
+  check_site t src "delivery_time";
+  check_site t dst "delivery_time";
+  if not (t.up.(src) && t.up.(dst)) then None
+  else begin
+    let idx = (src * t.n) + dst in
+    let at = Float.max (now +. sample t) t.last_delivery.(idx) in
+    t.last_delivery.(idx) <- at;
+    Some at
+  end
+
+let crash t i =
+  check_site t i "crash";
+  t.up.(i) <- false
+
+let recover t i =
+  check_site t i "recover";
+  t.up.(i) <- true;
+  (* Channels restart empty: reset FIFO watermarks touching this site. *)
+  for j = 0 to t.n - 1 do
+    t.last_delivery.((i * t.n) + j) <- 0.0;
+    t.last_delivery.((j * t.n) + i) <- 0.0
+  done
+
+let is_up t i =
+  check_site t i "is_up";
+  t.up.(i)
+
+let up_sites t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (if t.up.(i) then i :: acc else acc) in
+  loop (t.n - 1) []

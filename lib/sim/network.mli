@@ -1,0 +1,42 @@
+(** Network model: message delays, FIFO channels, site crashes.
+
+    Implements the system model of Section 2 of the paper: sites are fully
+    connected, channels are reliable and FIFO, message delay is unpredictable
+    but bounded, with mean delay [T]. Crash support (used by the Section 6
+    fault-tolerance experiments) marks sites dead; messages to or from a dead
+    site are silently dropped, as in a fail-stop model. *)
+
+type delay_model =
+  | Constant of float  (** every message takes exactly this long *)
+  | Uniform of { lo : float; hi : float }  (** uniform in [lo, hi] *)
+  | Exponential of { mean : float }  (** memoryless; heavy tail *)
+  | Shifted_exponential of { base : float; extra_mean : float }
+      (** a wire latency plus exponential queueing: [base + Exp(extra_mean)] *)
+
+val mean_delay : delay_model -> float
+(** The average message delay [T] of the model. *)
+
+val pp_delay_model : Format.formatter -> delay_model -> unit
+
+type t
+
+val create : n:int -> delay:delay_model -> rng:Rng.t -> t
+(** [create ~n ~delay ~rng] models a fully connected network of [n] sites.
+    The generator is consumed for delay sampling; pass a dedicated split. *)
+
+val n : t -> int
+
+val delivery_time : t -> src:int -> dst:int -> now:float -> float option
+(** Delivery timestamp for a message sent now, or [None] if either endpoint
+    is crashed. Successive calls for the same (src, dst) pair return
+    non-decreasing times, preserving the FIFO channel guarantee even under
+    random per-message delays. *)
+
+val crash : t -> int -> unit
+(** Mark a site fail-stopped. Idempotent. *)
+
+val recover : t -> int -> unit
+(** Bring a crashed site back (its channels restart empty). *)
+
+val is_up : t -> int -> bool
+val up_sites : t -> int list

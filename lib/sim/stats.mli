@@ -1,0 +1,50 @@
+(** Statistics collection: running moments, percentile samples, counters.
+
+    Used by the engine to report messages per CS execution, synchronization
+    delay, response time, waiting time and throughput — the quantities the
+    paper's Section 5 analysis derives in closed form. *)
+
+(** {1 Running summary of a stream of observations} *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0.0 with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** +inf when empty. *)
+
+  val max : t -> float
+  (** -inf when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,100], nearest-rank over all retained
+      observations. The summary retains every observation (simulations here
+      produce at most a few hundred thousand), so this is exact. 0.0 when
+      empty. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 String-keyed counters} *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  val total : t -> int
+  val bindings : t -> (string * int) list
+  (** Sorted by key. *)
+
+  val pp : Format.formatter -> t -> unit
+end

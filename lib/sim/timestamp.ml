@@ -1,0 +1,33 @@
+type t = { sn : int; site : int }
+
+let compare a b =
+  let c = Int.compare a.sn b.sn in
+  if c <> 0 then c else Int.compare a.site b.site
+
+let ( < ) a b = compare a b < 0
+let ( > ) a b = compare a b > 0
+let equal a b = compare a b = 0
+let infinity = { sn = max_int; site = max_int }
+let is_infinity t = equal t infinity
+
+let pp ppf t =
+  if is_infinity t then Format.pp_print_string ppf "(max,max)"
+  else Format.fprintf ppf "(%d,%d)" t.sn t.site
+
+module Clock = struct
+  type ts = t
+  type t = { mutable counter : int }
+
+  let create () = { counter = 0 }
+  let copy t = { counter = t.counter }
+
+  let next t ~site =
+    t.counter <- t.counter + 1;
+    { sn = t.counter; site }
+
+  let observe t (ts : ts) =
+    if (not (is_infinity ts)) && Stdlib.( > ) ts.sn t.counter then
+      t.counter <- ts.sn
+
+  let current t = t.counter
+end

@@ -1,0 +1,43 @@
+(** Lamport timestamps and request priorities.
+
+    Every CS request carries a timestamp [(sn, site)]: a Lamport sequence
+    number and the requester's site id. Following the paper (Section 3.1),
+    the request with the smaller sequence number has higher priority; ties
+    break toward the smaller site id. [compare] orders higher priority
+    first, so timestamps drop into priority queues directly. *)
+
+type t = { sn : int; site : int }
+
+val compare : t -> t -> int
+(** [compare a b < 0] iff [a] has higher priority than [b]. *)
+
+val ( < ) : t -> t -> bool
+(** Higher priority. *)
+
+val ( > ) : t -> t -> bool
+val equal : t -> t -> bool
+
+val infinity : t
+(** The paper's [(max, max)]: lower priority than every real request. Used
+    as the "unlocked" value of an arbiter's [lock] variable. *)
+
+val is_infinity : t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Per-site Lamport clock: assigns sequence numbers greater than any value
+    sent, received, or observed at that site. *)
+module Clock : sig
+  type ts = t
+  type t
+
+  val create : unit -> t
+  val copy : t -> t
+
+  val next : t -> site:int -> ts
+  (** Fresh timestamp for a new request from [site]; advances the clock. *)
+
+  val observe : t -> ts -> unit
+  (** Fold a received timestamp into the clock. *)
+
+  val current : t -> int
+end

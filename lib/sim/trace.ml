@@ -1,0 +1,103 @@
+type kind =
+  | Send of { dst : int; msg : string }
+  | Receive of { src : int; msg : string }
+  | Enter_cs
+  | Exit_cs
+  | Timer of int
+  | Crash
+  | Recover
+  | Note of string
+
+type entry = { time : float; site : int; kind : kind }
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  mutable entries : entry list; (* newest first *)
+  mutable length : int;
+}
+
+let create ?(enabled = false) ?(capacity = 1_000_000) () =
+  { enabled; capacity; entries = []; length = 0 }
+
+let enabled t = t.enabled
+
+let record t ~time ~site kind =
+  if t.enabled then begin
+    t.entries <- { time; site; kind } :: t.entries;
+    t.length <- t.length + 1;
+    if t.length > t.capacity then begin
+      (* Drop the oldest half; amortizes the O(n) rebuild. *)
+      let keep = t.capacity / 2 in
+      t.entries <- List.filteri (fun i _ -> i < keep) t.entries;
+      t.length <- keep
+    end
+  end
+
+let entries t = List.rev t.entries
+let length t = t.length
+
+let clear t =
+  t.entries <- [];
+  t.length <- 0
+
+let pp_kind ppf = function
+  | Send { dst; msg } -> Format.fprintf ppf "send -> %d : %s" dst msg
+  | Receive { src; msg } -> Format.fprintf ppf "recv <- %d : %s" src msg
+  | Enter_cs -> Format.pp_print_string ppf "ENTER CS"
+  | Exit_cs -> Format.pp_print_string ppf "EXIT CS"
+  | Timer tag -> Format.fprintf ppf "timer %d" tag
+  | Crash -> Format.pp_print_string ppf "CRASH"
+  | Recover -> Format.pp_print_string ppf "RECOVER"
+  | Note s -> Format.pp_print_string ppf s
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%10.4f] site %3d  %a" e.time e.site pp_kind e.kind
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)
+
+let timeline ?(width = 72) t ~n =
+  let es = entries t in
+  let t_max =
+    List.fold_left (fun acc e -> Float.max acc e.time) 1e-9 es
+  in
+  let col time =
+    Stdlib.min (width - 1)
+      (int_of_float (time /. t_max *. float_of_int (width - 1)))
+  in
+  let lanes = Array.init n (fun _ -> Bytes.make width '.') in
+  let fill site a b ch =
+    if site >= 0 && site < n then
+      for c = col a to col b do
+        Bytes.set lanes.(site) c ch
+      done
+  in
+  (* CS intervals per site: pair Enter with the following Exit *)
+  let open_at = Array.make n None in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Enter_cs -> if e.site < n then open_at.(e.site) <- Some e.time
+      | Exit_cs ->
+        if e.site < n then begin
+          (match open_at.(e.site) with
+          | Some start -> fill e.site start e.time '#'
+          | None -> ());
+          open_at.(e.site) <- None
+        end
+      | Crash -> fill e.site e.time t_max 'X'
+      | Send _ | Receive _ | Timer _ | Recover | Note _ -> ())
+    es;
+  Array.iteri
+    (fun site o ->
+      match o with Some start -> fill site start t_max '#' | None -> ())
+    open_at;
+  let buf = Buffer.create ((n + 1) * (width + 16)) in
+  Buffer.add_string buf (Printf.sprintf "t: 0.0 .. %.1f\n" t_max);
+  Array.iteri
+    (fun site lane ->
+      Buffer.add_string buf
+        (Printf.sprintf "site %3d |%s\n" site (Bytes.to_string lane)))
+    lanes;
+  Buffer.contents buf

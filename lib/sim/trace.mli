@@ -1,0 +1,48 @@
+(** Structured execution traces.
+
+    When enabled, the engine records one entry per simulation action
+    (message send/receive, CS entry/exit, timer, crash). Traces are the main
+    debugging aid for protocol state machines and are also consumed by tests
+    that assert ordering properties (e.g. "no reply is ever forwarded after
+    the arbiter re-granted the lock"). Disabled collectors cost one branch
+    per record call. *)
+
+type kind =
+  | Send of { dst : int; msg : string }
+  | Receive of { src : int; msg : string }
+  | Enter_cs
+  | Exit_cs
+  | Timer of int
+  | Crash
+  | Recover
+  | Note of string
+
+type entry = { time : float; site : int; kind : kind }
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] bounds memory: older entries are discarded once exceeded
+    (default 1_000_000). *)
+
+val enabled : t -> bool
+val record : t -> time:float -> site:int -> kind -> unit
+val entries : t -> entry list
+(** Chronological order. *)
+
+val length : t -> int
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val dump : Format.formatter -> t -> unit
+
+val timeline : ?width:int -> t -> n:int -> string
+(** ASCII swimlane view of the CS schedule: one row per site, time
+    discretized into [width] columns; ['#'] marks the site inside the CS,
+    ['X'] marks it crashed, ['.'] idle/waiting. Useful for eyeballing
+    handoffs and failover gaps:
+
+    {v
+    t: 0.0 .. 41.3
+    site  0 |..##....##....X
+    site  1 |.....##.....##.
+    v} *)

@@ -1,0 +1,39 @@
+type t =
+  | Poisson of { rate_per_site : float }
+  | Saturated of { contenders : int }
+  | Burst of { requesters : int list; at : float }
+
+let pp ppf = function
+  | Poisson { rate_per_site } ->
+    Format.fprintf ppf "poisson(rate=%g/site)" rate_per_site
+  | Saturated { contenders } -> Format.fprintf ppf "saturated(%d)" contenders
+  | Burst { requesters; at } ->
+    Format.fprintf ppf "burst(%d sites at t=%g)" (List.length requesters) at
+
+let initial_arrivals t ~n ~rng =
+  match t with
+  | Poisson { rate_per_site } ->
+    if rate_per_site <= 0.0 then invalid_arg "Workload: rate must be positive";
+    List.init n (fun site ->
+        (Rng.exponential rng ~mean:(1.0 /. rate_per_site), site))
+  | Saturated { contenders } ->
+    if contenders <= 0 || contenders > n then
+      invalid_arg "Workload: contenders out of range";
+    List.init contenders (fun site -> (0.0, site))
+  | Burst { requesters; at } ->
+    List.iter
+      (fun s ->
+        if s < 0 || s >= n then invalid_arg "Workload: burst site out of range")
+      requesters;
+    List.map (fun site -> (at, site)) requesters
+
+let next_arrival t ~site ~now ~rng =
+  match t with
+  | Poisson { rate_per_site } ->
+    Some (now +. Rng.exponential rng ~mean:(1.0 /. rate_per_site))
+  | Saturated { contenders } -> if site < contenders then Some now else None
+  | Burst _ -> None
+
+let is_closed_loop = function
+  | Saturated _ -> true
+  | Poisson _ | Burst _ -> false

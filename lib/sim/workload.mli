@@ -1,0 +1,34 @@
+(** Critical-section request arrival processes.
+
+    The paper analyzes two loading regimes: {e light load} (demand is rare,
+    requests hardly ever contend) and {e heavy load} (there is always a
+    site waiting for the CS). [Poisson] sweeps between them via the arrival
+    rate; [Saturated] is the paper's heavy-load regime in its purest form;
+    [Burst] issues simultaneous requests, the adversarial case for deadlock
+    handling. *)
+
+type t =
+  | Poisson of { rate_per_site : float }
+      (** Each site independently generates requests with exponential
+          inter-arrival times of mean [1 /. rate_per_site]. Arrivals at a
+          busy site queue locally (a site executes its CS requests
+          sequentially, Section 2). *)
+  | Saturated of { contenders : int }
+      (** The first [contenders] sites re-request immediately after each
+          release: the system never idles. *)
+  | Burst of { requesters : int list; at : float }
+      (** Each listed site issues exactly one request at time [at]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val initial_arrivals : t -> n:int -> rng:Rng.t -> (float * int) list
+(** Arrival events to prime the event queue with: (time, site) pairs. *)
+
+val next_arrival : t -> site:int -> now:float -> rng:Rng.t -> float option
+(** Time of the site's next arrival after one fires ([Poisson]) or after a
+    release completes ([Saturated]); [None] when the source is exhausted
+    ([Burst]). *)
+
+val is_closed_loop : t -> bool
+(** True when new arrivals are triggered by releases (Saturated) rather
+    than by elapsed time (Poisson). *)

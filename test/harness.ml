@@ -1,0 +1,158 @@
+(* Shared helpers: run any protocol under a scenario and assert the two
+   properties every mutual exclusion algorithm must have — safety (the
+   engine observed no concurrent CS) and liveness (the run completed its
+   execution quota without deadlocking). *)
+
+module E = Dmx_sim.Engine
+module DO = Dmx_core.Delay_optimal
+module FT = Dmx_core.Ft_delay_optimal
+module MK = Dmx_baselines.Maekawa_me
+module LA = Dmx_baselines.Lamport
+module RA = Dmx_baselines.Ricart_agrawala
+module SD = Dmx_baselines.Singhal_dynamic
+module SK = Dmx_baselines.Suzuki_kasami
+module RY = Dmx_baselines.Raymond
+
+type runner = { rname : string; run : E.config -> E.report }
+
+let delay_optimal ~n =
+  let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
+  {
+    rname = "delay-optimal";
+    run =
+      (fun cfg ->
+        let module M = E.Make (DO) in
+        M.run cfg (DO.config req_sets));
+  }
+
+let delay_optimal_with kind ~n =
+  let req_sets = Dmx_quorum.Builder.req_sets kind ~n in
+  {
+    rname = "delay-optimal/" ^ Dmx_quorum.Builder.kind_name kind;
+    run =
+      (fun cfg ->
+        let module M = E.Make (DO) in
+        M.run cfg (DO.config req_sets));
+  }
+
+let maekawa ~n =
+  let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
+  {
+    rname = "maekawa";
+    run =
+      (fun cfg ->
+        let module M = E.Make (MK) in
+        M.run cfg { MK.req_sets });
+  }
+
+let lamport ~n =
+  ignore n;
+  {
+    rname = "lamport";
+    run =
+      (fun cfg ->
+        let module M = E.Make (LA) in
+        M.run cfg ());
+  }
+
+let ricart_agrawala ~n =
+  ignore n;
+  {
+    rname = "ricart-agrawala";
+    run =
+      (fun cfg ->
+        let module M = E.Make (RA) in
+        M.run cfg ());
+  }
+
+let singhal ~n =
+  ignore n;
+  {
+    rname = "singhal-dynamic";
+    run =
+      (fun cfg ->
+        let module M = E.Make (SD) in
+        M.run cfg ());
+  }
+
+let suzuki_kasami ~n =
+  ignore n;
+  {
+    rname = "suzuki-kasami";
+    run =
+      (fun cfg ->
+        let module M = E.Make (SK) in
+        M.run cfg ());
+  }
+
+let singhal_heuristic ~n =
+  ignore n;
+  {
+    rname = "singhal-heuristic";
+    run =
+      (fun cfg ->
+        let module M = E.Make (Dmx_baselines.Singhal_heuristic) in
+        M.run cfg ());
+  }
+
+let raymond ~n =
+  {
+    rname = "raymond";
+    run =
+      (fun cfg ->
+        let module M = E.Make (RY) in
+        M.run cfg (RY.binary_tree ~n));
+  }
+
+let all_runners ~n =
+  [
+    delay_optimal ~n;
+    maekawa ~n;
+    lamport ~n;
+    ricart_agrawala ~n;
+    singhal ~n;
+    suzuki_kasami ~n;
+    singhal_heuristic ~n;
+    raymond ~n;
+  ]
+
+(* Assert safety and liveness of a finished run. *)
+let assert_clean ?(liveness = true) label (r : E.report) =
+  Alcotest.(check int) (label ^ ": no mutual exclusion violation") 0 r.E.violations;
+  if liveness then begin
+    Alcotest.(check bool) (label ^ ": no deadlock") false r.E.deadlocked;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: completed quota (got %d)" label r.E.executions)
+      true
+      (r.E.executions > 0)
+  end
+
+let run_clean ?liveness runner cfg =
+  let r = runner.run cfg in
+  assert_clean ?liveness
+    (Printf.sprintf "%s n=%d seed=%d" runner.rname cfg.E.n cfg.E.seed)
+    r;
+  r
+
+(* A standard heavy-load scenario in units of T. *)
+let heavy ?(seed = 42) ?(execs = 150) ?(delay = Dmx_sim.Network.Constant 1.0) n =
+  {
+    (E.default ~n) with
+    seed;
+    delay;
+    max_executions = execs;
+    warmup = 20;
+    cs_duration = 1.0;
+  }
+
+(* Light load: arrivals so rare that contention is negligible. *)
+let light ?(seed = 42) ?(execs = 60) n =
+  {
+    (E.default ~n) with
+    seed;
+    max_executions = execs;
+    warmup = 5;
+    cs_duration = 1.0;
+    workload = Dmx_sim.Workload.Poisson { rate_per_site = 0.0002 };
+    max_time = 1.0e8;
+  }

@@ -1,0 +1,26 @@
+(* Aggregated alcotest runner for the whole repository. *)
+
+let () =
+  Alcotest.run "dmx"
+    [
+      ("rng", Test_rng.suite);
+      ("heap", Test_heap.suite);
+      ("event-queue", Test_event_queue.suite);
+      ("network", Test_network.suite);
+      ("stats", Test_stats.suite);
+      ("timestamp", Test_timestamp.suite);
+      ("trace", Test_trace.suite);
+      ("workload", Test_workload.suite);
+      ("engine", Test_engine.suite);
+      ("coterie", Test_coterie.suite);
+      ("quorums", Test_quorums.suite);
+      ("rw-quorums", Test_rw_quorum.suite);
+      ("ts-queue", Test_ts_queue.suite);
+      ("delay-optimal", Test_delay_optimal.suite);
+      ("model-check", Test_model_check.suite);
+      ("protocols", Test_protocols.suite);
+      ("paper-claims", Test_paper_claims.suite);
+      ("baselines", Test_baselines.suite);
+      ("fault-tolerance", Test_ft.suite);
+      ("live-runtime", Test_live.suite);
+    ]

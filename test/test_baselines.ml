@@ -1,0 +1,239 @@
+(* Per-baseline behaviours beyond the shared safety/liveness matrix. *)
+
+module E = Dmx_sim.Engine
+module H = Harness
+module W = Dmx_sim.Workload
+module S = Dmx_sim.Stats.Summary
+module SD = Dmx_baselines.Singhal_dynamic
+module RY = Dmx_baselines.Raymond
+
+let test_lamport_message_kinds () =
+  let r = H.run_clean (H.lamport ~n:5) (H.heavy ~execs:60 5) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true
+        (List.mem_assoc k r.E.messages_by_kind))
+    [ "request"; "reply"; "release" ];
+  (* exactly N-1 of each per CS *)
+  Alcotest.(check (float 0.5)) "3(N-1)" 12.0 r.E.messages_per_cs
+
+let test_ricart_agrawala_heavy_count () =
+  let r = H.run_clean (H.ricart_agrawala ~n:5) (H.heavy ~execs:60 5) in
+  Alcotest.(check (float 0.5)) "2(N-1)" 8.0 r.E.messages_per_cs
+
+let test_suzuki_kasami_bounded_by_n () =
+  let n = 7 in
+  let r = H.run_clean (H.suzuki_kasami ~n) (H.heavy ~execs:100 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "msgs <= N (got %.2f)" r.E.messages_per_cs)
+    true
+    (r.E.messages_per_cs <= float_of_int n +. 0.2)
+
+let test_suzuki_kasami_token_travels () =
+  let n = 5 in
+  let r = H.run_clean (H.suzuki_kasami ~n) (H.heavy ~execs:60 n) in
+  Alcotest.(check bool) "token messages flow" true
+    (List.mem_assoc "token" r.E.messages_by_kind)
+
+let test_raymond_chain_slower_than_tree () =
+  (* Under saturation Raymond's token hops one edge per CS regardless of
+     topology, so the topology cost shows at LIGHT load: the token must
+     walk from wherever it rests to the requester. Compare response
+     times. *)
+  let n = 15 in
+  let run config =
+    let module M = E.Make (RY) in
+    let r = M.run (H.light ~execs:50 n) config in
+    Alcotest.(check int) "safe" 0 r.E.violations;
+    r
+  in
+  let tree = run (RY.binary_tree ~n) in
+  let chain = run (RY.chain ~n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain response %.2f > tree response %.2f"
+       (S.mean chain.E.response_time)
+       (S.mean tree.E.response_time))
+    true
+    (S.mean chain.E.response_time > S.mean tree.E.response_time)
+
+let test_raymond_messages_logarithmic () =
+  (* binary tree of 63 sites: ~2·depth messages per CS, far below N *)
+  let n = 63 in
+  let r = H.run_clean (H.raymond ~n) (H.heavy ~execs:100 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "msgs %.2f well below N" r.E.messages_per_cs)
+    true
+    (r.E.messages_per_cs < 16.0)
+
+let test_singhal_staircase_initial_sets () =
+  (* site i initially consults exactly 0..i-1 *)
+  let n = 6 in
+  let module M = E.Make (SD) in
+  let captured = Array.make n [] in
+  let _ =
+    M.run
+      ~inspect:(fun site st -> captured.(site) <- SD.Internal.r_set st)
+      {
+        (E.default ~n) with
+        workload = W.Burst { requesters = []; at = 0.0 };
+        max_executions = 1;
+        warmup = 0;
+        max_time = 1.0;
+      }
+      ()
+  in
+  Array.iteri
+    (fun i r_set ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "site %d initial r_set" i)
+        (List.init i Fun.id) r_set)
+    captured
+
+let test_singhal_pairwise_invariant_after_run () =
+  (* safety invariant: every pair of sites, one consults the other *)
+  let n = 7 in
+  let module M = E.Make (SD) in
+  let sets = Array.make n [] in
+  let r =
+    M.run
+      ~inspect:(fun site st -> sets.(site) <- SD.Internal.r_set st)
+      (H.heavy ~execs:80 n) ()
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "pair (%d,%d) covered" i j)
+        true
+        (List.mem j sets.(i) || List.mem i sets.(j))
+    done
+  done
+
+let test_singhal_hot_site_sheds_messages () =
+  (* a single repeat requester ends up asking almost nobody *)
+  let n = 8 in
+  let module M = E.Make (SD) in
+  let r =
+    M.run
+      {
+        (E.default ~n) with
+        workload = W.Saturated { contenders = 1 };
+        max_executions = 40;
+        warmup = 20;
+      }
+      ()
+  in
+  Alcotest.(check (float 0.01)) "steady-state messages ~ 0" 0.0
+    r.E.messages_per_cs
+
+let test_singhal_heuristic_staircase_init () =
+  (* site i initially consults exactly the lower-numbered sites *)
+  let n = 6 in
+  let module SH = Dmx_baselines.Singhal_heuristic in
+  let module M = E.Make (SH) in
+  let captured = Array.make n [] in
+  let _ =
+    M.run
+      ~inspect:(fun site st -> captured.(site) <- SH.Internal.heuristic_set st)
+      {
+        (E.default ~n) with
+        workload = W.Burst { requesters = []; at = 0.0 };
+        max_executions = 1;
+        warmup = 0;
+        max_time = 1.0;
+      }
+      ()
+  in
+  Array.iteri
+    (fun i set ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "site %d initial heuristic set" i)
+        (List.init i Fun.id) set)
+    captured
+
+let test_singhal_heuristic_bounded_by_n () =
+  let n = 9 in
+  let r = H.run_clean (H.singhal_heuristic ~n) (H.heavy ~execs:150 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "msgs <= N (got %.2f)" r.E.messages_per_cs)
+    true
+    (r.E.messages_per_cs <= float_of_int n +. 0.2);
+  Alcotest.(check (float 0.05)) "sync = T" 1.0 (S.mean r.E.sync_delay)
+
+let test_singhal_heuristic_hot_site_free () =
+  (* a repeat requester that holds the token pays nothing *)
+  let n = 8 in
+  let module SH = Dmx_baselines.Singhal_heuristic in
+  let module M = E.Make (SH) in
+  let r =
+    M.run
+      {
+        (E.default ~n) with
+        workload = W.Saturated { contenders = 1 };
+        max_executions = 40;
+        warmup = 10;
+      }
+      ()
+  in
+  Alcotest.(check (float 0.01)) "token stays, zero messages" 0.0
+    r.E.messages_per_cs
+
+let test_singhal_heuristic_beats_broadcast_at_light_load () =
+  (* the whole point of the heuristic: fewer than N-1 requests when the
+     state vectors have learned the traffic pattern *)
+  let n = 25 in
+  let r = H.run_clean (H.singhal_heuristic ~n) (H.light ~execs:60 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "light-load msgs %.1f < N" r.E.messages_per_cs)
+    true
+    (r.E.messages_per_cs < float_of_int n)
+
+let test_maekawa_handoff_is_release_then_reply () =
+  let n = 9 in
+  let r = H.run_clean (H.maekawa ~n) { (H.heavy ~execs:100 n) with cs_duration = 2.0 } in
+  Alcotest.(check (float 1e-6)) "min handoff 2T" 2.0 (S.min r.E.sync_delay);
+  Alcotest.(check bool) "release messages present" true
+    (List.mem_assoc "release" r.E.messages_by_kind)
+
+let test_maekawa_inquire_yield_under_inversion () =
+  (* inversions need stale clocks: moderate Poisson load, random delays *)
+  let n = 9 in
+  let cfg =
+    {
+      (E.default ~n) with
+      workload = W.Poisson { rate_per_site = 0.02 };
+      delay = Dmx_sim.Network.Exponential { mean = 1.0 };
+      max_executions = 400;
+      warmup = 0;
+      cs_duration = 0.5;
+      seed = 3;
+      max_time = 1.0e7;
+    }
+  in
+  let r = H.run_clean (H.maekawa ~n) cfg in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true
+        (List.mem_assoc k r.E.messages_by_kind))
+    [ "inquire"; "yield"; "fail" ]
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("lamport kinds and count", test_lamport_message_kinds);
+      ("ricart-agrawala heavy count", test_ricart_agrawala_heavy_count);
+      ("suzuki-kasami bounded by N", test_suzuki_kasami_bounded_by_n);
+      ("suzuki-kasami token travels", test_suzuki_kasami_token_travels);
+      ("raymond: chain slower than tree", test_raymond_chain_slower_than_tree);
+      ("raymond: logarithmic messages", test_raymond_messages_logarithmic);
+      ("singhal: initial staircase", test_singhal_staircase_initial_sets);
+      ("singhal: pairwise invariant", test_singhal_pairwise_invariant_after_run);
+      ("singhal: hot site sheds messages", test_singhal_hot_site_sheds_messages);
+      ("singhal-heuristic: staircase init", test_singhal_heuristic_staircase_init);
+      ("singhal-heuristic: bounded by N", test_singhal_heuristic_bounded_by_n);
+      ("singhal-heuristic: hot site free", test_singhal_heuristic_hot_site_free);
+      ( "singhal-heuristic: beats broadcast at light load",
+        test_singhal_heuristic_beats_broadcast_at_light_load );
+      ("maekawa: 2T handoff", test_maekawa_handoff_is_release_then_reply);
+      ("maekawa: inquire/yield exercised", test_maekawa_inquire_yield_under_inversion);
+    ]

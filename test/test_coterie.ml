@@ -1,0 +1,85 @@
+(* Coterie predicates: the Section 2 definitions. *)
+
+module Ct = Dmx_quorum.Coterie
+
+let mk n qs = Ct.make ~n qs
+
+let test_paper_example () =
+  (* C = {{a,b},{b,c}} over U = {a,b,c} is the paper's example coterie. *)
+  let c = mk 3 [ [ 0; 1 ]; [ 1; 2 ] ] in
+  Alcotest.(check bool) "intersecting" true (Ct.intersecting c);
+  Alcotest.(check bool) "minimal" true (Ct.minimal c);
+  Alcotest.(check bool) "is coterie" true (Ct.is_coterie c)
+
+let test_disjoint_fails_intersection () =
+  let c = mk 4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  Alcotest.(check bool) "not intersecting" false (Ct.intersecting c);
+  Alcotest.(check bool) "not a coterie" false (Ct.is_coterie c)
+
+let test_subset_fails_minimality () =
+  let c = mk 3 [ [ 0; 1; 2 ]; [ 0; 1 ] ] in
+  Alcotest.(check bool) "intersecting" true (Ct.intersecting c);
+  Alcotest.(check bool) "not minimal" false (Ct.minimal c)
+
+let test_make_normalizes () =
+  let c = mk 3 [ [ 2; 0; 2; 1 ]; [ 1; 0; 2 ] ] in
+  Alcotest.(check int) "duplicates collapse" 1 (List.length (Ct.quorums c))
+
+let test_make_validates () =
+  Alcotest.(check bool) "empty quorum rejected" true
+    (try ignore (mk 3 [ [] ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out-of-range site rejected" true
+    (try ignore (mk 3 [ [ 5 ] ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "n must be positive" true
+    (try ignore (mk 0 []); false with Invalid_argument _ -> true)
+
+let test_domination () =
+  (* {{a}} dominates {{a,b},{a,c}} *)
+  let small = mk 3 [ [ 0 ] ] in
+  let big = mk 3 [ [ 0; 1 ]; [ 0; 2 ] ] in
+  Alcotest.(check bool) "small dominates big" true (Ct.dominates small big);
+  Alcotest.(check bool) "big does not dominate small" false (Ct.dominates big small);
+  Alcotest.(check bool) "no self domination" false (Ct.dominates small small)
+
+let test_quorum_ops () =
+  Alcotest.(check bool) "mem" true (Ct.quorum_mem 2 [ 1; 2; 3 ]);
+  Alcotest.(check bool) "not mem" false (Ct.quorum_mem 4 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Ct.quorum_inter [ 1; 2; 3 ] [ 2; 3; 4 ]);
+  Alcotest.(check (list int)) "empty inter" [] (Ct.quorum_inter [ 1 ] [ 2 ]);
+  Alcotest.(check bool) "subset" true (Ct.quorum_subset [ 1; 3 ] [ 1; 2; 3 ]);
+  Alcotest.(check bool) "not subset" false (Ct.quorum_subset [ 1; 4 ] [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "normalize" [ 1; 2; 3 ] (Ct.normalize_quorum [ 3; 1; 2; 1 ])
+
+let test_majority_coterie_is_coterie () =
+  (* all 3-subsets of 5 sites *)
+  let rec subsets k lo =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun x -> List.map (fun rest -> x :: rest) (subsets (k - 1) (x + 1)))
+        (List.init (5 - lo) (fun i -> lo + i))
+  in
+  let c = mk 5 (subsets 3 0) in
+  Alcotest.(check bool) "majority-3-of-5 is a coterie" true (Ct.is_coterie c)
+
+let qcheck_inter_commutative =
+  QCheck.Test.make ~name:"quorum_inter is commutative and subset of both" ~count:300
+    QCheck.(pair (list (int_range 0 15)) (list (int_range 0 15)))
+    (fun (a, b) ->
+      let a = Ct.normalize_quorum a and b = Ct.normalize_quorum b in
+      let i1 = Ct.quorum_inter a b and i2 = Ct.quorum_inter b a in
+      i1 = i2 && Ct.quorum_subset i1 a && Ct.quorum_subset i1 b)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("paper example", test_paper_example);
+      ("disjoint quorums rejected", test_disjoint_fails_intersection);
+      ("subset breaks minimality", test_subset_fails_minimality);
+      ("make normalizes", test_make_normalizes);
+      ("make validates", test_make_validates);
+      ("domination", test_domination);
+      ("quorum set operations", test_quorum_ops);
+      ("majority coterie", test_majority_coterie_is_coterie);
+    ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_inter_commutative ]

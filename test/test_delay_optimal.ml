@@ -1,0 +1,283 @@
+(* White-box tests of the delay-optimal protocol: end-of-run state
+   invariants, transfer mechanics, message-kind coverage, and the
+   adversarial races that motivated the DESIGN.md reconstruction notes. *)
+
+module E = Dmx_sim.Engine
+module DO = Dmx_core.Delay_optimal
+module I = DO.Internal
+module Ts = Dmx_sim.Timestamp
+module W = Dmx_sim.Workload
+module Net = Dmx_sim.Network
+module Eng = E.Make (DO)
+
+let grid_sets n = Dmx_quorum.Builder.req_sets Grid ~n
+
+let run_inspect ?(n = 9) ?(cfgf = Fun.id) () =
+  let states = ref [] in
+  let cfg = cfgf (E.default ~n) in
+  let r =
+    Eng.run ~inspect:(fun site st -> states := (site, st) :: !states) cfg
+      (DO.config (grid_sets n))
+  in
+  (r, List.rev !states)
+
+(* After a run whose every request was served and quota reached, all
+   protocol state must be quiescent except the stop-truncation artifacts:
+   non-granted requests of still-contending sites. *)
+let test_quiescent_state_after_burst () =
+  let n = 9 in
+  let r, states =
+    run_inspect ~n
+      ~cfgf:(fun c ->
+        {
+          c with
+          workload = W.Burst { requesters = List.init n Fun.id; at = 0.0 };
+          (* quota above the burst size: the run ends by draining the event
+             queue, so every release has been delivered when we inspect *)
+          max_executions = n + 1;
+          warmup = 0;
+        })
+      ()
+  in
+  Alcotest.(check int) "all served" n r.E.executions;
+  Alcotest.(check int) "no violations" 0 r.E.violations;
+  List.iter
+    (fun (site, st) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d: not in CS" site)
+        false (I.in_cs st);
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d: no outstanding request" site)
+        true
+        (I.request st = None);
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d: tran_stack drained" site)
+        true (I.tran_stack st = []);
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d: holds no permissions" site)
+        true
+        (I.replied_from st = []))
+    states;
+  (* every arbiter lock is either free or held by... nobody: all done *)
+  List.iter
+    (fun (site, st) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d: lock freed" site)
+        true
+        (Ts.is_infinity (I.lock st));
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d: queue empty" site)
+        true
+        (I.req_queue st = []))
+    states
+
+let test_message_kinds_under_contention () =
+  (* heavy load must exercise the full §3.1 vocabulary *)
+  let r, _ =
+    run_inspect ~n:9
+      ~cfgf:(fun c -> { c with max_executions = 300; warmup = 20 })
+      ()
+  in
+  let kinds = List.map fst r.E.messages_by_kind in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (List.mem k kinds))
+    [ "request"; "reply"; "release"; "transfer"; "fail" ];
+  (* the delay-T mechanism is the forwarded reply: replies must outnumber
+     direct grants (every handoff is a reply not preceded by a release) *)
+  Alcotest.(check bool) "transfers actually used" true
+    (List.assoc "transfer" r.E.messages_by_kind > 0)
+
+let test_inquire_and_yield_under_inversion () =
+  (* Priority inversion needs stale Lamport clocks: a site idle for a while
+     issues a request whose sequence number outranks a permission granted
+     meanwhile. Moderate Poisson load plus exponential delays produce
+     plenty of inversions (saturated load keeps clocks synchronized and
+     never inverts after startup). *)
+  let n = 9 in
+  let r, _ =
+    run_inspect ~n
+      ~cfgf:(fun c ->
+        {
+          c with
+          workload = W.Poisson { rate_per_site = 0.02 };
+          delay = Net.Exponential { mean = 1.0 };
+          max_executions = 400;
+          warmup = 0;
+          cs_duration = 0.5;
+          seed = 3;
+          max_time = 1.0e7;
+        })
+      ()
+  in
+  let kinds = List.map fst r.E.messages_by_kind in
+  Alcotest.(check bool) "inquire+transfer seen" true
+    (List.mem "inquire+transfer" kinds);
+  Alcotest.(check bool) "yield seen" true (List.mem "yield" kinds);
+  Alcotest.(check int) "still safe" 0 r.E.violations
+
+let test_reply_transfer_piggyback_used () =
+  (* Granting after a yield or release(max) piggybacks the next waiter. *)
+  let r, _ =
+    run_inspect ~n:9
+      ~cfgf:(fun c -> { c with max_executions = 300; warmup = 10 })
+      ()
+  in
+  Alcotest.(check bool) "reply+transfer seen" true
+    (List.mem_assoc "reply+transfer" r.E.messages_by_kind)
+
+let test_sync_delay_is_exactly_T_with_long_cs () =
+  let r, _ =
+    run_inspect ~n:9
+      ~cfgf:(fun c -> { c with cs_duration = 3.0; max_executions = 120 })
+      ()
+  in
+  Alcotest.(check (float 1e-6)) "min sync = T" 1.0
+    (Dmx_sim.Stats.Summary.min r.E.sync_delay);
+  Alcotest.(check (float 1e-6)) "max sync = T" 1.0
+    (Dmx_sim.Stats.Summary.max r.E.sync_delay)
+
+let test_no_starvation_under_heavy_load () =
+  (* With 9 saturated contenders and 9*40 executions, every site must get
+     the CS about equally often (timestamps age into priority). We count
+     executions per site via response-time observations being recorded --
+     instead, track via per-site completion using a per-site contender
+     workload and checking the quota completes. *)
+  let n = 9 in
+  let r, _ =
+    run_inspect ~n
+      ~cfgf:(fun c -> { c with max_executions = n * 40; warmup = 0 })
+      ()
+  in
+  Alcotest.(check int) "all executions completed" (n * 40) r.E.executions;
+  (* mean response bounded: nobody waited unboundedly long *)
+  Alcotest.(check bool) "p99 response bounded" true
+    (Dmx_sim.Stats.Summary.percentile r.E.response_time 99.0
+    < 6.0 *. float_of_int n)
+
+let test_star_quorum_centralized () =
+  (* star coterie: site 0 arbitrates everything; delay-optimal still works
+     and the sync delay is T (site-to-site forwarding). *)
+  let n = 6 in
+  let req_sets = Dmx_quorum.Builder.req_sets Star ~n in
+  let r =
+    Eng.run
+      { (E.default ~n) with max_executions = 100; warmup = 10; cs_duration = 2.0 }
+      (DO.config req_sets)
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "no deadlock" false r.E.deadlocked;
+  Alcotest.(check (float 0.1)) "sync = T" 1.0
+    (Dmx_sim.Stats.Summary.mean r.E.sync_delay)
+
+let test_internal_introspection_coherent () =
+  (* during a paused... we can only observe final states; check the
+     introspectors do not contradict each other on a contended stop *)
+  let _, states =
+    run_inspect ~n:9
+      ~cfgf:(fun c -> { c with max_executions = 47; warmup = 0 })
+      ()
+  in
+  List.iter
+    (fun (_, st) ->
+      if I.in_cs st then
+        Alcotest.(check bool) "in CS implies outstanding request" true
+          (I.request st <> None);
+      List.iter
+        (fun a ->
+          Alcotest.(check bool) "inq_queue entries are quorum arbiters" true
+            (List.mem a (I.quorum st)))
+        (I.inq_queue st);
+      if I.request st = None then
+        Alcotest.(check bool) "idle holds no permissions" true
+          (I.replied_from st = []))
+    states
+
+let test_set_quorum () =
+  (* used by the FT variant *)
+  let _, states = run_inspect ~n:4 ~cfgf:(fun c -> { c with max_executions = 4; warmup = 0; workload = W.Burst { requesters = [ 0 ]; at = 0.0 } }) () in
+  match states with
+  | (_, st) :: _ ->
+    I.set_quorum st [ 0; 1 ];
+    Alcotest.(check (list int)) "quorum updated" [ 0; 1 ] (I.quorum st)
+  | [] -> Alcotest.fail "no states"
+
+let test_ablation_no_piggyback_still_correct () =
+  (* disabling the piggybacked next hint costs messages, not correctness *)
+  let n = 9 in
+  let r =
+    Eng.run
+      { (E.default ~n) with max_executions = 200; warmup = 20 }
+      (DO.config ~piggyback_next:false (grid_sets n))
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "live" false r.E.deadlocked;
+  Alcotest.(check bool) "no piggybacked replies" false
+    (List.mem_assoc "reply+transfer" r.E.messages_by_kind)
+
+let test_ablation_ocr_rules_deadlock () =
+  (* the OCR-literal A.2 rules (no fail to a best waiter behind the lock)
+     must deadlock on at least one of these seeds — this is the regression
+     test for DESIGN.md §3.7 *)
+  let n = 25 in
+  let stalled =
+    List.exists
+      (fun seed ->
+        let r =
+          Eng.run
+            {
+              (E.default ~n) with
+              seed;
+              delay = Net.Exponential { mean = 1.0 };
+              max_executions = 150;
+              warmup = 0;
+              max_time = 20_000.0;
+            }
+            (DO.config ~eager_fails:false (grid_sets n))
+        in
+        Alcotest.(check int) "even broken rules stay safe" 0 r.E.violations;
+        r.E.deadlocked || r.E.executions < 150)
+      (List.init 20 (fun i -> i + 1))
+  in
+  Alcotest.(check bool) "OCR-literal rules stall somewhere" true stalled
+
+let qcheck_forwarding_races =
+  (* hammer the cross-channel races (forwardee release overtaking forwarder
+     release) with highly variable delays *)
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+      QCheck.Gen.(pair (0 -- 5_000) (4 -- 13))
+  in
+  QCheck.Test.make ~name:"exponential-delay races stay safe and live" ~count:60 arb
+    (fun (seed, n) ->
+      let r =
+        Eng.run
+          {
+            (E.default ~n) with
+            seed;
+            delay = Net.Exponential { mean = 1.0 };
+            max_executions = 50;
+            warmup = 0;
+            cs_duration = 0.2;
+          }
+          (DO.config (grid_sets n))
+      in
+      r.E.violations = 0 && (not r.E.deadlocked) && r.E.executions = 50)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("quiescent state after burst", test_quiescent_state_after_burst);
+      ("message kinds under contention", test_message_kinds_under_contention);
+      ("inquire/yield under inversion", test_inquire_and_yield_under_inversion);
+      ("reply+transfer piggyback", test_reply_transfer_piggyback_used);
+      ("sync delay exactly T with long CS", test_sync_delay_is_exactly_T_with_long_cs);
+      ("no starvation", test_no_starvation_under_heavy_load);
+      ("star quorum (centralized)", test_star_quorum_centralized);
+      ("introspection coherent", test_internal_introspection_coherent);
+      ("set_quorum", test_set_quorum);
+      ("ablation: no piggyback still correct", test_ablation_no_piggyback_still_correct);
+      ("ablation: OCR-literal rules deadlock", test_ablation_ocr_rules_deadlock);
+    ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_forwarding_races ]

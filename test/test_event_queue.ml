@@ -1,0 +1,110 @@
+(* Event queue: time order, deterministic tie-breaking, clock discipline. *)
+
+module Eq = Dmx_sim.Event_queue
+
+let drain q =
+  let rec loop acc =
+    match Eq.next q with
+    | None -> List.rev acc
+    | Some ev -> loop ((ev.Eq.time, ev.Eq.payload) :: acc)
+  in
+  loop []
+
+let test_time_order () =
+  let q = Eq.create () in
+  Eq.schedule q ~time:3.0 "c";
+  Eq.schedule q ~time:1.0 "a";
+  Eq.schedule q ~time:2.0 "b";
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "ordered" [ (1.0, "a"); (2.0, "b"); (3.0, "c") ] (drain q)
+
+let test_tie_break_is_insertion_order () =
+  let q = Eq.create () in
+  List.iter (fun p -> Eq.schedule q ~time:1.0 p) [ "x"; "y"; "z" ];
+  Alcotest.(check (list string))
+    "fifo among equals" [ "x"; "y"; "z" ]
+    (List.map snd (drain q))
+
+let test_clock_advances () =
+  let q = Eq.create () in
+  Alcotest.(check (float 0.0)) "starts at 0" 0.0 (Eq.now q);
+  Eq.schedule q ~time:5.0 ();
+  ignore (Eq.next q);
+  Alcotest.(check (float 0.0)) "now is 5" 5.0 (Eq.now q)
+
+let test_no_scheduling_into_past () =
+  let q = Eq.create () in
+  Eq.schedule q ~time:5.0 ();
+  ignore (Eq.next q);
+  Alcotest.(check bool) "raises" true
+    (try
+       Eq.schedule q ~time:4.0 ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_schedule_at_now_ok () =
+  let q = Eq.create () in
+  Eq.schedule q ~time:5.0 "first";
+  ignore (Eq.next q);
+  Eq.schedule q ~time:5.0 "second";
+  match Eq.next q with
+  | Some { payload = "second"; time = 5.0; _ } -> ()
+  | _ -> Alcotest.fail "expected second at t=5"
+
+let test_rejects_nan () =
+  let q = Eq.create () in
+  Alcotest.(check bool) "nan rejected" true
+    (try
+       Eq.schedule q ~time:Float.nan ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_peek_time () =
+  let q = Eq.create () in
+  Alcotest.(check (option (float 0.0))) "empty" None (Eq.peek_time q);
+  Eq.schedule q ~time:2.0 ();
+  Eq.schedule q ~time:1.0 ();
+  Alcotest.(check (option (float 0.0))) "min" (Some 1.0) (Eq.peek_time q)
+
+let test_drop_if () =
+  let q = Eq.create () in
+  List.iteri (fun i p -> Eq.schedule q ~time:(float_of_int i) p) [ 0; 1; 2; 3; 4 ];
+  Eq.drop_if q (fun p -> p mod 2 = 1);
+  Alcotest.(check (list int)) "evens" [ 0; 2; 4 ] (List.map snd (drain q))
+
+let test_length () =
+  let q = Eq.create () in
+  Alcotest.(check bool) "empty" true (Eq.is_empty q);
+  Eq.schedule q ~time:1.0 ();
+  Eq.schedule q ~time:2.0 ();
+  Alcotest.(check int) "two" 2 (Eq.length q)
+
+let qcheck_ordered_drain =
+  QCheck.Test.make ~name:"events drain in (time, seq) order" ~count:300
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun times ->
+      let q = Eq.create () in
+      List.iteri (fun i t -> Eq.schedule q ~time:t (i, t)) times;
+      let drained = drain q in
+      (* times non-decreasing, and among equal times the indices ascend *)
+      let rec ok = function
+        | (t1, (i1, _)) :: ((t2, (i2, _)) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && i1 < i2)) && ok rest
+        | _ -> true
+      in
+      ok drained)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("time order", test_time_order);
+      ("tie-break by insertion", test_tie_break_is_insertion_order);
+      ("clock advances", test_clock_advances);
+      ("no past scheduling", test_no_scheduling_into_past);
+      ("schedule at current time", test_schedule_at_now_ok);
+      ("rejects nan", test_rejects_nan);
+      ("peek_time", test_peek_time);
+      ("drop_if", test_drop_if);
+      ("length / is_empty", test_length);
+    ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_ordered_drain ]

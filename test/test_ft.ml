@@ -1,0 +1,292 @@
+(* Fault tolerance (paper Section 6): crash injection against the FT
+   variant with reconstruction-capable quorums.
+
+   Model requirement (see Ft_delay_optimal doc): detection latency must
+   exceed the maximum in-flight message delay, so all tests use bounded
+   delay models with detection_delay above the bound. *)
+
+module E = Dmx_sim.Engine
+module FT = Dmx_core.Ft_delay_optimal
+module DO = Dmx_core.Delay_optimal
+module B = Dmx_quorum.Builder
+module W = Dmx_sim.Workload
+module Eng = E.Make (FT)
+
+let run ?inspect ?(n = 7) ?(kind = B.Tree) ?(crashes = []) ?(recoveries = [])
+    ?(execs = 120) ?(contenders = None) ?(broadcast = false) ?(seed = 42) () =
+  let cfg =
+    {
+      (E.default ~n) with
+      seed;
+      max_executions = execs;
+      warmup = 0;
+      cs_duration = 1.0;
+      delay = Dmx_sim.Network.Uniform { lo = 0.5; hi = 1.5 };
+      detection_delay = 3.0;
+      crashes;
+      recoveries;
+      workload =
+        (match contenders with
+        | Some c -> W.Saturated { contenders = c }
+        | None -> W.Saturated { contenders = n });
+      max_time = 100_000.0;
+    }
+  in
+  Eng.run ?inspect cfg (FT.config_of_kind kind ~n ~broadcast)
+
+let test_no_crash_behaves_like_base () =
+  let r = run ~crashes:[] () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "live" false r.E.deadlocked;
+  Alcotest.(check int) "quota" 120 r.E.executions
+
+let test_survives_leaf_crash () =
+  (* a tree leaf dies mid-run; the other sites keep making progress *)
+  let r = run ~crashes:[ (20.0, 6) ] () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "live" false r.E.deadlocked;
+  Alcotest.(check int) "quota completed despite crash" 120 r.E.executions
+
+let test_survives_root_crash () =
+  (* the tree root is in EVERY failure-free quorum: all sites must rebuild
+     via the substitution paths *)
+  let r = run ~crashes:[ (20.0, 0) ] () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "live" false r.E.deadlocked;
+  Alcotest.(check int) "quota" 120 r.E.executions
+
+let test_survives_multiple_crashes () =
+  let r = run ~n:15 ~crashes:[ (15.0, 0); (30.0, 3); (45.0, 12) ] ~execs:150 () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "live" false r.E.deadlocked;
+  Alcotest.(check int) "quota" 150 r.E.executions
+
+let test_majority_quorum_crashes () =
+  (* majority coterie tolerates any minority: kill 3 of 9 *)
+  let r =
+    run ~n:9 ~kind:B.Majority
+      ~crashes:[ (10.0, 1); (25.0, 4); (40.0, 7) ]
+      ~execs:150 ()
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota" 150 r.E.executions
+
+let test_grid_set_subgroup_crash () =
+  let r = run ~n:16 ~kind:(B.Grid_set 4) ~crashes:[ (15.0, 5) ] ~execs:120 () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota" 120 r.E.executions
+
+let test_fpp_crash_generic_rebuild () =
+  (* FPP has no failure-aware construction: the generic fallback scans the
+     coterie for a fully-live line *)
+  let r = run ~n:7 ~kind:B.Fpp ~crashes:[ (15.0, 3) ] ~execs:120 () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota" 120 r.E.executions
+
+let test_hqc_crash () =
+  let r = run ~n:9 ~kind:B.Hqc ~crashes:[ (15.0, 4) ] ~execs:120 () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota" 120 r.E.executions
+
+let test_rst_subgroup_crash () =
+  (* RST tolerates a subgroup minority with no recovery at all *)
+  let r = run ~n:16 ~kind:(B.Rst 4) ~crashes:[ (15.0, 5) ] ~execs:120 () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota" 120 r.E.executions
+
+let test_crash_of_lock_holder_mid_wait () =
+  (* crash a site while others wait on permissions it holds: Case 3 of the
+     Section 6 arbiter cleanup (reclaim and re-grant) *)
+  List.iter
+    (fun seed ->
+      let r = run ~seed ~crashes:[ (7.3, 2) ] ~execs:100 () in
+      Alcotest.(check int) "safe" 0 r.E.violations;
+      Alcotest.(check int) "quota" 100 r.E.executions)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_dead_sites_tracked () =
+  let tracked = ref [] in
+  let _ =
+    run
+      ~inspect:(fun site st ->
+        if site = 1 then tracked := FT.Internal.known_dead st)
+      ~crashes:[ (10.0, 5) ] ~execs:60 ()
+  in
+  Alcotest.(check (list int)) "site 1 knows 5 died" [ 5 ] !tracked
+
+let test_broadcast_failure_notes () =
+  (* with broadcast on, failure(i) messages appear on the wire *)
+  let r = run ~broadcast:true ~crashes:[ (10.0, 5) ] ~execs:60 () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "failure notes broadcast" true
+    (List.mem_assoc "failure" r.E.messages_by_kind)
+
+let test_quorum_rebuilt_avoids_dead () =
+  let quorums = ref [] in
+  let _ =
+    run
+      ~inspect:(fun site st ->
+        quorums :=
+          (site, DO.Internal.quorum (FT.Internal.base_state st)) :: !quorums)
+      ~crashes:[ (10.0, 0) ] ~execs:100 ()
+  in
+  List.iter
+    (fun (site, q) ->
+      if site <> 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "site %d quorum avoids dead root" site)
+          false (List.mem 0 q))
+    !quorums
+
+let test_too_many_crashes_degrade_gracefully () =
+  (* kill both children of the root plus the root: no tree quorum left.
+     Requests cannot complete but nothing crashes or violates safety. *)
+  let r =
+    run
+      ~crashes:[ (5.0, 0); (5.5, 1); (6.0, 2); (6.5, 3); (7.0, 4); (7.5, 5) ]
+      ~execs:10_000 ()
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "did not finish quota" true (r.E.executions < 10_000)
+
+let test_idle_site_refreshes_quorum_lazily () =
+  (* a site idle during the crash must rebuild when it next requests:
+     only site 6 requests after the crash of site 0 *)
+  let n = 7 in
+  let cfg =
+    {
+      (E.default ~n) with
+      max_executions = 2;
+      warmup = 0;
+      delay = Dmx_sim.Network.Uniform { lo = 0.5; hi = 1.5 };
+      detection_delay = 3.0;
+      crashes = [ (1.0, 0) ];
+      workload = W.Burst { requesters = [ 6 ]; at = 30.0 };
+      max_time = 1_000.0;
+    }
+  in
+  let r = Eng.run cfg (FT.config_of_kind B.Tree ~n ~broadcast:false) in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "late request served" 1 r.E.executions
+
+let test_recovery_rejoins () =
+  (* crash a tree leaf, recover it later: the system stays live throughout
+     and survivors forget the death *)
+  let dead_views = ref [] in
+  let r =
+    run
+      ~inspect:(fun site st ->
+        if site = 1 then dead_views := FT.Internal.known_dead st)
+      ~crashes:[ (15.0, 6) ]
+      ~recoveries:[ (60.0, 6) ]
+      ~execs:200 ()
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota" 200 r.E.executions;
+  Alcotest.(check (list int)) "death forgotten after rejoin" [] !dead_views
+
+let test_recovered_site_serves_again () =
+  (* after rejoining, the recovered site completes its own CS requests *)
+  let r =
+    run ~crashes:[ (10.0, 6) ] ~recoveries:[ (40.0, 6) ] ~execs:250 ()
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota" 250 r.E.executions;
+  Alcotest.(check bool)
+    (Printf.sprintf "site 6 served %d CS after rejoin"
+       r.E.per_site_executions.(6))
+    true
+    (r.E.per_site_executions.(6) > 0)
+
+let test_root_crash_and_recovery () =
+  (* the hardest rejoin: the root dies (everyone rebuilds around it) and
+     later returns with fresh state *)
+  List.iter
+    (fun seed ->
+      let r =
+        run ~seed ~crashes:[ (12.0, 0) ] ~recoveries:[ (50.0, 0) ] ~execs:250 ()
+      in
+      Alcotest.(check int) "safe" 0 r.E.violations;
+      Alcotest.(check int) "quota" 250 r.E.executions;
+      Alcotest.(check bool) "root active again" true
+        (r.E.per_site_executions.(0) > 0))
+    [ 1; 2; 3 ]
+
+let test_repeated_crash_recover_cycles () =
+  let r =
+    run
+      ~crashes:[ (10.0, 5); (70.0, 5) ]
+      ~recoveries:[ (40.0, 5); (100.0, 5) ]
+      ~execs:300 ()
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota" 300 r.E.executions
+
+let qcheck_random_crash_schedules =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, t1, victim) ->
+        Printf.sprintf "seed=%d t=%.1f victim=%d" seed t1 victim)
+      QCheck.Gen.(
+        let* seed = 0 -- 1000 in
+        let* t = 5 -- 60 in
+        let* victim = 0 -- 6 in
+        return (seed, float_of_int t, victim))
+  in
+  QCheck.Test.make ~name:"random single crash: safe, live, quota met" ~count:40
+    arb
+    (fun (seed, t, victim) ->
+      let r = run ~seed ~crashes:[ (t, victim) ] ~execs:80 () in
+      r.E.violations = 0 && r.E.executions = 80)
+
+let qcheck_random_crash_recover_schedules =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, t, gap, victim) ->
+        Printf.sprintf "seed=%d crash=%.1f rejoin=+%.1f victim=%d" seed t gap
+          victim)
+      QCheck.Gen.(
+        let* seed = 0 -- 1000 in
+        let* t = 5 -- 50 in
+        let* gap = 10 -- 60 in
+        let* victim = 0 -- 6 in
+        return (seed, float_of_int t, float_of_int gap, victim))
+  in
+  QCheck.Test.make
+    ~name:"random crash + rejoin: safe, live, quota met" ~count:30 arb
+    (fun (seed, t, gap, victim) ->
+      let r =
+        run ~seed
+          ~crashes:[ (t, victim) ]
+          ~recoveries:[ (t +. gap, victim) ]
+          ~execs:100 ()
+      in
+      r.E.violations = 0 && r.E.executions = 100)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("no crash: behaves like base", test_no_crash_behaves_like_base);
+      ("survives leaf crash", test_survives_leaf_crash);
+      ("survives root crash", test_survives_root_crash);
+      ("survives multiple crashes", test_survives_multiple_crashes);
+      ("majority quorums under crashes", test_majority_quorum_crashes);
+      ("grid-set subgroup crash", test_grid_set_subgroup_crash);
+      ("fpp crash via generic rebuild", test_fpp_crash_generic_rebuild);
+      ("hqc crash", test_hqc_crash);
+      ("rst subgroup crash", test_rst_subgroup_crash);
+      ("lock-holder crash (Case 3)", test_crash_of_lock_holder_mid_wait);
+      ("dead sites tracked", test_dead_sites_tracked);
+      ("failure(i) broadcast", test_broadcast_failure_notes);
+      ("rebuilt quorums avoid the dead", test_quorum_rebuilt_avoids_dead);
+      ("graceful degradation past tolerance", test_too_many_crashes_degrade_gracefully);
+      ("idle site rebuilds lazily", test_idle_site_refreshes_quorum_lazily);
+      ("recovery: rejoin forgets the death", test_recovery_rejoins);
+      ("recovery: rejoined site serves again", test_recovered_site_serves_again);
+      ("recovery: root crash and return", test_root_crash_and_recovery);
+      ("recovery: repeated cycles", test_repeated_crash_recover_cycles);
+    ]
+  @ [
+      QCheck_alcotest.to_alcotest qcheck_random_crash_schedules;
+      QCheck_alcotest.to_alcotest qcheck_random_crash_recover_schedules;
+    ]

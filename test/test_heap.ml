@@ -1,0 +1,108 @@
+(* Binary heap: ordering, growth, filtering. *)
+
+module Heap = Dmx_sim.Heap
+
+let make_int_heap () = Heap.create ~cmp:Int.compare ()
+
+let drain h =
+  let rec loop acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  loop []
+
+let test_empty () =
+  let h = make_int_heap () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_peek_pop_exn_on_empty () =
+  let h = make_int_heap () in
+  Alcotest.check_raises "peek_exn" (Invalid_argument "Heap.peek_exn: empty heap")
+    (fun () -> ignore (Heap.peek_exn h));
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_sorted_drain () =
+  let h = make_int_heap () in
+  List.iter (Heap.add h) [ 5; 1; 4; 1; 5; 9; 2; 6; 5; 3 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 5; 5; 6; 9 ] (drain h)
+
+let test_interleaved_add_pop () =
+  let h = make_int_heap () in
+  Heap.add h 3;
+  Heap.add h 1;
+  Alcotest.(check int) "min is 1" 1 (Heap.pop_exn h);
+  Heap.add h 0;
+  Heap.add h 2;
+  Alcotest.(check int) "min is 0" 0 (Heap.pop_exn h);
+  Alcotest.(check int) "then 2" 2 (Heap.pop_exn h);
+  Alcotest.(check int) "then 3" 3 (Heap.pop_exn h)
+
+let test_growth () =
+  let h = make_int_heap () in
+  for i = 1000 downto 1 do
+    Heap.add h i
+  done;
+  Alcotest.(check int) "length" 1000 (Heap.length h);
+  Alcotest.(check (list int)) "sorted drain" (List.init 1000 (fun i -> i + 1)) (drain h)
+
+let test_clear () =
+  let h = make_int_heap () in
+  List.iter (Heap.add h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Heap.add h 42;
+  Alcotest.(check int) "usable after clear" 42 (Heap.pop_exn h)
+
+let test_filter_in_place () =
+  let h = make_int_heap () in
+  List.iter (Heap.add h) [ 1; 2; 3; 4; 5; 6 ];
+  Heap.filter_in_place h (fun x -> x mod 2 = 0);
+  Alcotest.(check (list int)) "evens remain sorted" [ 2; 4; 6 ] (drain h)
+
+let test_exists () =
+  let h = make_int_heap () in
+  List.iter (Heap.add h) [ 10; 20; 30 ];
+  Alcotest.(check bool) "exists 20" true (Heap.exists h (fun x -> x = 20));
+  Alcotest.(check bool) "no 15" false (Heap.exists h (fun x -> x = 15))
+
+let test_custom_order () =
+  let h = Heap.create ~cmp:(fun a b -> Int.compare b a) () in
+  List.iter (Heap.add h) [ 2; 9; 4 ];
+  Alcotest.(check int) "max-heap pops max" 9 (Heap.pop_exn h)
+
+let qcheck_drain_sorted =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = make_int_heap () in
+      List.iter (Heap.add h) xs;
+      drain h = List.sort Int.compare xs)
+
+let qcheck_to_list_multiset =
+  QCheck.Test.make ~name:"to_list preserves multiset" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = make_int_heap () in
+      List.iter (Heap.add h) xs;
+      List.sort compare (Heap.to_list h) = List.sort compare xs)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("empty heap", test_empty);
+      ("exn accessors on empty", test_peek_pop_exn_on_empty);
+      ("drains sorted", test_sorted_drain);
+      ("interleaved add/pop", test_interleaved_add_pop);
+      ("growth to 1000", test_growth);
+      ("clear", test_clear);
+      ("filter_in_place", test_filter_in_place);
+      ("exists", test_exists);
+      ("custom comparator", test_custom_order);
+    ]
+  @ [
+      QCheck_alcotest.to_alcotest qcheck_drain_sorted;
+      QCheck_alcotest.to_alcotest qcheck_to_list_multiset;
+    ]

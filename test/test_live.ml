@@ -1,0 +1,115 @@
+(* The live (real-parallelism) runtime: the same protocol modules on OCaml
+   domains with wall-clock message delays. Non-deterministic by nature, so
+   these tests assert safety and completion, not numbers. *)
+
+module Live = Dmx_runtime.Live
+
+let assert_clean label (r : Live.report) ~expected =
+  Alcotest.(check int) (label ^ ": executions") expected r.Live.executions;
+  Alcotest.(check int) (label ^ ": violations") 0 r.Live.violations;
+  Alcotest.(check int) (label ^ ": max occupancy") 1 r.Live.max_occupancy;
+  Alcotest.(check bool) (label ^ ": messages flowed") true (r.Live.messages > 0)
+
+let test_delay_optimal_live () =
+  let module L = Live.Make (Dmx_core.Delay_optimal) in
+  let n = 4 in
+  let rounds = 6 in
+  let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
+  let r =
+    L.run
+      { (Live.default ~n) with rounds_per_site = rounds }
+      (Dmx_core.Delay_optimal.config req_sets)
+  in
+  assert_clean "delay-optimal" r ~expected:(n * rounds);
+  Array.iteri
+    (fun site c ->
+      Alcotest.(check int) (Printf.sprintf "site %d rounds" site) rounds c)
+    r.Live.per_site
+
+let test_maekawa_live () =
+  let module L = Live.Make (Dmx_baselines.Maekawa_me) in
+  let n = 4 in
+  let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
+  let r =
+    L.run
+      { (Live.default ~n) with rounds_per_site = 5 }
+      { Dmx_baselines.Maekawa_me.req_sets }
+  in
+  assert_clean "maekawa" r ~expected:20
+
+let test_ricart_agrawala_live () =
+  let module L = Live.Make (Dmx_baselines.Ricart_agrawala) in
+  let r = L.run { (Live.default ~n:3) with rounds_per_site = 5 } () in
+  assert_clean "ricart-agrawala" r ~expected:15
+
+let test_suzuki_kasami_live () =
+  let module L = Live.Make (Dmx_baselines.Suzuki_kasami) in
+  let r = L.run { (Live.default ~n:3) with rounds_per_site = 5 } () in
+  assert_clean "suzuki-kasami" r ~expected:15
+
+let test_longer_cs_live () =
+  (* CS long relative to delays: the handoff machinery gets exercised while
+     requests pile up at arbiters *)
+  let module L = Live.Make (Dmx_core.Delay_optimal) in
+  let n = 3 in
+  let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
+  let r =
+    L.run
+      {
+        (Live.default ~n) with
+        rounds_per_site = 4;
+        cs_duration = 0.004;
+        min_delay = 0.0001;
+        max_delay = 0.0005;
+      }
+      (Dmx_core.Delay_optimal.config req_sets)
+  in
+  assert_clean "long CS" r ~expected:12
+
+let test_ft_crash_on_domains () =
+  (* a real domain fail-stops mid-run; the FT variant's survivors rebuild
+     their quorums and finish every one of their own rounds *)
+  let module L = Live.Make (Dmx_core.Ft_delay_optimal) in
+  let n = 5 in
+  let rounds = 6 in
+  let r =
+    L.run
+      {
+        (Live.default ~n) with
+        rounds_per_site = rounds;
+        crashes = [ (0.015, 4) ];
+        detection_delay = 0.005;
+      }
+      (Dmx_core.Ft_delay_optimal.config_of_kind Tree ~n ~broadcast:false)
+  in
+  Alcotest.(check int) "violations" 0 r.Live.violations;
+  Alcotest.(check int) "max occupancy" 1 r.Live.max_occupancy;
+  for s = 0 to n - 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "survivor %d finished" s)
+      rounds r.Live.per_site.(s)
+  done
+
+let test_bad_config () =
+  let module L = Live.Make (Dmx_core.Delay_optimal) in
+  Alcotest.(check bool) "bad delays rejected" true
+    (try
+       ignore
+         (L.run
+            { (Live.default ~n:2) with min_delay = 0.5; max_delay = 0.1 }
+            (Dmx_core.Delay_optimal.config
+               (Dmx_quorum.Builder.req_sets Grid ~n:2)));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("delay-optimal on domains", test_delay_optimal_live);
+      ("maekawa on domains", test_maekawa_live);
+      ("ricart-agrawala on domains", test_ricart_agrawala_live);
+      ("suzuki-kasami on domains", test_suzuki_kasami_live);
+      ("long CS on domains", test_longer_cs_live);
+      ("ft crash on domains", test_ft_crash_on_domains);
+      ("bad config rejected", test_bad_config);
+    ]

@@ -1,0 +1,145 @@
+(* Exhaustive small-scope verification: every message interleaving of a
+   burst of simultaneous requests, for each quorum construction that fits
+   in the state budget. Complements the randomized schedule sampling of
+   the engine-based tests — here safety and deadlock-freedom hold for ALL
+   schedules, not just the sampled ones. *)
+
+module MC = Dmx_sim.Model_check
+module DO = Dmx_core.Delay_optimal
+
+module Check_do = MC.Make (struct
+  include DO
+
+  let copy_state = DO.Internal.copy_state
+end)
+
+module Check_ra = MC.Make (struct
+  include Dmx_baselines.Ricart_agrawala
+
+  let copy_state = Dmx_baselines.Ricart_agrawala.copy_state
+end)
+
+module Check_mk = MC.Make (struct
+  include Dmx_baselines.Maekawa_me
+
+  let copy_state = Dmx_baselines.Maekawa_me.copy_state
+end)
+
+let explore_do ?(flags = Fun.id) kind n requesters =
+  let req_sets = Dmx_quorum.Builder.req_sets kind ~n in
+  Check_do.explore ~n ~requesters (flags (DO.config req_sets))
+
+let assert_clean label (o : MC.outcome) =
+  Alcotest.(check bool) (label ^ ": space exhausted") false o.MC.truncated;
+  Alcotest.(check int) (label ^ ": no violations") 0 o.MC.violations;
+  Alcotest.(check int) (label ^ ": no stuck states") 0 o.MC.stuck_states;
+  Alcotest.(check bool) (label ^ ": some schedule completes") true
+    (o.MC.completed_schedules > 0)
+
+let test_two_sites_grid () =
+  let o = explore_do Dmx_quorum.Builder.Grid 2 [ 0; 1 ] in
+  assert_clean "n=2 grid" o;
+  Alcotest.(check bool) "hundreds of states" true (o.MC.distinct_states > 100)
+
+let test_three_sites_star () =
+  assert_clean "n=3 star" (explore_do Dmx_quorum.Builder.Star 3 [ 0; 1; 2 ])
+
+let test_three_sites_grid () =
+  let o = explore_do Dmx_quorum.Builder.Grid 3 [ 0; 1; 2 ] in
+  assert_clean "n=3 grid" o;
+  Alcotest.(check bool) "tens of thousands of states" true
+    (o.MC.distinct_states > 10_000)
+
+let test_three_sites_majority () =
+  assert_clean "n=3 majority"
+    (explore_do Dmx_quorum.Builder.Majority 3 [ 0; 1; 2 ])
+
+let test_three_sites_tree () =
+  assert_clean "n=3 tree" (explore_do Dmx_quorum.Builder.Tree 3 [ 0; 1; 2 ])
+
+let test_partial_requesters () =
+  (* only two of three request: the third still arbitrates *)
+  assert_clean "n=3 grid, 2 requesters"
+    (explore_do Dmx_quorum.Builder.Grid 3 [ 1; 2 ])
+
+let test_single_requester () =
+  let o = explore_do Dmx_quorum.Builder.Grid 3 [ 1 ] in
+  assert_clean "n=3 single" o
+
+let test_no_piggyback_variant () =
+  assert_clean "n=3 grid, no piggyback"
+    (explore_do
+       ~flags:(fun c -> { c with DO.piggyback_next = false })
+       Dmx_quorum.Builder.Grid 3 [ 0; 1; 2 ])
+
+let test_terminal_state_unique () =
+  (* confluence: every completing schedule drains to the same final state *)
+  let o = explore_do Dmx_quorum.Builder.Grid 3 [ 0; 1; 2 ] in
+  Alcotest.(check int) "single quiescent terminal state" 1
+    o.MC.completed_schedules
+
+let test_ricart_agrawala_checked () =
+  let o = Check_ra.explore ~n:3 ~requesters:[ 0; 1; 2 ] () in
+  assert_clean "ricart-agrawala n=3" o
+
+let test_maekawa_checked () =
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Grid ~n:3 in
+  let o =
+    Check_mk.explore ~n:3 ~requesters:[ 0; 1; 2 ]
+      { Dmx_baselines.Maekawa_me.req_sets }
+  in
+  assert_clean "maekawa n=3" o
+
+let test_staggered_star () =
+  (* request issuance interleaved with deliveries: strictly more schedules
+     than the simultaneous burst *)
+  let burst = explore_do Dmx_quorum.Builder.Star 3 [ 0; 1; 2 ] in
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Star ~n:3 in
+  let o = Check_do.explore ~staggered:true ~n:3 ~requesters:[ 0; 1; 2 ] (DO.config req_sets) in
+  assert_clean "n=3 star staggered" o;
+  Alcotest.(check bool) "staggered space is larger" true
+    (o.MC.distinct_states > burst.MC.distinct_states)
+
+let test_staggered_tree () =
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Tree ~n:3 in
+  let o =
+    Check_do.explore ~staggered:true ~n:3 ~requesters:[ 0; 1; 2 ]
+      (DO.config req_sets)
+  in
+  assert_clean "n=3 tree staggered" o
+
+let test_staggered_grid_two_sites () =
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Grid ~n:2 in
+  let o =
+    Check_do.explore ~staggered:true ~n:2 ~requesters:[ 0; 1 ]
+      (DO.config req_sets)
+  in
+  assert_clean "n=2 grid staggered" o
+
+let test_truncation_reported () =
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Grid ~n:3 in
+  let o =
+    Check_do.explore ~max_states:50 ~n:3 ~requesters:[ 0; 1; 2 ]
+      (DO.config req_sets)
+  in
+  Alcotest.(check bool) "truncated flagged" true o.MC.truncated
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("n=2 grid: all schedules", test_two_sites_grid);
+      ("n=3 star: all schedules", test_three_sites_star);
+      ("n=3 grid: all schedules", test_three_sites_grid);
+      ("n=3 majority: all schedules", test_three_sites_majority);
+      ("n=3 tree: all schedules", test_three_sites_tree);
+      ("partial requesters", test_partial_requesters);
+      ("single requester", test_single_requester);
+      ("no-piggyback variant", test_no_piggyback_variant);
+      ("terminal state unique", test_terminal_state_unique);
+      ("ricart-agrawala checked", test_ricart_agrawala_checked);
+      ("maekawa checked", test_maekawa_checked);
+      ("staggered requests: star", test_staggered_star);
+      ("staggered requests: tree", test_staggered_tree);
+      ("staggered requests: grid n=2", test_staggered_grid_two_sites);
+      ("truncation reported", test_truncation_reported);
+    ]

@@ -1,0 +1,93 @@
+(* Network model: FIFO channels, delay distributions, crash semantics. *)
+
+module Net = Dmx_sim.Network
+module Rng = Dmx_sim.Rng
+
+let make ?(n = 4) delay = Net.create ~n ~delay ~rng:(Rng.create 1)
+
+let test_constant_delay () =
+  let net = make (Net.Constant 2.0) in
+  match Net.delivery_time net ~src:0 ~dst:1 ~now:10.0 with
+  | Some t -> Alcotest.(check (float 1e-9)) "10 + 2" 12.0 t
+  | None -> Alcotest.fail "expected delivery"
+
+let test_mean_delay () =
+  Alcotest.(check (float 1e-9)) "constant" 3.0 (Net.mean_delay (Net.Constant 3.0));
+  Alcotest.(check (float 1e-9)) "uniform" 2.0
+    (Net.mean_delay (Net.Uniform { lo = 1.0; hi = 3.0 }));
+  Alcotest.(check (float 1e-9)) "exp" 1.5
+    (Net.mean_delay (Net.Exponential { mean = 1.5 }));
+  Alcotest.(check (float 1e-9)) "shifted" 2.5
+    (Net.mean_delay (Net.Shifted_exponential { base = 1.0; extra_mean = 1.5 }))
+
+let test_fifo_per_channel () =
+  let net = make (Net.Exponential { mean = 1.0 }) in
+  let last = ref 0.0 in
+  for i = 0 to 999 do
+    match Net.delivery_time net ~src:0 ~dst:1 ~now:(float_of_int i *. 0.01) with
+    | Some t ->
+      Alcotest.(check bool) "non-decreasing" true (t >= !last);
+      last := t
+    | None -> Alcotest.fail "up sites must deliver"
+  done
+
+let test_channels_independent () =
+  (* FIFO watermark of channel (0,1) must not constrain (1,0) or (0,2). *)
+  let net = make (Net.Constant 5.0) in
+  ignore (Net.delivery_time net ~src:0 ~dst:1 ~now:100.0);
+  (match Net.delivery_time net ~src:0 ~dst:2 ~now:0.0 with
+  | Some t -> Alcotest.(check (float 1e-9)) "fresh channel" 5.0 t
+  | None -> Alcotest.fail "delivery expected");
+  match Net.delivery_time net ~src:1 ~dst:0 ~now:0.0 with
+  | Some t -> Alcotest.(check (float 1e-9)) "reverse direction fresh" 5.0 t
+  | None -> Alcotest.fail "delivery expected"
+
+let test_crash_drops () =
+  let net = make (Net.Constant 1.0) in
+  Net.crash net 2;
+  Alcotest.(check bool) "to dead" true
+    (Net.delivery_time net ~src:0 ~dst:2 ~now:0.0 = None);
+  Alcotest.(check bool) "from dead" true
+    (Net.delivery_time net ~src:2 ~dst:0 ~now:0.0 = None);
+  Alcotest.(check bool) "bystanders fine" true
+    (Net.delivery_time net ~src:0 ~dst:1 ~now:0.0 <> None)
+
+let test_up_sites () =
+  let net = make (Net.Constant 1.0) in
+  Net.crash net 1;
+  Net.crash net 3;
+  Alcotest.(check (list int)) "up" [ 0; 2 ] (Net.up_sites net);
+  Alcotest.(check bool) "is_up" false (Net.is_up net 1);
+  Net.recover net 1;
+  Alcotest.(check (list int)) "recovered" [ 0; 1; 2 ] (Net.up_sites net)
+
+let test_uniform_within_bounds () =
+  let net = make (Net.Uniform { lo = 0.5; hi = 1.5 }) in
+  for _ = 1 to 1_000 do
+    match Net.delivery_time net ~src:2 ~dst:3 ~now:1000.0 with
+    | Some t ->
+      (* monotone watermark can only push later, never earlier *)
+      Alcotest.(check bool) "at least lo" true (t >= 1000.5)
+    | None -> Alcotest.fail "delivery expected"
+  done
+
+let test_out_of_range () =
+  let net = make (Net.Constant 1.0) in
+  Alcotest.(check bool) "src range" true
+    (try
+       ignore (Net.delivery_time net ~src:9 ~dst:0 ~now:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("constant delay", test_constant_delay);
+      ("mean delay per model", test_mean_delay);
+      ("FIFO per channel", test_fifo_per_channel);
+      ("channels independent", test_channels_independent);
+      ("crash drops both directions", test_crash_drops);
+      ("up_sites / recover", test_up_sites);
+      ("uniform respects bounds", test_uniform_within_bounds);
+      ("site range checked", test_out_of_range);
+    ]

@@ -1,0 +1,179 @@
+(* Quantitative claims of the paper, asserted as regression tests:
+   Section 5.1 (light load), Section 5.2 (heavy load), Table 1 shape. *)
+
+module E = Dmx_sim.Engine
+module H = Harness
+module S = Dmx_sim.Stats.Summary
+
+let near ~tol expected actual = abs_float (expected -. actual) <= tol
+
+(* ---- Section 5.1: light load ---- *)
+
+let test_light_load_message_counts () =
+  (* grid on n=9: K=5, so K-1=4 remote members.
+     delay-optimal and Maekawa: 3(K-1)=12; Lamport: 3(N-1)=24;
+     Ricart-Agrawala: 2(N-1)=16. Tiny tolerance for residual contention. *)
+  let n = 9 in
+  let expect =
+    [
+      (H.delay_optimal ~n, 12.0);
+      (H.maekawa ~n, 12.0);
+      (H.lamport ~n, 24.0);
+      (H.ricart_agrawala ~n, 16.0);
+    ]
+  in
+  List.iter
+    (fun (runner, expected) ->
+      let r = H.run_clean runner (H.light ~execs:50 n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s light-load msgs/CS: expected %.0f, got %.2f"
+           runner.H.rname expected r.E.messages_per_cs)
+        true
+        (near ~tol:0.8 expected r.E.messages_per_cs))
+    expect
+
+let test_light_load_response_time () =
+  (* §5.1: response time at light load is 2T + E for any algorithm that
+     needs a round trip; E = 1, T = 1 → 3. Token holders can be faster. *)
+  let n = 9 in
+  List.iter
+    (fun runner ->
+      let r = H.run_clean runner (H.light ~execs:50 n) in
+      let resp = S.mean r.E.response_time +. 1.0 (* + E: entry-to-exit *) in
+      ignore resp;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s light-load response ~2T (got %.2f)" runner.H.rname
+           (S.mean r.E.response_time))
+        true
+        (S.mean r.E.response_time <= 2.3))
+    [ H.delay_optimal ~n; H.maekawa ~n; H.lamport ~n; H.ricart_agrawala ~n ]
+
+let test_suzuki_kasami_light_messages () =
+  (* 0 when holding the token, N when not; a single hot site converges to 0 *)
+  let n = 9 in
+  let cfg =
+    {
+      (E.default ~n) with
+      workload = Dmx_sim.Workload.Saturated { contenders = 1 };
+      max_executions = 50;
+      warmup = 10;
+    }
+  in
+  let r = H.run_clean (H.suzuki_kasami ~n) cfg in
+  Alcotest.(check (float 0.01)) "token stays put" 0.0 r.E.messages_per_cs
+
+(* ---- Section 5.2: heavy load ---- *)
+
+let test_heavy_load_message_counts () =
+  (* delay-optimal: between 4(K-1) and 6(K-1); Maekawa: ~5(K-1) worst case
+     but at least 3(K-1); Lamport/RA stay at their fixed counts. *)
+  let n = 9 in
+  let k1 = 4.0 in
+  let rd = H.run_clean (H.delay_optimal ~n) (H.heavy ~execs:200 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "delay-optimal heavy msgs in [3(K-1), 6(K-1)] (got %.2f)"
+       rd.E.messages_per_cs)
+    true
+    (rd.E.messages_per_cs >= 3.0 *. k1 && rd.E.messages_per_cs <= 6.0 *. k1);
+  let rm = H.run_clean (H.maekawa ~n) (H.heavy ~execs:200 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "maekawa heavy msgs in [3(K-1), 6(K-1)] (got %.2f)"
+       rm.E.messages_per_cs)
+    true
+    (rm.E.messages_per_cs >= 3.0 *. k1 && rm.E.messages_per_cs <= 6.0 *. k1)
+
+let test_sync_delay_T_vs_2T () =
+  (* The headline claim. With constant unit delay and E large enough for
+     transfers to land, delay-optimal hands off in exactly T while Maekawa
+     needs exactly 2T. *)
+  let n = 25 in
+  let cfg = { (H.heavy ~execs:200 n) with cs_duration = 2.0 } in
+  let rd = H.run_clean (H.delay_optimal ~n) cfg in
+  let rm = H.run_clean (H.maekawa ~n) cfg in
+  Alcotest.(check (float 0.05)) "delay-optimal sync = T" 1.0 (S.mean rd.E.sync_delay);
+  Alcotest.(check (float 0.05)) "maekawa sync = 2T" 2.0 (S.mean rm.E.sync_delay)
+
+let test_sync_delay_broadcast_baselines () =
+  (* Lamport and Ricart-Agrawala already achieve T. *)
+  let n = 9 in
+  let cfg = { (H.heavy ~execs:150 n) with cs_duration = 2.0 } in
+  List.iter
+    (fun runner ->
+      let r = H.run_clean runner cfg in
+      Alcotest.(check (float 0.05))
+        (runner.H.rname ^ " sync = T")
+        1.0 (S.mean r.E.sync_delay))
+    [ H.lamport ~n; H.ricart_agrawala ~n ]
+
+let test_throughput_improvement () =
+  (* §5.2: "the rate of CS execution is doubled" as E → 0. With E = 0.1 the
+     ideal ratio is (2T+E)/(T+E) ≈ 1.9; require at least 1.4 measured. *)
+  let n = 25 in
+  let cfg = { (H.heavy ~execs:300 n) with cs_duration = 0.1 } in
+  let rd = H.run_clean (H.delay_optimal ~n) cfg in
+  let rm = H.run_clean (H.maekawa ~n) cfg in
+  let ratio = rd.E.throughput /. rm.E.throughput in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput ratio %.2f >= 1.4" ratio)
+    true (ratio >= 1.4)
+
+let test_waiting_time_reduction () =
+  (* §5.2: waiting time shrinks accordingly. *)
+  let n = 25 in
+  let cfg = { (H.heavy ~execs:300 n) with cs_duration = 0.1 } in
+  let rd = H.run_clean (H.delay_optimal ~n) cfg in
+  let rm = H.run_clean (H.maekawa ~n) cfg in
+  let ratio = S.mean rd.E.response_time /. S.mean rm.E.response_time in
+  Alcotest.(check bool)
+    (Printf.sprintf "waiting ratio %.2f <= 0.75" ratio)
+    true (ratio <= 0.75)
+
+let test_raymond_delay_grows_with_tree () =
+  (* Table 1: token walks make Raymond's delay O(log N)·T > T. *)
+  let n = 15 in
+  let r = H.run_clean (H.raymond ~n) { (H.heavy ~execs:150 n) with cs_duration = 0.2 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "raymond sync > 1.2T (got %.2f)" (S.mean r.E.sync_delay))
+    true
+    (S.mean r.E.sync_delay > 1.2)
+
+let test_singhal_between_n_minus_1_and_2n () =
+  let n = 9 in
+  let light = H.run_clean (H.singhal ~n) (H.light ~execs:50 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "singhal light <= 2(N-1) (got %.2f)" light.E.messages_per_cs)
+    true
+    (light.E.messages_per_cs <= 16.4);
+  let heavy = H.run_clean (H.singhal ~n) (H.heavy ~execs:200 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "singhal heavy ~ 2(N-1) (got %.2f)" heavy.E.messages_per_cs)
+    true
+    (heavy.E.messages_per_cs >= 8.0 && heavy.E.messages_per_cs <= 17.0)
+
+let test_message_scaling_with_n () =
+  (* O(√N) vs O(N): quorum algorithms must beat broadcast ones by a growing
+     factor. At n=49, grid K-1=12: DO ≤ 6·12 = 72 < 96 = RA's 2(N-1). *)
+  let n = 49 in
+  let rd = H.run_clean (H.delay_optimal ~n) (H.heavy ~execs:150 n) in
+  let ra = H.run_clean (H.ricart_agrawala ~n) (H.heavy ~execs:150 n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "O(sqrt N) wins at n=49: %.1f < %.1f" rd.E.messages_per_cs
+       ra.E.messages_per_cs)
+    true
+    (rd.E.messages_per_cs < ra.E.messages_per_cs)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("light load: 3(K-1) / 3(N-1) / 2(N-1)", test_light_load_message_counts);
+      ("light load: response time 2T+E", test_light_load_response_time);
+      ("suzuki-kasami: token stays put", test_suzuki_kasami_light_messages);
+      ("heavy load: 5(K-1)-6(K-1) band", test_heavy_load_message_counts);
+      ("sync delay: T vs 2T (headline)", test_sync_delay_T_vs_2T);
+      ("sync delay: broadcast baselines at T", test_sync_delay_broadcast_baselines);
+      ("throughput improvement", test_throughput_improvement);
+      ("waiting time reduction", test_waiting_time_reduction);
+      ("raymond delay grows", test_raymond_delay_grows_with_tree);
+      ("singhal message band", test_singhal_between_n_minus_1_and_2n);
+      ("message scaling with N", test_message_scaling_with_n);
+    ]

@@ -1,0 +1,210 @@
+(* Cross-protocol safety and liveness: every algorithm, several universe
+   sizes, workloads, delay models and seeds. The engine checks mutual
+   exclusion on every CS entry, so a clean report IS the safety proof for
+   that schedule; completing the execution quota is the liveness check. *)
+
+module E = Dmx_sim.Engine
+module H = Harness
+module W = Dmx_sim.Workload
+module Net = Dmx_sim.Network
+
+let test_heavy_load_matrix () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun runner ->
+          List.iter
+            (fun seed -> ignore (H.run_clean runner (H.heavy ~seed ~execs:100 n)))
+            [ 1; 42 ])
+        (H.all_runners ~n))
+    [ 4; 9; 13 ]
+
+let test_random_delay_matrix () =
+  List.iter
+    (fun delay ->
+      List.iter
+        (fun runner ->
+          List.iter
+            (fun seed ->
+              ignore (H.run_clean runner (H.heavy ~seed ~execs:100 ~delay 9)))
+            [ 7; 21 ])
+        (H.all_runners ~n:9))
+    [
+      Net.Uniform { lo = 0.2; hi = 1.8 };
+      Net.Exponential { mean = 1.0 };
+      Net.Shifted_exponential { base = 0.5; extra_mean = 0.5 };
+    ]
+
+let test_light_load_matrix () =
+  List.iter
+    (fun runner -> ignore (H.run_clean runner (H.light ~execs:40 9)))
+    (H.all_runners ~n:9)
+
+let test_burst_simultaneous_requests () =
+  (* All sites request at the same instant: the adversarial case for the
+     deadlock-avoidance machinery (everyone collides everywhere). *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun runner ->
+          let cfg =
+            {
+              (E.default ~n) with
+              workload = W.Burst { requesters = List.init n Fun.id; at = 0.0 };
+              max_executions = n;
+              warmup = 0;
+              cs_duration = 0.5;
+            }
+          in
+          let r = H.run_clean runner cfg in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: every burst request served" runner.H.rname)
+            n r.E.executions)
+        (H.all_runners ~n))
+    [ 2; 3; 5; 9 ]
+
+let test_single_site_universe () =
+  (* n=1 degenerates to a local lock; nothing should be sent. *)
+  List.iter
+    (fun runner ->
+      let cfg = { (H.heavy ~execs:10 1) with warmup = 0 } in
+      let r = H.run_clean runner cfg in
+      Alcotest.(check int)
+        (runner.H.rname ^ ": no messages for n=1")
+        0 r.E.total_messages)
+    (H.all_runners ~n:1)
+
+let test_two_sites () =
+  List.iter
+    (fun runner -> ignore (H.run_clean runner (H.heavy ~execs:50 2)))
+    (H.all_runners ~n:2)
+
+let test_partial_contention () =
+  (* only 3 of 9 sites compete *)
+  List.iter
+    (fun runner ->
+      let cfg =
+        {
+          (H.heavy ~execs:60 9) with
+          workload = W.Saturated { contenders = 3 };
+        }
+      in
+      ignore (H.run_clean runner cfg))
+    (H.all_runners ~n:9)
+
+let test_fairness_under_saturation () =
+  (* Quantified starvation-freedom: with every site contending equally,
+     service must spread almost evenly (Jain index near 1). *)
+  let n = 9 in
+  List.iter
+    (fun runner ->
+      let r = H.run_clean runner (H.heavy ~execs:(n * 30) 9) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: fairness %.3f >= 0.9" runner.H.rname r.E.fairness)
+        true
+        (r.E.fairness >= 0.9);
+      Alcotest.(check int) "per-site counts add up"
+        r.E.executions
+        (Array.fold_left ( + ) 0 r.E.per_site_executions))
+    (H.all_runners ~n)
+
+let test_fairness_single_contender () =
+  let r = H.run_clean (H.delay_optimal ~n:9)
+      { (H.heavy ~execs:30 9) with workload = W.Saturated { contenders = 1 } }
+  in
+  Alcotest.(check (float 1e-9)) "one site served evenly" 1.0 r.E.fairness;
+  Alcotest.(check int) "all by site 0" r.E.executions r.E.per_site_executions.(0)
+
+let test_determinism () =
+  (* identical seeds: bit-identical metrics *)
+  List.iter
+    (fun runner ->
+      let r1 = runner.H.run (H.heavy ~seed:9 ~execs:80 9) in
+      let r2 = runner.H.run (H.heavy ~seed:9 ~execs:80 9) in
+      Alcotest.(check int) (runner.H.rname ^ ": messages deterministic")
+        r1.E.total_messages r2.E.total_messages;
+      Alcotest.(check (float 0.0)) (runner.H.rname ^ ": sim time deterministic")
+        r1.E.sim_time r2.E.sim_time;
+      Alcotest.(check (float 0.0)) (runner.H.rname ^ ": sync delay deterministic")
+        (Dmx_sim.Stats.Summary.mean r1.E.sync_delay)
+        (Dmx_sim.Stats.Summary.mean r2.E.sync_delay))
+    (H.all_runners ~n:9)
+
+let test_delay_optimal_all_quorum_kinds () =
+  (* the algorithm is quorum-independent: run it over every construction *)
+  List.iter
+    (fun (kind, n) ->
+      let runner = H.delay_optimal_with kind ~n in
+      ignore (H.run_clean runner (H.heavy ~execs:80 n));
+      ignore
+        (H.run_clean runner
+           (H.heavy ~execs:80 ~delay:(Net.Uniform { lo = 0.5; hi = 1.5 }) n)))
+    [
+      (Dmx_quorum.Builder.Grid, 9);
+      (Dmx_quorum.Builder.Fpp, 7);
+      (Dmx_quorum.Builder.Fpp, 13);
+      (Dmx_quorum.Builder.Tree, 7);
+      (Dmx_quorum.Builder.Tree, 15);
+      (Dmx_quorum.Builder.Majority, 8);
+      (Dmx_quorum.Builder.Hqc, 9);
+      (Dmx_quorum.Builder.Grid_set 4, 16);
+      (Dmx_quorum.Builder.Rst 4, 16);
+      (Dmx_quorum.Builder.Star, 9);
+      (Dmx_quorum.Builder.All, 6);
+    ]
+
+let qcheck_safety_random_scenarios =
+  (* random n, seed, CS duration, load shape — the main property test *)
+  let gen =
+    QCheck.Gen.(
+      let* n = 2 -- 16 in
+      let* seed = 0 -- 10_000 in
+      let* cs10 = 1 -- 30 in
+      let* contenders = 1 -- n in
+      let* expo = bool in
+      return (n, seed, float_of_int cs10 /. 10.0, contenders, expo))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (n, seed, cs, c, e) ->
+        Printf.sprintf "n=%d seed=%d cs=%.1f contenders=%d exp=%b" n seed cs c e)
+      gen
+  in
+  QCheck.Test.make ~name:"random scenarios are safe and live (all protocols)"
+    ~count:40 arb
+    (fun (n, seed, cs_duration, contenders, expo) ->
+      List.for_all
+        (fun runner ->
+          let cfg =
+            {
+              (E.default ~n) with
+              seed;
+              cs_duration;
+              delay =
+                (if expo then Net.Exponential { mean = 1.0 }
+                 else Net.Constant 1.0);
+              workload = W.Saturated { contenders };
+              max_executions = 60;
+              warmup = 5;
+            }
+          in
+          let r = runner.H.run cfg in
+          r.E.violations = 0 && (not r.E.deadlocked) && r.E.executions = 60)
+        (H.all_runners ~n))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("heavy load: all protocols, n in {4,9,13}", test_heavy_load_matrix);
+      ("random delays: all protocols", test_random_delay_matrix);
+      ("light load: all protocols", test_light_load_matrix);
+      ("simultaneous burst", test_burst_simultaneous_requests);
+      ("single-site universe", test_single_site_universe);
+      ("two sites", test_two_sites);
+      ("partial contention", test_partial_contention);
+      ("fairness under saturation", test_fairness_under_saturation);
+      ("fairness: single contender", test_fairness_single_contender);
+      ("determinism", test_determinism);
+      ("delay-optimal across quorum kinds", test_delay_optimal_all_quorum_kinds);
+    ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_safety_random_scenarios ]

@@ -1,0 +1,335 @@
+(* Every quorum construction: intersection property across many universe
+   sizes, expected quorum sizes, failure substitution, availability. *)
+
+module B = Dmx_quorum.Builder
+module Ct = Dmx_quorum.Coterie
+module Grid = Dmx_quorum.Grid
+module Fpp = Dmx_quorum.Fpp
+module Tree = Dmx_quorum.Tree_quorum
+module Maj = Dmx_quorum.Majority
+module Hqc = Dmx_quorum.Hqc
+module Av = Dmx_quorum.Availability
+
+let check_valid kind n =
+  match B.validate ~n (B.req_sets kind ~n) with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.fail (Printf.sprintf "%s n=%d invalid: %s" (B.kind_name kind) n e)
+
+let test_intersection_all_kinds () =
+  (* every kind over every size it supports, up to 64 *)
+  List.iter
+    (fun kind ->
+      for n = 1 to 64 do
+        if B.supports kind ~n then check_valid kind n
+      done)
+    (B.all_kinds ~group:4)
+
+let test_self_membership_where_expected () =
+  (* grid, fpp, majority and hqc put every site inside its own quorum *)
+  List.iter
+    (fun (kind, ns) ->
+      List.iter
+        (fun n ->
+          let rs = B.req_sets kind ~n in
+          Array.iteri
+            (fun i q ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s n=%d: %d in own set" (B.kind_name kind) n i)
+                true (List.mem i q))
+            rs)
+        ns)
+    [
+      (B.Grid, [ 4; 9; 10; 16; 25 ]);
+      (B.Fpp, [ 7; 13; 31 ]);
+      (B.Majority, [ 3; 4; 5; 8 ]);
+      (B.Hqc, [ 3; 9; 27 ]);
+      (B.Tree, [ 3; 7; 15 ]);
+    ]
+
+let test_grid_sizes () =
+  (* perfect square: K = 2√N − 1 *)
+  List.iter
+    (fun n ->
+      let root = int_of_float (sqrt (float_of_int n)) in
+      let stats = B.size_stats (B.req_sets B.Grid ~n) in
+      Alcotest.(check int)
+        (Printf.sprintf "grid %d" n)
+        ((2 * root) - 1)
+        stats.B.k_max)
+    [ 4; 9; 16; 25; 36; 49; 64; 81; 100 ]
+
+let test_grid_positions () =
+  let g = Grid.create ~n:12 in
+  Alcotest.(check int) "cols = ceil sqrt 12" 4 (Grid.cols g);
+  Alcotest.(check int) "rows" 3 (Grid.rows g);
+  Alcotest.(check (pair int int)) "position of 7" (1, 3) (Grid.position g 7)
+
+let test_fpp_orders () =
+  Alcotest.(check (option int)) "7 = 2^2+2+1" (Some 2) (Fpp.order_for 7);
+  Alcotest.(check (option int)) "13" (Some 3) (Fpp.order_for 13);
+  (* 21 = 4^2+4+1 but 4 is not prime *)
+  Alcotest.(check (option int)) "21 unsupported" None (Fpp.order_for 21);
+  Alcotest.(check (option int)) "31 = 5^2+5+1" (Some 5) (Fpp.order_for 31);
+  Alcotest.(check (option int)) "12 unsupported" None (Fpp.order_for 12);
+  Alcotest.(check (list int)) "sizes to 60" [ 7; 13; 31; 57 ]
+    (Fpp.supported_sizes ~max:60)
+
+let test_fpp_line_structure () =
+  List.iter
+    (fun n ->
+      let t = Fpp.create ~n in
+      let q = Fpp.order t in
+      let lines = Fpp.lines t in
+      Alcotest.(check int) "as many lines as points" n (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check int) "line size q+1" (q + 1) (List.length l))
+        lines;
+      (* any two distinct lines meet in exactly one point *)
+      let rec pairs = function
+        | [] -> ()
+        | l :: rest ->
+          List.iter
+            (fun m ->
+              Alcotest.(check int) "exactly one common point" 1
+                (List.length (Ct.quorum_inter l m)))
+            rest;
+          pairs rest
+      in
+      pairs lines)
+    [ 7; 13; 31 ]
+
+let test_fpp_every_point_covered () =
+  let t = Fpp.create ~n:13 in
+  for s = 0 to 12 do
+    Alcotest.(check bool) "req_set contains site" true (List.mem s (Fpp.req_set t s))
+  done
+
+let test_tree_sizes () =
+  (* complete tree of 2^k − 1 nodes: failure-free quorum size = k *)
+  List.iter
+    (fun (n, k) ->
+      let stats = B.size_stats (B.req_sets B.Tree ~n) in
+      Alcotest.(check int) (Printf.sprintf "tree %d" n) k stats.B.k_max)
+    [ (3, 2); (7, 3); (15, 4); (31, 5); (63, 6) ]
+
+let test_tree_substitution () =
+  let t = Tree.create ~n:7 in
+  (* all alive: root-to-leaf path *)
+  (match Tree.quorum t ~available:(fun _ -> true) with
+  | Some q -> Alcotest.(check int) "path length 3" 3 (List.length q)
+  | None -> Alcotest.fail "quorum expected");
+  (* root dead: both subtrees *)
+  (match Tree.quorum_avoiding t ~avoid:[ 0 ] with
+  | Some q ->
+    Alcotest.(check bool) "root absent" false (List.mem 0 q);
+    Alcotest.(check int) "two paths of 2" 4 (List.length q)
+  | None -> Alcotest.fail "substitution expected");
+  (* substitution recurses: root and both children dead still leaves the
+     four leaves as a quorum *)
+  (match Tree.quorum_avoiding t ~avoid:[ 0; 1; 2 ] with
+  | Some q -> Alcotest.(check (list int)) "all leaves" [ 3; 4; 5; 6 ] q
+  | None -> Alcotest.fail "leaf quorum expected");
+  (* but a dead leaf under a dead spine is fatal on that side *)
+  Alcotest.(check bool) "unavailable" true
+    (Tree.quorum_avoiding t ~avoid:[ 0; 1; 3 ] = None)
+
+let test_tree_family_intersects () =
+  List.iter
+    (fun n ->
+      let t = Tree.create ~n in
+      let family = Tree.quorum_family t in
+      Alcotest.(check bool) "family nonempty" true (family <> []);
+      let c = Ct.make ~n family in
+      Alcotest.(check bool)
+        (Printf.sprintf "tree family n=%d intersects" n)
+        true (Ct.intersecting c))
+    [ 3; 7; 15; 10; 12 ]
+
+let test_majority_sizes () =
+  Alcotest.(check int) "5 -> 3" 3 (Maj.quorum_size ~n:5);
+  Alcotest.(check int) "6 -> 4" 4 (Maj.quorum_size ~n:6);
+  Alcotest.(check int) "1 -> 1" 1 (Maj.quorum_size ~n:1);
+  Alcotest.(check bool) "window is quorum" true
+    (Maj.is_quorum ~n:5 (Maj.req_set ~n:5 3))
+
+let test_majority_availability_exact () =
+  (* n=3, majority 2: availability = p^3 + 3 p^2 (1-p) *)
+  let p = 0.9 in
+  let expect = (p ** 3.0) +. (3.0 *. p *. p *. (1.0 -. p)) in
+  Alcotest.(check (float 1e-9)) "closed form" expect (Maj.availability ~n:3 ~p_up:p);
+  Alcotest.(check (float 1e-9)) "p=1" 1.0 (Maj.availability ~n:7 ~p_up:1.0);
+  Alcotest.(check (float 1e-9)) "p=0" 0.0 (Maj.availability ~n:7 ~p_up:0.0)
+
+let test_hqc_sizes () =
+  List.iter
+    (fun (n, k) ->
+      let t = Hqc.create ~n in
+      Alcotest.(check int) (Printf.sprintf "hqc %d" n) k (Hqc.quorum_size t))
+    [ (3, 2); (9, 4); (27, 8); (81, 16) ]
+
+let test_hqc_branching () =
+  let t = Hqc.create_branching [ 5; 3 ] in
+  Alcotest.(check int) "n = 15" 15 (Hqc.n t);
+  Alcotest.(check int) "k = 3*2" 6 (Hqc.quorum_size t);
+  let rs = Array.init 15 (Hqc.req_set t) in
+  match B.validate ~n:15 rs with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_hqc_rejects_non_powers () =
+  Alcotest.(check bool) "10 rejected" true
+    (try ignore (Hqc.create ~n:10); false with Invalid_argument _ -> true)
+
+let test_grouped_sizes_vs_paper () =
+  (* RST: ((G+1)/2)·(2√(N/G)−1); Grid-set: ((N/G+1)/2)·(2√G−1) — check the
+     estimates track the real constructions. *)
+  let n = 64 and g = 4 in
+  let rst = Dmx_quorum.Rst.create ~n ~group:g in
+  let stats = B.size_stats (B.req_sets (B.Rst g) ~n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rst estimate %d vs max %d"
+       (Dmx_quorum.Rst.quorum_size_estimate rst)
+       stats.B.k_max)
+    true
+    (abs (Dmx_quorum.Rst.quorum_size_estimate rst - stats.B.k_max) <= 2);
+  let gs = Dmx_quorum.Grid_set.create ~n ~group:g in
+  let stats = B.size_stats (B.req_sets (B.Grid_set g) ~n) in
+  Alcotest.(check bool) "grid-set estimate tracks" true
+    (abs (Dmx_quorum.Grid_set.quorum_size_estimate gs - stats.B.k_max) <= 4)
+
+let test_parse_kind () =
+  List.iter
+    (fun k ->
+      match B.parse_kind (B.kind_name k) with
+      | Ok k' -> Alcotest.(check string) "roundtrip" (B.kind_name k) (B.kind_name k')
+      | Error e -> Alcotest.fail e)
+    (B.all_kinds ~group:4);
+  Alcotest.(check bool) "garbage rejected" true
+    (match B.parse_kind "nonsense" with Error _ -> true | Ok _ -> false)
+
+let test_availability_exact_vs_monte_carlo () =
+  (* where we have closed forms, the MC estimate must agree *)
+  List.iter
+    (fun (kind, n) ->
+      List.iter
+        (fun p ->
+          match Av.exact kind ~n ~p_up:p with
+          | Some exact ->
+            let mc = Av.monte_carlo kind ~n ~p_up:p ~trials:20_000 ~seed:5 in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s n=%d p=%.1f exact %.4f mc %.4f"
+                 (B.kind_name kind) n p exact mc)
+              true
+              (abs_float (exact -. mc) < 0.02)
+          | None -> Alcotest.fail "exact expected")
+        [ 0.5; 0.8; 0.95 ])
+    [ (B.Majority, 9); (B.Tree, 7); (B.Hqc, 9) ]
+
+let test_availability_monotone_in_p () =
+  List.iter
+    (fun kind ->
+      let n = if B.supports kind ~n:16 then 16 else 13 in
+      let av p = Av.estimate kind ~n ~p_up:p ~trials:4_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s availability grows with p" (B.kind_name kind))
+        true
+        (av 0.95 >= av 0.5 && av 0.5 >= av 0.2))
+    [ B.Grid; B.Fpp; B.Majority ]
+
+let test_tree_beats_all_and_single () =
+  (* at p=0.9, tree availability sits between 'all sites' and majority *)
+  let p = 0.9 and n = 15 in
+  let tree = Av.estimate B.Tree ~n ~p_up:p in
+  let all = Av.estimate B.All ~n ~p_up:p in
+  let maj = Av.estimate B.Majority ~n ~p_up:p in
+  Alcotest.(check bool) "tree > all-sites" true (tree > all);
+  Alcotest.(check bool) "majority >= tree" true (maj >= tree -. 0.02)
+
+let test_oracle_consistency () =
+  (* has_live_quorum must agree with "some request set fully alive" for the
+     static constructions (grid/fpp: the oracle covers exactly the coterie) *)
+  let rng = Dmx_sim.Rng.create 11 in
+  List.iter
+    (fun (kind, n) ->
+      let rs = B.req_sets kind ~n in
+      for _ = 1 to 200 do
+        let up = Array.init n (fun _ -> Dmx_sim.Rng.bool rng) in
+        let by_sets =
+          Array.exists (fun q -> List.for_all (fun s -> up.(s)) q) rs
+        in
+        let by_oracle = B.has_live_quorum kind ~n ~up in
+        (* the oracle may know MORE quorums than the per-site assignment
+           (e.g. all grid row/col pairs), never fewer *)
+        if by_sets && not by_oracle then
+          Alcotest.fail (Printf.sprintf "%s oracle misses a live assignment" (B.kind_name kind))
+      done)
+    [ (B.Grid, 12); (B.Fpp, 13); (B.Majority, 9); (B.Tree, 15); (B.Hqc, 9) ]
+
+let qcheck_grid_any_n =
+  QCheck.Test.make ~name:"grid coterie intersects for any n" ~count:80
+    QCheck.(int_range 1 120)
+    (fun n -> B.validate ~n (B.req_sets B.Grid ~n) = Ok ())
+
+let qcheck_tree_any_n =
+  QCheck.Test.make ~name:"tree coterie intersects for any n" ~count:80
+    QCheck.(int_range 1 120)
+    (fun n -> B.validate ~n (B.req_sets B.Tree ~n) = Ok ())
+
+let qcheck_grouped_any_shape =
+  QCheck.Test.make ~name:"grid-set and rst intersect for any (n, g)" ~count:80
+    QCheck.(pair (int_range 2 80) (int_range 1 12))
+    (fun (n, g) ->
+      let g = min g n in
+      B.validate ~n (B.req_sets (B.Grid_set g) ~n) = Ok ()
+      && B.validate ~n (B.req_sets (B.Rst g) ~n) = Ok ())
+
+let qcheck_tree_substitution_sound =
+  (* any quorum the tree yields under failures must intersect every member
+     of the full (failure-free reachable) family *)
+  QCheck.Test.make ~name:"tree substitution preserves intersection" ~count:100
+    QCheck.(pair (int_range 3 31) (list (int_range 0 30)))
+    (fun (n, dead) ->
+      let t = Tree.create ~n in
+      let dead = List.filter (fun s -> s < n) dead in
+      match Tree.quorum_avoiding t ~avoid:dead with
+      | None -> true
+      | Some q ->
+        List.for_all (fun s -> not (List.mem s dead)) q
+        && List.for_all
+             (fun fam -> Ct.quorum_inter q fam <> [])
+             (Tree.quorum_family t))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("intersection: all kinds, n<=64", test_intersection_all_kinds);
+      ("self membership", test_self_membership_where_expected);
+      ("grid sizes", test_grid_sizes);
+      ("grid positions", test_grid_positions);
+      ("fpp orders", test_fpp_orders);
+      ("fpp line structure", test_fpp_line_structure);
+      ("fpp covers every point", test_fpp_every_point_covered);
+      ("tree sizes", test_tree_sizes);
+      ("tree substitution", test_tree_substitution);
+      ("tree family intersects", test_tree_family_intersects);
+      ("majority sizes", test_majority_sizes);
+      ("majority availability closed form", test_majority_availability_exact);
+      ("hqc sizes", test_hqc_sizes);
+      ("hqc custom branching", test_hqc_branching);
+      ("hqc rejects non powers of 3", test_hqc_rejects_non_powers);
+      ("grouped sizes vs paper", test_grouped_sizes_vs_paper);
+      ("kind parsing roundtrip", test_parse_kind);
+      ("availability exact vs monte carlo", test_availability_exact_vs_monte_carlo);
+      ("availability monotone in p", test_availability_monotone_in_p);
+      ("tree between all and majority", test_tree_beats_all_and_single);
+      ("live-quorum oracle consistency", test_oracle_consistency);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        qcheck_grid_any_n;
+        qcheck_tree_any_n;
+        qcheck_grouped_any_shape;
+        qcheck_tree_substitution_sound;
+      ]

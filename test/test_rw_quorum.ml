@@ -1,0 +1,109 @@
+(* Read/write quorums for replica control (paper Section 7). *)
+
+module RW = Dmx_quorum.Rw_quorum
+
+let schemes = [ RW.Rowa; RW.Majority_rw; RW.Grid_rw; RW.Tree_rw ]
+
+let test_validate_all_schemes () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun n ->
+          match RW.validate (RW.create scheme ~n) with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.fail
+              (Printf.sprintf "%s n=%d: %s" (RW.scheme_name scheme) n e))
+        [ 1; 2; 3; 5; 9; 12; 16; 20; 25; 31 ])
+    schemes
+
+let test_rowa_shape () =
+  let t = RW.create RW.Rowa ~n:7 in
+  Alcotest.(check (float 1e-9)) "read size 1" 1.0 (RW.read_size t);
+  Alcotest.(check (float 1e-9)) "write size N" 7.0 (RW.write_size t)
+
+let test_majority_sizes () =
+  let t = RW.create RW.Majority_rw ~n:9 in
+  (* w = 5, r = 5 for odd n; r + w = 10 > 9 *)
+  Alcotest.(check (float 1e-9)) "write majority" 5.0 (RW.write_size t);
+  Alcotest.(check (float 1e-9)) "read complement" 5.0 (RW.read_size t);
+  let t = RW.create RW.Majority_rw ~n:10 in
+  Alcotest.(check (float 1e-9)) "even write" 6.0 (RW.write_size t);
+  Alcotest.(check (float 1e-9)) "even read" 5.0 (RW.read_size t)
+
+let test_grid_reads_cheaper () =
+  let t = RW.create RW.Grid_rw ~n:25 in
+  Alcotest.(check bool) "reads cheaper than writes" true
+    (RW.read_size t < RW.write_size t);
+  Alcotest.(check (float 1e-9)) "read = one row" 5.0 (RW.read_size t)
+
+let test_rowa_availability () =
+  let t = RW.create RW.Rowa ~n:5 in
+  (* read survives any single site; write needs everyone *)
+  let up = [| true; false; true; true; true |] in
+  Alcotest.(check bool) "read ok" true (RW.read_available t ~up);
+  Alcotest.(check bool) "write blocked" false (RW.write_available t ~up)
+
+let test_read_write_tradeoff () =
+  (* at fixed p, cheaper reads are more available than writes, and ROWA
+     reads beat everything *)
+  let p_up = 0.8 in
+  let avail scheme =
+    RW.availability (RW.create scheme ~n:16) ~p_up ~trials:10_000 ~seed:3
+  in
+  let rowa_r, rowa_w = avail RW.Rowa in
+  let maj_r, maj_w = avail RW.Majority_rw in
+  let grid_r, grid_w = avail RW.Grid_rw in
+  Alcotest.(check bool) "rowa reads ~1" true (rowa_r > 0.999);
+  Alcotest.(check bool) "rowa writes fragile" true (rowa_w < maj_w);
+  Alcotest.(check bool) "reads >= writes (majority)" true (maj_r >= maj_w -. 0.02);
+  Alcotest.(check bool) "reads >= writes (grid)" true (grid_r >= grid_w -. 0.02)
+
+let qcheck_gifford_invariant =
+  (* simulate versioned writes through write quorums and reads through
+     read quorums: a read must always observe the newest version *)
+  let arb =
+    QCheck.make
+      ~print:(fun (s, n, ops) ->
+        Printf.sprintf "%s n=%d ops=%d"
+          (RW.scheme_name (List.nth schemes s))
+          n (List.length ops))
+      QCheck.Gen.(
+        let* s = 0 -- (List.length schemes - 1) in
+        let* n = 2 -- 20 in
+        let* ops = list_size (5 -- 40) (pair (0 -- 19) bool) in
+        return (s, n, ops))
+  in
+  QCheck.Test.make ~name:"reads see the newest committed write" ~count:200 arb
+    (fun (s, n, ops) ->
+      let t = RW.create (List.nth schemes s) ~n in
+      let version = Array.make n 0 in
+      let latest = ref 0 in
+      List.for_all
+        (fun (site, is_write) ->
+          let site = site mod n in
+          if is_write then begin
+            incr latest;
+            List.iter (fun rep -> version.(rep) <- !latest) t.RW.writes.(site);
+            true
+          end
+          else begin
+            let seen =
+              List.fold_left (fun acc rep -> max acc version.(rep)) 0
+                t.RW.reads.(site)
+            in
+            seen = !latest
+          end)
+        ops)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("all schemes validate", test_validate_all_schemes);
+      ("rowa shape", test_rowa_shape);
+      ("majority r/w sizes", test_majority_sizes);
+      ("grid reads cheaper", test_grid_reads_cheaper);
+      ("rowa availability asymmetry", test_rowa_availability);
+      ("read/write availability tradeoff", test_read_write_tradeoff);
+    ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_gifford_invariant ]

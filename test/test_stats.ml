@@ -1,0 +1,109 @@
+(* Statistics: Welford moments, exact percentiles, counters. *)
+
+module S = Dmx_sim.Stats.Summary
+module C = Dmx_sim.Stats.Counter
+
+let feed xs =
+  let s = S.create () in
+  List.iter (S.add s) xs;
+  s
+
+let test_empty_summary () =
+  let s = S.create () in
+  Alcotest.(check int) "count" 0 (S.count s);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (S.mean s);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (S.variance s);
+  Alcotest.(check (float 0.0)) "p50" 0.0 (S.percentile s 50.0)
+
+let test_mean_variance () =
+  let s = feed [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check int) "count" 8 (S.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (S.mean s);
+  (* sample variance of this classic data set: 32 / 7 *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (S.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (S.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (S.max s)
+
+let test_single_observation () =
+  let s = feed [ 42.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 42.0 (S.mean s);
+  Alcotest.(check (float 1e-9)) "variance" 0.0 (S.variance s);
+  Alcotest.(check (float 1e-9)) "p99" 42.0 (S.percentile s 99.0)
+
+let test_percentiles () =
+  let s = feed (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (S.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (S.percentile s 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (S.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p1" 1.0 (S.percentile s 1.0)
+
+let test_percentile_after_more_adds () =
+  (* sorting must not corrupt the sample buffer for later adds *)
+  let s = S.create () in
+  List.iter (S.add s) [ 3.0; 1.0 ];
+  ignore (S.percentile s 50.0);
+  S.add s 2.0;
+  Alcotest.(check (float 1e-9)) "p50 of {1,2,3}" 2.0 (S.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "mean intact" 2.0 (S.mean s)
+
+let test_percentile_bad_arg () =
+  let s = feed [ 1.0 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (S.percentile s 101.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_welford_against_naive () =
+  let xs = List.init 1000 (fun i -> sin (float_of_int i) *. 100.0) in
+  let s = feed xs in
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+  in
+  Alcotest.(check (float 1e-6)) "mean" mean (S.mean s);
+  Alcotest.(check (float 1e-6)) "variance" var (S.variance s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt var) (S.stddev s)
+
+let test_counter () =
+  let c = C.create () in
+  C.incr c "request";
+  C.incr c "request";
+  C.incr ~by:3 c "reply";
+  Alcotest.(check int) "request" 2 (C.get c "request");
+  Alcotest.(check int) "reply" 3 (C.get c "reply");
+  Alcotest.(check int) "absent" 0 (C.get c "nope");
+  Alcotest.(check int) "total" 5 (C.total c);
+  Alcotest.(check (list (pair string int)))
+    "sorted bindings"
+    [ ("reply", 3); ("request", 2) ]
+    (C.bindings c)
+
+let test_counter_negative_incr () =
+  let c = C.create () in
+  C.incr ~by:5 c "x";
+  C.incr ~by:(-5) c "x";
+  Alcotest.(check int) "zeroed" 0 (C.get c "x")
+
+let qcheck_percentile_member =
+  QCheck.Test.make ~name:"percentile returns an observed value" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let s = feed xs in
+      List.mem (S.percentile s p) xs)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("empty summary", test_empty_summary);
+      ("mean and variance", test_mean_variance);
+      ("single observation", test_single_observation);
+      ("percentiles on 1..100", test_percentiles);
+      ("percentile then add", test_percentile_after_more_adds);
+      ("percentile arg checked", test_percentile_bad_arg);
+      ("welford matches naive", test_welford_against_naive);
+      ("counter", test_counter);
+      ("counter negative increments", test_counter_negative_incr);
+    ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_percentile_member ]

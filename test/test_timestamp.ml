@@ -1,0 +1,69 @@
+(* Timestamps: priority order, the (max,max) sentinel, Lamport clocks. *)
+
+module Ts = Dmx_sim.Timestamp
+
+let ts sn site = { Ts.sn; site }
+
+let test_priority_order () =
+  Alcotest.(check bool) "smaller sn wins" true Ts.(ts 1 5 < ts 2 0);
+  Alcotest.(check bool) "tie: smaller site wins" true Ts.(ts 3 1 < ts 3 2);
+  Alcotest.(check bool) "reflexive equal" true (Ts.equal (ts 4 4) (ts 4 4));
+  Alcotest.(check bool) "gt" true Ts.(ts 9 0 > ts 1 9)
+
+let test_infinity () =
+  Alcotest.(check bool) "inf is inf" true (Ts.is_infinity Ts.infinity);
+  Alcotest.(check bool) "real ts is not" false (Ts.is_infinity (ts 1 1));
+  Alcotest.(check bool) "everything beats inf" true Ts.(ts max_int 0 < Ts.infinity)
+
+let test_compare_consistency () =
+  let a = ts 2 3 and b = ts 2 4 in
+  Alcotest.(check bool) "antisymmetric" true
+    (Ts.compare a b = -Ts.compare b a);
+  Alcotest.(check int) "equal compares 0" 0 (Ts.compare a a)
+
+let test_pp () =
+  Alcotest.(check string) "regular" "(3,7)" (Format.asprintf "%a" Ts.pp (ts 3 7));
+  Alcotest.(check string) "infinity" "(max,max)"
+    (Format.asprintf "%a" Ts.pp Ts.infinity)
+
+let test_clock_monotone () =
+  let c = Ts.Clock.create () in
+  let t1 = Ts.Clock.next c ~site:0 in
+  let t2 = Ts.Clock.next c ~site:0 in
+  Alcotest.(check bool) "strictly increasing" true (t2.Ts.sn > t1.Ts.sn)
+
+let test_clock_observe () =
+  let c = Ts.Clock.create () in
+  Ts.Clock.observe c (ts 10 3);
+  let t = Ts.Clock.next c ~site:0 in
+  Alcotest.(check bool) "jumps past observed" true (t.Ts.sn > 10);
+  (* observing an older value must not move the clock backwards *)
+  Ts.Clock.observe c (ts 2 1);
+  Alcotest.(check bool) "no regression" true (Ts.Clock.current c >= 11)
+
+let test_clock_ignores_infinity () =
+  let c = Ts.Clock.create () in
+  Ts.Clock.observe c Ts.infinity;
+  Alcotest.(check int) "unchanged" 0 (Ts.Clock.current c)
+
+let qcheck_total_order =
+  let gen = QCheck.(pair (pair small_nat small_nat) (pair small_nat small_nat)) in
+  QCheck.Test.make ~name:"timestamp order is total and transitive-ish" ~count:500 gen
+    (fun ((a1, a2), (b1, b2)) ->
+      let a = ts a1 a2 and b = ts b1 b2 in
+      let c = Ts.compare a b in
+      (c = 0) = (a1 = b1 && a2 = b2)
+      && (c < 0) = (a1 < b1 || (a1 = b1 && a2 < b2)))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("priority order", test_priority_order);
+      ("infinity sentinel", test_infinity);
+      ("compare consistency", test_compare_consistency);
+      ("pretty printing", test_pp);
+      ("clock monotone", test_clock_monotone);
+      ("clock observes", test_clock_observe);
+      ("clock ignores infinity", test_clock_ignores_infinity);
+    ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_total_order ]

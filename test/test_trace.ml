@@ -1,0 +1,76 @@
+(* Trace collector: enable flag, order, capacity trimming. *)
+
+module Trace = Dmx_sim.Trace
+
+let test_disabled_records_nothing () =
+  let t = Trace.create () in
+  Trace.record t ~time:1.0 ~site:0 Trace.Enter_cs;
+  Alcotest.(check int) "nothing stored" 0 (Trace.length t);
+  Alcotest.(check bool) "disabled" false (Trace.enabled t)
+
+let test_chronological_entries () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record t ~time:1.0 ~site:0 (Trace.Note "a");
+  Trace.record t ~time:2.0 ~site:1 (Trace.Note "b");
+  Trace.record t ~time:3.0 ~site:2 (Trace.Note "c");
+  Alcotest.(check (list string)) "in order" [ "a"; "b"; "c" ]
+    (List.map
+       (fun e -> match e.Trace.kind with Trace.Note s -> s | _ -> "?")
+       (Trace.entries t))
+
+let test_capacity_trims_oldest () =
+  let t = Trace.create ~enabled:true ~capacity:10 () in
+  for i = 1 to 11 do
+    Trace.record t ~time:(float_of_int i) ~site:0 (Trace.Note (string_of_int i))
+  done;
+  Alcotest.(check bool) "trimmed" true (Trace.length t <= 10);
+  let times = List.map (fun e -> e.Trace.time) (Trace.entries t) in
+  Alcotest.(check bool) "kept the newest" true (List.mem 11.0 times);
+  Alcotest.(check bool) "dropped the oldest" false (List.mem 1.0 times)
+
+let test_clear () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record t ~time:1.0 ~site:0 Trace.Crash;
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.length t)
+
+let test_pp_entry () =
+  let e = { Trace.time = 1.5; site = 3; kind = Trace.Send { dst = 7; msg = "hi" } } in
+  let s = Format.asprintf "%a" Trace.pp_entry e in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec at i = i + nl <= sl && (String.sub s i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "mentions the destination" true (contains "-> 7");
+  Alcotest.(check bool) "mentions the payload" true (contains "hi")
+
+let test_timeline () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record t ~time:0.0 ~site:0 Trace.Enter_cs;
+  Trace.record t ~time:5.0 ~site:0 Trace.Exit_cs;
+  Trace.record t ~time:5.0 ~site:1 Trace.Enter_cs;
+  Trace.record t ~time:10.0 ~site:1 Trace.Exit_cs;
+  Trace.record t ~time:10.0 ~site:2 Trace.Crash;
+  let s = Trace.timeline ~width:20 t ~n:3 in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + 3 lanes + trailing" 5 (List.length lines);
+  let lane i = List.nth lines (i + 1) in
+  Alcotest.(check bool) "site 0 in CS early" true
+    (String.contains (lane 0) '#');
+  Alcotest.(check bool) "site 2 crashed" true (String.contains (lane 2) 'X');
+  (* site 0's lane must not show CS in its last quarter *)
+  let l0 = lane 0 in
+  let tail = String.sub l0 (String.length l0 - 5) 5 in
+  Alcotest.(check bool) "site 0 idle at end" false (String.contains tail '#')
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("disabled records nothing", test_disabled_records_nothing);
+      ("chronological entries", test_chronological_entries);
+      ("capacity trims oldest", test_capacity_trims_oldest);
+      ("clear", test_clear);
+      ("entry pretty-printer", test_pp_entry);
+      ("timeline rendering", test_timeline);
+    ]

@@ -1,0 +1,77 @@
+(* Arrival processes. *)
+
+module W = Dmx_sim.Workload
+module Rng = Dmx_sim.Rng
+
+let rng () = Rng.create 3
+
+let test_poisson_initial () =
+  let arr = W.initial_arrivals (W.Poisson { rate_per_site = 0.5 }) ~n:5 ~rng:(rng ()) in
+  Alcotest.(check int) "one per site" 5 (List.length arr);
+  List.iter
+    (fun (t, s) ->
+      Alcotest.(check bool) "future time" true (t >= 0.0);
+      Alcotest.(check bool) "site in range" true (s >= 0 && s < 5))
+    arr;
+  Alcotest.(check (list int)) "each site once" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare (List.map snd arr))
+
+let test_poisson_rate_validated () =
+  Alcotest.(check bool) "rate 0 rejected" true
+    (try
+       ignore (W.initial_arrivals (W.Poisson { rate_per_site = 0.0 }) ~n:3 ~rng:(rng ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_poisson_next () =
+  match W.next_arrival (W.Poisson { rate_per_site = 2.0 }) ~site:1 ~now:10.0 ~rng:(rng ()) with
+  | Some t -> Alcotest.(check bool) "after now" true (t > 10.0)
+  | None -> Alcotest.fail "poisson never exhausts"
+
+let test_saturated () =
+  let w = W.Saturated { contenders = 3 } in
+  let arr = W.initial_arrivals w ~n:5 ~rng:(rng ()) in
+  Alcotest.(check (list (pair (float 0.0) int))) "three at t=0"
+    [ (0.0, 0); (0.0, 1); (0.0, 2) ]
+    (List.sort compare arr);
+  Alcotest.(check bool) "closed loop" true (W.is_closed_loop w);
+  Alcotest.(check (option (float 0.0))) "contender re-arrives now" (Some 7.0)
+    (W.next_arrival w ~site:1 ~now:7.0 ~rng:(rng ()));
+  Alcotest.(check (option (float 0.0))) "non-contender never" None
+    (W.next_arrival w ~site:4 ~now:7.0 ~rng:(rng ()))
+
+let test_saturated_bounds () =
+  Alcotest.(check bool) "contenders > n rejected" true
+    (try
+       ignore (W.initial_arrivals (W.Saturated { contenders = 9 }) ~n:5 ~rng:(rng ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_burst () =
+  let w = W.Burst { requesters = [ 2; 4 ]; at = 3.5 } in
+  let arr = W.initial_arrivals w ~n:5 ~rng:(rng ()) in
+  Alcotest.(check (list (pair (float 0.0) int))) "burst pair"
+    [ (3.5, 2); (3.5, 4) ]
+    (List.sort compare arr);
+  Alcotest.(check bool) "open loop" false (W.is_closed_loop w);
+  Alcotest.(check (option (float 0.0))) "one-shot" None
+    (W.next_arrival w ~site:2 ~now:9.0 ~rng:(rng ()))
+
+let test_burst_range_checked () =
+  Alcotest.(check bool) "site out of range" true
+    (try
+       ignore (W.initial_arrivals (W.Burst { requesters = [ 7 ]; at = 0.0 }) ~n:5 ~rng:(rng ()));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("poisson initial arrivals", test_poisson_initial);
+      ("poisson validates rate", test_poisson_rate_validated);
+      ("poisson next arrival", test_poisson_next);
+      ("saturated workload", test_saturated);
+      ("saturated validates contenders", test_saturated_bounds);
+      ("burst workload", test_burst);
+      ("burst validates sites", test_burst_range_checked);
+    ]
