@@ -22,6 +22,7 @@ let registry =
     ("availability", ("E8: coterie availability", Experiments.availability));
     ("fault-tolerance", ("E9: crash injection and detector ablation", Experiments.fault_tolerance));
     ("replica-control", ("E10: read/write quorums for replica control", Experiments.replica_control));
+    ("unreliable-network", ("E12: loss sweep and partition healing", Experiments.unreliable_network));
     ("model-check", ("MC: exhaustive small-scope schedule exploration", Experiments.model_check));
     ("ablation", ("A1/A2: design-choice ablations (piggyback, eager fails)", Experiments.ablation));
     ("micro", ("M1: substrate micro-benchmarks", Micro.run));

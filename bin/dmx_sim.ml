@@ -153,12 +153,131 @@ let crashes_arg =
 let detect_arg =
   Arg.(
     value & opt float 3.0
-    & info [ "detect" ] ~docv:"DELAY" ~doc:"Failure detection latency.")
+    & info [ "detect" ] ~docv:"DELAY"
+        ~doc:"Failure detection latency (oracle detector).")
+
+let detector_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "oracle" ] -> Ok `Oracle
+    | [ "heartbeat" ] -> Ok (`Heartbeat Dmx_sim.Detector.default)
+    | [ "heartbeat"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ p; t ] -> (
+        match (float_of_string_opt p, float_of_string_opt t) with
+        | Some period, Some timeout ->
+          Ok (`Heartbeat { Dmx_sim.Detector.period; timeout })
+        | _ -> Error (`Msg "bad heartbeat parameters"))
+      | _ -> Error (`Msg "bad heartbeat parameters"))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad detector %S (expected oracle | heartbeat[:PERIOD,TIMEOUT])"
+              s))
+  in
+  let pp ppf = function
+    | `Oracle -> Format.pp_print_string ppf "oracle"
+    | `Heartbeat c -> Format.fprintf ppf "heartbeat:%a" Dmx_sim.Detector.pp_config c
+  in
+  Arg.conv (parse, pp)
+
+let detector_arg =
+  Arg.(
+    value & opt detector_conv `Oracle
+    & info [ "detector" ] ~docv:"KIND"
+        ~doc:
+          "Failure detector: oracle (perfect, latency from $(b,--detect)) or \
+           heartbeat:PERIOD,TIMEOUT (unreliable, may falsely suspect).")
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P" ~doc:"Per-message loss probability in [0,1).")
+
+let dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Per-message duplication probability in [0,1).")
+
+let partition_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad partition %S (expected FROM:UNTIL:G1|G2, groups like \
+               0,1|2,3; UNTIL may be inf)" s))
+    in
+    match String.split_on_char ':' s with
+    | [ from_s; until_s; groups_s ] -> (
+      match (float_of_string_opt from_s, float_of_string_opt until_s) with
+      | Some from_t, Some until -> (
+        try
+          let groups =
+            List.map
+              (fun g ->
+                List.map
+                  (fun x ->
+                    match int_of_string_opt (String.trim x) with
+                    | Some v -> v
+                    | None -> raise Exit)
+                  (String.split_on_char ',' g))
+              (String.split_on_char '|' groups_s)
+          in
+          Ok { Net.from_t; until; groups }
+        with Exit -> fail ())
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  let pp ppf (p : Net.partition) =
+    Format.fprintf ppf "%g:%g:%s" p.Net.from_t p.Net.until
+      (String.concat "|"
+         (List.map
+            (fun g -> String.concat "," (List.map string_of_int g))
+            p.Net.groups))
+  in
+  Arg.conv (parse, pp)
+
+let partition_arg =
+  Arg.(
+    value & opt_all partition_conv []
+    & info [ "partition" ] ~docv:"FROM:UNTIL:G1|G2"
+        ~doc:
+          "Partition the network between FROM and UNTIL into groups (sites \
+           comma-separated, groups |-separated; unlisted sites form one \
+           extra group). Repeatable.")
+
+let spike_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ f; u; k ] -> (
+      match
+        (float_of_string_opt f, float_of_string_opt u, float_of_string_opt k)
+      with
+      | Some from_t, Some until, Some factor -> Ok (from_t, until, factor)
+      | _ -> Error (`Msg "bad spike (expected FROM:UNTIL:FACTOR)"))
+    | _ -> Error (`Msg "bad spike (expected FROM:UNTIL:FACTOR)")
+  in
+  let pp ppf (f, u, k) = Format.fprintf ppf "%g:%g:%g" f u k in
+  Arg.conv (parse, pp)
+
+let spike_arg =
+  Arg.(
+    value & opt_all spike_conv []
+    & info [ "spike" ] ~docv:"FROM:UNTIL:FACTOR"
+        ~doc:"Multiply message delays by FACTOR between FROM and UNTIL. \
+              Repeatable.")
 
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Print a CSV record instead of text.")
 
-let make_cfg n seed execs warmup cs delay workload crashes detect =
+let faults_of loss dup partitions spikes =
+  { Net.loss; duplication = dup; partitions; delay_spikes = spikes }
+
+let make_cfg ?(faults = Net.no_faults) ?(det = `Oracle) n seed execs warmup cs
+    delay workload crashes detect =
   let wl =
     match workload with
     | `Saturated_all -> W.Saturated { contenders = n }
@@ -175,30 +294,50 @@ let make_cfg n seed execs warmup cs delay workload crashes detect =
     delay;
     workload = wl;
     crashes;
-    detection_delay = detect;
+    detector =
+      (match det with
+      | `Oracle -> E.Oracle detect
+      | `Heartbeat c -> E.Heartbeat c);
+    faults;
     max_time = 1.0e9;
   }
 
-let runner_of_algo algo kind ~n =
+(* Under an unreliable network or detector, the FT variant needs its
+   retry/ack layer and must treat detector output as suspicion, not
+   truth; the plain scenarios keep the paper-faithful bare channels. *)
+let runner_of_algo ?(faults = Net.no_faults) ?(det = `Oracle) algo kind ~n =
+  let lossy =
+    faults.Net.loss > 0.0
+    || faults.Net.duplication > 0.0
+    || faults.Net.partitions <> []
+  in
+  let trusted = match det with `Oracle -> true | `Heartbeat _ -> false in
   match algo with
   | "delay-optimal" -> Ok (R.delay_optimal ~kind ~n ())
-  | "ft-delay-optimal" -> Ok (R.ft_delay_optimal ~kind ~n ())
+  | "ft-delay-optimal" ->
+    let reliability =
+      if lossy || not trusted then Some Dmx_core.Reliable.default else None
+    in
+    Ok (R.ft_delay_optimal ?reliability ~trust_detector:trusted ~kind ~n ())
   | "maekawa" -> Ok (R.maekawa ~kind ~n ())
   | "raymond-chain" -> Ok (R.raymond ~chain:true ~n ())
   | other -> Result.map (fun f -> f ~n) (R.by_name other)
 
 let csv_header =
   "algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,\
-   resp_mean,resp_p99,throughput,violations,deadlocked,pending"
+   resp_mean,resp_p99,throughput,violations,deadlocked,pending,retx,\
+   unavail_windows,unavail_time"
 
 let csv_line (r : E.report) variant =
   let s = Dmx_sim.Stats.Summary.mean in
   let p x = Dmx_sim.Stats.Summary.percentile x 99.0 in
-  Printf.sprintf "%s,%s,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.6f,%d,%b,%d"
+  Printf.sprintf "%s,%s,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.6f,%d,%b,%d,%d,%d,%.4f"
     r.E.protocol variant r.E.n r.E.executions r.E.total_messages
     r.E.messages_per_cs (s r.E.sync_delay) (p r.E.sync_delay)
     (s r.E.response_time) (p r.E.response_time) r.E.throughput r.E.violations
-    r.E.deadlocked r.E.pending_at_end
+    r.E.deadlocked r.E.pending_at_end r.E.retransmissions
+    (Dmx_sim.Stats.Summary.count r.E.unavailability)
+    (Dmx_sim.Stats.Summary.total r.E.unavailability)
 
 (* ---- run ---- *)
 
@@ -212,14 +351,18 @@ let run_cmd =
              ricart-agrawala, singhal-dynamic, suzuki-kasami, \
              singhal-heuristic, raymond, raymond-chain.")
   in
-  let action algo kind n seed execs warmup cs delay workload crashes detect csv
-      =
-    match runner_of_algo algo kind ~n with
+  let action algo kind n seed execs warmup cs delay workload crashes detect det
+      loss dup partitions spikes csv =
+    let faults = faults_of loss dup partitions spikes in
+    match runner_of_algo ~faults ~det algo kind ~n with
     | Error e ->
       prerr_endline e;
       exit 1
     | Ok runner ->
-      let cfg = make_cfg n seed execs warmup cs delay workload crashes detect in
+      let cfg =
+        make_cfg ~faults ~det n seed execs warmup cs delay workload crashes
+          detect
+      in
       let r = runner.R.run cfg in
       if csv then begin
         print_endline csv_header;
@@ -232,7 +375,8 @@ let run_cmd =
     Term.(
       const action $ algo_arg $ quorum_arg $ n_arg $ seed_arg $ execs_arg
       $ warmup_arg $ cs_arg $ delay_arg $ workload_arg $ crashes_arg
-      $ detect_arg $ csv_arg)
+      $ detect_arg $ detector_arg $ loss_arg $ dup_arg $ partition_arg
+      $ spike_arg $ csv_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one mutual exclusion algorithm.")

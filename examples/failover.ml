@@ -27,7 +27,7 @@ let () =
       cs_duration = 1.0;
       delay = Dmx_sim.Network.Uniform { lo = 0.5; hi = 1.5 };
       crashes = [ (crash_time, 0) ];  (* kill the tree root *)
-      detection_delay = 3.0;
+      detector = Engine.Oracle 3.0;
       max_time = 1.0e6;
     }
   in

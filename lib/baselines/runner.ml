@@ -16,8 +16,11 @@ let delay_optimal ?(kind = B.Grid) ~n () =
     run = (fun cfg -> M.run cfg (Dmx_core.Delay_optimal.config req_sets));
   }
 
-let ft_delay_optimal ?(kind = B.Tree) ~n () =
-  let config = Dmx_core.Ft_delay_optimal.config_of_kind kind ~n ~broadcast:false in
+let ft_delay_optimal ?reliability ?trust_detector ?(kind = B.Tree) ~n () =
+  let config =
+    Dmx_core.Ft_delay_optimal.config_of_kind ?reliability ?trust_detector kind
+      ~n ~broadcast:false
+  in
   let module M = E.Make (Dmx_core.Ft_delay_optimal) in
   {
     name = "ft-delay-optimal";

@@ -15,9 +15,17 @@ type t = {
 val delay_optimal : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
 (** Default quorum: [Grid]. *)
 
-val ft_delay_optimal : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
+val ft_delay_optimal :
+  ?reliability:Dmx_core.Reliable.config ->
+  ?trust_detector:bool ->
+  ?kind:Dmx_quorum.Builder.kind ->
+  n:int ->
+  unit ->
+  t
 (** Fault-tolerant variant (default quorum: [Tree], the reconstruction-
-    friendly coterie). *)
+    friendly coterie). [reliability] enables the retry/ack layer (needed
+    under a lossy {!Dmx_sim.Network.fault_plan}); [trust_detector:false]
+    switches to suspicion semantics for heartbeat detection. *)
 
 val maekawa : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
 val lamport : n:int -> t

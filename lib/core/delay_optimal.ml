@@ -356,6 +356,10 @@ let on_message (ctx : message Proto.ctx) st ~src (msg : message) =
   | Messages.Fail -> on_fail ctx st ~arbiter:src
   | Messages.Yield { of_req } -> on_yield ctx st ~src ~of_req
   | Messages.Failure_note _ -> ()
+  (* Reliability envelopes are unwrapped by the FT layer before dispatch;
+     the base protocol never sees them. Hello carries no protocol content
+     (its Data envelope spread the sender's incarnation, which is all). *)
+  | Messages.Data _ | Messages.Ack _ | Messages.Hello -> ()
 
 let on_timer _ctx _st _tag = ()
 let on_failure _ctx _st _site = ()
@@ -370,14 +374,54 @@ let mark_alive st site = st.dead.(site) <- false
 (* Section 6 failure recovery, shared with the fault-tolerant variant  *)
 (* ------------------------------------------------------------------ *)
 
+(* Abandon the outstanding request without reissuing (graceful
+   degradation: no live quorum exists, so the request parks at the FT
+   layer). Held permissions go back so the arbiters can serve others. *)
+let abandon_request (ctx : message Proto.ctx) st =
+  if st.req <> None && not st.in_cs then begin
+    List.iter (fun k -> if st.replied.(k) then send_yield ctx st k) st.quorum;
+    st.tran_stack <- [];
+    st.inq_queue <- [];
+    st.failed <- false;
+    st.req <- None
+  end
+
 let abandon_and_rerequest (ctx : message Proto.ctx) st new_quorum =
-  List.iter (fun k -> if st.replied.(k) then send_yield ctx st k) st.quorum;
-  st.tran_stack <- [];
-  st.inq_queue <- [];
-  st.failed <- false;
-  st.req <- None;
+  abandon_request ctx st;
   st.quorum <- new_quorum;
   request_cs ctx st
+
+(* Arbiter-side cleanup — the three cases of Section 6 — for a site whose
+   volatile state is provably gone: its queued request, transfers naming
+   it, deferred inquires from it, and any lock tenure it held are void.
+   Shared by the oracle crash path (handle_site_failure) and the
+   restart-evidence path of the FT wrapper (a peer reappearing with a
+   larger incarnation number). *)
+let purge_stale_tenure (ctx : message Proto.ctx) st ~site =
+  (* Case 1: the site's request is queued. If it was the best waiter, the
+     holder was told to forward to it — re-point the holder at the new
+     best waiter. *)
+  let was_head =
+    match Ts_queue.head st.queue with
+    | Some h -> h.Ts.site = site
+    | None -> false
+  in
+  let removed = Ts_queue.remove_site st.queue site in
+  st.fail_noted.(site) <- false;
+  st.pending.(site) <- None;
+  if removed && was_head && not (Ts.is_infinity st.lock) then begin
+    (match Ts_queue.head st.queue with
+    | Some h -> send_transfer ctx st h
+    | None -> ());
+    enforce_head_rule ctx st
+  end;
+  (* Case 2: transfers naming the site are void, and so are deferred
+     inquires from it. *)
+  st.tran_stack <-
+    List.filter (fun (_, tgt) -> tgt.Ts.site <> site) st.tran_stack;
+  st.inq_queue <- List.filter (fun a -> a <> site) st.inq_queue;
+  (* Case 3: the site holds our permission: reclaim and re-grant. *)
+  if st.lock.Ts.site = site then grant_next ctx st
 
 let handle_site_failure (ctx : message Proto.ctx) st ~failed_site ~rebuild =
   st.dead.(failed_site) <- true;
@@ -392,40 +436,11 @@ let handle_site_failure (ctx : message Proto.ctx) st ~failed_site ~rebuild =
       else st.quorum <- q
     | None ->
       ctx.trace_note "failure: no quorum can be rebuilt";
-      if st.req <> None then begin
-        List.iter
-          (fun k -> if st.replied.(k) then send_yield ctx st k)
-          st.quorum;
-        st.tran_stack <- [];
-        st.inq_queue <- [];
-        st.req <- None
-      end
+      abandon_request ctx st
   end;
-  (* Arbiter side, the three cases of Section 6. *)
-  (* Case 1: the dead site's request is queued. If it was the best waiter,
-     the holder was told to forward to it — re-point the holder at the new
-     best waiter. *)
-  let was_head =
-    match Ts_queue.head st.queue with
-    | Some h -> h.Ts.site = failed_site
-    | None -> false
-  in
-  let removed = Ts_queue.remove_site st.queue failed_site in
-  st.fail_noted.(failed_site) <- false;
-  st.pending.(failed_site) <- None;
-  if removed && was_head && not (Ts.is_infinity st.lock) then begin
-    (match Ts_queue.head st.queue with
-    | Some h -> send_transfer ctx st h
-    | None -> ());
-    enforce_head_rule ctx st
-  end;
-  (* Case 2: transfers naming the dead site are void, and so are deferred
-     inquires from it. *)
-  st.tran_stack <-
-    List.filter (fun (_, tgt) -> tgt.Ts.site <> failed_site) st.tran_stack;
-  st.inq_queue <- List.filter (fun a -> a <> failed_site) st.inq_queue;
-  (* Case 3: the dead site holds our permission: reclaim and re-grant. *)
-  if st.lock.Ts.site = failed_site then grant_next ctx st
+  (* Arbiter side: the dead flag is already up, so grant_next skips any
+     in-flight requests from the corpse. *)
+  purge_stale_tenure ctx st ~site:failed_site
 
 module Internal = struct
   let lock st = st.lock
@@ -458,4 +473,7 @@ module Internal = struct
     }
 
   let handle_site_failure = handle_site_failure
+  let abandon_request = abandon_request
+  let abandon_and_rerequest = abandon_and_rerequest
+  let purge_stale_tenure = purge_stale_tenure
 end

@@ -78,4 +78,21 @@ module Internal : sig
   (** Section 6 recovery actions (requester re-quorum + arbiter cleanup);
       exposed here so {!Ft_delay_optimal} and the tests share one
       implementation. *)
+
+  val abandon_request : Messages.t Dmx_sim.Protocol.ctx -> state -> unit
+  (** Withdraw the outstanding request without reissuing: yield held
+      permissions, clear transfer/inquire state. No-op when idle or inside
+      the CS. Used when the request must park (no live quorum). *)
+
+  val abandon_and_rerequest :
+    Messages.t Dmx_sim.Protocol.ctx -> state -> int list -> unit
+  (** [abandon_request], then adopt the given quorum and issue a fresh
+      request with a new timestamp. *)
+
+  val purge_stale_tenure :
+    Messages.t Dmx_sim.Protocol.ctx -> state -> site:int -> unit
+  (** Arbiter-side Section 6 cleanup alone (cases 1–3) for a site whose
+      volatile state is provably gone — e.g. it reappeared with a larger
+      reliability-layer incarnation. Unlike [handle_site_failure] it does
+      not flag the site dead, so its fresh requests are served. *)
 end

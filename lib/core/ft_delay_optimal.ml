@@ -1,10 +1,13 @@
 module Ts = Dmx_sim.Timestamp
 module Proto = Dmx_sim.Protocol
+module Internal_do = Delay_optimal.Internal
 
 type config = {
   base : Delay_optimal.config;
   rebuild : self:int -> avoid:(int -> bool) -> int list option;
   broadcast_failures : bool;
+  reliability : Reliable.config option;
+  trust_detector : bool;
 }
 
 type message = Messages.t
@@ -12,7 +15,12 @@ type message = Messages.t
 type state = {
   base : Delay_optimal.state;
   cfg : config;
-  dead : bool array;
+  dead : bool array;  (* trusted-detector verdicts (oracle) *)
+  suspected : bool array;  (* unreliable-detector hints *)
+  rel : Reliable.t option;
+  rctx : message Proto.ctx;  (* ctx with sends routed through [rel] *)
+  want_cs : bool ref;  (* application request accepted, CS not yet entered *)
+  mutable parked : bool;  (* request withdrawn: no live quorum exists *)
 }
 
 let name = "ft-delay-optimal"
@@ -20,44 +28,156 @@ let describe (c : config) = Delay_optimal.describe c.base
 let message_kind = Messages.kind
 let pp_message = Messages.pp
 
+(* The base protocol keeps sending through the plain [ctx]; this wrapper
+   reroutes its peer sends through the reliability layer (self-sends never
+   touch the network) and intercepts CS entry to maintain [want_cs]. *)
+let make_rctx (ctx : message Proto.ctx) rel want_cs =
+  {
+    ctx with
+    Proto.send =
+      (fun ~dst msg ->
+        match rel with
+        | Some r when dst <> ctx.Proto.self -> Reliable.send r ctx ~dst msg
+        | _ -> ctx.Proto.send ~dst msg);
+    enter_cs =
+      (fun () ->
+        want_cs := false;
+        ctx.Proto.enter_cs ());
+  }
+
 let init (ctx : message Proto.ctx) (c : config) =
-  { base = Delay_optimal.init ctx c.base; cfg = c; dead = Array.make ctx.n false }
+  let rel =
+    Option.map
+      (fun rc ->
+        Reliable.create rc ~n:ctx.Proto.n ~self:ctx.Proto.self
+          ~now:(ctx.Proto.now ()))
+      c.reliability
+  in
+  let want_cs = ref false in
+  let rctx = make_rctx ctx rel want_cs in
+  (* Announce this incarnation to everyone. After a restart the Hello's
+     envelope is the hard evidence arbiters outside the new quorum need to
+     purge the site's pre-crash lock tenure (see on_restart_evidence). *)
+  Option.iter
+    (fun r ->
+      for dst = 0 to ctx.Proto.n - 1 do
+        if dst <> ctx.Proto.self then Reliable.send r ctx ~dst Messages.Hello
+      done)
+    rel;
+  {
+    base = Delay_optimal.init rctx c.base;
+    cfg = c;
+    dead = Array.make ctx.Proto.n false;
+    suspected = Array.make ctx.Proto.n false;
+    rel;
+    rctx;
+    want_cs;
+    parked = false;
+  }
 
-let rebuild_avoiding_dead st ~self ~avoid =
-  st.cfg.rebuild ~self ~avoid:(fun s -> st.dead.(s) || avoid s)
+let unavailable st s = st.dead.(s) || st.suspected.(s)
 
+let rebuild_avoiding_unavailable st ~self ~avoid =
+  st.cfg.rebuild ~self ~avoid:(fun s -> unavailable st s || avoid s)
+
+let park (ctx : message Proto.ctx) st =
+  if not st.parked then begin
+    st.parked <- true;
+    ctx.Proto.mark_parked true;
+    ctx.Proto.trace_note "ft: no live quorum; request parked until heal"
+  end
+
+(* A parked request retries the moment some rebuild succeeds — called on
+   every recovery/trust transition and on restart evidence. *)
+let try_unpark (ctx : message Proto.ctx) st =
+  if st.parked then begin
+    match
+      rebuild_avoiding_unavailable st ~self:ctx.Proto.self
+        ~avoid:(fun _ -> false)
+    with
+    | Some q ->
+      st.parked <- false;
+      ctx.Proto.mark_parked false;
+      ctx.Proto.trace_note "ft: live quorum restored; retrying parked request";
+      Internal_do.set_quorum st.base q;
+      Delay_optimal.request_cs st.rctx st.base
+    | None -> ()
+  end
+
+(* If a failure-triggered rebuild abandoned the outstanding request for
+   lack of a live quorum, degrade gracefully instead of losing it. *)
+let park_if_abandoned (ctx : message Proto.ctx) st =
+  if
+    !(st.want_cs)
+    && Internal_do.request st.base = None
+    && not (Internal_do.in_cs st.base)
+  then park ctx st
+
+(* Trusted-detector path: the oracle's verdicts are ground truth, so the
+   full Section 6 recovery runs — including the arbiter-side cleanup that
+   reclaims the dead site's lock tenure. *)
 let note_failure (ctx : message Proto.ctx) st site =
-  if site <> ctx.self && not st.dead.(site) then begin
+  if site <> ctx.Proto.self && not st.dead.(site) then begin
     st.dead.(site) <- true;
+    Option.iter (fun r -> Reliable.suspend r site) st.rel;
     if st.cfg.broadcast_failures then
-      for other = 0 to ctx.n - 1 do
-        if other <> ctx.self && other <> site then
-          ctx.send ~dst:other (Messages.Failure_note site)
+      for other = 0 to ctx.Proto.n - 1 do
+        if other <> ctx.Proto.self && other <> site then
+          st.rctx.Proto.send ~dst:other (Messages.Failure_note site)
       done;
-    Delay_optimal.Internal.handle_site_failure ctx st.base ~failed_site:site
-      ~rebuild:(rebuild_avoiding_dead st)
+    Internal_do.handle_site_failure st.rctx st.base ~failed_site:site
+      ~rebuild:(rebuild_avoiding_unavailable st);
+    park_if_abandoned ctx st
+  end
+
+(* Unreliable-detector path: a suspicion may be false (the site is merely
+   partitioned away, or its heartbeats were lost), so only requester-side
+   actions run. Reclaiming an arbiter lock or dropping a queued request on
+   a false suspicion could admit two sites to the CS — that cleanup waits
+   for hard evidence (a larger incarnation number, see on_message). *)
+let note_suspicion (ctx : message Proto.ctx) st site =
+  if site <> ctx.Proto.self && not st.suspected.(site) then begin
+    st.suspected.(site) <- true;
+    Option.iter (fun r -> Reliable.suspend r site) st.rel;
+    if
+      Internal_do.request st.base <> None
+      && (not (Internal_do.in_cs st.base))
+      && List.mem site (Internal_do.quorum st.base)
+    then begin
+      match
+        rebuild_avoiding_unavailable st ~self:ctx.Proto.self
+          ~avoid:(fun _ -> false)
+      with
+      | Some q -> Internal_do.abandon_and_rerequest st.rctx st.base q
+      | None ->
+        Internal_do.abandon_request st.rctx st.base;
+        park ctx st
+    end
   end
 
 let request_cs (ctx : message Proto.ctx) st =
+  st.want_cs := true;
   (* The paper rebuilds on failure detection; a site that was idle at
      detection time refreshes its quorum lazily, here. *)
-  let quorum = Delay_optimal.Internal.quorum st.base in
-  if List.exists (fun s -> st.dead.(s)) quorum then begin
-    match rebuild_avoiding_dead st ~self:ctx.self ~avoid:(fun _ -> false) with
-    | Some q -> Delay_optimal.Internal.set_quorum st.base q
-    | None -> ctx.trace_note "ft: no live quorum available; request will hang"
-  end;
-  Delay_optimal.request_cs ctx st.base
+  let quorum = Internal_do.quorum st.base in
+  if List.exists (unavailable st) quorum then begin
+    match
+      rebuild_avoiding_unavailable st ~self:ctx.Proto.self
+        ~avoid:(fun _ -> false)
+    with
+    | Some q ->
+      Internal_do.set_quorum st.base q;
+      Delay_optimal.request_cs st.rctx st.base
+    | None -> park ctx st
+  end
+  else Delay_optimal.request_cs st.rctx st.base
 
-let release_cs (ctx : message Proto.ctx) st = Delay_optimal.release_cs ctx st.base
+let release_cs (_ctx : message Proto.ctx) st =
+  Delay_optimal.release_cs st.rctx st.base
 
-let on_message (ctx : message Proto.ctx) st ~src (msg : message) =
-  match msg with
-  | Messages.Failure_note site -> note_failure ctx st site
-  | _ -> Delay_optimal.on_message ctx st.base ~src msg
-
-let on_timer _ctx _st _tag = ()
-let on_failure ctx st site = note_failure ctx st site
+let on_failure ctx st site =
+  if st.cfg.trust_detector then note_failure ctx st site
+  else note_suspicion ctx st site
 
 (* Fail-stop recovery (Section 6's "a recovery scheme increases the failure
    resiliency"): the rejoined site restarts with fresh state, so survivors
@@ -65,14 +185,64 @@ let on_failure ctx st site = note_failure ctx st site
    quorum rebuilds may route through it. Because all rebuilt quorums come
    from the same coterie family, quorums chosen while the site was dead
    still intersect quorums chosen through it afterwards, so no
-   stop-the-world resynchronization is needed. *)
+   stop-the-world resynchronization is needed. Under the heartbeat
+   detector this doubles as the trust transition that revokes a (possibly
+   false) suspicion. *)
 let on_recovery (ctx : message Proto.ctx) st site =
-  if site <> ctx.self && st.dead.(site) then begin
-    st.dead.(site) <- false;
-    Delay_optimal.Internal.mark_alive st.base site
+  if site <> ctx.Proto.self then begin
+    if st.dead.(site) then begin
+      st.dead.(site) <- false;
+      Internal_do.mark_alive st.base site
+    end;
+    st.suspected.(site) <- false;
+    Option.iter (fun r -> Reliable.resume r ctx site) st.rel;
+    try_unpark ctx st
   end
 
-let config_of_kind kind ~n ~broadcast =
+let dispatch_payload (ctx : message Proto.ctx) st ~src (msg : message) =
+  match msg with
+  | Messages.Failure_note site -> on_failure ctx st site
+  | msg -> Delay_optimal.on_message st.rctx st.base ~src msg
+
+(* A peer reappearing with a larger incarnation number provably lost its
+   volatile state: run the arbiter-side Section 6 cleanup (safe even under
+   an untrusted detector — this is evidence, not a hint), void any
+   permission we hold from its previous life by restarting our own
+   request round, and treat the contact as a liveness proof. *)
+let on_restart_evidence (ctx : message Proto.ctx) st src =
+  if st.dead.(src) then begin
+    st.dead.(src) <- false;
+    Internal_do.mark_alive st.base src
+  end;
+  st.suspected.(src) <- false;
+  Option.iter (fun r -> Reliable.resume r ctx src) st.rel;
+  Internal_do.purge_stale_tenure st.rctx st.base ~site:src;
+  if
+    Internal_do.request st.base <> None
+    && (not (Internal_do.in_cs st.base))
+    && List.mem src (Internal_do.quorum st.base)
+  then
+    Internal_do.abandon_and_rerequest st.rctx st.base
+      (Internal_do.quorum st.base);
+  try_unpark ctx st
+
+let on_message (ctx : message Proto.ctx) st ~src (msg : message) =
+  match (msg, st.rel) with
+  | (Messages.Data _ | Messages.Ack _), Some r ->
+    let { Reliable.restarted; deliveries } = Reliable.on_message r ctx ~src msg in
+    if restarted then on_restart_evidence ctx st src;
+    List.iter (fun m -> dispatch_payload ctx st ~src m) deliveries
+  | (Messages.Data _ | Messages.Ack _), None ->
+    (* reliability disabled here: a stray envelope is dropped *)
+    ()
+  | msg, _ -> dispatch_payload ctx st ~src msg
+
+let on_timer ctx st tag =
+  match st.rel with
+  | Some r -> ignore (Reliable.on_timer r ctx tag : bool)
+  | None -> ()
+
+let config_of_kind ?reliability ?(trust_detector = true) kind ~n ~broadcast =
   let req_sets = Dmx_quorum.Builder.req_sets kind ~n in
   let rebuild =
     match (kind : Dmx_quorum.Builder.kind) with
@@ -103,11 +273,25 @@ let config_of_kind kind ~n ~broadcast =
           (fun q -> List.for_all (fun s -> not (avoid s)) q)
           req_sets
   in
-  { base = Delay_optimal.config req_sets; rebuild; broadcast_failures = broadcast }
+  {
+    base = Delay_optimal.config req_sets;
+    rebuild;
+    broadcast_failures = broadcast;
+    reliability;
+    trust_detector;
+  }
 
 module Internal = struct
   let base_state st = st.base
 
   let known_dead st =
     List.filter (fun s -> st.dead.(s)) (List.init (Array.length st.dead) Fun.id)
+
+  let suspects st =
+    List.filter
+      (fun s -> st.suspected.(s))
+      (List.init (Array.length st.suspected) Fun.id)
+
+  let parked st = st.parked
+  let reliable st = st.rel
 end

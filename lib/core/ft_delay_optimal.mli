@@ -9,32 +9,68 @@
     (re-pointing the pending transfer), voids transfers naming it, and
     reclaims its own permission if the dead site was holding it.
 
-    {b Model requirement}: recovery is safe when the failure detection
-    latency exceeds the maximum in-flight message delay, so that a release
-    forwarded by a crashing site is processed before the crash is acted
-    upon. Use a bounded delay model ([Constant]/[Uniform]) and a larger
-    [detection_delay]; EXPERIMENTS.md E9 demonstrates both the safe and
-    the violated configuration. *)
+    Beyond the paper's fail-stop sketch, this variant survives an
+    {e unreliable network}:
+
+    - with [reliability = Some _], every peer message travels through the
+      {!Reliable} retry/ack layer, restoring the Section-2 reliable-FIFO
+      assumption under loss, duplication, and reordering;
+    - with [trust_detector = false] (for heartbeat-style detectors whose
+      suspicions can be wrong), a suspicion triggers only requester-side
+      reactions — re-quorum around the suspect, pause retransmissions.
+      Arbiter-side cleanup (which can break mutual exclusion when applied
+      on a false suspicion) waits for hard evidence: the suspect
+      reappearing with a larger {!Reliable} incarnation number;
+    - when no live quorum can be rebuilt the outstanding request {e parks}
+      (withdrawn, reported as an unavailability window via
+      [ctx.mark_parked]) and automatically retries on the next recovery,
+      trust transition, or restart evidence — e.g. when a partition heals.
+
+    {b Model requirement}: with the trusted (oracle) detector, recovery is
+    safe when the failure detection latency exceeds the maximum in-flight
+    message delay, so that a release forwarded by a crashing site is
+    processed before the crash is acted upon. Use a bounded delay model
+    ([Constant]/[Uniform]) and a larger detection latency; EXPERIMENTS.md
+    E9 demonstrates both the safe and the violated configuration. *)
 
 type config = {
   base : Delay_optimal.config;
   rebuild : self:int -> avoid:(int -> bool) -> int list option;
       (** Quorum reconstruction avoiding failed sites, e.g.
           {!Dmx_quorum.Tree_quorum.quorum} restricted to live sites. [None]
-          when no live quorum exists — the request is then abandoned. *)
+          when no live quorum exists — the request then parks until one
+          reappears. *)
   broadcast_failures : bool;
       (** Re-broadcast a [failure(i)] note on first detection (the paper's
           dissemination); with the simulator's oracle detector this is
           redundant but exercises the paper's message path. *)
+  reliability : Reliable.config option;
+      (** [Some cfg] wraps every peer message in the {!Reliable} retry/ack
+          layer. Required for correct operation under a lossy
+          {!Dmx_sim.Network.fault_plan}; [None] preserves the original
+          bare-channel behavior (and keeps the protocol usable on runtimes
+          without timers). *)
+  trust_detector : bool;
+      (** [true] (oracle): failure notifications are ground truth; run the
+          full Section 6 recovery including arbiter-side lock reclaim.
+          [false] (heartbeat): treat notifications as suspicions; only
+          requester-side reactions, arbiter cleanup waits for restart
+          evidence. *)
 }
 
 val config_of_kind :
-  Dmx_quorum.Builder.kind -> n:int -> broadcast:bool -> config
+  ?reliability:Reliable.config ->
+  ?trust_detector:bool ->
+  Dmx_quorum.Builder.kind ->
+  n:int ->
+  broadcast:bool ->
+  config
 (** Convenience: initial request sets and a rebuild function for the given
     construction. Rebuilding is construction-aware for [Tree] (path
     substitution) and [Majority]/[Grid_set]/[Rst] (live-member windows);
     other kinds fall back to retrying the static set without the dead site
-    when it still intersects every other quorum. *)
+    when it still intersects every other quorum. [reliability] defaults to
+    [None] (bare channels), [trust_detector] to [true] (oracle). *)
 
 include
   Dmx_sim.Protocol.PROTOCOL
@@ -43,5 +79,16 @@ include
 
 module Internal : sig
   val base_state : state -> Delay_optimal.state
+
   val known_dead : state -> int list
+  (** Sites flagged dead by trusted-detector notifications, ascending. *)
+
+  val suspects : state -> int list
+  (** Sites currently suspected (untrusted-detector mode), ascending. *)
+
+  val parked : state -> bool
+  (** The outstanding request is parked for lack of a live quorum. *)
+
+  val reliable : state -> Reliable.t option
+  (** The reliability layer, when enabled. *)
 end

@@ -37,8 +37,32 @@ type t =
   | Failure_note of int
       (** failure(i) broadcast of Section 6: the given site has crashed.
           Only used by the fault-tolerant variant. *)
+  | Hello
+      (** stream announcement of the reliability layer: carries no protocol
+          content, but travels in a [Data] envelope so its incarnation
+          number reaches every peer — a (re)joining site broadcasts it so
+          arbiters outside its new quorum still learn of the restart *)
+  | Data of {
+      inc : float;
+      dst_inc : float;
+      seq : int;
+      base : int;
+      retx : bool;
+      payload : t;
+    }
+      (** reliability envelope (Reliable layer): [payload] is the [seq]-th
+          message of the sender's incarnation [inc]; [dst_inc] is the
+          sender's last known incarnation of the destination
+          ([neg_infinity] before first contact) — a restarted receiver uses
+          it to discard mail addressed to its dead predecessor; [base] is
+          the sender's oldest unacknowledged sequence number, letting a
+          fresh receiver join the stream mid-flight; [retx] marks a
+          retransmission. *)
+  | Ack of { of_inc : float; upto : int }
+      (** cumulative acknowledgement: every [Data] of incarnation [of_inc]
+          with sequence number <= [upto] arrived *)
 
-let kind = function
+let rec kind = function
   | Request _ -> "request"
   | Reply { next = None; _ } -> "reply"
   | Reply { next = Some _; _ } -> "reply+transfer"
@@ -48,8 +72,15 @@ let kind = function
   | Fail -> "fail"
   | Yield _ -> "yield"
   | Failure_note _ -> "failure"
+  | Hello -> "hello"
+  (* First transmissions are accounted as their payload (the envelope is
+     bookkeeping, not an extra message of the paper's analysis); re-sends
+     and acks are the reliability layer's own overhead. *)
+  | Data { retx = false; payload; _ } -> kind payload
+  | Data { retx = true; _ } -> "retx"
+  | Ack _ -> "ack"
 
-let pp ppf = function
+let rec pp ppf = function
   | Request ts -> Format.fprintf ppf "request%a" Ts.pp ts
   | Reply { arbiter; for_req; next = None } ->
     Format.fprintf ppf "reply(%d)@%a" arbiter Ts.pp for_req
@@ -66,3 +97,8 @@ let pp ppf = function
   | Fail -> Format.pp_print_string ppf "fail"
   | Yield { of_req } -> Format.fprintf ppf "yield(%a)" Ts.pp of_req
   | Failure_note i -> Format.fprintf ppf "failure(%d)" i
+  | Hello -> Format.pp_print_string ppf "hello"
+  | Data { seq; retx; payload; _ } ->
+    Format.fprintf ppf "%s#%d:%a" (if retx then "retx" else "seq") seq pp
+      payload
+  | Ack { upto; _ } -> Format.fprintf ppf "ack<=%d" upto

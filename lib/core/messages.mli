@@ -34,9 +34,33 @@ type t =
           held for its request [of_req] *)
   | Failure_note of int
       (** failure(i) broadcast of Section 6 (fault-tolerant variant only) *)
+  | Hello
+      (** reliability-layer stream announcement: no protocol content, but
+          the [Data] envelope around it spreads the sender's incarnation
+          number, giving every peer restart evidence after a rejoin *)
+  | Data of {
+      inc : float;
+      dst_inc : float;
+      seq : int;
+      base : int;
+      retx : bool;
+      payload : t;
+    }
+      (** reliability envelope (see {!Reliable}): [payload] is message
+          number [seq] of the sender's incarnation [inc]; [dst_inc] is the
+          sender's last known incarnation of the destination
+          ([neg_infinity] before first contact), letting a restarted
+          receiver discard mail addressed to its dead predecessor; [base]
+          is the sender's oldest unacknowledged sequence number; [retx]
+          marks a retransmission *)
+  | Ack of { of_inc : float; upto : int }
+      (** cumulative acknowledgement of every [Data] with [seq <= upto] in
+          incarnation [of_inc] *)
 
 val kind : t -> string
 (** Coarse message class for per-kind accounting; piggybacked combinations
-    count once ("inquire+transfer", "reply+transfer"). *)
+    count once ("inquire+transfer", "reply+transfer"). A first-transmission
+    [Data] envelope counts as its payload's kind; retransmissions count as
+    "retx" and acknowledgements as "ack". *)
 
 val pp : Format.formatter -> t -> unit

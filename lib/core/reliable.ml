@@ -1,0 +1,261 @@
+module Proto = Dmx_sim.Protocol
+
+type config = {
+  rto : float;
+  backoff : float;
+  rto_max : float;
+  ack_delay : float;
+}
+
+let default = { rto = 3.0; backoff = 2.0; rto_max = 30.0; ack_delay = 0.5 }
+
+let validate c =
+  if not (c.rto > 0.0) then invalid_arg "Reliable: rto must be positive";
+  if not (c.backoff >= 1.0) then invalid_arg "Reliable: backoff must be >= 1";
+  if not (c.rto_max >= c.rto) then invalid_arg "Reliable: rto_max < rto";
+  if not (c.ack_delay > 0.0) then
+    invalid_arg "Reliable: ack_delay must be positive"
+
+(* Sender side of one peer's stream. [unacked] is oldest-first; everything
+   in it is retransmitted as a block when the timer fires. *)
+type tx = {
+  mutable next_seq : int;
+  mutable unacked : (int * Messages.t) list;
+  mutable rto : float;
+  mutable timer_armed : bool;
+  mutable suspended : bool;
+  mutable progressed : bool;
+      (* an ack advanced the stream since the timer was armed: the path is
+         alive, so a firing deadline re-arms instead of retransmitting the
+         (mostly young) backlog *)
+}
+
+(* Receiver side of one peer's stream. [inc] is the peer's last known
+   incarnation (neg_infinity before first contact); [buffer] holds
+   out-of-order arrivals, sorted by sequence number. *)
+type rx = {
+  mutable inc : float;
+  mutable expected : int;
+  mutable buffer : (int * Messages.t) list;
+  mutable ack_due : bool;
+  mutable ack_armed : bool;
+}
+
+type t = {
+  cfg : config;
+  self : int;
+  n : int;
+  inc : float;  (* this site's incarnation: its init time *)
+  txs : tx array;
+  rxs : rx array;
+}
+
+type incoming = { restarted : bool; deliveries : Messages.t list }
+
+let create cfg ~n ~self ~now =
+  validate cfg;
+  {
+    cfg;
+    self;
+    n;
+    inc = now;
+    txs =
+      Array.init n (fun _ ->
+          {
+            next_seq = 0;
+            unacked = [];
+            rto = cfg.rto;
+            timer_armed = false;
+            suspended = false;
+            progressed = false;
+          });
+    rxs =
+      Array.init n (fun _ ->
+          {
+            inc = Float.neg_infinity;
+            expected = 0;
+            buffer = [];
+            ack_due = false;
+            ack_armed = false;
+          });
+  }
+
+let retx_tag peer = 2 * peer
+let ack_tag peer = (2 * peer) + 1
+let owns_tag t tag = tag >= 0 && tag < 2 * t.n
+
+let arm_retx t (ctx : Messages.t Proto.ctx) peer =
+  let x = t.txs.(peer) in
+  if not x.timer_armed then begin
+    x.timer_armed <- true;
+    x.progressed <- false;
+    ctx.Proto.set_timer ~delay:x.rto ~tag:(retx_tag peer)
+  end
+
+let send t (ctx : Messages.t Proto.ctx) ~dst payload =
+  let x = t.txs.(dst) in
+  let seq = x.next_seq in
+  x.next_seq <- seq + 1;
+  x.unacked <- x.unacked @ [ (seq, payload) ];
+  let base = fst (List.hd x.unacked) in
+  ctx.Proto.send ~dst
+    (Messages.Data
+       {
+         inc = t.inc;
+         dst_inc = t.rxs.(dst).inc;
+         seq;
+         base;
+         retx = false;
+         payload;
+       });
+  if not x.suspended then arm_retx t ctx dst
+
+let mark_ack_due t (ctx : Messages.t Proto.ctx) peer =
+  let r = t.rxs.(peer) in
+  r.ack_due <- true;
+  if not r.ack_armed then begin
+    r.ack_armed <- true;
+    ctx.Proto.set_timer ~delay:t.cfg.ack_delay ~tag:(ack_tag peer)
+  end
+
+let resend_all t (ctx : Messages.t Proto.ctx) peer =
+  let x = t.txs.(peer) in
+  match x.unacked with
+  | [] -> ()
+  | (base, _) :: _ ->
+    List.iter
+      (fun (seq, payload) ->
+        ctx.Proto.send ~dst:peer
+          (Messages.Data
+             {
+               inc = t.inc;
+               dst_inc = t.rxs.(peer).inc;
+               seq;
+               base;
+               retx = true;
+               payload;
+             }))
+      x.unacked
+
+let on_timer t (ctx : Messages.t Proto.ctx) tag =
+  if not (owns_tag t tag) then false
+  else begin
+    let peer = tag / 2 in
+    if tag land 1 = 0 then begin
+      (* retransmission deadline *)
+      let x = t.txs.(peer) in
+      x.timer_armed <- false;
+      if x.unacked <> [] && not x.suspended then
+        if x.progressed then begin
+          (* acks flowed during the window, so nothing here is overdue yet:
+             restart the deadline rather than flooding the live path *)
+          x.rto <- t.cfg.rto;
+          arm_retx t ctx peer
+        end
+        else begin
+          resend_all t ctx peer;
+          x.rto <- Float.min (x.rto *. t.cfg.backoff) t.cfg.rto_max;
+          arm_retx t ctx peer
+        end
+    end
+    else begin
+      (* delayed-ack deadline: one cumulative ack covers every Data that
+         arrived during the coalescing window *)
+      let r = t.rxs.(peer) in
+      r.ack_armed <- false;
+      if r.ack_due then begin
+        r.ack_due <- false;
+        ctx.Proto.send ~dst:peer
+          (Messages.Ack { of_inc = r.inc; upto = r.expected - 1 })
+      end
+    end;
+    true
+  end
+
+let rec insert_sorted seq payload = function
+  | [] -> [ (seq, payload) ]
+  | (s, _) :: _ as l when seq < s -> (seq, payload) :: l
+  | ((s, _) as hd) :: rest ->
+    if s = seq then hd :: rest (* duplicate of a buffered message *)
+    else hd :: insert_sorted seq payload rest
+
+let on_message t (ctx : Messages.t Proto.ctx) ~src msg =
+  match msg with
+  | Messages.Ack { of_inc; upto } ->
+    if of_inc = t.inc then begin
+      let x = t.txs.(src) in
+      let before = List.length x.unacked in
+      x.unacked <- List.filter (fun (s, _) -> s > upto) x.unacked;
+      if List.length x.unacked < before then x.progressed <- true;
+      (* stream drained: the path works, restart backoff from scratch *)
+      if x.unacked = [] then x.rto <- t.cfg.rto
+    end;
+    { restarted = false; deliveries = [] }
+  | Messages.Data d ->
+    let r = t.rxs.(src) in
+    if d.inc < r.inc then { restarted = false; deliveries = [] }
+      (* straggler from a previous incarnation of [src]: discard *)
+    else if d.dst_inc < t.inc && not (Float.equal d.dst_inc Float.neg_infinity)
+    then { restarted = false; deliveries = [] }
+      (* mail addressed to a previous incarnation of THIS site: its state
+         died with the crash, so delivering it here would let the restarted
+         protocol mistake a pre-crash conversation (whose restarted Lamport
+         timestamps it may be reusing) for its own. Drop without acking;
+         the sender purges its backlog once our Hello reaches it. *)
+    else begin
+      let restarted =
+        d.inc > r.inc && not (Float.equal r.inc Float.neg_infinity)
+      in
+      if d.inc > r.inc then begin
+        (* new incarnation: join its stream at the sender's declared base *)
+        r.inc <- d.inc;
+        r.expected <- d.base;
+        r.buffer <- [];
+        r.ack_due <- false;
+        if restarted then begin
+          (* the peer provably lost its state (first contact is NOT a
+             restart): void our backlog to it — that mail was addressed to
+             the incarnation that died *)
+          let x = t.txs.(src) in
+          x.unacked <- [];
+          x.rto <- t.cfg.rto
+        end
+      end;
+      let deliveries = ref [] in
+      if d.seq < r.expected then ()
+        (* duplicate; the ack below re-tells the sender *)
+      else if d.seq = r.expected then begin
+        deliveries := [ d.payload ];
+        r.expected <- r.expected + 1;
+        let rec drain () =
+          match r.buffer with
+          | (s, payload) :: rest when s = r.expected ->
+            r.buffer <- rest;
+            deliveries := payload :: !deliveries;
+            r.expected <- r.expected + 1;
+            drain ()
+          | _ -> ()
+        in
+        drain ()
+      end
+      else r.buffer <- insert_sorted d.seq d.payload r.buffer;
+      mark_ack_due t ctx src;
+      { restarted; deliveries = List.rev !deliveries }
+    end
+  | _ -> invalid_arg "Reliable.on_message: not a Data/Ack message"
+
+let suspend t peer = t.txs.(peer).suspended <- true
+
+let resume t (ctx : Messages.t Proto.ctx) peer =
+  let x = t.txs.(peer) in
+  if x.suspended then begin
+    x.suspended <- false;
+    if x.unacked <> [] then begin
+      (* don't wait out a backed-off timer: the peer is reachable again *)
+      x.rto <- t.cfg.rto;
+      resend_all t ctx peer;
+      arm_retx t ctx peer
+    end
+  end
+
+let in_flight t peer = List.length t.txs.(peer).unacked

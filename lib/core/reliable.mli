@@ -1,0 +1,84 @@
+(** A retry/ack reliability layer ("TCP-lite") for protocol messages.
+
+    The base algorithm assumes the paper's Section-2 model: reliable FIFO
+    channels. Under an unreliable network (message loss, duplication,
+    partitions) that assumption is restored here, per peer:
+
+    - every outgoing message is wrapped in a {!Messages.Data} envelope with
+      a monotone per-peer sequence number;
+    - the receiver delivers strictly in order, buffering gaps, suppressing
+      duplicates, and acknowledging cumulatively with a delayed
+      {!Messages.Ack} (one ack covers a burst);
+    - unacknowledged messages are retransmitted as a block on an
+      exponential-backoff timer, capped at [rto_max]. A deadline that
+      observes ack progress since it was armed re-arms at the base [rto]
+      instead of retransmitting: under pipelined traffic the backlog is
+      mostly young messages the block timer has no individual deadline
+      for, and a flowing ack stream proves the path is alive;
+    - retransmission to a suspected peer can be {!suspend}ed and
+      {!resume}d on a trust transition, so a partition does not generate
+      unbounded traffic;
+    - each site stamps an {e incarnation number} (its init time) on every
+      envelope. A receiver adopts a strictly larger incarnation, restarting
+      the peer's stream at the envelope's [base] — and reports it, giving
+      the fault-tolerant layer hard evidence that the peer lost its state
+      (as opposed to an unreliable detector hint). Within an incarnation
+      sequence numbers never reset, so in-flight pre-restart messages
+      cannot corrupt the fresh stream;
+    - envelopes also carry the sender's last known incarnation of the
+      {e destination}. A restarted site drops mail addressed to its dead
+      predecessor — without this, a peer's retransmissions could resurrect
+      a pre-crash conversation inside the fresh protocol state, which
+      restarts its Lamport clock and may be reusing the very timestamps
+      that conversation names. Symmetrically, restart evidence for a peer
+      voids our own retransmission backlog to it.
+
+    The layer claims timer tags [0 .. 2n-1] of the host protocol. *)
+
+type config = {
+  rto : float;  (** initial retransmission timeout *)
+  backoff : float;  (** multiplier applied per retransmission round, >= 1 *)
+  rto_max : float;  (** backoff ceiling *)
+  ack_delay : float;  (** ack coalescing window *)
+}
+
+val default : config
+(** rto = 3, backoff = 2, rto_max = 30, ack_delay = 0.5 — in units of the
+    mean message delay T (rto comfortably above one round trip). *)
+
+type t
+
+val create : config -> n:int -> self:int -> now:float -> t
+(** [now] becomes this site's incarnation number, so it must be strictly
+    larger than any previous incarnation of the same site (the engine's
+    clock is monotone, so init time qualifies).
+    @raise Invalid_argument on a nonsensical config. *)
+
+type incoming = {
+  restarted : bool;
+      (** the sender provably lost its state since we last heard from it:
+          its incarnation number grew *)
+  deliveries : Messages.t list;  (** in-order payloads to hand up *)
+}
+
+val send : t -> Messages.t Dmx_sim.Protocol.ctx -> dst:int -> Messages.t -> unit
+(** Wrap and transmit; arms the retransmission timer unless [dst] is
+    suspended. Not for self-sends (those bypass the network). *)
+
+val on_message : t -> Messages.t Dmx_sim.Protocol.ctx -> src:int -> Messages.t -> incoming
+(** Feed a received [Data] or [Ack].
+    @raise Invalid_argument on any other constructor. *)
+
+val on_timer : t -> Messages.t Dmx_sim.Protocol.ctx -> int -> bool
+(** [false] if the tag is outside the layer's range (not ours). *)
+
+val suspend : t -> int -> unit
+(** Stop retransmitting to the peer (it is suspected down/unreachable).
+    Unacknowledged messages are retained. *)
+
+val resume : t -> Messages.t Dmx_sim.Protocol.ctx -> int -> unit
+(** The peer is trusted again: immediately retransmit its backlog with a
+    fresh timeout. *)
+
+val in_flight : t -> int -> int
+(** Unacknowledged message count toward the peer (test/debug hook). *)

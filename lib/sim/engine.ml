@@ -1,3 +1,5 @@
+type detector = Oracle of float | Heartbeat of Detector.config
+
 type config = {
   n : int;
   seed : int;
@@ -9,7 +11,9 @@ type config = {
   warmup : int;
   crashes : (float * int) list;
   recoveries : (float * int) list;
-  detection_delay : float;
+  detector : detector;
+  faults : Network.fault_plan;
+  stall_timeout : float;
   trace : bool;
 }
 
@@ -25,7 +29,9 @@ let default ~n =
     warmup = 20;
     crashes = [];
     recoveries = [];
-    detection_delay = 1.0;
+    detector = Oracle 1.0;
+    faults = Network.no_faults;
+    stall_timeout = 2000.0;
     trace = false;
   }
 
@@ -47,6 +53,12 @@ type report = {
   pending_at_end : int;
   per_site_executions : int array;
   fairness : float;
+  retransmissions : int;
+  acks : int;
+  detector_messages : int;
+  suspicions : int;
+  false_suspicions : int;
+  unavailability : Stats.Summary.t;
 }
 
 let pp_report ppf r =
@@ -55,7 +67,7 @@ let pp_report ppf r =
      messages: total=%d per-cs=%.2f by-kind=[%s]@,\
      sync delay: %a@,\
      response time: %a@,\
-     throughput=%.4f /T  fairness=%.3f  sim-time=%.1f  violations=%d%s pending=%d@]"
+     throughput=%.4f /T  fairness=%.3f  sim-time=%.1f  violations=%d%s pending=%d"
     r.protocol r.params r.n r.executions r.total_messages r.messages_per_cs
     (String.concat "; "
        (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) r.messages_by_kind))
@@ -63,7 +75,22 @@ let pp_report ppf r =
     (r.throughput *. r.mean_delay)
     r.fairness r.sim_time r.violations
     (if r.deadlocked then " DEADLOCK" else "")
-    r.pending_at_end
+    r.pending_at_end;
+  (* Fault/robustness line only when something happened, so fault-free runs
+     print exactly as before. *)
+  if
+    r.retransmissions > 0 || r.acks > 0 || r.detector_messages > 0
+    || r.suspicions > 0
+    || Stats.Summary.count r.unavailability > 0
+  then
+    Format.fprintf ppf
+      "@,faults: retx=%d acks=%d heartbeats=%d suspicions=%d (false=%d) \
+       unavail-windows=%d unavail-time=%.1f"
+      r.retransmissions r.acks r.detector_messages r.suspicions
+      r.false_suspicions
+      (Stats.Summary.count r.unavailability)
+      (Stats.Summary.total r.unavailability);
+  Format.fprintf ppf "@]"
 
 module Make (P : Protocol.PROTOCOL) = struct
   type ev =
@@ -75,6 +102,19 @@ module Make (P : Protocol.PROTOCOL) = struct
     | Recover_ev of { site : int }
     | Detect of { observer : int; failed : int }
     | Detect_recovery of { observer : int; recovered : int }
+    (* Housekeeping events: failure-detector plumbing and engine timers.
+       They never count toward quiescence detection. *)
+    | Heartbeat_tick of { site : int }
+    | Heartbeat_arrive of { src : int; dst : int }
+    | Partition_edge of { heal : bool }
+    | Watchdog
+
+  let housekeeping = function
+    | Heartbeat_tick _ | Heartbeat_arrive _ | Partition_edge _ | Watchdog ->
+      true
+    | Deliver _ | Timer _ | Arrival _ | Cs_exit _ | Crash_ev _ | Recover_ev _
+    | Detect _ | Detect_recovery _ ->
+      false
 
   type sim = {
     cfg : config;
@@ -84,14 +124,24 @@ module Make (P : Protocol.PROTOCOL) = struct
     counters : Stats.Counter.t;
     sync_delay : Stats.Summary.t;
     response_time : Stats.Summary.t;
+    unavail : Stats.Summary.t;  (* durations of no-live-quorum park windows *)
     request_time : float array;  (* issue time of outstanding request, or nan *)
+    parked_since : float array;  (* start of the site's park window, or nan *)
     backlog : int array;  (* application requests queued behind an active one *)
     site_execs : int array;  (* post-warmup CS completions per site *)
+    detectors : Detector.t array;  (* empty in Oracle mode *)
     wl_rng : Rng.t;
+    watchdog_armed : bool;
     mutable outstanding : int;  (* sites waiting for the CS *)
     mutable in_cs : int;  (* current CS holder, -1 if none *)
     mutable executions : int;  (* completed CS executions, including warmup *)
     mutable messages : int;  (* post-warmup network messages *)
+    mutable detector_msgs : int;  (* heartbeats sent, whole run *)
+    mutable suspicions : int;
+    mutable false_suspicions : int;
+    mutable live_events : int;  (* scheduled non-housekeeping events *)
+    mutable last_progress : float;  (* time of last non-housekeeping event *)
+    mutable forced_deadlock : bool;
     mutable last_exit : float;
     mutable waiting_at_exit : bool;
     mutable had_exit : bool;
@@ -103,6 +153,10 @@ module Make (P : Protocol.PROTOCOL) = struct
   let warmed sim = sim.executions >= sim.cfg.warmup
 
   let target sim = sim.cfg.warmup + sim.cfg.max_executions
+
+  let sched_live sim ~time ev =
+    Event_queue.schedule sim.q ~time ev;
+    sim.live_events <- sim.live_events + 1
 
   (* Builds the per-site contexts and protocol states; mutual recursion with
      event handling is broken by routing everything through the queue. *)
@@ -116,25 +170,46 @@ module Make (P : Protocol.PROTOCOL) = struct
               Trace.record sim.trace ~time:(now ()) ~site:self
                 (Trace.Send
                    { dst; msg = Format.asprintf "%a" P.pp_message msg });
-              Event_queue.schedule sim.q ~time:(now ())
+              sched_live sim ~time:(now ())
                 (Deliver { src = self; dst = self; msg; self_msg = true })
             end
             else begin
-              match Network.delivery_time sim.net ~src:self ~dst ~now:(now ()) with
-              | None ->
+              match Network.transmit sim.net ~src:self ~dst ~now:(now ()) with
+              | Network.Lost `Down ->
                 Trace.record sim.trace ~time:(now ()) ~site:self
                   (Trace.Note
                      (Format.asprintf "drop (crashed endpoint) -> %d : %a" dst
                         P.pp_message msg))
-              | Some at ->
+              | Network.Lost ((`Partitioned | `Faulty) as reason) ->
+                (* The send happened and is charged; the network ate it. *)
+                if warmed sim then begin
+                  sim.messages <- sim.messages + 1;
+                  Stats.Counter.incr sim.counters (P.message_kind msg)
+                end;
+                Trace.record sim.trace ~time:(now ()) ~site:self
+                  (Trace.Drop
+                     {
+                       dst;
+                       reason =
+                         (match reason with
+                         | `Partitioned -> "partition"
+                         | `Faulty -> "loss");
+                     })
+              | Network.Delivered ats ->
                 if warmed sim then begin
                   sim.messages <- sim.messages + 1;
                   Stats.Counter.incr sim.counters (P.message_kind msg)
                 end;
                 Trace.record sim.trace ~time:(now ()) ~site:self
                   (Trace.Send { dst; msg = Format.asprintf "%a" P.pp_message msg });
-                Event_queue.schedule sim.q ~time:at
-                  (Deliver { src = self; dst; msg; self_msg = false })
+                List.iteri
+                  (fun i at ->
+                    if i > 0 then
+                      Trace.record sim.trace ~time:(now ()) ~site:self
+                        (Trace.Duplicate { dst });
+                    sched_live sim ~time:at
+                      (Deliver { src = self; dst; msg; self_msg = false }))
+                  ats
             end
           in
           let enter_cs () =
@@ -161,18 +236,29 @@ module Make (P : Protocol.PROTOCOL) = struct
               sim.request_time.(self) <- Float.nan;
               sim.outstanding <- sim.outstanding - 1;
               sim.in_cs <- self;
-              Event_queue.schedule sim.q
+              sched_live sim
                 ~time:(t +. sim.cfg.cs_duration)
                 (Cs_exit { site = self })
             end
           in
           let set_timer ~delay ~tag =
-            Event_queue.schedule sim.q
+            sched_live sim
               ~time:(now () +. delay)
               (Timer { site = self; tag })
           in
           let trace_note s =
             Trace.record sim.trace ~time:(now ()) ~site:self (Trace.Note s)
+          in
+          let mark_parked parked =
+            let t = now () in
+            if parked then begin
+              if Float.is_nan sim.parked_since.(self) then
+                sim.parked_since.(self) <- t
+            end
+            else if not (Float.is_nan sim.parked_since.(self)) then begin
+              Stats.Summary.add sim.unavail (t -. sim.parked_since.(self));
+              sim.parked_since.(self) <- Float.nan
+            end
           in
           {
             Protocol.self;
@@ -183,6 +269,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             set_timer;
             rng = site_rngs.(self);
             trace_note;
+            mark_parked;
           })
     in
     (ctxs, states)
@@ -203,7 +290,7 @@ module Make (P : Protocol.PROTOCOL) = struct
            ~now:(Event_queue.now sim.q) ~rng:sim.wl_rng
        with
       | Some at when at <= sim.cfg.max_time ->
-        Event_queue.schedule sim.q ~time:at (Arrival { site })
+        sched_live sim ~time:at (Arrival { site })
       | Some _ | None -> ())
     | Workload.Saturated _ | Workload.Burst _ -> ());
     if Network.is_up sim.net site then begin
@@ -245,8 +332,14 @@ module Make (P : Protocol.PROTOCOL) = struct
           Workload.next_arrival sim.cfg.workload ~site
             ~now:(Event_queue.now sim.q) ~rng:sim.wl_rng
         with
-        | Some at -> Event_queue.schedule sim.q ~time:at (Arrival { site })
+        | Some at -> sched_live sim ~time:at (Arrival { site })
         | None -> ()
+    end
+
+  let close_park_window sim site ~at =
+    if not (Float.is_nan sim.parked_since.(site)) then begin
+      Stats.Summary.add sim.unavail (at -. sim.parked_since.(site));
+      sim.parked_since.(site) <- Float.nan
     end
 
   let handle_crash sim ctxs states site =
@@ -254,58 +347,94 @@ module Make (P : Protocol.PROTOCOL) = struct
     Trace.record sim.trace ~time:(Event_queue.now sim.q) ~site Trace.Crash;
     (* In-flight messages to the dead site are lost; its timers and pending
        CS exit die with it. *)
-    Event_queue.drop_if sim.q (function
-      | Deliver { dst; _ } -> dst = site
-      | Timer { site = s; _ } -> s = site
-      | Cs_exit { site = s } -> s = site
-      | Arrival _ | Crash_ev _ | Recover_ev _ | Detect _ | Detect_recovery _ ->
-        false);
+    let dropped =
+      Event_queue.drop_if sim.q (function
+        | Deliver { dst; _ } -> dst = site
+        | Timer { site = s; _ } -> s = site
+        | Cs_exit { site = s } -> s = site
+        | Arrival _ | Crash_ev _ | Recover_ev _ | Detect _ | Detect_recovery _
+        | Heartbeat_tick _ | Heartbeat_arrive _ | Partition_edge _ | Watchdog
+          ->
+          false)
+    in
+    sim.live_events <- sim.live_events - dropped;
     if sim.in_cs = site then sim.in_cs <- -1;
     if not (Float.is_nan sim.request_time.(site)) then begin
       sim.request_time.(site) <- Float.nan;
       sim.outstanding <- sim.outstanding - 1
     end;
+    close_park_window sim site ~at:(Event_queue.now sim.q);
     sim.backlog.(site) <- 0;
     ignore states;
     ignore ctxs;
-    List.iter
-      (fun observer ->
-        if observer <> site then
-          Event_queue.schedule sim.q
-            ~time:(Event_queue.now sim.q +. sim.cfg.detection_delay)
-            (Detect { observer; failed = site }))
-      (Network.up_sites sim.net)
+    match sim.cfg.detector with
+    | Oracle d ->
+      List.iter
+        (fun observer ->
+          if observer <> site then
+            sched_live sim
+              ~time:(Event_queue.now sim.q +. d)
+              (Detect { observer; failed = site }))
+        (Network.up_sites sim.net)
+    | Heartbeat _ ->
+      (* survivors find out when the site's heartbeats time out *)
+      ()
 
   let run ?trace_sink ?inspect (cfg : config) pcfg =
     if cfg.n <= 0 then invalid_arg "Engine.run: n must be positive";
     if cfg.warmup < 0 || cfg.max_executions <= 0 then
       invalid_arg "Engine.run: bad execution counts";
+    if not (cfg.stall_timeout > 0.0) then
+      invalid_arg "Engine.run: stall_timeout must be positive";
     let master_rng = Rng.create cfg.seed in
     let net_rng = Rng.split master_rng in
     let site_rngs = Array.init cfg.n (fun _ -> Rng.split master_rng) in
     let wl_rng = Rng.split master_rng in
+    (* Split last so fault-free components see the exact same streams as
+       before faults existed. *)
+    let fault_rng = Rng.split master_rng in
     let trace =
       match trace_sink with
       | Some t -> t
       | None -> Trace.create ~enabled:cfg.trace ()
     in
+    let hb_cfg = match cfg.detector with Oracle _ -> None | Heartbeat c -> Some c in
     let sim =
       {
         cfg;
         q = Event_queue.create ();
-        net = Network.create ~n:cfg.n ~delay:cfg.delay ~rng:net_rng;
+        net =
+          Network.create ~faults:cfg.faults ~fault_rng ~n:cfg.n
+            ~delay:cfg.delay ~rng:net_rng ();
         trace;
         counters = Stats.Counter.create ();
         sync_delay = Stats.Summary.create ();
         response_time = Stats.Summary.create ();
+        unavail = Stats.Summary.create ();
         request_time = Array.make cfg.n Float.nan;
+        parked_since = Array.make cfg.n Float.nan;
         backlog = Array.make cfg.n 0;
         site_execs = Array.make cfg.n 0;
+        detectors =
+          (match hb_cfg with
+          | None -> [||]
+          | Some c ->
+            Array.init cfg.n (fun self ->
+                Detector.create c ~n:cfg.n ~self ~now:0.0));
         wl_rng;
+        watchdog_armed =
+          (match cfg.detector with Heartbeat _ -> true | Oracle _ -> false)
+          || cfg.faults <> Network.no_faults;
         outstanding = 0;
         in_cs = -1;
         executions = 0;
         messages = 0;
+        detector_msgs = 0;
+        suspicions = 0;
+        false_suspicions = 0;
+        live_events = 0;
+        last_progress = 0.0;
+        forced_deadlock = false;
         last_exit = 0.0;
         waiting_at_exit = false;
         had_exit = false;
@@ -320,18 +449,34 @@ module Make (P : Protocol.PROTOCOL) = struct
     done;
     List.iter
       (fun (time, site) ->
-        Event_queue.schedule sim.q ~time (Arrival { site }))
-      (Workload.initial_arrivals cfg.workload ~n:cfg.n ~rng:wl_rng);
+        sched_live sim ~time (Arrival { site }))
+      (Workload.initial_arrivals cfg.workload ~n:cfg.n ~rng:sim.wl_rng);
     List.iter
       (fun (time, site) ->
         if site < 0 || site >= cfg.n then invalid_arg "Engine: crash site";
-        Event_queue.schedule sim.q ~time (Crash_ev { site }))
+        sched_live sim ~time (Crash_ev { site }))
       cfg.crashes;
     List.iter
       (fun (time, site) ->
         if site < 0 || site >= cfg.n then invalid_arg "Engine: recovery site";
-        Event_queue.schedule sim.q ~time (Recover_ev { site }))
+        sched_live sim ~time (Recover_ev { site }))
       cfg.recoveries;
+    (match hb_cfg with
+    | Some c ->
+      (* Stagger first ticks so heartbeats don't fire in lockstep bursts. *)
+      for site = 0 to cfg.n - 1 do
+        Event_queue.schedule sim.q
+          ~time:(c.Detector.period *. (1.0 +. (float_of_int site /. float_of_int cfg.n)))
+          (Heartbeat_tick { site })
+      done
+    | None -> ());
+    List.iter
+      (fun (time, heal) ->
+        if time <= cfg.max_time then
+          Event_queue.schedule sim.q ~time (Partition_edge { heal }))
+      (Network.partition_edges sim.net);
+    if sim.watchdog_armed then
+      Event_queue.schedule sim.q ~time:cfg.stall_timeout Watchdog;
     let deliver src dst msg self_msg =
       if Network.is_up sim.net dst then begin
         if not self_msg then
@@ -344,6 +489,68 @@ module Make (P : Protocol.PROTOCOL) = struct
         | None -> assert false
       end
     in
+    let handle_heartbeat_tick site time =
+      if Network.is_up sim.net site then begin
+        let c = Option.get hb_cfg in
+        for dst = 0 to cfg.n - 1 do
+          if dst <> site then begin
+            sim.detector_msgs <- sim.detector_msgs + 1;
+            match Network.transmit sim.net ~src:site ~dst ~now:time with
+            | Network.Delivered ats ->
+              List.iter
+                (fun at ->
+                  Event_queue.schedule sim.q ~time:at
+                    (Heartbeat_arrive { src = site; dst }))
+                ats
+            | Network.Lost _ -> ()
+          end
+        done;
+        let newly = Detector.sweep sim.detectors.(site) ~now:time in
+        List.iter
+          (fun failed ->
+            sim.suspicions <- sim.suspicions + 1;
+            if Network.is_up sim.net failed then
+              sim.false_suspicions <- sim.false_suspicions + 1;
+            Trace.record sim.trace ~time ~site (Trace.Suspect failed);
+            match states.(site) with
+            | Some st -> P.on_failure ctxs.(site) st failed
+            | None -> assert false)
+          newly;
+        Event_queue.schedule sim.q
+          ~time:(time +. c.Detector.period)
+          (Heartbeat_tick { site })
+      end
+      (* a crashed site's tick chain dies; Recover_ev restarts it *)
+    in
+    let handle_heartbeat_arrive src dst time =
+      if Network.is_up sim.net dst then begin
+        let trust = Detector.heartbeat sim.detectors.(dst) ~src ~now:time in
+        if trust then begin
+          Trace.record sim.trace ~time ~site:dst (Trace.Trust src);
+          match states.(dst) with
+          | Some st -> P.on_recovery ctxs.(dst) st src
+          | None -> assert false
+        end
+      end
+    in
+    let handle_watchdog time =
+      if
+        sim.outstanding > 0
+        && time -. sim.last_progress >= sim.cfg.stall_timeout
+      then begin
+        (* No substantive event for a full stall window while requests are
+           outstanding: the run is wedged (e.g. permanent partition). *)
+        sim.forced_deadlock <- true;
+        sim.stop <- true
+      end
+      else if sim.live_events = 0 && sim.outstanding = 0 then
+        (* Only housekeeping remains and nobody wants the CS: quiesce. *)
+        sim.stop <- true
+      else
+        Event_queue.schedule sim.q
+          ~time:(time +. sim.cfg.stall_timeout)
+          Watchdog
+    in
     let rec loop () =
       if (not sim.stop) && Event_queue.now sim.q <= cfg.max_time then
         match Event_queue.next sim.q with
@@ -351,6 +558,10 @@ module Make (P : Protocol.PROTOCOL) = struct
         | Some { payload; time; _ } ->
           if time > cfg.max_time then ()
           else begin
+            if not (housekeeping payload) then begin
+              sim.live_events <- sim.live_events - 1;
+              sim.last_progress <- time
+            end;
             (match payload with
             | Deliver { src; dst; msg; self_msg } -> deliver src dst msg self_msg
             | Timer { site; tag } ->
@@ -370,28 +581,42 @@ module Make (P : Protocol.PROTOCOL) = struct
                 (* fail-stop recovery: the site rejoins with FRESH protocol
                    state (its old volatile state died with it) *)
                 states.(site) <- Some (P.init ctxs.(site) pcfg);
-                (* Restart its workload source, which died with it. The
-                   first arrival waits until every survivor has processed
-                   the recovery notification — otherwise its request lands
-                   on arbiters that still flag it dead and is dropped. *)
-                let resume = time +. (2.0 *. sim.cfg.detection_delay) in
+                (* Restart its workload source, which died with it. Under the
+                   oracle the first arrival waits until every survivor has
+                   processed the recovery notification — otherwise its
+                   request lands on arbiters that still flag it dead and is
+                   dropped. Heartbeat mode needs no guard: trust is earned
+                   per observer, and the reliability layer's incarnation
+                   numbers revalidate the site on first contact. *)
+                let resume =
+                  match sim.cfg.detector with
+                  | Oracle d -> time +. (2.0 *. d)
+                  | Heartbeat _ -> time
+                in
                 (match
                    Workload.next_arrival sim.cfg.workload ~site ~now:resume
                      ~rng:sim.wl_rng
                  with
                 | Some at when at <= cfg.max_time ->
-                  Event_queue.schedule sim.q
+                  sched_live sim
                     ~time:(Float.max at resume)
                     (Arrival { site })
                 | Some _ | None -> ());
-                List.iter
-                  (fun observer ->
-                    if observer <> site then
-                      Event_queue.schedule sim.q
-                        ~time:
-                          (Event_queue.now sim.q +. sim.cfg.detection_delay)
-                        (Detect_recovery { observer; recovered = site }))
-                  (Network.up_sites sim.net)
+                match sim.cfg.detector with
+                | Oracle d ->
+                  List.iter
+                    (fun observer ->
+                      if observer <> site then
+                        sched_live sim
+                          ~time:(Event_queue.now sim.q +. d)
+                          (Detect_recovery { observer; recovered = site }))
+                    (Network.up_sites sim.net)
+                | Heartbeat c ->
+                  (* fresh detector state; tick chain restarts *)
+                  Detector.reset sim.detectors.(site) ~now:time;
+                  Event_queue.schedule sim.q
+                    ~time:(time +. c.Detector.period)
+                    (Heartbeat_tick { site })
               end
             | Detect { observer; failed } ->
               if Network.is_up sim.net observer then begin
@@ -404,7 +629,12 @@ module Make (P : Protocol.PROTOCOL) = struct
                 match states.(observer) with
                 | Some st -> P.on_recovery ctxs.(observer) st recovered
                 | None -> assert false
-              end);
+              end
+            | Heartbeat_tick { site } -> handle_heartbeat_tick site time
+            | Heartbeat_arrive { src; dst } -> handle_heartbeat_arrive src dst time
+            | Partition_edge { heal } ->
+              Trace.record sim.trace ~time ~site:(-1) (Trace.Partition { heal })
+            | Watchdog -> handle_watchdog time);
             loop ()
           end
     in
@@ -416,8 +646,12 @@ module Make (P : Protocol.PROTOCOL) = struct
         states
     | None -> ());
     let sim_time = Event_queue.now sim.q in
+    for site = 0 to cfg.n - 1 do
+      close_park_window sim site ~at:sim_time
+    done;
     let deadlocked =
-      Event_queue.is_empty sim.q && sim.outstanding > 0 && not sim.stop
+      sim.forced_deadlock
+      || (Event_queue.is_empty sim.q && sim.outstanding > 0 && not sim.stop)
     in
     let executions = max 0 (sim.executions - cfg.warmup) in
     let window = sim_time -. sim.warmup_time in
@@ -458,5 +692,11 @@ module Make (P : Protocol.PROTOCOL) = struct
       pending_at_end = sim.outstanding;
       per_site_executions = Array.copy sim.site_execs;
       fairness;
+      retransmissions = Stats.Counter.get sim.counters "retx";
+      acks = Stats.Counter.get sim.counters "ack";
+      detector_messages = sim.detector_msgs;
+      suspicions = sim.suspicions;
+      false_suspicions = sim.false_suspicions;
+      unavailability = sim.unavail;
     }
 end

@@ -11,8 +11,24 @@
     - {e throughput}: CS executions per unit of simulated time.
 
     The engine also {e checks} mutual exclusion on every entry and flags
-    deadlock (event queue drained while requests are outstanding), so every
-    simulation doubles as a safety/liveness test. *)
+    deadlock (event queue drained while requests are outstanding, or no
+    substantive event for a whole [stall_timeout] while requests are
+    outstanding), so every simulation doubles as a safety/liveness test.
+
+    Failure detection comes in two flavours: the fail-stop {!Oracle} of the
+    paper's Section 6 (every survivor reliably learns of a crash after a
+    fixed latency) and an unreliable {!Heartbeat} detector built from
+    periodic heartbeats over the same faulty network as the protocol's own
+    messages — so loss, partitions, and delay spikes can produce {e false}
+    suspicions, delivered to the protocol through the same
+    [on_failure]/[on_recovery] callbacks. *)
+
+type detector =
+  | Oracle of float
+      (** fail-stop oracle: every surviving site learns of a crash this
+          long after it happens (and of a recovery likewise) *)
+  | Heartbeat of Detector.config
+      (** per-site heartbeat/timeout detectors; see {!Detector} *)
 
 type config = {
   n : int;  (** number of sites *)
@@ -28,17 +44,24 @@ type config = {
   crashes : (float * int) list;  (** (time, site) fail-stop injections *)
   recoveries : (float * int) list;
       (** (time, site) rejoin injections: the site comes back with fresh
-          protocol state; survivors learn of it after [detection_delay] *)
-  detection_delay : float;
-      (** failure-detector latency: every surviving site learns of a crash
-          this long after it happens *)
+          protocol state *)
+  detector : detector;
+  faults : Network.fault_plan;  (** injected message loss/duplication/... *)
+  stall_timeout : float;
+      (** watchdog horizon, armed only when faults are injected or the
+          heartbeat detector runs (otherwise queue exhaustion detects
+          deadlock as before): a run with outstanding requests but no
+          substantive event for this long is declared deadlocked; a run
+          with nothing outstanding and nothing substantive pending stops
+          cleanly *)
   trace : bool;  (** record a full event trace *)
 }
 
 val default : n:int -> config
 (** Constant delay 1.0 (so times are in units of T), E = 0.5, saturated
     workload with all sites contending, 200 executions, 20 warmup,
-    seed 42, no crashes. *)
+    seed 42, oracle detector with latency 1.0, no crashes, no faults,
+    stall_timeout 2000. *)
 
 type report = {
   protocol : string;
@@ -61,6 +84,16 @@ type report = {
       (** Jain's index over sites that entered at least once: 1.0 = every
           such site was served equally often — the quantified form of the
           paper's starvation-freedom theorem *)
+  retransmissions : int;
+      (** post-warmup "retx" messages (reliability-layer re-sends) *)
+  acks : int;  (** post-warmup "ack" messages *)
+  detector_messages : int;  (** heartbeats sent over the whole run *)
+  suspicions : int;  (** suspect transitions across all detectors *)
+  false_suspicions : int;  (** suspicions of a site that was in fact up *)
+  unavailability : Stats.Summary.t;
+      (** durations of graceful-degradation windows: a site held an
+          application request but no live quorum existed
+          (see [Protocol.ctx.mark_parked]) *)
 }
 
 val pp_report : Format.formatter -> report -> unit

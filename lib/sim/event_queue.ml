@@ -34,4 +34,7 @@ let peek_time t = Option.map (fun ev -> ev.time) (Heap.peek t.heap)
 let is_empty t = Heap.is_empty t.heap
 let length t = Heap.length t.heap
 let now t = t.clock
-let drop_if t p = Heap.filter_in_place t.heap (fun ev -> not (p ev.payload))
+let drop_if t p =
+  let before = Heap.length t.heap in
+  Heap.filter_in_place t.heap (fun ev -> not (p ev.payload));
+  before - Heap.length t.heap

@@ -28,6 +28,7 @@ val length : 'a t -> int
 val now : 'a t -> float
 (** Time of the last popped event, 0.0 initially. *)
 
-val drop_if : 'a t -> ('a -> bool) -> unit
+val drop_if : 'a t -> ('a -> bool) -> int
 (** Remove pending events whose payload satisfies the predicate (used for
-    crash injection: dropping in-flight messages to a dead site). *)
+    crash injection: dropping in-flight messages to a dead site). Returns
+    how many events were dropped. *)

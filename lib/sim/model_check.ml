@@ -29,6 +29,7 @@ module Make (P : CHECKABLE) = struct
     in_cs : int;  (* -1 when free *)
     served : bool array;
     pending_requests : bool array;  (* staggered requesters yet to issue *)
+    losses : int;  (* messages dropped so far (bounded-loss adversary) *)
   }
 
   let copy_node node =
@@ -38,6 +39,7 @@ module Make (P : CHECKABLE) = struct
       in_cs = node.in_cs;
       served = Array.copy node.served;
       pending_requests = Array.copy node.pending_requests;
+      losses = node.losses;
     }
 
   (* The context used while (re)executing protocol steps inside one node
@@ -62,6 +64,7 @@ module Make (P : CHECKABLE) = struct
           invalid_arg "Model_check: protocols with timers are not supported");
       rng = Rng.create 0;
       trace_note = ignore;
+      mark_parked = ignore;
     }
 
   (* Digest of a node for the visited set. Protocol states are pure data,
@@ -71,10 +74,12 @@ module Make (P : CHECKABLE) = struct
       node.channels,
       node.in_cs,
       node.served,
-      node.pending_requests )
+      node.pending_requests,
+      node.losses )
 
-  let explore ?(max_states = 2_000_000) ?(staggered = false) ~n ~requesters
-      pconfig =
+  let explore ?(max_states = 2_000_000) ?(staggered = false) ?(max_losses = 0)
+      ~n ~requesters pconfig =
+    if max_losses < 0 then invalid_arg "Model_check.explore: max_losses";
     if requesters = [] then invalid_arg "Model_check.explore: no requesters";
     List.iter
       (fun s ->
@@ -97,6 +102,7 @@ module Make (P : CHECKABLE) = struct
               in_cs = -1;
               served = Array.make n true;
               pending_requests = Array.make n false;
+              losses = 0;
             };
           entered = [];
         }
@@ -149,7 +155,14 @@ module Make (P : CHECKABLE) = struct
                 P.on_message (make_ctx ~n cell dst) cell.cur.states.(dst) ~src
                   msg;
                 absorb_entries cell;
-                visit cell.cur
+                visit cell.cur;
+                (* the adversary may instead drop the head, if it still has
+                   loss budget; safety must hold on every such schedule *)
+                if node.losses < max_losses then begin
+                  let lossy = copy_node node in
+                  lossy.channels.(idx) <- rest;
+                  visit { lossy with losses = lossy.losses + 1 }
+                end
             done;
             (* a staggered requester may issue its request now *)
             for site = 0 to n - 1 do

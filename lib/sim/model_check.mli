@@ -39,6 +39,7 @@ module Make (P : CHECKABLE) : sig
   val explore :
     ?max_states:int ->
     ?staggered:bool ->
+    ?max_losses:int ->
     n:int ->
     requesters:int list ->
     P.config ->
@@ -48,6 +49,10 @@ module Make (P : CHECKABLE) : sig
       simultaneous requests), then every delivery/exit interleaving is
       explored. With [staggered:true] the request issuances themselves
       become explorable actions, additionally covering every late-arrival
-      schedule (a strictly larger space). Default [max_states] is
-      2_000_000. *)
+      schedule (a strictly larger space). With [max_losses > 0] (default 0)
+      the adversary may additionally {e drop} up to that many channel-head
+      messages anywhere in the schedule: safety must survive every bounded
+      loss pattern, though lossy schedules naturally count as stuck rather
+      than completed (a protocol without retransmission cannot be live
+      under loss). Default [max_states] is 2_000_000. *)
 end

@@ -17,21 +17,97 @@ let pp_delay_model ppf = function
   | Shifted_exponential { base; extra_mean } ->
     Format.fprintf ppf "shifted-exp(base=%g,extra=%g)" base extra_mean
 
+type partition = { from_t : float; until : float; groups : int list list }
+
+type fault_plan = {
+  loss : float;
+  duplication : float;
+  partitions : partition list;
+  delay_spikes : (float * float * float) list;
+}
+
+let no_faults =
+  { loss = 0.0; duplication = 0.0; partitions = []; delay_spikes = [] }
+
+type drop_reason = [ `Down | `Partitioned | `Faulty ]
+type verdict = Delivered of float list | Lost of drop_reason
+
 type t = {
   n : int;
   delay : delay_model;
   rng : Rng.t;
+  faults : fault_plan;
+  (* Dedicated generator for fault draws so enabling faults does not
+     perturb the delay-sampling stream of fault-free components. *)
+  fault_rng : Rng.t;
+  (* group.(p).(site): partition-group index of [site] under partition [p];
+     sites not listed in any group share the implicit "rest" group. *)
+  part_groups : int array array;
   up : bool array;
   (* last_delivery.(src * n + dst): latest delivery time handed out on that
      channel, used to enforce FIFO under random delays. *)
   last_delivery : float array;
 }
 
-let create ~n ~delay ~rng =
+let validate_faults ~n f =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  if not (f.loss >= 0.0 && f.loss < 1.0) then
+    bad "Network.create: loss %g not in [0,1)" f.loss;
+  if not (f.duplication >= 0.0 && f.duplication < 1.0) then
+    bad "Network.create: duplication %g not in [0,1)" f.duplication;
+  List.iter
+    (fun p ->
+      if not (p.from_t >= 0.0 && p.from_t < p.until) then
+        bad "Network.create: partition window [%g,%g) is empty" p.from_t
+          p.until;
+      let seen = Array.make n false in
+      List.iter
+        (List.iter (fun s ->
+             if s < 0 || s >= n then
+               bad "Network.create: partition site %d out of range" s;
+             if seen.(s) then
+               bad "Network.create: partition groups overlap at site %d" s;
+             seen.(s) <- true))
+        p.groups)
+    f.partitions;
+  List.iter
+    (fun (from_t, until, factor) ->
+      if not (from_t >= 0.0 && from_t < until) then
+        bad "Network.create: delay spike window [%g,%g) is empty" from_t until;
+      if not (factor > 0.0) then
+        bad "Network.create: delay spike factor %g must be positive" factor)
+    f.delay_spikes
+
+let create ?(faults = no_faults) ?fault_rng ~n ~delay ~rng () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
-  { n; delay; rng; up = Array.make n true; last_delivery = Array.make (n * n) 0.0 }
+  validate_faults ~n faults;
+  let fault_rng =
+    match fault_rng with Some r -> r | None -> Rng.create 0x5eed_fa17
+  in
+  let part_groups =
+    List.map
+      (fun p ->
+        (* Unlisted sites fall into one implicit rest-group (index 0). *)
+        let g = Array.make n 0 in
+        List.iteri (fun i sites -> List.iter (fun s -> g.(s) <- i + 1) sites)
+          p.groups;
+        g)
+      faults.partitions
+    |> Array.of_list
+  in
+  {
+    n;
+    delay;
+    rng;
+    faults;
+    fault_rng;
+    part_groups;
+    up = Array.make n true;
+    last_delivery = Array.make (n * n) 0.0;
+  }
 
 let n t = t.n
+let fault_plan t = t.faults
 
 let sample t =
   match t.delay with
@@ -45,16 +121,59 @@ let check_site t i name =
   if i < 0 || i >= t.n then
     invalid_arg (Printf.sprintf "Network.%s: site %d out of range" name i)
 
-let delivery_time t ~src ~dst ~now =
-  check_site t src "delivery_time";
-  check_site t dst "delivery_time";
-  if not (t.up.(src) && t.up.(dst)) then None
+let partitioned t ~src ~dst ~now =
+  let rec loop i parts =
+    match parts with
+    | [] -> false
+    | p :: rest ->
+      if now >= p.from_t && now < p.until then
+        let g = t.part_groups.(i) in
+        if g.(src) <> g.(dst) then true else loop (i + 1) rest
+      else loop (i + 1) rest
+  in
+  loop 0 t.faults.partitions
+
+let spike_factor t ~now =
+  List.fold_left
+    (fun acc (from_t, until, factor) ->
+      if now >= from_t && now < until then acc *. factor else acc)
+    1.0 t.faults.delay_spikes
+
+let partition_edges t =
+  List.concat_map
+    (fun p ->
+      (p.from_t, false)
+      :: (if Float.is_finite p.until then [ (p.until, true) ] else []))
+    t.faults.partitions
+
+let deliver_one t ~idx ~now ~factor =
+  let at = Float.max (now +. (sample t *. factor)) t.last_delivery.(idx) in
+  t.last_delivery.(idx) <- at;
+  at
+
+let transmit t ~src ~dst ~now =
+  check_site t src "transmit";
+  check_site t dst "transmit";
+  if not (t.up.(src) && t.up.(dst)) then Lost `Down
+  else if partitioned t ~src ~dst ~now then Lost `Partitioned
+  else if t.faults.loss > 0.0 && Rng.float t.fault_rng 1.0 < t.faults.loss then
+    Lost `Faulty
   else begin
     let idx = (src * t.n) + dst in
-    let at = Float.max (now +. sample t) t.last_delivery.(idx) in
-    t.last_delivery.(idx) <- at;
-    Some at
+    let factor = spike_factor t ~now in
+    let first = deliver_one t ~idx ~now ~factor in
+    if
+      t.faults.duplication > 0.0
+      && Rng.float t.fault_rng 1.0 < t.faults.duplication
+    then Delivered [ first; deliver_one t ~idx ~now ~factor ]
+    else Delivered [ first ]
   end
+
+let delivery_time t ~src ~dst ~now =
+  match transmit t ~src ~dst ~now with
+  | Delivered (at :: _) -> Some at
+  | Delivered [] -> None
+  | Lost _ -> None
 
 let crash t i =
   check_site t i "crash";

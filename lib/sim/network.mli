@@ -1,10 +1,16 @@
-(** Network model: message delays, FIFO channels, site crashes.
+(** Network model: message delays, FIFO channels, site crashes, and
+    injected faults.
 
     Implements the system model of Section 2 of the paper: sites are fully
-    connected, channels are reliable and FIFO, message delay is unpredictable
-    but bounded, with mean delay [T]. Crash support (used by the Section 6
-    fault-tolerance experiments) marks sites dead; messages to or from a dead
-    site are silently dropped, as in a fail-stop model. *)
+    connected, channels are FIFO, message delay is unpredictable but bounded,
+    with mean delay [T]. Crash support (used by the Section 6 fault-tolerance
+    experiments) marks sites dead; messages to or from a dead site are
+    silently dropped, as in a fail-stop model.
+
+    Beyond the paper's model, a seeded deterministic {!fault_plan} can
+    subject every channel to message loss, duplication, scheduled network
+    partitions, and delay spikes. Faults are drawn from a dedicated
+    generator, so two runs with the same seeds inject the same faults. *)
 
 type delay_model =
   | Constant of float  (** every message takes exactly this long *)
@@ -18,25 +24,72 @@ val mean_delay : delay_model -> float
 
 val pp_delay_model : Format.formatter -> delay_model -> unit
 
+type partition = { from_t : float; until : float; groups : int list list }
+(** During [[from_t, until)] only sites within the same group can exchange
+    messages. Sites not listed in any group form one implicit rest-group.
+    An infinite [until] never heals. *)
+
+type fault_plan = {
+  loss : float;  (** per-message drop probability, in [0, 1) *)
+  duplication : float;  (** per-message duplicate probability, in [0, 1) *)
+  partitions : partition list;
+  delay_spikes : (float * float * float) list;
+      (** [(from_t, until, factor)]: delays sampled in the window are
+          multiplied by [factor]; overlapping spikes compound. *)
+}
+
+val no_faults : fault_plan
+
+type drop_reason = [ `Down | `Partitioned | `Faulty ]
+
+type verdict =
+  | Delivered of float list
+      (** delivery timestamps: one per copy (duplication can yield two) *)
+  | Lost of drop_reason
+
 type t
 
-val create : n:int -> delay:delay_model -> rng:Rng.t -> t
-(** [create ~n ~delay ~rng] models a fully connected network of [n] sites.
-    The generator is consumed for delay sampling; pass a dedicated split. *)
+val create :
+  ?faults:fault_plan -> ?fault_rng:Rng.t -> n:int -> delay:delay_model ->
+  rng:Rng.t -> unit -> t
+(** [create ~n ~delay ~rng ()] models a fully connected network of [n]
+    sites. The generator is consumed for delay sampling; pass a dedicated
+    split. [faults] defaults to {!no_faults}; fault draws consume
+    [fault_rng] (a fixed-seed generator when omitted), never [rng], so the
+    delay stream is identical with and without faults.
+    @raise Invalid_argument on malformed plans: probabilities outside
+    [0, 1), empty windows, overlapping or out-of-range partition groups,
+    non-positive spike factors. *)
 
 val n : t -> int
 
+val fault_plan : t -> fault_plan
+
+val transmit : t -> src:int -> dst:int -> now:float -> verdict
+(** Full fault-aware send: reports the delivery time of every surviving
+    copy, or why the message was lost. Successive delivered copies on the
+    same (src, dst) pair have non-decreasing times, preserving the FIFO
+    channel guarantee even under random per-message delays. Lost messages
+    do not advance the FIFO watermark. *)
+
 val delivery_time : t -> src:int -> dst:int -> now:float -> float option
-(** Delivery timestamp for a message sent now, or [None] if either endpoint
-    is crashed. Successive calls for the same (src, dst) pair return
-    non-decreasing times, preserving the FIFO channel guarantee even under
-    random per-message delays. *)
+(** Compatibility wrapper over {!transmit}: the first surviving copy's
+    delivery timestamp, or [None] if the message was lost for any reason
+    (endpoint down, partition, or injected loss). Duplicate copies are
+    dropped; use {!transmit} to schedule them. *)
+
+val partition_edges : t -> (float * bool) list
+(** Every scheduled partition boundary as [(time, is_heal)], split events
+    first per partition. Infinite heals are omitted. *)
 
 val crash : t -> int -> unit
 (** Mark a site fail-stopped. Idempotent. *)
 
 val recover : t -> int -> unit
-(** Bring a crashed site back (its channels restart empty). *)
+(** Bring a crashed site back. Its channels restart empty: the per-pair
+    FIFO delivery watermarks touching the site are reset, so the rejoined
+    site's first messages are not artificially delayed behind pre-crash
+    traffic. *)
 
 val is_up : t -> int -> bool
 val up_sites : t -> int list

@@ -25,6 +25,11 @@ type 'msg ctx = {
   set_timer : delay:float -> tag:int -> unit;
   rng : Rng.t;  (** per-site deterministic stream *)
   trace_note : string -> unit;
+  mark_parked : bool -> unit;
+      (** Graceful-degradation accounting: [mark_parked true] tells the
+          engine this site's outstanding request cannot currently make
+          progress (no live quorum); [mark_parked false] ends the window.
+          The engine aggregates the windows as unavailability time. *)
 }
 
 module type PROTOCOL = sig

@@ -41,6 +41,7 @@ module Summary = struct
 
   let count t = t.count
   let mean t = if t.count = 0 then 0.0 else t.mean
+  let total t = if t.count = 0 then 0.0 else t.mean *. float_of_int t.count
 
   let variance t =
     if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)

@@ -15,6 +15,9 @@ module Summary : sig
   val mean : t -> float
   (** 0.0 when empty. *)
 
+  val total : t -> float
+  (** Sum of all observations; 0.0 when empty. *)
+
   val variance : t -> float
   (** Unbiased sample variance; 0.0 with fewer than two observations. *)
 

@@ -6,6 +6,11 @@ type kind =
   | Timer of int
   | Crash
   | Recover
+  | Drop of { dst : int; reason : string }
+  | Duplicate of { dst : int }
+  | Partition of { heal : bool }
+  | Suspect of int
+  | Trust of int
   | Note of string
 
 type entry = { time : float; site : int; kind : kind }
@@ -49,6 +54,13 @@ let pp_kind ppf = function
   | Timer tag -> Format.fprintf ppf "timer %d" tag
   | Crash -> Format.pp_print_string ppf "CRASH"
   | Recover -> Format.pp_print_string ppf "RECOVER"
+  | Drop { dst; reason } -> Format.fprintf ppf "DROP -> %d (%s)" dst reason
+  | Duplicate { dst } -> Format.fprintf ppf "DUP -> %d" dst
+  | Partition { heal } ->
+    Format.pp_print_string ppf
+      (if heal then "PARTITION HEAL" else "PARTITION SPLIT")
+  | Suspect s -> Format.fprintf ppf "suspect %d" s
+  | Trust s -> Format.fprintf ppf "trust %d" s
   | Note s -> Format.pp_print_string ppf s
 
 let pp_entry ppf e =
@@ -87,7 +99,8 @@ let timeline ?(width = 72) t ~n =
           open_at.(e.site) <- None
         end
       | Crash -> fill e.site e.time t_max 'X'
-      | Send _ | Receive _ | Timer _ | Recover | Note _ -> ())
+      | Send _ | Receive _ | Timer _ | Recover | Drop _ | Duplicate _
+      | Partition _ | Suspect _ | Trust _ | Note _ -> ())
     es;
   Array.iteri
     (fun site o ->

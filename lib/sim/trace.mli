@@ -15,6 +15,13 @@ type kind =
   | Timer of int
   | Crash
   | Recover
+  | Drop of { dst : int; reason : string }
+      (** a message the fault plan lost; [site] is the sender *)
+  | Duplicate of { dst : int }
+      (** an extra copy the fault plan injected; [site] is the sender *)
+  | Partition of { heal : bool }  (** recorded with [site = -1] *)
+  | Suspect of int  (** [site]'s detector started suspecting the argument *)
+  | Trust of int  (** [site]'s detector revoked a suspicion *)
   | Note of string
 
 type entry = { time : float; site : int; kind : kind }

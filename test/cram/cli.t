@@ -31,14 +31,14 @@ Unsupported sizes are reported, not mangled:
 A short deterministic simulation in CSV form:
 
   $ dmx-sim run -a delay-optimal --sites 9 --execs 100 --warmup 10 --csv
-  algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,resp_mean,resp_p99,throughput,violations,deadlocked,pending
-  delay-optimal,grid,9,100,1974,19.740,1.3400,2.0000,20.0200,25.0000,0.427350,0,false,8
+  algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,resp_mean,resp_p99,throughput,violations,deadlocked,pending,retx,unavail_windows,unavail_time
+  delay-optimal,grid,9,100,1974,19.740,1.3400,2.0000,20.0200,25.0000,0.427350,0,false,8,0,0,0.0000
 
 Maekawa under the same scenario pays the 2T handoff:
 
   $ dmx-sim run -a maekawa --sites 9 --execs 100 --warmup 10 --csv
-  algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,resp_mean,resp_p99,throughput,violations,deadlocked,pending
-  maekawa,grid,9,100,1603,16.030,2.0000,2.0000,26.0000,32.0000,0.333333,0,false,8
+  algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,resp_mean,resp_p99,throughput,violations,deadlocked,pending,retx,unavail_windows,unavail_time
+  maekawa,grid,9,100,1603,16.030,2.0000,2.0000,26.0000,32.0000,0.333333,0,false,8,0,0,0.0000
 
 Exact availability of the majority coterie:
 
@@ -57,9 +57,9 @@ Exact availability of the majority coterie:
 A parameter sweep in CSV (deterministic too):
 
   $ dmx-sim sweep --axis n --values 4,9 --algos delay-optimal --execs 50 --warmup 5
-  axis,value,algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,resp_mean,resp_p99,throughput,violations,deadlocked,pending
-  n,4,delay-optimal,grid,4,50,503,10.060,1.0000,1.0000,7.0000,9.0000,0.500000,0,false,3
-  n,9,delay-optimal,grid,9,50,996,19.920,1.3400,2.0000,19.8400,27.0000,0.427350,0,false,8
+  axis,value,algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,resp_mean,resp_p99,throughput,violations,deadlocked,pending,retx,unavail_windows,unavail_time
+  n,4,delay-optimal,grid,4,50,503,10.060,1.0000,1.0000,7.0000,9.0000,0.500000,0,false,3,0,0,0.0000
+  n,9,delay-optimal,grid,9,50,996,19.920,1.3400,2.0000,19.8400,27.0000,0.427350,0,false,8,0,0,0.0000
 
 The trace subcommand ends with a swimlane timeline:
 

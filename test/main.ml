@@ -7,6 +7,8 @@ let () =
       ("heap", Test_heap.suite);
       ("event-queue", Test_event_queue.suite);
       ("network", Test_network.suite);
+      ("detector", Test_detector.suite);
+      ("reliable", Test_reliable.suite);
       ("stats", Test_stats.suite);
       ("timestamp", Test_timestamp.suite);
       ("trace", Test_trace.suite);
@@ -22,5 +24,6 @@ let () =
       ("paper-claims", Test_paper_claims.suite);
       ("baselines", Test_baselines.suite);
       ("fault-tolerance", Test_ft.suite);
+      ("fault-soak", Test_fault_soak.suite);
       ("live-runtime", Test_live.suite);
     ]

@@ -204,7 +204,7 @@ let test_crash_notifies_survivors () =
         max_executions = 20;
         warmup = 0;
         crashes = [ (3.0, 3) ];
-        detection_delay = 2.0;
+        detector = E.Oracle 2.0;
       }
       ()
   in

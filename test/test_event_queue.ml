@@ -69,7 +69,7 @@ let test_peek_time () =
 let test_drop_if () =
   let q = Eq.create () in
   List.iteri (fun i p -> Eq.schedule q ~time:(float_of_int i) p) [ 0; 1; 2; 3; 4 ];
-  Eq.drop_if q (fun p -> p mod 2 = 1);
+  Alcotest.(check int) "dropped" 2 (Eq.drop_if q (fun p -> p mod 2 = 1));
   Alcotest.(check (list int)) "evens" [ 0; 2; 4 ] (List.map snd (drain q))
 
 let test_length () =

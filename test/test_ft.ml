@@ -3,7 +3,7 @@
 
    Model requirement (see Ft_delay_optimal doc): detection latency must
    exceed the maximum in-flight message delay, so all tests use bounded
-   delay models with detection_delay above the bound. *)
+   delay models with an oracle detection latency above the bound. *)
 
 module E = Dmx_sim.Engine
 module FT = Dmx_core.Ft_delay_optimal
@@ -22,7 +22,7 @@ let run ?inspect ?(n = 7) ?(kind = B.Tree) ?(crashes = []) ?(recoveries = [])
       warmup = 0;
       cs_duration = 1.0;
       delay = Dmx_sim.Network.Uniform { lo = 0.5; hi = 1.5 };
-      detection_delay = 3.0;
+      detector = E.Oracle 3.0;
       crashes;
       recoveries;
       workload =
@@ -159,7 +159,7 @@ let test_idle_site_refreshes_quorum_lazily () =
       max_executions = 2;
       warmup = 0;
       delay = Dmx_sim.Network.Uniform { lo = 0.5; hi = 1.5 };
-      detection_delay = 3.0;
+      detector = E.Oracle 3.0;
       crashes = [ (1.0, 0) ];
       workload = W.Burst { requesters = [ 6 ]; at = 30.0 };
       max_time = 1_000.0;
@@ -263,6 +263,112 @@ let qcheck_random_crash_recover_schedules =
       in
       r.E.violations = 0 && r.E.executions = 100)
 
+(* ---- unreliable network: heartbeat detector + reliability layer ---- *)
+
+let run_hb ?inspect ?(n = 7) ?(kind = B.Tree) ?(crashes = [])
+    ?(recoveries = []) ?(faults = Dmx_sim.Network.no_faults) ?(execs = 100)
+    ?(seed = 42) () =
+  let cfg =
+    {
+      (E.default ~n) with
+      seed;
+      max_executions = execs;
+      warmup = 0;
+      cs_duration = 0.5;
+      delay = Dmx_sim.Network.Uniform { lo = 0.5; hi = 1.5 };
+      detector = E.Heartbeat { Dmx_sim.Detector.period = 2.0; timeout = 10.0 };
+      faults;
+      crashes;
+      recoveries;
+      max_time = 100_000.0;
+    }
+  in
+  Eng.run ?inspect cfg
+    (FT.config_of_kind ~reliability:Dmx_core.Reliable.default
+       ~trust_detector:false kind ~n ~broadcast:false)
+
+let test_heartbeat_loss_completes () =
+  let faults = { Dmx_sim.Network.no_faults with loss = 0.05 } in
+  let r = run_hb ~faults () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "live" false r.E.deadlocked;
+  Alcotest.(check int) "quota despite 5% loss" 100 r.E.executions;
+  Alcotest.(check bool) "loss forced retransmissions" true
+    (r.E.retransmissions > 0);
+  Alcotest.(check bool) "acks flowed" true (r.E.acks > 0);
+  Alcotest.(check bool) "heartbeats flowed" true (r.E.detector_messages > 0)
+
+let test_reliability_masks_heavy_loss () =
+  let faults = { Dmx_sim.Network.no_faults with loss = 0.15; duplication = 0.05 } in
+  let r = run_hb ~execs:60 ~faults () in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check int) "quota despite 15% loss + dup" 60 r.E.executions
+
+let test_partition_parks_and_heals () =
+  (* split the tree in half for a while: minority-side requests park
+     (reported as unavailability), and all complete after the heal *)
+  let faults =
+    {
+      Dmx_sim.Network.no_faults with
+      partitions =
+        [
+          {
+            Dmx_sim.Network.from_t = 20.0;
+            until = 60.0;
+            groups = [ [ 0; 1; 3 ]; [ 2; 4; 5; 6 ] ];
+          };
+        ];
+    }
+  in
+  let r =
+    (* inspect fires at run end, after the heal: all suspicions revoked *)
+    run_hb
+      ~inspect:(fun _site st ->
+        Alcotest.(check (list int)) "no standing suspects after heal" []
+          (FT.Internal.suspects st))
+      ~faults ~execs:100 ()
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "live after heal" false r.E.deadlocked;
+  Alcotest.(check int) "quota" 100 r.E.executions;
+  Alcotest.(check bool) "all suspicions were false" true
+    (r.E.false_suspicions > 0 && r.E.false_suspicions = r.E.suspicions);
+  Alcotest.(check bool) "unavailability windows reported" true
+    (Dmx_sim.Stats.Summary.count r.E.unavailability > 0)
+
+let test_heartbeat_crash_and_rejoin () =
+  (* under the untrusted detector, arbiter cleanup waits for the restart
+     evidence carried by the rejoined site's new incarnation *)
+  let faults = { Dmx_sim.Network.no_faults with loss = 0.05 } in
+  let r =
+    run_hb ~faults
+      ~crashes:[ (20.0, 3); (30.0, 0) ]
+      ~recoveries:[ (60.0, 3); (75.0, 0) ]
+      ~execs:100 ()
+  in
+  Alcotest.(check int) "safe" 0 r.E.violations;
+  Alcotest.(check bool) "live" false r.E.deadlocked;
+  Alcotest.(check int) "quota" 100 r.E.executions
+
+let test_faulty_run_deterministic () =
+  let go () =
+    let faults =
+      { Dmx_sim.Network.no_faults with loss = 0.08; duplication = 0.03 }
+    in
+    let r = run_hb ~faults ~crashes:[ (25.0, 2) ] ~recoveries:[ (55.0, 2) ] () in
+    ( r.E.executions,
+      r.E.total_messages,
+      r.E.retransmissions,
+      r.E.suspicions,
+      r.E.sim_time )
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool)
+    (Printf.sprintf "identical replay (%d msgs)"
+       (let _, m, _, _, _ = a in
+        m))
+    true (a = b)
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -285,6 +391,11 @@ let suite =
       ("recovery: rejoined site serves again", test_recovered_site_serves_again);
       ("recovery: root crash and return", test_root_crash_and_recovery);
       ("recovery: repeated cycles", test_repeated_crash_recover_cycles);
+      ("heartbeat: 5% loss completes", test_heartbeat_loss_completes);
+      ("heartbeat: heavy loss masked", test_reliability_masks_heavy_loss);
+      ("heartbeat: partition parks and heals", test_partition_parks_and_heals);
+      ("heartbeat: crash and rejoin", test_heartbeat_crash_and_rejoin);
+      ("heartbeat: faulty run deterministic", test_faulty_run_deterministic);
     ]
   @ [
       QCheck_alcotest.to_alcotest qcheck_random_crash_schedules;

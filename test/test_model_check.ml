@@ -116,6 +116,45 @@ let test_staggered_grid_two_sites () =
   in
   assert_clean "n=2 grid staggered" o
 
+let test_loss_budget_safety () =
+  (* Adversarial message loss: the checker may additionally drop up to
+     [max_losses] channel-head messages at any point. Lossy schedules
+     generally strand the run (the base protocol has no retransmission), so
+     they count as stuck — but mutual exclusion must hold on every one. *)
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Grid ~n:2 in
+  let o =
+    Check_do.explore ~max_losses:2 ~n:2 ~requesters:[ 0; 1 ]
+      (DO.config req_sets)
+  in
+  Alcotest.(check bool) "space exhausted" false o.MC.truncated;
+  Alcotest.(check int) "safe under loss" 0 o.MC.violations;
+  Alcotest.(check bool) "loss-free schedules still complete" true
+    (o.MC.completed_schedules > 0);
+  Alcotest.(check bool) "some lossy schedule strands" true
+    (o.MC.stuck_states > 0);
+  (* the lossless exploration is a strict subset *)
+  let base = explore_do Dmx_quorum.Builder.Grid 2 [ 0; 1 ] in
+  Alcotest.(check bool) "loss enlarges the space" true
+    (o.MC.distinct_states > base.MC.distinct_states)
+
+let test_loss_budget_star () =
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Star ~n:3 in
+  let o =
+    Check_do.explore ~max_losses:1 ~n:3 ~requesters:[ 0; 1; 2 ]
+      (DO.config req_sets)
+  in
+  Alcotest.(check bool) "space exhausted" false o.MC.truncated;
+  Alcotest.(check int) "safe under loss" 0 o.MC.violations
+
+let test_loss_budget_maekawa () =
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Grid ~n:2 in
+  let o =
+    Check_mk.explore ~max_losses:1 ~n:2 ~requesters:[ 0; 1 ]
+      { Dmx_baselines.Maekawa_me.req_sets }
+  in
+  Alcotest.(check bool) "space exhausted" false o.MC.truncated;
+  Alcotest.(check int) "maekawa safe under loss" 0 o.MC.violations
+
 let test_truncation_reported () =
   let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Grid ~n:3 in
   let o =
@@ -141,5 +180,8 @@ let suite =
       ("staggered requests: star", test_staggered_star);
       ("staggered requests: tree", test_staggered_tree);
       ("staggered requests: grid n=2", test_staggered_grid_two_sites);
+      ("loss budget: grid n=2 safe", test_loss_budget_safety);
+      ("loss budget: star n=3 safe", test_loss_budget_star);
+      ("loss budget: maekawa safe", test_loss_budget_maekawa);
       ("truncation reported", test_truncation_reported);
     ]

@@ -3,7 +3,7 @@
 module Net = Dmx_sim.Network
 module Rng = Dmx_sim.Rng
 
-let make ?(n = 4) delay = Net.create ~n ~delay ~rng:(Rng.create 1)
+let make ?(n = 4) delay = Net.create ~n ~delay ~rng:(Rng.create 1) ()
 
 let test_constant_delay () =
   let net = make (Net.Constant 2.0) in
@@ -79,6 +79,163 @@ let test_out_of_range () =
        false
      with Invalid_argument _ -> true)
 
+(* ---- fault injection ---- *)
+
+let fmake ?(n = 4) ?(fault_seed = 7) faults delay =
+  Net.create ~faults ~fault_rng:(Rng.create fault_seed) ~n ~delay
+    ~rng:(Rng.create 1) ()
+
+let test_recover_resets_watermarks () =
+  (* Regression: a rejoined site must not have its first messages delayed
+     behind pre-crash FIFO watermarks. *)
+  let net = make (Net.Constant 5.0) in
+  ignore (Net.delivery_time net ~src:0 ~dst:1 ~now:100.0);
+  ignore (Net.delivery_time net ~src:1 ~dst:0 ~now:100.0);
+  ignore (Net.delivery_time net ~src:0 ~dst:2 ~now:100.0);
+  Net.crash net 1;
+  Net.recover net 1;
+  (match Net.delivery_time net ~src:0 ~dst:1 ~now:0.0 with
+  | Some t -> Alcotest.(check (float 1e-9)) "to rejoined site" 5.0 t
+  | None -> Alcotest.fail "delivery expected");
+  (match Net.delivery_time net ~src:1 ~dst:0 ~now:0.0 with
+  | Some t -> Alcotest.(check (float 1e-9)) "from rejoined site" 5.0 t
+  | None -> Alcotest.fail "delivery expected");
+  (* a pair not touching the crashed site keeps its watermark *)
+  match Net.delivery_time net ~src:0 ~dst:2 ~now:0.0 with
+  | Some t -> Alcotest.(check (float 1e-9)) "bystander watermark kept" 105.0 t
+  | None -> Alcotest.fail "delivery expected"
+
+let test_partition_blocks_cross_group () =
+  let faults =
+    {
+      Net.no_faults with
+      partitions =
+        [ { Net.from_t = 50.0; until = 150.0; groups = [ [ 0; 1 ]; [ 2 ] ] } ];
+    }
+  in
+  let net = fmake faults (Net.Constant 2.0) in
+  (match Net.transmit net ~src:0 ~dst:2 ~now:60.0 with
+  | Net.Lost `Partitioned -> ()
+  | _ -> Alcotest.fail "cross-group message must drop");
+  (* site 3 is in no listed group: it forms the implicit rest-group with
+     nobody else, so it is cut off from everyone *)
+  (match Net.transmit net ~src:1 ~dst:3 ~now:60.0 with
+  | Net.Lost `Partitioned -> ()
+  | _ -> Alcotest.fail "rest-group is isolated");
+  (match Net.transmit net ~src:0 ~dst:1 ~now:60.0 with
+  | Net.Delivered [ t ] -> Alcotest.(check (float 1e-9)) "same group" 62.0 t
+  | _ -> Alcotest.fail "same-group message must deliver");
+  (match Net.transmit net ~src:0 ~dst:2 ~now:40.0 with
+  | Net.Delivered _ -> ()
+  | _ -> Alcotest.fail "before the split");
+  (match Net.transmit net ~src:0 ~dst:2 ~now:150.0 with
+  | Net.Delivered _ -> ()
+  | _ -> Alcotest.fail "after the heal");
+  Alcotest.(check (list (pair (float 1e-9) bool)))
+    "edges" [ (50.0, false); (150.0, true) ] (Net.partition_edges net)
+
+let test_lost_message_keeps_watermark () =
+  (* A dropped message must not advance the FIFO watermark: the channel
+     behaves as if it was never sent. *)
+  let faults =
+    {
+      Net.no_faults with
+      partitions =
+        [ { Net.from_t = 50.0; until = 150.0; groups = [ [ 0 ]; [ 1 ] ] } ];
+    }
+  in
+  let net = fmake ~n:2 faults (Net.Constant 2.0) in
+  (match Net.transmit net ~src:0 ~dst:1 ~now:100.0 with
+  | Net.Lost `Partitioned -> ()
+  | _ -> Alcotest.fail "expected partition drop");
+  match Net.delivery_time net ~src:0 ~dst:1 ~now:0.0 with
+  | Some t -> Alcotest.(check (float 1e-9)) "watermark untouched" 2.0 t
+  | None -> Alcotest.fail "delivery expected"
+
+let test_loss_rate () =
+  let faults = { Net.no_faults with loss = 0.3 } in
+  let net = fmake faults (Net.Constant 1.0) in
+  let lost = ref 0 in
+  let sent = 4_000 in
+  for i = 1 to sent do
+    match Net.transmit net ~src:0 ~dst:1 ~now:(float_of_int i) with
+    | Net.Lost `Faulty -> incr lost
+    | Net.Delivered _ -> ()
+    | Net.Lost _ -> Alcotest.fail "only injected loss expected"
+  done;
+  let rate = float_of_int !lost /. float_of_int sent in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss rate %.3f near 0.3" rate)
+    true
+    (rate > 0.25 && rate < 0.35)
+
+let test_duplication () =
+  let faults = { Net.no_faults with duplication = 0.5 } in
+  let net = fmake faults (Net.Constant 1.0) in
+  let dups = ref 0 in
+  let sent = 2_000 in
+  for i = 1 to sent do
+    match Net.transmit net ~src:0 ~dst:1 ~now:(float_of_int i) with
+    | Net.Delivered [ _ ] -> ()
+    | Net.Delivered [ a; b ] ->
+      incr dups;
+      Alcotest.(check bool) "copies ordered" true (b >= a)
+    | _ -> Alcotest.fail "expected one or two copies"
+  done;
+  let rate = float_of_int !dups /. float_of_int sent in
+  Alcotest.(check bool)
+    (Printf.sprintf "dup rate %.3f near 0.5" rate)
+    true
+    (rate > 0.45 && rate < 0.55)
+
+let test_delay_spike () =
+  let faults = { Net.no_faults with delay_spikes = [ (10.0, 20.0, 3.0) ] } in
+  let net = fmake faults (Net.Constant 2.0) in
+  (match Net.transmit net ~src:0 ~dst:1 ~now:0.0 with
+  | Net.Delivered [ t ] -> Alcotest.(check (float 1e-9)) "outside" 2.0 t
+  | _ -> Alcotest.fail "delivery expected");
+  match Net.transmit net ~src:0 ~dst:1 ~now:15.0 with
+  | Net.Delivered [ t ] -> Alcotest.(check (float 1e-9)) "tripled" 21.0 t
+  | _ -> Alcotest.fail "delivery expected"
+
+let test_fault_determinism () =
+  let faults =
+    { Net.no_faults with loss = 0.2; duplication = 0.1 }
+  in
+  let play () =
+    let net = fmake faults (Net.Uniform { lo = 0.5; hi = 1.5 }) in
+    List.init 500 (fun i ->
+        Net.transmit net ~src:(i mod 3) ~dst:3 ~now:(float_of_int i))
+  in
+  Alcotest.(check bool) "same seeds, same faults" true (play () = play ())
+
+let test_fault_validation () =
+  let bad faults =
+    try
+      ignore (fmake faults (Net.Constant 1.0));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "loss = 1" true
+    (bad { Net.no_faults with loss = 1.0 });
+  Alcotest.(check bool) "negative dup" true
+    (bad { Net.no_faults with duplication = -0.1 });
+  Alcotest.(check bool) "overlapping groups" true
+    (bad
+       {
+         Net.no_faults with
+         partitions =
+           [ { Net.from_t = 0.0; until = 1.0; groups = [ [ 0; 1 ]; [ 1 ] ] } ];
+       });
+  Alcotest.(check bool) "empty window" true
+    (bad
+       {
+         Net.no_faults with
+         partitions = [ { Net.from_t = 5.0; until = 5.0; groups = [ [ 0 ] ] } ];
+       });
+  Alcotest.(check bool) "zero spike factor" true
+    (bad { Net.no_faults with delay_spikes = [ (0.0, 1.0, 0.0) ] })
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -90,4 +247,12 @@ let suite =
       ("up_sites / recover", test_up_sites);
       ("uniform respects bounds", test_uniform_within_bounds);
       ("site range checked", test_out_of_range);
+      ("recover resets watermarks", test_recover_resets_watermarks);
+      ("partition blocks cross-group", test_partition_blocks_cross_group);
+      ("lost message keeps watermark", test_lost_message_keeps_watermark);
+      ("loss rate near nominal", test_loss_rate);
+      ("duplication delivers ordered copies", test_duplication);
+      ("delay spike multiplies", test_delay_spike);
+      ("fault injection deterministic", test_fault_determinism);
+      ("fault plans validated", test_fault_validation);
     ]
