@@ -86,6 +86,14 @@ let model_check () =
         ~requesters:(List.init n Fun.id)
         (Dmx_core.Delay_optimal.config req_sets)
     in
+    (* [clean] also rejects truncated explorations: a state-budget cutoff
+       proved nothing and must not read as a pass. *)
+    if not (MC.clean o) then
+      failwith
+        (Printf.sprintf
+           "BUG: model check %s n=%d not clean (%d violations, %d stuck%s)"
+           (B.kind_name kind) n o.MC.violations o.MC.stuck_states
+           (if o.MC.truncated then ", truncated" else ""));
     [
       Printf.sprintf "%s n=%d%s" (B.kind_name kind) n
         (if staggered then " (staggered)" else "");

@@ -29,7 +29,7 @@ let registry =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--quick] [EXPERIMENT...]";
+  print_endline "usage: main.exe [--quick] [--check] [EXPERIMENT...]";
   print_endline "experiments:";
   List.iter
     (fun (name, (desc, _)) -> Printf.printf "  %-16s %s\n" name desc)
@@ -40,7 +40,11 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   Scenarios.quick := quick;
-  let selected = List.filter (fun a -> a <> "--quick" && a <> "all") args in
+  (* --check: oracle-verify every simulation run (slower; used by CI) *)
+  if List.mem "--check" args then Dmx_baselines.Runner.always_check := true;
+  let selected =
+    List.filter (fun a -> a <> "--quick" && a <> "--check" && a <> "all") args
+  in
   if List.mem "--help" selected || List.mem "-h" selected then usage ()
   else begin
     let unknown =
@@ -56,12 +60,24 @@ let () =
       "dmx experiment suite - reproduction of Cao et al., ICDCS 1998%s\n"
       (if quick then " (quick mode)" else "");
     let t0 = Sys.time () in
+    let failed = ref [] in
     List.iter
       (fun name ->
         let _, f = List.assoc name registry in
         let t = Sys.time () in
-        f ();
-        Printf.printf "[%s finished in %.1fs]\n%!" name (Sys.time () -. t))
+        (try
+           f ();
+           Printf.printf "[%s finished in %.1fs]\n%!" name (Sys.time () -. t)
+         with Failure msg ->
+           failed := name :: !failed;
+           Printf.printf "[%s FAILED: %s]\n%!" name msg))
       to_run;
-    Printf.printf "\nTotal: %.1fs\n" (Sys.time () -. t0)
+    Printf.printf "\nTotal: %.1fs\n" (Sys.time () -. t0);
+    let oracle_rejected = !Dmx_baselines.Runner.check_failures in
+    if oracle_rejected > 0 then
+      Printf.printf "trace oracle rejected %d run(s)\n" oracle_rejected;
+    if !failed <> [] then
+      Printf.printf "FAILED experiments: %s\n"
+        (String.concat ", " (List.rev !failed));
+    if !failed <> [] || oracle_rejected > 0 then exit 1
   end

@@ -302,26 +302,27 @@ let make_cfg ?(faults = Net.no_faults) ?(det = `Oracle) n seed execs warmup cs
     max_time = 1.0e9;
   }
 
-(* Under an unreliable network or detector, the FT variant needs its
-   retry/ack layer and must treat detector output as suspicion, not
-   truth; the plain scenarios keep the paper-faithful bare channels. *)
+(* Reliability/detector wiring lives in [Runner.of_algo]; this shim only
+   translates the CLI's polymorphic-variant detector into the engine's. *)
 let runner_of_algo ?(faults = Net.no_faults) ?(det = `Oracle) algo kind ~n =
-  let lossy =
-    faults.Net.loss > 0.0
-    || faults.Net.duplication > 0.0
-    || faults.Net.partitions <> []
+  let detector =
+    match det with
+    | `Oracle -> E.Oracle 3.0
+    | `Heartbeat c -> E.Heartbeat c
   in
-  let trusted = match det with `Oracle -> true | `Heartbeat _ -> false in
-  match algo with
-  | "delay-optimal" -> Ok (R.delay_optimal ~kind ~n ())
-  | "ft-delay-optimal" ->
-    let reliability =
-      if lossy || not trusted then Some Dmx_core.Reliable.default else None
-    in
-    Ok (R.ft_delay_optimal ?reliability ~trust_detector:trusted ~kind ~n ())
-  | "maekawa" -> Ok (R.maekawa ~kind ~n ())
-  | "raymond-chain" -> Ok (R.raymond ~chain:true ~n ())
-  | other -> Result.map (fun f -> f ~n) (R.by_name other)
+  R.of_algo ~faults ~detector ~kind algo ~n
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Verify every run post-hoc with the trace oracle (mutex, quorum \
+           consistency, permission conservation, FIFO); exit nonzero on \
+           rejection.")
+
+let exit_checked code =
+  if !R.check_failures > 0 then exit 3 else if code <> 0 then exit code
 
 let csv_header =
   "algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,\
@@ -352,7 +353,8 @@ let run_cmd =
              singhal-heuristic, raymond, raymond-chain.")
   in
   let action algo kind n seed execs warmup cs delay workload crashes detect det
-      loss dup partitions spikes csv =
+      loss dup partitions spikes csv check =
+    if check then R.always_check := true;
     let faults = faults_of loss dup partitions spikes in
     match runner_of_algo ~faults ~det algo kind ~n with
     | Error e ->
@@ -369,14 +371,14 @@ let run_cmd =
         print_endline (csv_line r runner.R.variant)
       end
       else Format.printf "%a@." E.pp_report r;
-      if r.E.violations > 0 then exit 2
+      exit_checked (if r.E.violations > 0 then 2 else 0)
   in
   let term =
     Term.(
       const action $ algo_arg $ quorum_arg $ n_arg $ seed_arg $ execs_arg
       $ warmup_arg $ cs_arg $ delay_arg $ workload_arg $ crashes_arg
       $ detect_arg $ detector_arg $ loss_arg $ dup_arg $ partition_arg
-      $ spike_arg $ csv_arg)
+      $ spike_arg $ csv_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one mutual exclusion algorithm.")
@@ -385,14 +387,20 @@ let run_cmd =
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let action n seed execs warmup cs delay workload csv =
+  let action n seed execs warmup cs delay workload csv check =
+    if check then R.always_check := true;
     let cfg = make_cfg n seed execs warmup cs delay workload [] 3.0 in
     let runners = R.all ~n in
+    let bad = ref 0 in
+    let note (r : E.report) =
+      if r.E.violations > 0 || r.E.deadlocked then incr bad;
+      r
+    in
     if csv then begin
       print_endline csv_header;
       List.iter
         (fun runner ->
-          print_endline (csv_line (runner.R.run cfg) runner.R.variant))
+          print_endline (csv_line (note (runner.R.run cfg)) runner.R.variant))
         runners
     end
     else begin
@@ -402,7 +410,7 @@ let compare_cmd =
         "sync" "resp" "throughput/T" "viol";
       List.iter
         (fun runner ->
-          let r = runner.R.run cfg in
+          let r = note (runner.R.run cfg) in
           Format.printf "%-16s %10.1f %10.2f %10.1f %12.3f %6d%s@."
             r.E.protocol r.E.messages_per_cs
             (Dmx_sim.Stats.Summary.mean r.E.sync_delay)
@@ -411,12 +419,13 @@ let compare_cmd =
             r.E.violations
             (if r.E.deadlocked then " DEADLOCK" else ""))
         runners
-    end
+    end;
+    exit_checked (if !bad > 0 then 2 else 0)
   in
   let term =
     Term.(
       const action $ n_arg $ seed_arg $ execs_arg $ warmup_arg $ cs_arg
-      $ delay_arg $ workload_arg $ csv_arg)
+      $ delay_arg $ workload_arg $ csv_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "compare"
@@ -520,6 +529,7 @@ let sweep_cmd =
   in
   let action axis values algos kind n seed execs warmup cs delay workload =
     print_endline ("axis,value," ^ csv_header);
+    let bad = ref 0 in
     List.iter
       (fun v ->
         let n, cs, workload =
@@ -537,12 +547,14 @@ let sweep_cmd =
             | Ok runner ->
               let cfg = make_cfg n seed execs warmup cs delay workload [] 3.0 in
               let r = runner.R.run cfg in
+              if r.E.violations > 0 || r.E.deadlocked then incr bad;
               Printf.printf "%s,%g,%s\n"
                 (match axis with `N -> "n" | `Rate -> "rate" | `Cs -> "cs")
                 v
                 (csv_line r runner.R.variant))
           algos)
-      values
+      values;
+    exit_checked (if !bad > 0 then 2 else 0)
   in
   let term =
     Term.(
@@ -609,6 +621,87 @@ let trace_cmd =
           maekawa).")
     term
 
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"A .dmxrepro schedule, e.g. one shrunk by the fuzz harness.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Only print the oracle verdict.")
+  in
+  let tail_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tail" ] ~docv:"N"
+          ~doc:
+            "Print the last $(docv) trace entries (0 for all) — the usual \
+             first question about a reproducer is what it was doing when it \
+             stopped.")
+  in
+  let action file quiet tail =
+    match Dmx_sim.Oracle.replay_file file with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok sched -> (
+      match R.run_schedule sched with
+      | Error e ->
+        prerr_endline e;
+        exit 1
+      | Ok (report, trace) ->
+        if not quiet then begin
+          print_string (Dmx_sim.Schedule.to_string sched);
+          Format.printf "---@.%a@." E.pp_report report
+        end;
+        (* same per-fault relaxation as Runner.checked: FIFO and custody
+           assumptions do not survive crash/recovery or duplication *)
+        let crashy = sched.Dmx_sim.Schedule.crashes <> [] in
+        let dupy =
+          sched.Dmx_sim.Schedule.faults.Dmx_sim.Network.duplication > 0.0
+        in
+        let verdict =
+          Dmx_sim.Oracle.check_trace
+            {
+              (Dmx_sim.Oracle.default ~n:sched.Dmx_sim.Schedule.n) with
+              Dmx_sim.Oracle.fifo = not (crashy || dupy);
+              custody = not crashy;
+            }
+            trace
+        in
+        (match tail with
+        | Some k ->
+          let entries = Dmx_sim.Trace.entries trace in
+          let total = List.length entries in
+          let drop = if k <= 0 then 0 else max 0 (total - k) in
+          if drop > 0 then Format.printf "... (%d earlier entries)@." drop;
+          List.iteri
+            (fun i e ->
+              if i >= drop then
+                Format.printf "%a@." Dmx_sim.Trace.pp_entry e)
+            entries
+        | None -> ());
+        Format.printf "%a@." Dmx_sim.Oracle.pp_verdict verdict;
+        if
+          report.E.violations > 0 || report.E.deadlocked
+          || not (Dmx_sim.Oracle.ok verdict)
+        then exit 2)
+  in
+  let term = Term.(const action $ file_arg $ quiet_arg $ tail_arg) in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a $(b,.dmxrepro) reproducer bit-for-bit and re-check it \
+          with the trace oracle (exit 2 when the violation reproduces).")
+    term
+
 let () =
   let doc =
     "Delay-optimal quorum-based distributed mutual exclusion (ICDCS'98) — \
@@ -618,4 +711,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; compare_cmd; sweep_cmd; quorums_cmd; avail_cmd; trace_cmd ]))
+          [
+            run_cmd;
+            compare_cmd;
+            sweep_cmd;
+            quorums_cmd;
+            avail_cmd;
+            trace_cmd;
+            replay_cmd;
+          ]))

@@ -89,6 +89,7 @@ let answer_inquire (ctx : message Proto.ctx) st arbiter =
   if st.req <> None && (not st.in_cs) && not (all_replied st) then begin
     if st.replied.(arbiter) && st.failed then begin
       st.replied.(arbiter) <- false;
+      ctx.trace_event (Dmx_sim.Trace.Cede { arbiter });
       ctx.send ~dst:arbiter Yield
     end
     else if not (List.mem arbiter st.pending_inquires) then
@@ -110,13 +111,18 @@ let request_cs (ctx : message Proto.ctx) st =
   st.failed <- false;
   st.pending_inquires <- [];
   Array.fill st.replied 0 (Array.length st.replied) false;
+  ctx.trace_event (Dmx_sim.Trace.Adopt_quorum st.quorum);
   List.iter (fun j -> ctx.send ~dst:j (Request ts)) st.quorum
 
 let release_cs (ctx : message Proto.ctx) st =
   assert st.in_cs;
   st.in_cs <- false;
   st.req <- None;
-  List.iter (fun j -> ctx.send ~dst:j Release) st.quorum;
+  List.iter
+    (fun j ->
+      ctx.trace_event (Dmx_sim.Trace.Cede { arbiter = j });
+      ctx.send ~dst:j Release)
+    st.quorum;
   Array.fill st.replied 0 (Array.length st.replied) false;
   st.failed <- false;
   st.pending_inquires <- []
@@ -151,6 +157,7 @@ let grant_next (ctx : message Proto.ctx) st =
     st.lock <- best;
     st.inquired <- false;
     st.fail_noted.(best.Ts.site) <- false;
+    ctx.trace_event (Dmx_sim.Trace.Grant { to_ = best.Ts.site });
     ctx.send ~dst:best.Ts.site Reply;
     enforce_head_rule ctx st
   | None ->
@@ -163,6 +170,7 @@ let on_request (ctx : message Proto.ctx) st ~src ts =
     st.lock <- ts;
     st.inquired <- false;
     st.fail_noted.(src) <- false;
+    ctx.trace_event (Dmx_sim.Trace.Grant { to_ = src });
     ctx.send ~dst:src Reply
   end
   else begin
@@ -195,6 +203,8 @@ let on_release (ctx : message Proto.ctx) st ~src =
 let on_message (ctx : message Proto.ctx) st ~src = function
   | Request ts -> on_request ctx st ~src ts
   | Reply ->
+    if st.req <> None && not st.replied.(src) then
+      ctx.trace_event (Dmx_sim.Trace.Acquire { arbiter = src });
     st.replied.(src) <- true;
     check_enter ctx st
   | Release -> on_release ctx st ~src

@@ -10,7 +10,22 @@ type t = {
   name : string;  (** e.g. "delay-optimal" *)
   variant : string;  (** e.g. the quorum kind, "" when not applicable *)
   run : Dmx_sim.Engine.config -> Dmx_sim.Engine.report;
+      (** honors {!always_check}: oracle-verifies the run when enabled *)
+  run_traced :
+    ?trace_sink:Dmx_sim.Trace.t ->
+    Dmx_sim.Engine.config ->
+    Dmx_sim.Engine.report;
+      (** raw run, recording into [trace_sink] when given *)
 }
+
+val always_check : bool ref
+(** When set, every {!field-run} records a full trace and pipes it through
+    {!Dmx_sim.Oracle.check_trace}; violations are printed to stderr and
+    counted in {!check_failures}. Default [false] (zero overhead). *)
+
+val check_failures : int ref
+(** Number of oracle-rejected runs since startup; drivers exit nonzero when
+    this is positive at the end. *)
 
 val delay_optimal : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
 (** Default quorum: [Grid]. *)
@@ -44,3 +59,32 @@ val by_name : string -> (n:int -> t, string) result
     "singhal-heuristic", "raymond", "ft-delay-optimal"). *)
 
 val names : string list
+
+val of_algo :
+  ?faults:Dmx_sim.Network.fault_plan ->
+  ?detector:Dmx_sim.Engine.detector ->
+  ?kind:Dmx_quorum.Builder.kind ->
+  string ->
+  n:int ->
+  (t, string) result
+(** {!by_name} plus environment-aware wiring: under a lossy [faults] plan
+    or a heartbeat [detector], "ft-delay-optimal" gets its retry/ack
+    reliability layer and suspicion (rather than oracle-trusting) detector
+    semantics. Also accepts "raymond-chain" and applies [kind] to the
+    quorum-based algorithms. *)
+
+val of_schedule :
+  ?extra:(string * (n:int -> t)) list ->
+  Dmx_sim.Schedule.t ->
+  (t, string) result
+(** Resolve a schedule's [algo]/[quorum]/[reliability]/[detector] fields to
+    a runner. [extra] prepends test-only runners (e.g. an intentionally
+    broken protocol for fuzz-harness self-tests) consulted before the
+    standard registry. *)
+
+val run_schedule :
+  ?extra:(string * (n:int -> t)) list ->
+  Dmx_sim.Schedule.t ->
+  (Dmx_sim.Engine.report * Dmx_sim.Trace.t, string) result
+(** Resolve and execute a schedule with full tracing; returns the report
+    and the recorded trace for {!Dmx_sim.Oracle} inspection. *)

@@ -13,7 +13,10 @@
     idle. The staircase initialization (site i believes 1..i-1 are
     requesting, site 0 holds the token) guarantees that for any two sites
     at least one will reach the other, which is what makes the heuristic
-    safe rather than merely lucky. *)
+    safe rather than merely lucky. A token landing on a site that is not
+    requesting (a stale pass, routed by that fiction) is dispatched onward
+    to any requester the merged view knows of rather than parked — parking
+    it would strand requests already consumed by past holders. *)
 
 module Proto = Dmx_sim.Protocol
 
@@ -95,23 +98,36 @@ let request_cs (ctx : message Proto.ctx) st =
     done
   end
 
-(* On exit: merge local and token views site by site — whichever is based
-   on the newer request number wins — then ship the token to a requesting
-   site (round-robin from self+1 for fairness) or keep holding it. *)
-let release_cs (ctx : message Proto.ctx) st =
-  assert (st.in_cs && st.has_token);
-  st.in_cs <- false;
+(* Ship the token to the next site the current view shows requesting —
+   round-robin from self+1 for fairness — or keep holding it idle. Shared
+   by release and by a stale pass (token arriving while not requesting):
+   in the latter case holding idle would strand any requester the merged
+   view knows about, because its request messages were already consumed
+   by sites that no longer have the token and cannot be re-triggered.
+   After sending we drop our own "j is requesting" guess: the routing
+   obligation is discharged (j either enters or dispatches onward), and
+   consuming one believed-requesting edge per hop is what makes a chain
+   of stale passes terminate instead of cycling. *)
+let dispatch_or_hold (ctx : message Proto.ctx) st =
   st.sv.(st.self) <- Nothing;
   let tok = make_token st in
-  tok.tsv.(st.self) <- Nothing;
   let next = ref None in
   for k = 1 to st.n - 1 do
     let j = (st.self + k) mod st.n in
     if !next = None && tok.tsv.(j) = Requesting then next := Some j
   done;
   match !next with
-  | Some j -> send_token ctx st tok j
+  | Some j ->
+    send_token ctx st tok j;
+    st.sv.(j) <- Nothing
   | None -> st.sv.(st.self) <- Holding
+
+(* On exit: the holder's local sv/sn already carry the freshest merged
+   view, so just dispatch from them. *)
+let release_cs (ctx : message Proto.ctx) st =
+  assert (st.in_cs && st.has_token);
+  st.in_cs <- false;
+  dispatch_or_hold ctx st
 
 let on_request (ctx : message Proto.ctx) st ~src k =
   if k > st.sn.(src) then begin
@@ -134,24 +150,35 @@ let on_request (ctx : message Proto.ctx) st ~src k =
       send_token ctx st tok src
   end
 
-let on_token (ctx : message Proto.ctx) st (tok : token) =
+let on_token (ctx : message Proto.ctx) st ~src (tok : token) =
   st.has_token <- true;
-  (* adopt whatever the token knows better than we do *)
+  (* Adopt whatever the token knows strictly better than we do. Ties keep
+     the local guess: that preserves the staircase fiction (request number
+     0 entries), which is what routes the token through sites that never
+     heard a given request. Our own entry is never overwritten — nobody
+     knows our state better than we do. The sender's self-entry, however,
+     is adopted unconditionally: it just held the token, so its Nothing is
+     authoritative, and dropping our stale "src is requesting" guess here
+     is what stops two sites with mutually stale views from bouncing the
+     token between each other forever. *)
   for j = 0 to st.n - 1 do
-    if tok.tsn.(j) > st.sn.(j) then begin
+    if j <> st.self && tok.tsn.(j) > st.sn.(j) then begin
       st.sn.(j) <- tok.tsn.(j);
       st.sv.(j) <- tok.tsv.(j)
     end
   done;
+  if src <> st.self && src >= 0 && src < st.n then begin
+    st.sn.(src) <- max st.sn.(src) tok.tsn.(src);
+    st.sv.(src) <- tok.tsv.(src)
+  end;
   if st.sv.(st.self) = Requesting then enter ctx st
-  else begin
-    (* token arrived while not requesting (stale pass): hold it *)
-    st.sv.(st.self) <- Holding
-  end
+  else
+    (* stale pass: pass it on to a known requester or hold it idle *)
+    dispatch_or_hold ctx st
 
 let on_message (ctx : message Proto.ctx) st ~src = function
   | Request k -> on_request ctx st ~src k
-  | Token tok -> on_token ctx st tok
+  | Token tok -> on_token ctx st ~src tok
 
 let on_timer _ctx _st _tag = ()
 let on_failure _ctx _st _site = ()

@@ -102,6 +102,8 @@ let send_yield (ctx : message Proto.ctx) st arbiter =
   match st.req with
   | None -> ()
   | Some own ->
+    if st.replied.(arbiter) then
+      ctx.trace_event (Dmx_sim.Trace.Cede { arbiter });
     st.replied.(arbiter) <- false;
     st.failed <- true;
     st.tran_stack <- List.filter (fun (a, _) -> a <> arbiter) st.tran_stack;
@@ -140,6 +142,8 @@ let on_reply (ctx : message Proto.ctx) st ~arbiter ~for_req ~next =
       (Messages.Release { of_req = for_req; forwarded_to = None })
   end
   else begin
+    if not st.replied.(arbiter) then
+      ctx.trace_event (Dmx_sim.Trace.Acquire { arbiter });
     st.replied.(arbiter) <- true;
     (match next with
     | Some target -> st.tran_stack <- (arbiter, target) :: st.tran_stack
@@ -168,6 +172,7 @@ let request_cs (ctx : message Proto.ctx) st =
   Array.fill st.replied 0 (Array.length st.replied) false;
   st.tran_stack <- [];
   st.inq_queue <- [];
+  ctx.trace_event (Dmx_sim.Trace.Adopt_quorum st.quorum);
   List.iter (fun j -> ctx.send ~dst:j (Messages.Request ts)) st.quorum
 
 (* Step C. Honor the newest transfer per arbiter (LIFO with same-sender
@@ -185,6 +190,8 @@ let release_cs (ctx : message Proto.ctx) st =
     (fun (arbiter, target) ->
       if not (Hashtbl.mem honored arbiter) then begin
         Hashtbl.add honored arbiter target;
+        ctx.trace_event
+          (Dmx_sim.Trace.Forward { arbiter; to_ = target.Ts.site });
         ctx.send ~dst:target.Ts.site
           (Messages.Reply { arbiter; for_req = target; next = None })
       end)
@@ -192,6 +199,8 @@ let release_cs (ctx : message Proto.ctx) st =
   st.tran_stack <- [];
   List.iter
     (fun j ->
+      if not (Hashtbl.mem honored j) then
+        ctx.trace_event (Dmx_sim.Trace.Cede { arbiter = j });
       ctx.send ~dst:j
         (Messages.Release
            { of_req = own; forwarded_to = Hashtbl.find_opt honored j }))
@@ -265,6 +274,7 @@ and grant_next (ctx : message Proto.ctx) st =
         let next =
           if st.piggyback_next then Ts_queue.head st.queue else None
         in
+        ctx.trace_event (Dmx_sim.Trace.Grant { to_ = best.Ts.site });
         ctx.send ~dst:best.Ts.site
           (Messages.Reply { arbiter = ctx.self; for_req = best; next });
         (* without the piggyback the holder still needs to learn who is
@@ -284,13 +294,26 @@ and apply_release (ctx : message Proto.ctx) st ~forwarded_to =
   match forwarded_to with
   | Some x when not st.dead.(x.Ts.site) ->
     (* The exiting holder already forwarded our permission to [x]. Remove
-       exactly that request from the queue (x may have re-requested). *)
-    ignore (Ts_queue.remove_ts st.queue x);
-    assign_lock ctx st x ~announce:(fun () ->
-        (match Ts_queue.head st.queue with
-        | Some h -> send_transfer ctx st h
-        | None -> ());
-        enforce_head_rule ctx st)
+       exactly that request from the queue (x may have re-requested). A
+       target found neither queued nor stashed has been purged since the
+       transfer was issued (restart evidence arriving while this release
+       sat in the reliability layer's reorder buffer): the conveyed
+       permission went to the target's dead incarnation, so the tenure is
+       void and the permission is reclaimed — re-instating it would park
+       the lock on a request nobody will ever release. *)
+    let queued = Ts_queue.remove_ts st.queue x in
+    let stashed =
+      match st.pending.(x.Ts.site) with
+      | Some (pts, _) -> Ts.equal pts x
+      | None -> false
+    in
+    if queued || stashed then
+      assign_lock ctx st x ~announce:(fun () ->
+          (match Ts_queue.head st.queue with
+          | Some h -> send_transfer ctx st h
+          | None -> ());
+          enforce_head_rule ctx st)
+    else grant_next ctx st
   | Some _ (* forwarded to a site that died: reclaim the permission *)
   | None ->
     grant_next ctx st
@@ -308,6 +331,7 @@ let on_request (ctx : message Proto.ctx) st ~src ts =
   if st.dead.(src) then () (* a last gasp from a crashed site *)
   else if Ts.is_infinity st.lock then
     assign_lock ctx st ts ~announce:(fun () ->
+        ctx.trace_event (Dmx_sim.Trace.Grant { to_ = src });
         ctx.send ~dst:src
           (Messages.Reply { arbiter = ctx.self; for_req = ts; next = None }))
   else begin
@@ -376,10 +400,26 @@ let mark_alive st site = st.dead.(site) <- false
 
 (* Abandon the outstanding request without reissuing (graceful
    degradation: no live quorum exists, so the request parks at the FT
-   layer). Held permissions go back so the arbiters can serve others. *)
+   layer). Held permissions go back so the arbiters can serve others.
+   Arbiters we have no reply from get an explicit withdraw instead: they
+   may have locked their tenure on this request already — e.g. a holder
+   forwarded the permission to us and crashed before the transfer got
+   through — and without the withdraw that tenure waits forever for a
+   release from a site that never received anything. An arbiter that
+   merely queued the request stashes the withdraw and resolves it when
+   the lock reaches it; one that never heard of us ignores it. Should a
+   stale conveyance still arrive later, on_reply's not-current branch
+   hands it straight back, so the permission is never duplicated. *)
 let abandon_request (ctx : message Proto.ctx) st =
   if st.req <> None && not st.in_cs then begin
-    List.iter (fun k -> if st.replied.(k) then send_yield ctx st k) st.quorum;
+    let own = match st.req with Some o -> o | None -> assert false in
+    List.iter
+      (fun k ->
+        if st.replied.(k) then send_yield ctx st k
+        else
+          ctx.send ~dst:k
+            (Messages.Release { of_req = own; forwarded_to = None }))
+      st.quorum;
     st.tran_stack <- [];
     st.inq_queue <- [];
     st.failed <- false;

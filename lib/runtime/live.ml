@@ -169,6 +169,7 @@ module Make (P : Dmx_sim.Protocol.PROTOCOL) = struct
               invalid_arg "Live: protocols with timers are not supported");
           rng = Dmx_sim.Rng.create (cfg.seed + self + 1);
           trace_note = ignore;
+          trace_event = ignore;
           mark_parked = ignore;
         }
       in

@@ -249,6 +249,9 @@ module Make (P : Protocol.PROTOCOL) = struct
           let trace_note s =
             Trace.record sim.trace ~time:(now ()) ~site:self (Trace.Note s)
           in
+          let trace_event k =
+            Trace.record sim.trace ~time:(now ()) ~site:self k
+          in
           let mark_parked parked =
             let t = now () in
             if parked then begin
@@ -269,6 +272,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             set_timer;
             rng = site_rngs.(self);
             trace_note;
+            trace_event;
             mark_parked;
           })
     in
@@ -277,6 +281,7 @@ module Make (P : Protocol.PROTOCOL) = struct
   let issue_request sim ctxs states site =
     sim.request_time.(site) <- Event_queue.now sim.q;
     sim.outstanding <- sim.outstanding + 1;
+    Trace.record sim.trace ~time:(Event_queue.now sim.q) ~site Trace.Request;
     match states.(site) with
     | Some st -> P.request_cs ctxs.(site) st
     | None -> assert false

@@ -13,6 +13,10 @@ type outcome = {
   truncated : bool;
 }
 
+let clean o =
+  o.violations = 0 && o.stuck_states = 0 && (not o.truncated)
+  && o.completed_schedules > 0
+
 let pp_outcome ppf o =
   Format.fprintf ppf
     "explored=%d distinct=%d violations=%d stuck=%d completed=%d%s"
@@ -64,6 +68,7 @@ module Make (P : CHECKABLE) = struct
           invalid_arg "Model_check: protocols with timers are not supported");
       rng = Rng.create 0;
       trace_note = ignore;
+      trace_event = ignore;
       mark_parked = ignore;
     }
 

@@ -35,6 +35,12 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val clean : outcome -> bool
+(** A pass with teeth: no violations, no stuck states, at least one
+    completed schedule, {e and} the space was exhausted. A truncated
+    exploration proves nothing about the unexplored schedules, so it is
+    never a clean pass — callers must report it distinctly. *)
+
 module Make (P : CHECKABLE) : sig
   val explore :
     ?max_states:int ->

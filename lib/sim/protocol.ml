@@ -25,6 +25,11 @@ type 'msg ctx = {
   set_timer : delay:float -> tag:int -> unit;
   rng : Rng.t;  (** per-site deterministic stream *)
   trace_note : string -> unit;
+  trace_event : Trace.kind -> unit;
+      (** Structured trace hook for the semantic permission events
+          ({!Trace.Acquire}, {!Trace.Cede}, ...) the post-hoc {!Oracle}
+          checks. A no-op outside the tracing engine; protocols call it
+          unconditionally. *)
   mark_parked : bool -> unit;
       (** Graceful-degradation accounting: [mark_parked true] tells the
           engine this site's outstanding request cannot currently make

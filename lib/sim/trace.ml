@@ -12,6 +12,14 @@ type kind =
   | Suspect of int
   | Trust of int
   | Note of string
+  (* Semantic protocol events, recorded by instrumented protocols through
+     [Protocol.ctx.trace_event]; the post-hoc {!Oracle} consumes them. *)
+  | Request
+  | Adopt_quorum of int list
+  | Acquire of { arbiter : int }
+  | Cede of { arbiter : int }
+  | Forward of { arbiter : int; to_ : int }
+  | Grant of { to_ : int }
 
 type entry = { time : float; site : int; kind : kind }
 
@@ -20,10 +28,11 @@ type t = {
   capacity : int;
   mutable entries : entry list; (* newest first *)
   mutable length : int;
+  mutable truncated : bool;
 }
 
 let create ?(enabled = false) ?(capacity = 1_000_000) () =
-  { enabled; capacity; entries = []; length = 0 }
+  { enabled; capacity; entries = []; length = 0; truncated = false }
 
 let enabled t = t.enabled
 
@@ -35,16 +44,19 @@ let record t ~time ~site kind =
       (* Drop the oldest half; amortizes the O(n) rebuild. *)
       let keep = t.capacity / 2 in
       t.entries <- List.filteri (fun i _ -> i < keep) t.entries;
-      t.length <- keep
+      t.length <- keep;
+      t.truncated <- true
     end
   end
 
 let entries t = List.rev t.entries
 let length t = t.length
+let truncated t = t.truncated
 
 let clear t =
   t.entries <- [];
-  t.length <- 0
+  t.length <- 0;
+  t.truncated <- false
 
 let pp_kind ppf = function
   | Send { dst; msg } -> Format.fprintf ppf "send -> %d : %s" dst msg
@@ -62,6 +74,15 @@ let pp_kind ppf = function
   | Suspect s -> Format.fprintf ppf "suspect %d" s
   | Trust s -> Format.fprintf ppf "trust %d" s
   | Note s -> Format.pp_print_string ppf s
+  | Request -> Format.pp_print_string ppf "REQUEST"
+  | Adopt_quorum q ->
+    Format.fprintf ppf "adopt quorum {%s}"
+      (String.concat "," (List.map string_of_int q))
+  | Acquire { arbiter } -> Format.fprintf ppf "acquire perm(%d)" arbiter
+  | Cede { arbiter } -> Format.fprintf ppf "cede perm(%d)" arbiter
+  | Forward { arbiter; to_ } ->
+    Format.fprintf ppf "forward perm(%d) -> %d" arbiter to_
+  | Grant { to_ } -> Format.fprintf ppf "grant perm -> %d" to_
 
 let pp_entry ppf e =
   Format.fprintf ppf "[%10.4f] site %3d  %a" e.time e.site pp_kind e.kind
@@ -100,7 +121,8 @@ let timeline ?(width = 72) t ~n =
         end
       | Crash -> fill e.site e.time t_max 'X'
       | Send _ | Receive _ | Timer _ | Recover | Drop _ | Duplicate _
-      | Partition _ | Suspect _ | Trust _ | Note _ -> ())
+      | Partition _ | Suspect _ | Trust _ | Note _ | Request
+      | Adopt_quorum _ | Acquire _ | Cede _ | Forward _ | Grant _ -> ())
     es;
   Array.iteri
     (fun site o ->

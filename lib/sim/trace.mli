@@ -23,6 +23,20 @@ type kind =
   | Suspect of int  (** [site]'s detector started suspecting the argument *)
   | Trust of int  (** [site]'s detector revoked a suspicion *)
   | Note of string
+  | Request
+      (** the application issued a CS request at [site] (engine-recorded) *)
+  | Adopt_quorum of int list
+      (** [site] will contact this quorum for its current/next requests;
+          re-recorded on every request and after an FT quorum rebuild *)
+  | Acquire of { arbiter : int }
+      (** [site] took possession of [arbiter]'s permission (a wanted reply) *)
+  | Cede of { arbiter : int }
+      (** [site] gave [arbiter]'s permission back (yield or plain release) *)
+  | Forward of { arbiter : int; to_ : int }
+      (** [site] handed [arbiter]'s permission directly to [to_] on exit
+          (the delay-optimal transfer) *)
+  | Grant of { to_ : int }
+      (** arbiter [site] granted its own permission to [to_] *)
 
 type entry = { time : float; site : int; kind : kind }
 
@@ -38,6 +52,12 @@ val entries : t -> entry list
 (** Chronological order. *)
 
 val length : t -> int
+
+val truncated : t -> bool
+(** True once capacity trimming has discarded entries: the stream is no
+    longer a complete record of the run, so whole-run analyses (e.g. the
+    {!Oracle}) must not draw conclusions from it. *)
+
 val clear : t -> unit
 val pp_entry : Format.formatter -> entry -> unit
 val dump : Format.formatter -> t -> unit

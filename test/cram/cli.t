@@ -64,7 +64,7 @@ A parameter sweep in CSV (deterministic too):
 The trace subcommand ends with a swimlane timeline:
 
   $ dmx-sim trace --sites 2 --execs 2 --load burst --limit 0 | head -4
-  ... (29 more lines)
+  ... (46 more lines)
   t: 0.0 .. 6.0
   site   0 |...................................#############........................
   site   1 |...........................................................#############

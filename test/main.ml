@@ -25,5 +25,8 @@ let () =
       ("baselines", Test_baselines.suite);
       ("fault-tolerance", Test_ft.suite);
       ("fault-soak", Test_fault_soak.suite);
+      ("oracle", Test_oracle.suite);
+      ("golden-replay", Test_golden.suite);
+      ("fuzz", Test_fuzz.suite);
       ("live-runtime", Test_live.suite);
     ]

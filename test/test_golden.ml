@@ -1,0 +1,103 @@
+(* Golden deterministic-replay tests: one pinned seed per protocol. The
+   same schedule must produce bit-identical reports on every run — and
+   after a serialization round-trip through the .dmxrepro format, whose
+   hex-float encoding exists precisely so this holds. The fingerprint uses
+   %h so even last-ulp drift in the statistics would be caught. *)
+
+module E = Dmx_sim.Engine
+module Net = Dmx_sim.Network
+module S = Dmx_sim.Stats.Summary
+module Sch = Dmx_sim.Schedule
+module R = Dmx_baselines.Runner
+
+let fp (r : E.report) =
+  Printf.sprintf
+    "%s execs=%d msgs=%d sync=%h sync99=%h resp=%h tput=%h viol=%d dead=%b \
+     retx=%d pending=%d"
+    r.E.protocol r.E.executions r.E.total_messages (S.mean r.E.sync_delay)
+    (S.percentile r.E.sync_delay 99.0)
+    (S.mean r.E.response_time) r.E.throughput r.E.violations r.E.deadlocked
+    r.E.retransmissions r.E.pending_at_end
+
+let fp_of (s : Sch.t) =
+  match R.run_schedule s with
+  | Error e -> Alcotest.fail e
+  | Ok (r, _) -> fp r
+
+let check_deterministic label s =
+  let a = fp_of s in
+  let b = fp_of s in
+  Alcotest.(check string) (label ^ ": bit-identical rerun") a b;
+  match Sch.of_string (Sch.to_string s) with
+  | Error e -> Alcotest.failf "%s: round-trip: %s" label e
+  | Ok s' ->
+    Alcotest.(check bool) (label ^ ": schedule round-trips exactly") true
+      (s' = s);
+    Alcotest.(check string)
+      (label ^ ": bit-identical after serialization")
+      a (fp_of s')
+
+let golden (algo, quorum, n, seed) () =
+  check_deterministic algo
+    {
+      (Sch.default ~algo ~n) with
+      Sch.quorum;
+      seed;
+      execs = 40;
+      cs = 0.7;
+      delay = Net.Uniform { lo = 0.5; hi = 1.5 };
+    }
+
+let golden_cases =
+  [
+    ("delay-optimal", "grid", 9, 101);
+    ("ft-delay-optimal", "tree", 7, 202);
+    ("maekawa", "grid", 9, 303);
+    ("lamport", "", 8, 404);
+    ("ricart-agrawala", "", 8, 505);
+    ("singhal-dynamic", "", 8, 606);
+    ("suzuki-kasami", "", 8, 707);
+    ("singhal-heuristic", "", 8, 808);
+    ("raymond", "", 8, 909);
+  ]
+
+let test_golden_faulty () =
+  (* the full fault machinery: loss, duplication, a healing partition, a
+     delay spike, crash + recovery, heartbeat detection, retry/ack layer *)
+  check_deterministic "ft-delay-optimal (faulty)"
+    {
+      (Sch.default ~algo:"ft-delay-optimal" ~n:7) with
+      Sch.quorum = "tree";
+      seed = 77;
+      execs = 50;
+      cs = 0.5;
+      delay = Net.Uniform { lo = 0.5; hi = 1.5 };
+      faults =
+        {
+          Net.loss = 0.05;
+          duplication = 0.02;
+          partitions =
+            [
+              {
+                Net.from_t = 20.0;
+                until = 45.0;
+                groups = [ [ 0; 1; 2 ]; [ 3; 4; 5; 6 ] ];
+              };
+            ];
+          delay_spikes = [ (10.0, 30.0, 2.0) ];
+        };
+      crashes = [ (30.0, 1) ];
+      recoveries = [ (55.0, 1) ];
+      detector = E.Heartbeat { Dmx_sim.Detector.period = 2.0; timeout = 10.0 };
+      reliability = true;
+    }
+
+let suite =
+  List.map
+    (fun ((algo, quorum, _, _) as case) ->
+      let label =
+        if quorum = "" then algo else Printf.sprintf "%s (%s)" algo quorum
+      in
+      Alcotest.test_case label `Quick (golden case))
+    golden_cases
+  @ [ Alcotest.test_case "ft-delay-optimal under faults" `Quick test_golden_faulty ]

@@ -163,6 +163,21 @@ let test_truncation_reported () =
   in
   Alcotest.(check bool) "truncated flagged" true o.MC.truncated
 
+let test_truncated_never_clean () =
+  (* Regression: a state-budget cutoff proves nothing about the unexplored
+     schedules, so [clean] must reject it even with zero violations and
+     zero stuck states observed so far. *)
+  let req_sets = Dmx_quorum.Builder.req_sets Dmx_quorum.Builder.Grid ~n:3 in
+  let o =
+    Check_do.explore ~max_states:50 ~n:3 ~requesters:[ 0; 1; 2 ]
+      (DO.config req_sets)
+  in
+  Alcotest.(check int) "no violation observed in the prefix" 0 o.MC.violations;
+  Alcotest.(check bool) "yet not a clean pass" false (MC.clean o);
+  (* and an exhausted exploration is *)
+  let full = explore_do Dmx_quorum.Builder.Grid 3 [ 0; 1; 2 ] in
+  Alcotest.(check bool) "exhausted run is clean" true (MC.clean full)
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -184,4 +199,5 @@ let suite =
       ("loss budget: star n=3 safe", test_loss_budget_star);
       ("loss budget: maekawa safe", test_loss_budget_maekawa);
       ("truncation reported", test_truncation_reported);
+      ("truncated is never clean", test_truncated_never_clean);
     ]

@@ -18,6 +18,7 @@ let stub_ctx ?(self = 0) ?(n = 3) () =
       set_timer = (fun ~delay ~tag -> timers := (delay, tag) :: !timers);
       rng = Dmx_sim.Rng.create 1;
       trace_note = ignore;
+      trace_event = ignore;
       mark_parked = ignore;
     }
   in

@@ -46,6 +46,26 @@ let test_percentile_after_more_adds () =
   Alcotest.(check (float 1e-9)) "p50 of {1,2,3}" 2.0 (S.percentile s 50.0);
   Alcotest.(check (float 1e-9)) "mean intact" 2.0 (S.mean s)
 
+let test_percentile_extremes () =
+  (* nearest-rank at the edges: p0 is the minimum, p100 the maximum *)
+  let s = feed (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (S.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 100.0 (S.percentile s 100.0);
+  let one = feed [ 7.5 ] in
+  Alcotest.(check (float 1e-9)) "single p0" 7.5 (S.percentile one 0.0);
+  Alcotest.(check (float 1e-9)) "single p100" 7.5 (S.percentile one 100.0);
+  let two = feed [ 20.0; 10.0 ] in
+  Alcotest.(check (float 1e-9)) "two p0" 10.0 (S.percentile two 0.0);
+  Alcotest.(check (float 1e-9)) "two p50" 10.0 (S.percentile two 50.0);
+  Alcotest.(check (float 1e-9)) "two p51" 20.0 (S.percentile two 51.0);
+  Alcotest.(check (float 1e-9)) "two p100" 20.0 (S.percentile two 100.0)
+
+let test_empty_percentile_extremes () =
+  (* an empty summary answers 0 for any percentile, even the edges *)
+  let s = S.create () in
+  Alcotest.(check (float 0.0)) "empty p0" 0.0 (S.percentile s 0.0);
+  Alcotest.(check (float 0.0)) "empty p100" 0.0 (S.percentile s 100.0)
+
 let test_percentile_bad_arg () =
   let s = feed [ 1.0 ] in
   Alcotest.(check bool) "raises" true
@@ -101,6 +121,8 @@ let suite =
       ("single observation", test_single_observation);
       ("percentiles on 1..100", test_percentiles);
       ("percentile then add", test_percentile_after_more_adds);
+      ("percentile extremes p0/p100", test_percentile_extremes);
+      ("empty percentile extremes", test_empty_percentile_extremes);
       ("percentile arg checked", test_percentile_bad_arg);
       ("welford matches naive", test_welford_against_naive);
       ("counter", test_counter);

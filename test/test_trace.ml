@@ -34,6 +34,23 @@ let test_clear () =
   Trace.clear t;
   Alcotest.(check int) "cleared" 0 (Trace.length t)
 
+let test_truncated_flag () =
+  let t = Trace.create ~enabled:true ~capacity:10 () in
+  for i = 1 to 10 do
+    Trace.record t ~time:(float_of_int i) ~site:0 (Trace.Note "x")
+  done;
+  Alcotest.(check bool) "complete while within capacity" false
+    (Trace.truncated t);
+  Trace.record t ~time:11.0 ~site:0 (Trace.Note "overflow");
+  Alcotest.(check bool) "flagged once trimming discarded entries" true
+    (Trace.truncated t);
+  (* the flag is sticky for the rest of the run... *)
+  Trace.record t ~time:12.0 ~site:0 (Trace.Note "later");
+  Alcotest.(check bool) "sticky" true (Trace.truncated t);
+  (* ...and resets with the collector *)
+  Trace.clear t;
+  Alcotest.(check bool) "cleared with the trace" false (Trace.truncated t)
+
 let test_pp_entry () =
   let e = { Trace.time = 1.5; site = 3; kind = Trace.Send { dst = 7; msg = "hi" } } in
   let s = Format.asprintf "%a" Trace.pp_entry e in
@@ -71,6 +88,7 @@ let suite =
       ("chronological entries", test_chronological_entries);
       ("capacity trims oldest", test_capacity_trims_oldest);
       ("clear", test_clear);
+      ("truncated flag", test_truncated_flag);
       ("entry pretty-printer", test_pp_entry);
       ("timeline rendering", test_timeline);
     ]
