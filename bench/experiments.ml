@@ -29,7 +29,7 @@ let replica_control () =
   let n = 25 in
   let trials = if !Scenarios.quick then 4_000 else 20_000 in
   let rows =
-    List.map
+    par_map
       (fun scheme ->
         let t = RW.create scheme ~n in
         (match RW.validate t with Ok () -> () | Error e -> failwith e);
@@ -104,9 +104,16 @@ let model_check () =
     ]
   in
   let rows =
-    List.map row
-      [ (B.Grid, 2); (B.Star, 3); (B.Majority, 3); (B.Tree, 3); (B.Grid, 3) ]
-    @ [ row ~staggered:true (B.Tree, 3) ]
+    par_map
+      (fun (staggered, kn) -> row ~staggered kn)
+      [
+        (false, (B.Grid, 2));
+        (false, (B.Star, 3));
+        (false, (B.Majority, 3));
+        (false, (B.Tree, 3));
+        (false, (B.Grid, 3));
+        (true, (B.Tree, 3));
+      ]
   in
   Tbl.print ~title:"MC: exhaustive schedule exploration (simultaneous requests)"
     ~note:
@@ -132,7 +139,7 @@ let model_check () =
 
 let constructions () =
   let rows =
-    List.concat_map
+    par_concat_map
       (fun (kind, n) ->
         let runner = R.delay_optimal ~kind ~n () in
         let stats = B.size_stats (B.req_sets kind ~n) in
@@ -192,7 +199,7 @@ let ablation () =
   in
   (* piggybacked next-waiter hint: messages and delay with/without *)
   let rows =
-    List.map
+    par_map
       (fun (label, piggyback_next) ->
         let r = run ~piggyback_next (heavy ~cs:1.0 ~runs:400 n) in
         [
@@ -220,8 +227,9 @@ let ablation () =
   let seeds = List.init (if !Scenarios.quick then 8 else 20) (fun i -> i + 1) in
   let stalled eager_fails =
     List.length
-      (List.filter
-         (fun seed ->
+      (List.filter Fun.id
+         (par_map
+            (fun seed ->
            let cfg =
              {
                (heavy ~cs:0.5 ~runs:150 n) with
@@ -231,9 +239,9 @@ let ablation () =
                warmup = 0;
              }
            in
-           let r = run ~eager_fails cfg in
-           r.E.deadlocked || r.E.executions < 150)
-         seeds)
+              let r = run ~eager_fails cfg in
+              r.E.deadlocked || r.E.executions < 150)
+            seeds))
   in
   let rows =
     [
@@ -272,7 +280,7 @@ let table1 () =
     ]
   in
   let rows =
-    List.map
+    par_map
       (fun runner ->
         let l = check (runner.R.run (light ~runs:80 n)) in
         let h = check (runner.R.run (heavy ~cs:2.0 ~runs:300 n)) in
@@ -314,7 +322,7 @@ let table1 () =
 
 let light_load () =
   let rows =
-    List.map
+    par_map
       (fun n ->
         let k1 = grid_k n - 1 in
         let r = check ((R.delay_optimal ~n ()).R.run (light ~runs:80 n)) in
@@ -349,7 +357,7 @@ let light_load () =
 
 let heavy_load () =
   let rows =
-    List.map
+    par_map
       (fun n ->
         let k1 = grid_k n - 1 in
         let r = check ((R.delay_optimal ~n ()).R.run (heavy ~runs:400 n)) in
@@ -391,23 +399,20 @@ let sync_delay () =
     ]
   in
   let rows =
-    List.concat_map
-      (fun (mname, delay) ->
-        List.map
-          (fun cs ->
-            let cfg = heavy ~cs ~delay ~runs:400 n in
-            let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
-            let rm = check ((R.maekawa ~n ()).R.run cfg) in
-            [
-              mname;
-              Tbl.f1 cs;
-              Tbl.f2 (mean rd.E.sync_delay);
-              Tbl.f2 (p50 rd.E.sync_delay);
-              Tbl.f2 (mean rm.E.sync_delay);
-              Tbl.f2 (mean rm.E.sync_delay /. mean rd.E.sync_delay);
-            ])
-          [ 1.0; 2.0 ])
-      models
+    par_map
+      (fun ((mname, delay), cs) ->
+        let cfg = heavy ~cs ~delay ~runs:400 n in
+        let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
+        let rm = check ((R.maekawa ~n ()).R.run cfg) in
+        [
+          mname;
+          Tbl.f1 cs;
+          Tbl.f2 (mean rd.E.sync_delay);
+          Tbl.f2 (p50 rd.E.sync_delay);
+          Tbl.f2 (mean rm.E.sync_delay);
+          Tbl.f2 (mean rm.E.sync_delay /. mean rd.E.sync_delay);
+        ])
+      (List.concat_map (fun m -> List.map (fun cs -> (m, cs)) [ 1.0; 2.0 ]) models)
   in
   Tbl.print ~title:(Printf.sprintf "E3 (5.2): synchronization delay, T vs 2T (N=%d)" n)
     ~note:
@@ -432,7 +437,7 @@ let sync_delay () =
 
 let throughput () =
   let rows =
-    List.map
+    par_map
       (fun n ->
         let cfg = heavy ~cs:0.1 ~runs:500 n in
         let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
@@ -462,7 +467,7 @@ let throughput () =
 
 let waiting_time () =
   let rows =
-    List.map
+    par_map
       (fun n ->
         let cfg = heavy ~cs:0.1 ~runs:500 n in
         let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
@@ -496,7 +501,7 @@ let load_sweep () =
   let n = 25 in
   let k1 = grid_k n - 1 in
   let rows =
-    List.map
+    par_map
       (fun rate ->
         let r =
           check ((R.delay_optimal ~n ()).R.run (poisson ~rate ~runs:300 n))
@@ -576,7 +581,7 @@ let availability () =
     :: List.map (fun p -> Tbl.f3 (Av.estimate ~trials kind ~n ~p_up:p)) ps
   in
   let rows =
-    List.map row
+    par_map row
       [
         ("grid", B.Grid, 49);
         ("fpp", B.Fpp, 57);
@@ -622,7 +627,7 @@ let fault_tolerance () =
     |> fun cfg -> check ((R.ft_delay_optimal ~kind ~n ()).R.run cfg)
   in
   let rows =
-    List.map
+    par_map
       (fun (label, kind, crashes, recoveries) ->
         let r = base kind crashes recoveries 3.0 in
         [
@@ -686,7 +691,7 @@ let fault_tolerance () =
     (R.ft_delay_optimal ~kind:B.Tree ~n ()).R.run cfg
   in
   let rows =
-    List.map
+    par_map
       (fun d ->
         let r = ablate d in
         [
@@ -759,7 +764,7 @@ let unreliable_network () =
   in
   let quota = execs 200 in
   let rows =
-    List.map
+    par_map
       (fun (label, kind) ->
         label
         :: List.concat_map
@@ -811,7 +816,7 @@ let unreliable_network () =
     }
   in
   let rows =
-    List.map
+    par_map
       (fun (label, faults) ->
         let r = run B.Tree faults in
         [

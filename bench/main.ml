@@ -6,78 +6,58 @@
    or select experiments:
 
      dune exec bench/main.exe -- table1 sync-delay --quick
-*)
 
-let registry =
-  [
-    ("table1", ("Table 1: messages and sync delay across algorithms", Experiments.table1));
-    ("light-load", ("E1: light load, 3(K-1) messages", Experiments.light_load));
-    ("heavy-load", ("E2: heavy load, 5..6(K-1) messages", Experiments.heavy_load));
-    ("sync-delay", ("E3: synchronization delay T vs 2T", Experiments.sync_delay));
-    ("throughput", ("E4: heavy-load throughput ratio", Experiments.throughput));
-    ("waiting-time", ("E5: heavy-load waiting time ratio", Experiments.waiting_time));
-    ("load-sweep", ("E6: offered load sweep", Experiments.load_sweep));
-    ("quorum-size", ("E7: quorum size by construction", Experiments.quorum_size));
-    ("constructions", ("E11: delay-optimal across quorum constructions", Experiments.constructions));
-    ("availability", ("E8: coterie availability", Experiments.availability));
-    ("fault-tolerance", ("E9: crash injection and detector ablation", Experiments.fault_tolerance));
-    ("replica-control", ("E10: read/write quorums for replica control", Experiments.replica_control));
-    ("unreliable-network", ("E12: loss sweep and partition healing", Experiments.unreliable_network));
-    ("model-check", ("MC: exhaustive small-scope schedule exploration", Experiments.model_check));
-    ("ablation", ("A1/A2: design-choice ablations (piggyback, eager fails)", Experiments.ablation));
-    ("micro", ("M1: substrate micro-benchmarks", Micro.run));
-  ]
+   Flags: --quick (smaller quotas), --check (oracle-verify every run),
+   --jobs N (parallel fan-out inside each experiment; output is
+   bit-identical at any N), --json[=FILE] (write a BENCH_pr4.json perf
+   snapshot; see PERFORMANCE.md). *)
 
 let usage () =
-  print_endline "usage: main.exe [--quick] [--check] [EXPERIMENT...]";
+  print_endline
+    "usage: main.exe [--quick] [--check] [--jobs N] [--json[=FILE]] \
+     [EXPERIMENT...]";
   print_endline "experiments:";
-  List.iter
-    (fun (name, (desc, _)) -> Printf.printf "  %-16s %s\n" name desc)
-    registry;
+  Dmx_bench.Suite.print_experiments ();
   print_endline "  all              run everything (default)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  Scenarios.quick := quick;
-  (* --check: oracle-verify every simulation run (slower; used by CI) *)
-  if List.mem "--check" args then Dmx_baselines.Runner.always_check := true;
-  let selected =
-    List.filter (fun a -> a <> "--quick" && a <> "--check" && a <> "all") args
+  let quick = ref false in
+  let check = ref false in
+  let jobs = ref (Dmx_sim.Pool.default_jobs ()) in
+  let json = ref None in
+  let selected = ref [] in
+  let bad fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  let jobs_of s =
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> j
+    | _ -> bad "--jobs expects a positive integer, got %S" s
   in
-  if List.mem "--help" selected || List.mem "-h" selected then usage ()
-  else begin
-    let unknown =
-      List.filter (fun a -> not (List.mem_assoc a registry)) selected
-    in
-    if unknown <> [] then begin
-      Printf.printf "unknown experiment(s): %s\n\n" (String.concat ", " unknown);
-      usage ();
-      exit 1
-    end;
-    let to_run = if selected = [] then List.map fst registry else selected in
-    Printf.printf
-      "dmx experiment suite - reproduction of Cao et al., ICDCS 1998%s\n"
-      (if quick then " (quick mode)" else "");
-    let t0 = Sys.time () in
-    let failed = ref [] in
-    List.iter
-      (fun name ->
-        let _, f = List.assoc name registry in
-        let t = Sys.time () in
-        (try
-           f ();
-           Printf.printf "[%s finished in %.1fs]\n%!" name (Sys.time () -. t)
-         with Failure msg ->
-           failed := name :: !failed;
-           Printf.printf "[%s FAILED: %s]\n%!" name msg))
-      to_run;
-    Printf.printf "\nTotal: %.1fs\n" (Sys.time () -. t0);
-    let oracle_rejected = !Dmx_baselines.Runner.check_failures in
-    if oracle_rejected > 0 then
-      Printf.printf "trace oracle rejected %d run(s)\n" oracle_rejected;
-    if !failed <> [] then
-      Printf.printf "FAILED experiments: %s\n"
-        (String.concat ", " (List.rev !failed));
-    if !failed <> [] || oracle_rejected > 0 then exit 1
-  end
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--check" :: rest -> check := true; parse rest
+    | "--jobs" :: v :: rest -> jobs := jobs_of v; parse rest
+    | [ "--jobs" ] -> bad "--jobs expects a value"
+    | "--json" :: rest -> json := Some "BENCH_pr4.json"; parse rest
+    | ("--help" | "-h") :: _ -> usage (); exit 0
+    | "all" :: rest -> parse rest
+    | a :: rest ->
+      (match String.index_opt a '=' with
+      | Some i when String.length a > 6 && String.sub a 0 6 = "--jobs" ->
+        jobs := jobs_of (String.sub a (i + 1) (String.length a - i - 1))
+      | Some i when String.length a > 6 && String.sub a 0 6 = "--json" ->
+        json := Some (String.sub a (i + 1) (String.length a - i - 1))
+      | _ -> selected := a :: !selected);
+      parse rest
+  in
+  parse args;
+  match Dmx_bench.Suite.resolve (List.rev !selected) with
+  | Error unknown ->
+    Printf.printf "unknown experiment(s): %s\n\n" (String.concat ", " unknown);
+    usage ();
+    exit 1
+  | Ok to_run ->
+    exit
+      (Dmx_bench.Suite.run ~jobs:!jobs ?json:!json ~quick:!quick ~check:!check
+         to_run)

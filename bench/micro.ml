@@ -25,6 +25,21 @@ let make_tests () =
              ignore (Dmx_sim.Event_queue.next q)
            done))
   in
+  let event_queue_drop n =
+    (* the engine's crash path: purge half the queue, then drain *)
+    Test.make ~name:(Printf.sprintf "event-queue drop_if %d" n)
+      (Staged.stage (fun () ->
+           let q = Dmx_sim.Event_queue.create () in
+           for i = 0 to n - 1 do
+             Dmx_sim.Event_queue.schedule q
+               ~time:(Dmx_sim.Rng.float rng 1000.0)
+               i
+           done;
+           ignore (Dmx_sim.Event_queue.drop_if q (fun i -> i land 1 = 0));
+           while not (Dmx_sim.Event_queue.is_empty q) do
+             ignore (Dmx_sim.Event_queue.next q)
+           done))
+  in
   let sim_run n =
     let req_sets = Dmx_quorum.Builder.req_sets Grid ~n in
     let module M = Dmx_sim.Engine.Make (Dmx_core.Delay_optimal) in
@@ -46,6 +61,7 @@ let make_tests () =
       quorum "fpp" Dmx_quorum.Builder.Fpp 307;
       quorum "hqc" Dmx_quorum.Builder.Hqc 729;
       event_queue_churn 10_000;
+      event_queue_drop 10_000;
       sim_run 25;
       sim_run 81;
     ]

@@ -6,9 +6,19 @@ module W = Dmx_sim.Workload
 module Net = Dmx_sim.Network
 module S = Dmx_sim.Stats.Summary
 
-(* Global knob set by --quick: fewer executions per run. *)
+(* Global knob set by --quick: fewer executions per run. Set once by the
+   driver before any experiment starts; worker domains only read it (the
+   Domain.spawn in Pool establishes the happens-before). *)
 let quick = ref false
 let execs base = if !quick then max 40 (base / 5) else base
+
+(* Parallelism for the embarrassingly-parallel row fan-outs below; same
+   set-once-then-read-only discipline as [quick]. Each row is an
+   independent seeded simulation, and [Pool] collects results by index,
+   so tables are byte-identical at any job count. *)
+let jobs = ref 1
+let par_map f xs = Dmx_sim.Pool.map ~jobs:!jobs f xs
+let par_concat_map f xs = Dmx_sim.Pool.concat_map ~jobs:!jobs f xs
 
 let heavy ?(seed = 42) ?(cs = 1.0) ?(delay = Net.Constant 1.0) ?(runs = 400) n =
   {

@@ -1,0 +1,123 @@
+(* Experiment registry and driver, shared by the standalone bench
+   executable (bench/main.exe) and the `dmx-sim bench` subcommand.
+
+   Besides running experiments it records a machine-readable perf
+   trajectory: wall-clock, simulator events processed and events/sec per
+   experiment, plus peak heap, written as a BENCH_*.json snapshot so
+   future changes have a baseline to regress against. *)
+
+module R = Dmx_baselines.Runner
+
+let registry =
+  [
+    ("table1", ("Table 1: messages and sync delay across algorithms", Experiments.table1));
+    ("light-load", ("E1: light load, 3(K-1) messages", Experiments.light_load));
+    ("heavy-load", ("E2: heavy load, 5..6(K-1) messages", Experiments.heavy_load));
+    ("sync-delay", ("E3: synchronization delay T vs 2T", Experiments.sync_delay));
+    ("throughput", ("E4: heavy-load throughput ratio", Experiments.throughput));
+    ("waiting-time", ("E5: heavy-load waiting time ratio", Experiments.waiting_time));
+    ("load-sweep", ("E6: offered load sweep", Experiments.load_sweep));
+    ("quorum-size", ("E7: quorum size by construction", Experiments.quorum_size));
+    ("constructions", ("E11: delay-optimal across quorum constructions", Experiments.constructions));
+    ("availability", ("E8: coterie availability", Experiments.availability));
+    ("fault-tolerance", ("E9: crash injection and detector ablation", Experiments.fault_tolerance));
+    ("replica-control", ("E10: read/write quorums for replica control", Experiments.replica_control));
+    ("unreliable-network", ("E12: loss sweep and partition healing", Experiments.unreliable_network));
+    ("model-check", ("MC: exhaustive small-scope schedule exploration", Experiments.model_check));
+    ("ablation", ("A1/A2: design-choice ablations (piggyback, eager fails)", Experiments.ablation));
+    ("micro", ("M1: substrate micro-benchmarks", Micro.run));
+  ]
+
+let names = List.map fst registry
+
+(* Validate a selection; [] means everything, in registry order. *)
+let resolve selected =
+  let unknown = List.filter (fun a -> not (List.mem_assoc a registry)) selected in
+  if unknown <> [] then Error unknown
+  else Ok (if selected = [] then names else selected)
+
+let print_experiments () =
+  List.iter
+    (fun (name, (desc, _)) -> Printf.printf "  %-16s %s\n" name desc)
+    registry
+
+type outcome = {
+  name : string;
+  wall_s : float;  (* wall clock, not CPU: parallel speedup must show *)
+  events : int;  (* simulator events processed during this experiment *)
+  ok : bool;
+}
+
+let write_json ~path ~quick ~jobs ~total_wall_s ~oracle_rejected outcomes =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"dmx-bench/1\",\n";
+  add "  \"quick\": %b,\n" quick;
+  add "  \"jobs\": %d,\n" jobs;
+  add "  \"experiments\": [\n";
+  List.iteri
+    (fun i o ->
+      let eps =
+        if o.wall_s > 0.0 then float_of_int o.events /. o.wall_s else 0.0
+      in
+      add
+        "    {\"name\": \"%s\", \"wall_s\": %.6f, \"events\": %d, \
+         \"events_per_sec\": %.1f, \"ok\": %b}%s\n"
+        o.name o.wall_s o.events eps o.ok
+        (if i < List.length outcomes - 1 then "," else ""))
+    outcomes;
+  add "  ],\n";
+  add "  \"total_wall_s\": %.6f,\n" total_wall_s;
+  add "  \"peak_heap_words\": %d,\n" (Gc.quick_stat ()).Gc.top_heap_words;
+  add "  \"oracle_rejected\": %d\n" oracle_rejected;
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+(* Run [to_run] (pre-validated names) and return the exit code. *)
+let run ?(jobs = Dmx_sim.Pool.default_jobs ()) ?json ~quick ~check to_run =
+  Scenarios.quick := quick;
+  Scenarios.jobs := max 1 jobs;
+  if check then Atomic.set R.always_check true;
+  Printf.printf
+    "dmx experiment suite - reproduction of Cao et al., ICDCS 1998%s\n"
+    (if quick then " (quick mode)" else "");
+  let t0 = Unix.gettimeofday () in
+  let failed = ref [] in
+  let outcomes = ref [] in
+  List.iter
+    (fun name ->
+      let _, f = List.assoc name registry in
+      let t = Unix.gettimeofday () in
+      let e0 = Atomic.get Dmx_sim.Engine.events_total in
+      let ok =
+        try
+          f ();
+          true
+        with Failure msg ->
+          failed := name :: !failed;
+          Printf.printf "[%s FAILED: %s]\n%!" name msg;
+          false
+      in
+      let wall_s = Unix.gettimeofday () -. t in
+      let events = Atomic.get Dmx_sim.Engine.events_total - e0 in
+      if ok then Printf.printf "[%s finished in %.1fs]\n%!" name wall_s;
+      outcomes := { name; wall_s; events; ok } :: !outcomes)
+    to_run;
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nTotal: %.1fs\n" total_wall_s;
+  let oracle_rejected = Atomic.get R.check_failures in
+  if oracle_rejected > 0 then
+    Printf.printf "trace oracle rejected %d run(s)\n" oracle_rejected;
+  if !failed <> [] then
+    Printf.printf "FAILED experiments: %s\n"
+      (String.concat ", " (List.rev !failed));
+  (match json with
+  | Some path ->
+    write_json ~path ~quick ~jobs ~total_wall_s ~oracle_rejected
+      (List.rev !outcomes);
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  if !failed <> [] || oracle_rejected > 0 then 1 else 0

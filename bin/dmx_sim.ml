@@ -321,8 +321,18 @@ let check_arg =
            consistency, permission conservation, FIFO); exit nonzero on \
            rejection.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Dmx_sim.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulation runs (default: \
+           recommended domain count). Results are collected by job index, \
+           so output is bit-identical at any value; see PERFORMANCE.md.")
+
 let exit_checked code =
-  if !R.check_failures > 0 then exit 3 else if code <> 0 then exit code
+  if Atomic.get R.check_failures > 0 then exit 3 else if code <> 0 then exit code
 
 let csv_header =
   "algorithm,variant,n,executions,messages,msgs_per_cs,sync_mean,sync_p99,\
@@ -354,7 +364,7 @@ let run_cmd =
   in
   let action algo kind n seed execs warmup cs delay workload crashes detect det
       loss dup partitions spikes csv check =
-    if check then R.always_check := true;
+    if check then Atomic.set R.always_check true;
     let faults = faults_of loss dup partitions spikes in
     match runner_of_algo ~faults ~det algo kind ~n with
     | Error e ->
@@ -388,7 +398,7 @@ let run_cmd =
 
 let compare_cmd =
   let action n seed execs warmup cs delay workload csv check =
-    if check then R.always_check := true;
+    if check then Atomic.set R.always_check true;
     let cfg = make_cfg n seed execs warmup cs delay workload [] 3.0 in
     let runners = R.all ~n in
     let bad = ref 0 in
@@ -527,39 +537,55 @@ let sweep_cmd =
       & opt (list ~sep:',' string) [ "delay-optimal"; "maekawa" ]
       & info [ "algos" ] ~docv:"A1,A2,..." ~doc:"Algorithms to include.")
   in
-  let action axis values algos kind n seed execs warmup cs delay workload =
+  let action axis values algos kind n seed execs warmup cs delay workload jobs
+      =
     print_endline ("axis,value," ^ csv_header);
+    let axis_name =
+      match axis with `N -> "n" | `Rate -> "rate" | `Cs -> "cs"
+    in
+    (* The (value x algo) grid is a fixed job list of independent seeded
+       runs: fan out on domains, print in grid order afterwards — the CSV
+       is byte-identical at any job count. *)
+    let grid =
+      List.concat_map (fun v -> List.map (fun algo -> (v, algo)) algos) values
+    in
+    let results =
+      Dmx_sim.Pool.map ~jobs
+        (fun (v, algo) ->
+          let n, cs, workload =
+            match axis with
+            | `N -> (int_of_float v, cs, workload)
+            | `Rate -> (n, cs, `Poisson v)
+            | `Cs -> (n, v, workload)
+          in
+          match runner_of_algo algo kind ~n with
+          | Error e -> Error e
+          | Ok runner ->
+            let cfg = make_cfg n seed execs warmup cs delay workload [] 3.0 in
+            let r = runner.R.run cfg in
+            Ok
+              ( Printf.sprintf "%s,%g,%s" axis_name v
+                  (csv_line r runner.R.variant),
+                r.E.violations > 0 || r.E.deadlocked ))
+        grid
+    in
     let bad = ref 0 in
     List.iter
-      (fun v ->
-        let n, cs, workload =
-          match axis with
-          | `N -> (int_of_float v, cs, workload)
-          | `Rate -> (n, cs, `Poisson v)
-          | `Cs -> (n, v, workload)
-        in
-        List.iter
-          (fun algo ->
-            match runner_of_algo algo kind ~n with
-            | Error e ->
-              prerr_endline e;
-              exit 1
-            | Ok runner ->
-              let cfg = make_cfg n seed execs warmup cs delay workload [] 3.0 in
-              let r = runner.R.run cfg in
-              if r.E.violations > 0 || r.E.deadlocked then incr bad;
-              Printf.printf "%s,%g,%s\n"
-                (match axis with `N -> "n" | `Rate -> "rate" | `Cs -> "cs")
-                v
-                (csv_line r runner.R.variant))
-          algos)
-      values;
+      (function
+        | Error e ->
+          prerr_endline e;
+          exit 1
+        | Ok (line, b) ->
+          if b then incr bad;
+          print_endline line)
+      results;
     exit_checked (if !bad > 0 then 2 else 0)
   in
   let term =
     Term.(
       const action $ axis_arg $ values_arg $ algos_arg $ quorum_arg $ n_arg
-      $ seed_arg $ execs_arg $ warmup_arg $ cs_arg $ delay_arg $ workload_arg)
+      $ seed_arg $ execs_arg $ warmup_arg $ cs_arg $ delay_arg $ workload_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -624,12 +650,15 @@ let trace_cmd =
 (* ---- replay ---- *)
 
 let replay_cmd =
-  let file_arg =
+  let files_arg =
     Arg.(
-      required
-      & pos 0 (some file) None
+      non_empty
+      & pos_all file []
       & info [] ~docv:"FILE"
-          ~doc:"A .dmxrepro schedule, e.g. one shrunk by the fuzz harness.")
+          ~doc:
+            "One or more .dmxrepro schedules, e.g. shrunk by the fuzz \
+             harness. Several files replay in parallel (see $(b,--jobs)); \
+             output stays in argument order.")
   in
   let quiet_arg =
     Arg.(
@@ -646,60 +675,136 @@ let replay_cmd =
              first question about a reproducer is what it was doing when it \
              stopped.")
   in
-  let action file quiet tail =
-    match Dmx_sim.Oracle.replay_file file with
-    | Error e ->
-      prerr_endline e;
-      exit 1
-    | Ok sched -> (
-      match R.run_schedule sched with
-      | Error e ->
-        prerr_endline e;
-        exit 1
-      | Ok (report, trace) ->
-        if not quiet then begin
-          print_string (Dmx_sim.Schedule.to_string sched);
-          Format.printf "---@.%a@." E.pp_report report
-        end;
-        (* same per-fault relaxation as Runner.checked: FIFO and custody
-           assumptions do not survive crash/recovery or duplication *)
-        let crashy = sched.Dmx_sim.Schedule.crashes <> [] in
-        let dupy =
-          sched.Dmx_sim.Schedule.faults.Dmx_sim.Network.duplication > 0.0
-        in
-        let verdict =
-          Dmx_sim.Oracle.check_trace
-            {
-              (Dmx_sim.Oracle.default ~n:sched.Dmx_sim.Schedule.n) with
-              Dmx_sim.Oracle.fifo = not (crashy || dupy);
-              custody = not crashy;
-            }
-            trace
-        in
-        (match tail with
-        | Some k ->
-          let entries = Dmx_sim.Trace.entries trace in
-          let total = List.length entries in
-          let drop = if k <= 0 then 0 else max 0 (total - k) in
-          if drop > 0 then Format.printf "... (%d earlier entries)@." drop;
-          List.iteri
-            (fun i e ->
-              if i >= drop then
-                Format.printf "%a@." Dmx_sim.Trace.pp_entry e)
-            entries
-        | None -> ());
-        Format.printf "%a@." Dmx_sim.Oracle.pp_verdict verdict;
-        if
-          report.E.violations > 0 || report.E.deadlocked
-          || not (Dmx_sim.Oracle.ok verdict)
-        then exit 2)
+  (* Replays one file into strings (stdout text, stderr text, exit code)
+     so several files can run on worker domains without interleaving. *)
+  let replay_one ~quiet ~tail file =
+    let buf = Buffer.create 1024 in
+    let ppf = Format.formatter_of_buffer buf in
+    let code =
+      match Dmx_sim.Oracle.replay_file file with
+      | Error e -> Error e
+      | Ok sched -> (
+        match R.run_schedule sched with
+        | Error e -> Error e
+        | Ok (report, trace) ->
+          if not quiet then begin
+            Buffer.add_string buf (Dmx_sim.Schedule.to_string sched);
+            Format.fprintf ppf "---@.%a@." E.pp_report report
+          end;
+          (* same per-fault relaxation as Runner.checked: FIFO and custody
+             assumptions do not survive crash/recovery or duplication *)
+          let crashy = sched.Dmx_sim.Schedule.crashes <> [] in
+          let dupy =
+            sched.Dmx_sim.Schedule.faults.Dmx_sim.Network.duplication > 0.0
+          in
+          let verdict =
+            Dmx_sim.Oracle.check_trace
+              {
+                (Dmx_sim.Oracle.default ~n:sched.Dmx_sim.Schedule.n) with
+                Dmx_sim.Oracle.fifo = not (crashy || dupy);
+                custody = not crashy;
+              }
+              trace
+          in
+          (match tail with
+          | Some k ->
+            let entries = Dmx_sim.Trace.entries trace in
+            let total = List.length entries in
+            let drop = if k <= 0 then 0 else max 0 (total - k) in
+            if drop > 0 then
+              Format.fprintf ppf "... (%d earlier entries)@." drop;
+            List.iteri
+              (fun i e ->
+                if i >= drop then
+                  Format.fprintf ppf "%a@." Dmx_sim.Trace.pp_entry e)
+              entries
+          | None -> ());
+          Format.fprintf ppf "%a@." Dmx_sim.Oracle.pp_verdict verdict;
+          if
+            report.E.violations > 0 || report.E.deadlocked
+            || not (Dmx_sim.Oracle.ok verdict)
+          then Ok 2
+          else Ok 0)
+    in
+    Format.pp_print_flush ppf ();
+    (Buffer.contents buf, code)
   in
-  let term = Term.(const action $ file_arg $ quiet_arg $ tail_arg) in
+  let action files quiet tail jobs =
+    let results = Dmx_sim.Pool.map ~jobs (replay_one ~quiet ~tail) files in
+    let many = List.length files > 1 in
+    let worst = ref 0 in
+    List.iter2
+      (fun file (out, code) ->
+        if many then Printf.printf "=== %s ===\n" file;
+        print_string out;
+        match code with
+        | Error e ->
+          prerr_endline e;
+          worst := max !worst 1
+        | Ok c -> worst := max !worst c)
+      files results;
+    if !worst <> 0 then exit !worst
+  in
+  let term = Term.(const action $ files_arg $ quiet_arg $ tail_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Re-execute a $(b,.dmxrepro) reproducer bit-for-bit and re-check it \
           with the trace oracle (exit 2 when the violation reproduces).")
+    term
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Smaller execution quotas (smoke mode).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "BENCH_pr4.json") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable perf snapshot (wall-clock, events/sec \
+             and peak heap per experiment) to $(docv); defaults to \
+             BENCH_pr4.json. Field reference in PERFORMANCE.md.")
+  in
+  let exps_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "Experiments to run (default: the full suite). List them with \
+             $(b,--list).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the registered experiments and exit.")
+  in
+  let action quick check jobs json list exps =
+    if list then Dmx_bench.Suite.print_experiments ()
+    else
+      match Dmx_bench.Suite.resolve exps with
+      | Error unknown ->
+        Printf.eprintf "unknown experiment(s): %s\n"
+          (String.concat ", " unknown);
+        exit 1
+      | Ok to_run ->
+        exit (Dmx_bench.Suite.run ~jobs ?json ~quick ~check to_run)
+  in
+  let term =
+    Term.(
+      const action $ quick_arg $ check_arg $ jobs_arg $ json_arg $ list_arg
+      $ exps_arg)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the paper-reproduction experiment suite (tables, figures, \
+          model check, micro-benchmarks).")
     term
 
 let () =
@@ -715,6 +820,7 @@ let () =
             run_cmd;
             compare_cmd;
             sweep_cmd;
+            bench_cmd;
             quorums_cmd;
             avail_cmd;
             trace_cmd;

@@ -12,8 +12,10 @@ type t = {
     ?trace_sink:Trace.t -> Dmx_sim.Engine.config -> Dmx_sim.Engine.report;
 }
 
-let always_check = ref false
-let check_failures = ref 0
+(* Atomics, not refs: checked runs execute concurrently under
+   [Dmx_sim.Pool] and every worker domain bumps [check_failures]. *)
+let always_check = Atomic.make false
+let check_failures = Atomic.make 0
 
 (* A checked run records the full trace and pipes it through the Oracle;
    violations go to stderr and bump [check_failures] so drivers (bench,
@@ -25,7 +27,7 @@ let check_failures = ref 0
    sequence numbers and keep volatile possessions, and duplicated copies
    take independent delays. *)
 let checked ~name run_traced (cfg : E.config) =
-  if not !always_check then run_traced ?trace_sink:None cfg
+  if not (Atomic.get always_check) then run_traced ?trace_sink:None cfg
   else begin
     let sink = Trace.create ~enabled:true ~capacity:4_000_000 () in
     let r = run_traced ?trace_sink:(Some sink) cfg in
@@ -39,11 +41,15 @@ let checked ~name run_traced (cfg : E.config) =
       }
     in
     let v = Oracle.check_trace ocfg sink in
-    if v.Oracle.truncated then
-      Format.eprintf "oracle[%s]: %a@." name Oracle.pp_verdict v
+    (* Render first, then emit with a single write: concurrent checked
+       runs must not interleave partial lines on stderr. *)
+    let complain () =
+      prerr_string (Format.asprintf "oracle[%s]: %a@." name Oracle.pp_verdict v)
+    in
+    if v.Oracle.truncated then complain ()
     else if v.Oracle.violations <> [] then begin
-      incr check_failures;
-      Format.eprintf "oracle[%s]: %a@." name Oracle.pp_verdict v
+      ignore (Atomic.fetch_and_add check_failures 1);
+      complain ()
     end;
     r
   end

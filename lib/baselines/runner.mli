@@ -18,14 +18,16 @@ type t = {
       (** raw run, recording into [trace_sink] when given *)
 }
 
-val always_check : bool ref
+val always_check : bool Atomic.t
 (** When set, every {!field-run} records a full trace and pipes it through
     {!Dmx_sim.Oracle.check_trace}; violations are printed to stderr and
-    counted in {!check_failures}. Default [false] (zero overhead). *)
+    counted in {!check_failures}. Default [false] (zero overhead).
+    Atomic because checked runs may execute on several domains under
+    {!Dmx_sim.Pool}; set it once before fanning out. *)
 
-val check_failures : int ref
+val check_failures : int Atomic.t
 (** Number of oracle-rejected runs since startup; drivers exit nonzero when
-    this is positive at the end. *)
+    this is positive at the end. Safe to bump from worker domains. *)
 
 val delay_optimal : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
 (** Default quorum: [Grid]. *)
@@ -43,6 +45,10 @@ val ft_delay_optimal :
     switches to suspicion semantics for heartbeat detection. *)
 
 val maekawa : ?kind:Dmx_quorum.Builder.kind -> n:int -> unit -> t
+(** Maekawa's √N-quorum algorithm with deadlock resolution (default
+    quorum: [Grid]). The remaining baselines take no parameters beyond
+    [n]: *)
+
 val lamport : n:int -> t
 val ricart_agrawala : n:int -> t
 val singhal_dynamic : n:int -> t
@@ -59,6 +65,7 @@ val by_name : string -> (n:int -> t, string) result
     "singhal-heuristic", "raymond", "ft-delay-optimal"). *)
 
 val names : string list
+(** The registry's algorithm names, in {!by_name}'s spelling. *)
 
 val of_algo :
   ?faults:Dmx_sim.Network.fault_plan ->

@@ -92,6 +92,13 @@ let pp_report ppf r =
       (Stats.Summary.total r.unavailability);
   Format.fprintf ppf "@]"
 
+(* Cumulative count of events processed by every [run] in this process,
+   across all protocol instantiations and domains.  Bench drivers read
+   deltas around an experiment to report events/sec; the counter is
+   deliberately process-global (and atomic) so parallel workers all
+   contribute. *)
+let events_total : int Atomic.t = Atomic.make 0
+
 module Make (P : Protocol.PROTOCOL) = struct
   type ev =
     | Deliver of { src : int; dst : int; msg : P.message; self_msg : bool }
@@ -167,19 +174,24 @@ module Make (P : Protocol.PROTOCOL) = struct
           let now () = Event_queue.now sim.q in
           let send ~dst msg =
             if dst = self then begin
-              Trace.record sim.trace ~time:(now ()) ~site:self
-                (Trace.Send
-                   { dst; msg = Format.asprintf "%a" P.pp_message msg });
+              (* Rendering the payload is pure allocation when tracing is
+                 off, and send is the hottest path in the engine — guard
+                 every [asprintf] behind [Trace.enabled]. *)
+              if Trace.enabled sim.trace then
+                Trace.record sim.trace ~time:(now ()) ~site:self
+                  (Trace.Send
+                     { dst; msg = Format.asprintf "%a" P.pp_message msg });
               sched_live sim ~time:(now ())
                 (Deliver { src = self; dst = self; msg; self_msg = true })
             end
             else begin
               match Network.transmit sim.net ~src:self ~dst ~now:(now ()) with
               | Network.Lost `Down ->
-                Trace.record sim.trace ~time:(now ()) ~site:self
-                  (Trace.Note
-                     (Format.asprintf "drop (crashed endpoint) -> %d : %a" dst
-                        P.pp_message msg))
+                if Trace.enabled sim.trace then
+                  Trace.record sim.trace ~time:(now ()) ~site:self
+                    (Trace.Note
+                       (Format.asprintf "drop (crashed endpoint) -> %d : %a" dst
+                          P.pp_message msg))
               | Network.Lost ((`Partitioned | `Faulty) as reason) ->
                 (* The send happened and is charged; the network ate it. *)
                 if warmed sim then begin
@@ -200,8 +212,10 @@ module Make (P : Protocol.PROTOCOL) = struct
                   sim.messages <- sim.messages + 1;
                   Stats.Counter.incr sim.counters (P.message_kind msg)
                 end;
-                Trace.record sim.trace ~time:(now ()) ~site:self
-                  (Trace.Send { dst; msg = Format.asprintf "%a" P.pp_message msg });
+                if Trace.enabled sim.trace then
+                  Trace.record sim.trace ~time:(now ()) ~site:self
+                    (Trace.Send
+                       { dst; msg = Format.asprintf "%a" P.pp_message msg });
                 List.iteri
                   (fun i at ->
                     if i > 0 then
@@ -484,7 +498,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       Event_queue.schedule sim.q ~time:cfg.stall_timeout Watchdog;
     let deliver src dst msg self_msg =
       if Network.is_up sim.net dst then begin
-        if not self_msg then
+        if (not self_msg) && Trace.enabled sim.trace then
           Trace.record sim.trace
             ~time:(Event_queue.now sim.q)
             ~site:dst
@@ -556,6 +570,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           ~time:(time +. sim.cfg.stall_timeout)
           Watchdog
     in
+    let processed = ref 0 in
     let rec loop () =
       if (not sim.stop) && Event_queue.now sim.q <= cfg.max_time then
         match Event_queue.next sim.q with
@@ -563,6 +578,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         | Some { payload; time; _ } ->
           if time > cfg.max_time then ()
           else begin
+            incr processed;
             if not (housekeeping payload) then begin
               sim.live_events <- sim.live_events - 1;
               sim.last_progress <- time
@@ -644,6 +660,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           end
     in
     loop ();
+    ignore (Atomic.fetch_and_add events_total !processed);
     (match inspect with
     | Some f ->
       Array.iteri

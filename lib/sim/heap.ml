@@ -75,9 +75,30 @@ let to_list t =
   loop (t.size - 1) []
 
 let filter_in_place t keep =
-  let kept = List.filter keep (to_list t) in
-  clear t;
-  List.iter (add t) kept
+  (* In-place: compact survivors to the front of [data], then restore the
+     heap invariant bottom-up (Floyd heapify).  O(n) and allocation-free,
+     versus the previous to_list/filter/re-add round trip.  The comparator
+     is total (event queues break time ties by insertion seq), so the
+     resulting heap's pop order is deterministic either way. *)
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    if keep t.data.(i) then begin
+      if !j <> i then t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  let old_size = t.size in
+  t.size <- !j;
+  if t.size = 0 then t.data <- [||]
+  else begin
+    (* Release dropped references so the GC can reclaim them. *)
+    for i = t.size to old_size - 1 do
+      t.data.(i) <- t.data.(0)
+    done;
+    for i = (t.size / 2) - 1 downto 0 do
+      sift_down t i
+    done
+  end
 
 let exists t p =
   let rec loop i = i < t.size && (p t.data.(i) || loop (i + 1)) in

@@ -55,6 +55,8 @@ val default : n:int -> config
 (** FIFO and custody on, fairness and bounds off. *)
 
 type violation = { time : float; site : int; what : string }
+(** One invariant breach: when, at which site, and a human-readable
+    description of what went wrong. *)
 
 type verdict = {
   violations : violation list;  (** chronological; empty = clean *)
@@ -68,9 +70,16 @@ val ok : verdict -> bool
 (** No violations {e and} the trace was complete. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+(** One-line rendering: time, site, description. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit
+(** Summary line plus one {!pp_violation} line per breach. *)
 
 val check : config -> Trace.entry list -> truncated:bool -> verdict
+(** Validate a chronological entry list against every enabled invariant.
+    Pass [~truncated:true] when the collector dropped entries — the
+    verdict is then marked {!verdict.truncated} and {!ok} rejects it,
+    since absence of violations in a partial trace proves nothing. *)
 
 val check_trace : config -> Trace.t -> verdict
 (** [check] on the collector's entries, honoring its truncation flag. *)

@@ -1,0 +1,54 @@
+(* Deterministic domain fan-out: fixed job list, results keyed by index.
+
+   The design invariant is that callers can never observe scheduling.
+   Workers race only on [next] (an atomic ticket counter) and each
+   writes a distinct slot of [results]; [Domain.join] publishes those
+   writes to the caller, so no other synchronization is needed. *)
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let run ?jobs count f =
+  let jobs = match jobs with None -> default_jobs () | Some j -> max 1 j in
+  let workers = min jobs count in
+  if workers <= 1 then Array.init count f
+  else begin
+    let results = Array.make count None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < count then begin
+          let r =
+            match f i with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* The calling domain is worker zero; spawn the rest. *)
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* Re-raise the lowest-index failure: identical to what a
+       sequential left-to-right run would have reported first. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      results;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false)
+      results
+  end
+
+let map ?jobs f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (run ?jobs (Array.length arr) (fun i -> f arr.(i)))
+
+let concat_map ?jobs f xs = List.concat (map ?jobs f xs)

@@ -1,0 +1,40 @@
+(** Deterministic fan-out over OCaml 5 domains.
+
+    Every simulation run is an independent, seeded world, so parameter
+    sweeps are embarrassingly parallel.  [Pool] exploits that without
+    giving up reproducibility: jobs are a {e fixed} list known up front,
+    workers pull indices from a shared counter, and results land in an
+    array slot keyed by job index.  Consumers therefore observe results
+    in submission order — bit-identical to a sequential run — no matter
+    how the domains were scheduled.
+
+    There is deliberately no work stealing, no shared mutable state
+    visible to jobs, and no ordering guarantee {e during} execution;
+    only the collected output order is guaranteed.  Jobs must not
+    communicate with each other and must confine side effects (stdout,
+    global refs) to data they return, otherwise interleaving will show
+    through.
+
+    If a job raises, the exception with the {e smallest job index} is
+    re-raised after all workers join — the same failure a sequential
+    left-to-right run would have reported first. *)
+
+val default_jobs : unit -> int
+(** Parallelism used when [?jobs] is omitted:
+    [Domain.recommended_domain_count ()] capped at 8 (beyond that the
+    bench workloads are memory-bound and extra domains only add GC
+    pressure).  Always at least 1. *)
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ~jobs count f] evaluates [f i] for every [i] in
+    [0 .. count - 1] on up to [jobs] domains and returns the results
+    indexed by [i].  With [jobs <= 1] (or [count <= 1]) everything runs
+    sequentially in the calling domain, in index order. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is a parallel [List.map f xs] with the ordering
+    guarantee of {!run}: the result list matches [xs] positionally. *)
+
+val concat_map : ?jobs:int -> ('a -> 'b list) -> 'a list -> 'b list
+(** [concat_map ~jobs f xs] is a parallel [List.concat_map f xs],
+    concatenated in the order of [xs]. *)

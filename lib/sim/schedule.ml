@@ -266,7 +266,18 @@ let of_string s =
         fold acc rest
     in
     let* t = fold (default ~algo:"delay-optimal" ~n:0) rest in
-    if t.n <= 0 then err "schedule missing n" else Ok t
+    if t.n <= 0 then err "schedule missing n"
+    else
+      (* The fold seeds n-dependent defaults with n = 0; re-derive them now
+         that n is known, so a file that omits `workload` means "saturated,
+         all sites" exactly as [default ~n] would. *)
+      let workload =
+        match t.workload with
+        | Workload.Saturated { contenders } when contenders <= 0 ->
+          Workload.Saturated { contenders = t.n }
+        | w -> w
+      in
+      Ok { t with workload }
 
 let to_file t path =
   let oc = open_out path in

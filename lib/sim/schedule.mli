@@ -38,10 +38,21 @@ val to_engine_config : t -> Engine.config
     [algo]/[quorum]/[reliability]. *)
 
 val to_string : t -> string
+(** Canonical [.dmxrepro] text: fixed key order, one key per line, hex
+    floats. [of_string (to_string t) = Ok t] for every [t]. The format is
+    specified in [docs/dmxrepro.md]. *)
+
 val of_string : string -> (t, string) result
+(** Parse [.dmxrepro] text. Blank lines and [#] comments are skipped;
+    unknown keys and a missing/non-positive [n] are errors. Omitted keys
+    take {!default}'s values, with [n]-dependent defaults (the saturated
+    workload's contender count) re-derived after parsing. *)
 
 val to_file : t -> string -> unit
+(** [to_file t path] writes {!to_string}[ t] to [path] (truncating). *)
+
 val of_file : string -> (t, string) result
+(** Read and {!of_string} a reproducer file; I/O errors become [Error]. *)
 
 val shrink : t -> t list
 (** Strictly-smaller candidate schedules, most aggressive first: fewer

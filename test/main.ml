@@ -4,6 +4,7 @@ let () =
   Alcotest.run "dmx"
     [
       ("rng", Test_rng.suite);
+      ("pool", Test_pool.suite);
       ("heap", Test_heap.suite);
       ("event-queue", Test_event_queue.suite);
       ("network", Test_network.suite);

@@ -72,6 +72,46 @@ let test_drop_if () =
   Alcotest.(check int) "dropped" 2 (Eq.drop_if q (fun p -> p mod 2 = 1));
   Alcotest.(check (list int)) "evens" [ 0; 2; 4 ] (List.map snd (drain q))
 
+let test_drop_if_preserves_tie_break () =
+  (* Survivors of a drop keep their original insertion seq, so equal-time
+     events still drain in insertion order — the engine depends on this
+     when a crash purges a site's events mid-run. *)
+  let q = Eq.create () in
+  List.iter (fun p -> Eq.schedule q ~time:1.0 p) [ "a"; "b"; "c"; "d"; "e"; "f" ];
+  Alcotest.(check int) "dropped" 2 (Eq.drop_if q (fun p -> p = "b" || p = "e"));
+  Alcotest.(check (list string))
+    "insertion order among equals survives the drop"
+    [ "a"; "c"; "d"; "f" ]
+    (List.map snd (drain q))
+
+let test_drop_if_interleaves_late_inserts () =
+  (* After a drop, new events at the same time still sort behind the
+     surviving older ones. *)
+  let q = Eq.create () in
+  List.iter (fun p -> Eq.schedule q ~time:2.0 p) [ 10; 11; 12 ];
+  ignore (Eq.drop_if q (fun p -> p = 11));
+  Eq.schedule q ~time:2.0 13;
+  Alcotest.(check (list int)) "old-then-new among equals" [ 10; 12; 13 ]
+    (List.map snd (drain q))
+
+let qcheck_drop_if_order =
+  QCheck.Test.make ~name:"drop_if preserves (time, seq) order" ~count:300
+    QCheck.(pair (list (float_bound_inclusive 100.0)) small_int)
+    (fun (times, m) ->
+      let q = Eq.create () in
+      List.iteri (fun i t -> Eq.schedule q ~time:t (i, t)) times;
+      let keep (i, _) = i mod (1 + m) <> 0 in
+      let dropped = Eq.drop_if q (fun p -> not (keep p)) in
+      let drained = drain q in
+      let rec ordered = function
+        | (t1, (i1, _)) :: ((t2, (i2, _)) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && i1 < i2)) && ordered rest
+        | _ -> true
+      in
+      dropped + List.length drained = List.length times
+      && List.for_all (fun (_, p) -> keep p) drained
+      && ordered drained)
+
 let test_length () =
   let q = Eq.create () in
   Alcotest.(check bool) "empty" true (Eq.is_empty q);
@@ -105,6 +145,11 @@ let suite =
       ("rejects nan", test_rejects_nan);
       ("peek_time", test_peek_time);
       ("drop_if", test_drop_if);
+      ("drop_if keeps tie-break", test_drop_if_preserves_tie_break);
+      ("drop_if then insert at same time", test_drop_if_interleaves_late_inserts);
       ("length / is_empty", test_length);
     ]
-  @ [ QCheck_alcotest.to_alcotest qcheck_ordered_drain ]
+  @ [
+      QCheck_alcotest.to_alcotest qcheck_ordered_drain;
+      QCheck_alcotest.to_alcotest qcheck_drop_if_order;
+    ]

@@ -213,15 +213,45 @@ let persist_reproducer seed minimal =
 
 (* ---- the corpus ---- *)
 
+(* Each case is an independent seeded schedule, so the corpus fans out on
+   domains ([DMX_FUZZ_JOBS], default [Pool.default_jobs]). Workers return
+   failure descriptions as data — Alcotest must only be poked from the
+   main domain — and shrinking/persistence of rare failures also happens
+   here, sequentially, to keep reproducer files and reports ordered. *)
+let fuzz_jobs =
+  match
+    int_of_string_opt (try Sys.getenv "DMX_FUZZ_JOBS" with Not_found -> "")
+  with
+  | Some j when j >= 1 -> j
+  | _ -> Dmx_sim.Pool.default_jobs ()
+
 let test_fuzz_corpus () =
-  for seed = 1 to cases do
-    let s = gen seed in
-    match R.run_schedule s with
-    | Error e -> Alcotest.failf "seed %d (%s): %s" seed s.Sch.algo e
-    | Ok (r, tr) ->
-      let v = O.check_trace (oracle_cfg s) tr in
-      let engine_bad = r.E.violations > 0 || r.E.deadlocked in
-      if engine_bad || not (O.ok v) then begin
+  let outcomes =
+    Dmx_sim.Pool.run ~jobs:fuzz_jobs cases (fun i ->
+        let seed = i + 1 in
+        let s = gen seed in
+        match R.run_schedule s with
+        | Error e ->
+          Some (seed, s, Printf.sprintf "seed %d (%s): %s" seed s.Sch.algo e, false)
+        | Ok (r, tr) ->
+          let v = O.check_trace (oracle_cfg s) tr in
+          let engine_bad = r.E.violations > 0 || r.E.deadlocked in
+          if engine_bad || not (O.ok v) then
+            Some
+              ( seed,
+                s,
+                (if engine_bad then
+                   Printf.sprintf "engine: violations=%d deadlocked=%b"
+                     r.E.violations r.E.deadlocked
+                 else Format.asprintf "%a" O.pp_verdict v),
+                true )
+          else None)
+  in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (_, _, msg, false) -> Alcotest.failf "%s" msg
+      | Some (seed, s, msg, true) ->
         let minimal = Sch.minimize ~valid ~fails:(fails ?extra:None) s in
         let file = persist_reproducer seed minimal in
         Alcotest.failf
@@ -229,14 +259,8 @@ let test_fuzz_corpus () =
            replay %s`)"
           seed s.Sch.algo
           (if s.Sch.quorum = "" then "-" else s.Sch.quorum)
-          s.Sch.n
-          (if engine_bad then
-             Printf.sprintf "engine: violations=%d deadlocked=%b"
-               r.E.violations r.E.deadlocked
-           else Format.asprintf "%a" O.pp_verdict v)
-          file file
-      end
-  done
+          s.Sch.n msg file file)
+    outcomes
 
 (* ---- an intentionally broken protocol: the harness must catch it ---- *)
 

@@ -92,6 +92,16 @@ let test_golden_faulty () =
       reliability = true;
     }
 
+let test_minimal_file_defaults () =
+  (* A hand-written reproducer that omits `workload` must mean "saturated,
+     all sites" — the n-dependent default is re-derived after parsing, not
+     frozen at the parser's n=0 seed. *)
+  match Sch.of_string "dmxrepro v1\nalgo delay-optimal\nn 4\nexecs 5\n" with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "saturated all sites" true
+      (s.Sch.workload = Dmx_sim.Workload.Saturated { contenders = 4 })
+
 let suite =
   List.map
     (fun ((algo, quorum, _, _) as case) ->
@@ -100,4 +110,9 @@ let suite =
       in
       Alcotest.test_case label `Quick (golden case))
     golden_cases
-  @ [ Alcotest.test_case "ft-delay-optimal under faults" `Quick test_golden_faulty ]
+  @ [
+      Alcotest.test_case "ft-delay-optimal under faults" `Quick
+        test_golden_faulty;
+      Alcotest.test_case "minimal .dmxrepro gets saturated-all default" `Quick
+        test_minimal_file_defaults;
+    ]

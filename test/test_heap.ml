@@ -62,6 +62,30 @@ let test_filter_in_place () =
   Heap.filter_in_place h (fun x -> x mod 2 = 0);
   Alcotest.(check (list int)) "evens remain sorted" [ 2; 4; 6 ] (drain h)
 
+let test_filter_in_place_all_dropped () =
+  let h = make_int_heap () in
+  List.iter (Heap.add h) [ 3; 1; 2 ];
+  Heap.filter_in_place h (fun _ -> false);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.add h 7;
+  Alcotest.(check int) "usable afterwards" 7 (Heap.pop_exn h)
+
+let test_filter_in_place_none_dropped () =
+  let h = make_int_heap () in
+  List.iter (Heap.add h) [ 4; 2; 8; 6 ];
+  Heap.filter_in_place h (fun _ -> true);
+  Alcotest.(check (list int)) "unchanged" [ 2; 4; 6; 8 ] (drain h)
+
+let qcheck_filter_in_place =
+  QCheck.Test.make ~name:"filter_in_place = sorted List.filter" ~count:300
+    QCheck.(pair (list small_int) small_int)
+    (fun (xs, m) ->
+      let keep x = x mod (1 + m) <> 0 in
+      let h = make_int_heap () in
+      List.iter (Heap.add h) xs;
+      Heap.filter_in_place h keep;
+      drain h = List.sort Int.compare (List.filter keep xs))
+
 let test_exists () =
   let h = make_int_heap () in
   List.iter (Heap.add h) [ 10; 20; 30 ];
@@ -99,10 +123,13 @@ let suite =
       ("growth to 1000", test_growth);
       ("clear", test_clear);
       ("filter_in_place", test_filter_in_place);
+      ("filter_in_place drops all", test_filter_in_place_all_dropped);
+      ("filter_in_place keeps all", test_filter_in_place_none_dropped);
       ("exists", test_exists);
       ("custom comparator", test_custom_order);
     ]
   @ [
       QCheck_alcotest.to_alcotest qcheck_drain_sorted;
       QCheck_alcotest.to_alcotest qcheck_to_list_multiset;
+      QCheck_alcotest.to_alcotest qcheck_filter_in_place;
     ]

@@ -1,0 +1,129 @@
+(* Dmx_sim.Pool: the deterministic domain fan-out.
+
+   The contract under test is the one every --jobs flag relies on:
+   results are collected by job index, so any job count produces exactly
+   the sequential output — including full report and whole-trace
+   fingerprints of real simulation runs. *)
+
+module Pool = Dmx_sim.Pool
+module E = Dmx_sim.Engine
+module Net = Dmx_sim.Network
+module S = Dmx_sim.Stats.Summary
+module Sch = Dmx_sim.Schedule
+module T = Dmx_sim.Trace
+module R = Dmx_baselines.Runner
+
+let test_run_ordering () =
+  let r = Pool.run ~jobs:8 100 (fun i -> i * i) in
+  Alcotest.(check (array int))
+    "indexed results"
+    (Array.init 100 (fun i -> i * i))
+    r
+
+let test_map_ordering () =
+  let xs = List.init 57 string_of_int in
+  Alcotest.(check (list string)) "positional" xs (Pool.map ~jobs:8 Fun.id xs)
+
+let test_concat_map () =
+  let xs = List.init 20 Fun.id in
+  Alcotest.(check (list int))
+    "flattened in order"
+    (List.concat_map (fun i -> [ i; 10 * i ]) xs)
+    (Pool.concat_map ~jobs:8 (fun i -> [ i; 10 * i ]) xs)
+
+let test_more_jobs_than_work () =
+  Alcotest.(check (array int))
+    "jobs > count"
+    [| 0; 2; 4 |]
+    (Pool.run ~jobs:16 3 (fun i -> 2 * i))
+
+let test_empty_and_single () =
+  Alcotest.(check (array int)) "count=0" [||] (Pool.run ~jobs:8 0 Fun.id);
+  Alcotest.(check (array int)) "count=1" [| 41 |]
+    (Pool.run ~jobs:8 1 (fun i -> 41 + i))
+
+exception Boom of int
+
+let test_smallest_index_exception () =
+  (* Several jobs fail; the caller must see the failure a sequential
+     left-to-right run would have hit first. *)
+  for jobs = 1 to 8 do
+    match Pool.run ~jobs 50 (fun i -> if i mod 7 = 3 then raise (Boom i)) with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom i ->
+      Alcotest.(check int)
+        (Printf.sprintf "first failing index at jobs=%d" jobs)
+        3 i
+  done
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
+(* ---- determinism of real simulation runs across job counts ---- *)
+
+let report_fp (r : E.report) =
+  Printf.sprintf "%s execs=%d msgs=%d sync=%h sync99=%h resp=%h tput=%h \
+                  viol=%d dead=%b retx=%d pending=%d"
+    r.E.protocol r.E.executions r.E.total_messages (S.mean r.E.sync_delay)
+    (S.percentile r.E.sync_delay 99.0)
+    (S.mean r.E.response_time) r.E.throughput r.E.violations r.E.deadlocked
+    r.E.retransmissions r.E.pending_at_end
+
+let trace_fp tr =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a\n" T.pp_entry e))
+    (T.entries tr);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let scheds =
+  List.map
+    (fun (algo, quorum, n, seed) ->
+      {
+        (Sch.default ~algo ~n) with
+        Sch.quorum;
+        seed;
+        execs = 30;
+        cs = 0.7;
+        delay = Net.Uniform { lo = 0.5; hi = 1.5 };
+      })
+    [
+      ("delay-optimal", "grid", 9, 1101);
+      ("ft-delay-optimal", "tree", 7, 1202);
+      ("maekawa", "grid", 9, 1303);
+      ("lamport", "", 8, 1404);
+      ("suzuki-kasami", "", 8, 1707);
+      ("raymond", "", 8, 1909);
+    ]
+
+let fingerprints ~jobs =
+  Pool.map ~jobs
+    (fun s ->
+      match R.run_schedule s with
+      | Error e -> Alcotest.fail e
+      | Ok (r, tr) -> (report_fp r, trace_fp tr))
+    scheds
+
+let test_jobs_do_not_change_results () =
+  let seq = fingerprints ~jobs:1 in
+  let par = fingerprints ~jobs:8 in
+  List.iteri
+    (fun i ((r1, t1), (r8, t8)) ->
+      let label = (List.nth scheds i).Sch.algo in
+      Alcotest.(check string) (label ^ ": report fingerprint") r1 r8;
+      Alcotest.(check string) (label ^ ": trace fingerprint") t1 t8)
+    (List.combine seq par)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("run collects by index", test_run_ordering);
+      ("map is positional", test_map_ordering);
+      ("concat_map flattens in order", test_concat_map);
+      ("more jobs than work", test_more_jobs_than_work);
+      ("empty and singleton", test_empty_and_single);
+      ("smallest-index exception wins", test_smallest_index_exception);
+      ("default_jobs positive", test_default_jobs_positive);
+      ("jobs=1 and jobs=8 bit-identical", test_jobs_do_not_change_results);
+    ]

@@ -113,6 +113,20 @@ let qcheck_percentile_member =
       let s = feed xs in
       List.mem (S.percentile s p) xs)
 
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p, pinned at the edges"
+    ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0))
+        (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+    (fun (xs, p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      let s = feed xs in
+      S.percentile s lo <= S.percentile s hi
+      && S.percentile s 0.0 = S.min s
+      && S.percentile s 100.0 = S.max s)
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -128,4 +142,7 @@ let suite =
       ("counter", test_counter);
       ("counter negative increments", test_counter_negative_incr);
     ]
-  @ [ QCheck_alcotest.to_alcotest qcheck_percentile_member ]
+  @ [
+      QCheck_alcotest.to_alcotest qcheck_percentile_member;
+      QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+    ]
