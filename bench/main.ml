@@ -9,8 +9,12 @@
 
    Flags: --quick (smaller quotas), --check (oracle-verify every run),
    --jobs N (parallel fan-out inside each experiment; output is
-   bit-identical at any N), --json[=FILE] (write a BENCH_pr4.json perf
+   bit-identical at any N), --json[=FILE] (write a BENCH_pr5.json perf
    snapshot; see PERFORMANCE.md). *)
+
+(* The cluster-smoke experiment re-executes this binary as the node
+   image (see Dmx_net.Node.env_var); the trampoline must run first. *)
+let () = Dmx_net.Node.run_as_child_if_requested ()
 
 let usage () =
   print_endline
@@ -39,7 +43,7 @@ let () =
     | "--check" :: rest -> check := true; parse rest
     | "--jobs" :: v :: rest -> jobs := jobs_of v; parse rest
     | [ "--jobs" ] -> bad "--jobs expects a value"
-    | "--json" :: rest -> json := Some "BENCH_pr4.json"; parse rest
+    | "--json" :: rest -> json := Some "BENCH_pr5.json"; parse rest
     | ("--help" | "-h") :: _ -> usage (); exit 0
     | "all" :: rest -> parse rest
     | a :: rest ->

@@ -26,6 +26,7 @@ let registry =
     ("model-check", ("MC: exhaustive small-scope schedule exploration", Experiments.model_check));
     ("ablation", ("A1/A2: design-choice ablations (piggyback, eager fails)", Experiments.ablation));
     ("micro", ("M1: substrate micro-benchmarks", Micro.run));
+    ("cluster-smoke", ("N1: real multi-process TCP cluster smoke", Net_smoke.run));
   ]
 
 let names = List.map fst registry

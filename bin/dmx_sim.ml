@@ -5,7 +5,13 @@
    dmx-sim quorums   -- print and validate a quorum construction
    dmx-sim avail     -- availability sweep for a construction
    dmx-sim trace     -- short annotated execution trace of a run
+   dmx-sim cluster   -- run a real multi-process cluster over TCP
+   dmx-sim node      -- one networked protocol site (cluster member)
 *)
+
+(* When the cluster supervisor re-executes this binary as a node image,
+   the spec arrives in the environment; nothing else may run first. *)
+let () = Dmx_net.Node.run_as_child_if_requested ()
 
 module E = Dmx_sim.Engine
 module Net = Dmx_sim.Network
@@ -764,12 +770,12 @@ let bench_cmd =
   let json_arg =
     Arg.(
       value
-      & opt ~vopt:(Some "BENCH_pr4.json") (some string) None
+      & opt ~vopt:(Some "BENCH_pr5.json") (some string) None
       & info [ "json" ] ~docv:"FILE"
           ~doc:
             "Write a machine-readable perf snapshot (wall-clock, events/sec \
              and peak heap per experiment) to $(docv); defaults to \
-             BENCH_pr4.json. Field reference in PERFORMANCE.md.")
+             BENCH_pr5.json. Field reference in PERFORMANCE.md.")
   in
   let exps_arg =
     Arg.(
@@ -807,6 +813,239 @@ let bench_cmd =
           model check, micro-benchmarks).")
     term
 
+(* ---- cluster / node: the real networked runtime ---- *)
+
+(* SITE@TIME for the kill/restart schedule, e.g. 1@2s (the trailing s is
+   optional); returned as (time, site) to match the engine's crash lists. *)
+let at_conv =
+  let parse s =
+    let fail () = Error (`Msg (Printf.sprintf "bad schedule entry %S (expected SITE@TIMEs, e.g. 1@2s)" s)) in
+    match String.split_on_char '@' s with
+    | [ site; time ] -> (
+      let time =
+        if String.length time > 0 && time.[String.length time - 1] = 's' then
+          String.sub time 0 (String.length time - 1)
+        else time
+      in
+      match (int_of_string_opt site, float_of_string_opt time) with
+      | Some site, Some t when t >= 0.0 -> Ok (t, site)
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  let pp ppf (t, s) = Format.fprintf ppf "%d@%gs" s t in
+  Arg.conv (parse, pp)
+
+let proto_arg =
+  Arg.(
+    value & opt string "ft-delay-optimal"
+    & info [ "protocol"; "p" ] ~docv:"PROTO"
+        ~doc:"Protocol to run: delay-optimal or ft-delay-optimal.")
+
+let hb_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "hb" ] ~docv:"SECONDS" ~doc:"Heartbeat period.")
+
+let hbto_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "hb-timeout" ] ~docv:"SECONDS"
+        ~doc:"Heartbeat silence before a peer is suspected.")
+
+let rto_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "rto" ] ~docv:"SECONDS"
+        ~doc:"Reliability-layer base retransmission timeout.")
+
+let cluster_cmd =
+  let cn_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "n"; "sites" ] ~docv:"N" ~doc:"Number of node processes.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"COUNT"
+          ~doc:"CS entries each site must complete.")
+  in
+  let ccs_arg =
+    Arg.(
+      value & opt float 0.001
+      & info [ "cs" ] ~docv:"SECONDS" ~doc:"Wall-clock time inside the CS.")
+  in
+  let kill_arg =
+    Arg.(
+      value & opt_all at_conv []
+      & info [ "kill" ] ~docv:"SITE@TIME"
+          ~doc:
+            "SIGKILL a node this long after the workload starts \
+             (repeatable), e.g. $(b,--kill 1\\@2s).")
+  in
+  let restart_arg =
+    Arg.(
+      value & opt_all at_conv []
+      & info [ "restart" ] ~docv:"SITE@TIME"
+          ~doc:
+            "Respawn a killed node with fresh state (repeatable), e.g. \
+             $(b,--restart 1\\@4s).")
+  in
+  let log_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log-dir" ] ~docv:"DIR"
+          ~doc:"Write per-node stderr logs into $(docv).")
+  in
+  let trace_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the merged, time-sorted trace to $(docv).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Hard wall-clock bound on the whole run.")
+  in
+  let action n protocol quorum rounds cs seed kills restarts log_dir trace_out
+      timeout hb hbto rto csv =
+    let cfg =
+      {
+        Dmx_net.Cluster.n;
+        protocol;
+        quorum;
+        rounds;
+        cs_duration = cs;
+        seed;
+        kills;
+        restarts;
+        log_dir;
+        timeout;
+        hb_period = hb;
+        hb_timeout = hbto;
+        rto;
+      }
+    in
+    match Dmx_net.Cluster.run cfg with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok o ->
+      (match trace_out with
+      | Some file ->
+        let oc = open_out file in
+        let ppf = Format.formatter_of_out_channel oc in
+        List.iter
+          (fun e -> Format.fprintf ppf "%a@." Dmx_sim.Trace.pp_entry e)
+          o.Dmx_net.Cluster.entries;
+        Format.pp_print_flush ppf ();
+        close_out oc
+      | None -> ());
+      let r = o.Dmx_net.Cluster.report in
+      if csv then begin
+        print_endline csv_header;
+        print_endline (csv_line r "cluster")
+      end
+      else Format.printf "%a@." Dmx_net.Cluster.pp_outcome o;
+      let ok =
+        r.E.violations = 0 && Dmx_sim.Oracle.ok o.Dmx_net.Cluster.verdict
+      in
+      exit (if ok then 0 else 2)
+  in
+  let term =
+    Term.(
+      const action $ cn_arg $ proto_arg $ quorum_arg $ rounds_arg $ ccs_arg
+      $ seed_arg $ kill_arg $ restart_arg $ log_dir_arg $ trace_out_arg
+      $ timeout_arg $ hb_arg $ hbto_arg $ rto_arg $ csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run a real multi-process cluster on localhost TCP: spawn N node \
+          daemons, drive a workload, optionally kill/restart sites \
+          mid-run, then merge the live traces and check them with the \
+          oracle (exit 2 on any violation).")
+    term
+
+let node_cmd =
+  let site_arg =
+    Arg.(
+      required & opt (some int) None
+      & info [ "site" ] ~docv:"I" ~doc:"This node's site id.")
+  in
+  let ports_arg =
+    Arg.(
+      required & opt (some (list int)) None
+      & info [ "peers"; "ports" ] ~docv:"P0,P1,..."
+          ~doc:
+            "Listen port of every site in id order (this node binds entry \
+             $(b,--site)).")
+  in
+  let sup_arg =
+    Arg.(
+      required & opt (some int) None
+      & info [ "supervisor" ] ~docv:"PORT" ~doc:"Supervisor port.")
+  in
+  let epoch_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "epoch" ] ~docv:"T"
+          ~doc:
+            "Cluster time zero as an absolute Unix timestamp (all nodes \
+             must share it); defaults to this node's start time.")
+  in
+  let max_arg =
+    Arg.(
+      value & opt float 600.0
+      & info [ "max-seconds" ] ~docv:"SECONDS"
+          ~doc:"Failsafe wall-clock limit on the node's lifetime.")
+  in
+  let quorum_str_arg =
+    Arg.(
+      value & opt string "tree"
+      & info [ "quorum" ] ~docv:"KIND"
+          ~doc:"Quorum construction (same spellings as elsewhere).")
+  in
+  let action site ports sup protocol quorum seed epoch hb hbto rto max_s =
+    let spec =
+      {
+        Dmx_net.Node.site;
+        n = List.length ports;
+        node_ports = Array.of_list ports;
+        supervisor_port = sup;
+        protocol;
+        quorum;
+        seed;
+        epoch =
+          (match epoch with Some e -> e | None -> Unix.gettimeofday ());
+        hb_period = hb;
+        hb_timeout = hbto;
+        rto;
+        max_seconds = max_s;
+      }
+    in
+    match Dmx_net.Node.run_named spec with
+    | Ok () -> ()
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  let term =
+    Term.(
+      const action $ site_arg $ ports_arg $ sup_arg $ proto_arg
+      $ quorum_str_arg $ seed_arg $ epoch_arg $ hb_arg $ hbto_arg $ rto_arg
+      $ max_arg)
+  in
+  Cmd.v
+    (Cmd.info "node"
+       ~doc:
+         "Run one networked protocol site until its supervisor says \
+          shutdown — the daemon $(b,dmx-sim cluster) spawns, exposed for \
+          manual or multi-host use.")
+    term
+
 let () =
   let doc =
     "Delay-optimal quorum-based distributed mutual exclusion (ICDCS'98) — \
@@ -825,4 +1064,6 @@ let () =
             avail_cmd;
             trace_cmd;
             replay_cmd;
+            cluster_cmd;
+            node_cmd;
           ]))

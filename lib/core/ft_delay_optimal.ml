@@ -37,7 +37,7 @@ let make_rctx (ctx : message Proto.ctx) rel want_cs =
     Proto.send =
       (fun ~dst msg ->
         match rel with
-        | Some r when dst <> ctx.Proto.self -> Reliable.send r ctx ~dst msg
+        | Some r when dst <> ctx.Proto.self -> Reliable.send r ~dst msg
         | _ -> ctx.Proto.send ~dst msg);
     enter_cs =
       (fun () ->
@@ -50,7 +50,7 @@ let init (ctx : message Proto.ctx) (c : config) =
     Option.map
       (fun rc ->
         Reliable.create rc ~n:ctx.Proto.n ~self:ctx.Proto.self
-          ~now:(ctx.Proto.now ()))
+          ~io:(Reliable.io_of_ctx ctx))
       c.reliability
   in
   let want_cs = ref false in
@@ -61,7 +61,7 @@ let init (ctx : message Proto.ctx) (c : config) =
   Option.iter
     (fun r ->
       for dst = 0 to ctx.Proto.n - 1 do
-        if dst <> ctx.Proto.self then Reliable.send r ctx ~dst Messages.Hello
+        if dst <> ctx.Proto.self then Reliable.send r ~dst Messages.Hello
       done)
     rel;
   {
@@ -195,7 +195,7 @@ let on_recovery (ctx : message Proto.ctx) st site =
       Internal_do.mark_alive st.base site
     end;
     st.suspected.(site) <- false;
-    Option.iter (fun r -> Reliable.resume r ctx site) st.rel;
+    Option.iter (fun r -> Reliable.resume r site) st.rel;
     try_unpark ctx st
   end
 
@@ -215,7 +215,7 @@ let on_restart_evidence (ctx : message Proto.ctx) st src =
     Internal_do.mark_alive st.base src
   end;
   st.suspected.(src) <- false;
-  Option.iter (fun r -> Reliable.resume r ctx src) st.rel;
+  Option.iter (fun r -> Reliable.resume r src) st.rel;
   Internal_do.purge_stale_tenure st.rctx st.base ~site:src;
   if
     Internal_do.request st.base <> None
@@ -229,7 +229,7 @@ let on_restart_evidence (ctx : message Proto.ctx) st src =
 let on_message (ctx : message Proto.ctx) st ~src (msg : message) =
   match (msg, st.rel) with
   | (Messages.Data _ | Messages.Ack _), Some r ->
-    let { Reliable.restarted; deliveries } = Reliable.on_message r ctx ~src msg in
+    let { Reliable.restarted; deliveries } = Reliable.on_message r ~src msg in
     if restarted then on_restart_evidence ctx st src;
     List.iter (fun m -> dispatch_payload ctx st ~src m) deliveries
   | (Messages.Data _ | Messages.Ack _), None ->
@@ -237,9 +237,9 @@ let on_message (ctx : message Proto.ctx) st ~src (msg : message) =
     ()
   | msg, _ -> dispatch_payload ctx st ~src msg
 
-let on_timer ctx st tag =
+let on_timer _ctx st tag =
   match st.rel with
-  | Some r -> ignore (Reliable.on_timer r ctx tag : bool)
+  | Some r -> ignore (Reliable.on_timer r tag : bool)
   | None -> ()
 
 let config_of_kind ?reliability ?(trust_detector = true) kind ~n ~broadcast =

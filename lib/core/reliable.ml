@@ -1,5 +1,21 @@
 module Proto = Dmx_sim.Protocol
 
+(* The layer is time-source agnostic: it never reads a global clock, only
+   the capabilities captured here. The simulator hands it engine virtual
+   time; the networked runtime (Dmx_net) hands it the wall clock. *)
+type io = {
+  now : unit -> float;
+  send : dst:int -> Messages.t -> unit;
+  set_timer : delay:float -> tag:int -> unit;
+}
+
+let io_of_ctx (ctx : Messages.t Proto.ctx) =
+  {
+    now = ctx.Proto.now;
+    send = (fun ~dst msg -> ctx.Proto.send ~dst msg);
+    set_timer = (fun ~delay ~tag -> ctx.Proto.set_timer ~delay ~tag);
+  }
+
 type config = {
   rto : float;
   backoff : float;
@@ -45,6 +61,7 @@ type t = {
   cfg : config;
   self : int;
   n : int;
+  io : io;
   inc : float;  (* this site's incarnation: its init time *)
   txs : tx array;
   rxs : rx array;
@@ -52,13 +69,14 @@ type t = {
 
 type incoming = { restarted : bool; deliveries : Messages.t list }
 
-let create cfg ~n ~self ~now =
+let create cfg ~n ~self ~io =
   validate cfg;
   {
     cfg;
     self;
     n;
-    inc = now;
+    io;
+    inc = io.now ();
     txs =
       Array.init n (fun _ ->
           {
@@ -84,21 +102,21 @@ let retx_tag peer = 2 * peer
 let ack_tag peer = (2 * peer) + 1
 let owns_tag t tag = tag >= 0 && tag < 2 * t.n
 
-let arm_retx t (ctx : Messages.t Proto.ctx) peer =
+let arm_retx t peer =
   let x = t.txs.(peer) in
   if not x.timer_armed then begin
     x.timer_armed <- true;
     x.progressed <- false;
-    ctx.Proto.set_timer ~delay:x.rto ~tag:(retx_tag peer)
+    t.io.set_timer ~delay:x.rto ~tag:(retx_tag peer)
   end
 
-let send t (ctx : Messages.t Proto.ctx) ~dst payload =
+let send t ~dst payload =
   let x = t.txs.(dst) in
   let seq = x.next_seq in
   x.next_seq <- seq + 1;
   x.unacked <- x.unacked @ [ (seq, payload) ];
   let base = fst (List.hd x.unacked) in
-  ctx.Proto.send ~dst
+  t.io.send ~dst
     (Messages.Data
        {
          inc = t.inc;
@@ -108,24 +126,24 @@ let send t (ctx : Messages.t Proto.ctx) ~dst payload =
          retx = false;
          payload;
        });
-  if not x.suspended then arm_retx t ctx dst
+  if not x.suspended then arm_retx t dst
 
-let mark_ack_due t (ctx : Messages.t Proto.ctx) peer =
+let mark_ack_due t peer =
   let r = t.rxs.(peer) in
   r.ack_due <- true;
   if not r.ack_armed then begin
     r.ack_armed <- true;
-    ctx.Proto.set_timer ~delay:t.cfg.ack_delay ~tag:(ack_tag peer)
+    t.io.set_timer ~delay:t.cfg.ack_delay ~tag:(ack_tag peer)
   end
 
-let resend_all t (ctx : Messages.t Proto.ctx) peer =
+let resend_all t peer =
   let x = t.txs.(peer) in
   match x.unacked with
   | [] -> ()
   | (base, _) :: _ ->
     List.iter
       (fun (seq, payload) ->
-        ctx.Proto.send ~dst:peer
+        t.io.send ~dst:peer
           (Messages.Data
              {
                inc = t.inc;
@@ -137,7 +155,7 @@ let resend_all t (ctx : Messages.t Proto.ctx) peer =
              }))
       x.unacked
 
-let on_timer t (ctx : Messages.t Proto.ctx) tag =
+let on_timer t tag =
   if not (owns_tag t tag) then false
   else begin
     let peer = tag / 2 in
@@ -150,12 +168,12 @@ let on_timer t (ctx : Messages.t Proto.ctx) tag =
           (* acks flowed during the window, so nothing here is overdue yet:
              restart the deadline rather than flooding the live path *)
           x.rto <- t.cfg.rto;
-          arm_retx t ctx peer
+          arm_retx t peer
         end
         else begin
-          resend_all t ctx peer;
+          resend_all t peer;
           x.rto <- Float.min (x.rto *. t.cfg.backoff) t.cfg.rto_max;
-          arm_retx t ctx peer
+          arm_retx t peer
         end
     end
     else begin
@@ -165,7 +183,7 @@ let on_timer t (ctx : Messages.t Proto.ctx) tag =
       r.ack_armed <- false;
       if r.ack_due then begin
         r.ack_due <- false;
-        ctx.Proto.send ~dst:peer
+        t.io.send ~dst:peer
           (Messages.Ack { of_inc = r.inc; upto = r.expected - 1 })
       end
     end;
@@ -179,7 +197,7 @@ let rec insert_sorted seq payload = function
     if s = seq then hd :: rest (* duplicate of a buffered message *)
     else hd :: insert_sorted seq payload rest
 
-let on_message t (ctx : Messages.t Proto.ctx) ~src msg =
+let on_message t ~src msg =
   match msg with
   | Messages.Ack { of_inc; upto } ->
     if of_inc = t.inc then begin
@@ -239,22 +257,22 @@ let on_message t (ctx : Messages.t Proto.ctx) ~src msg =
         drain ()
       end
       else r.buffer <- insert_sorted d.seq d.payload r.buffer;
-      mark_ack_due t ctx src;
+      mark_ack_due t src;
       { restarted; deliveries = List.rev !deliveries }
     end
   | _ -> invalid_arg "Reliable.on_message: not a Data/Ack message"
 
 let suspend t peer = t.txs.(peer).suspended <- true
 
-let resume t (ctx : Messages.t Proto.ctx) peer =
+let resume t peer =
   let x = t.txs.(peer) in
   if x.suspended then begin
     x.suspended <- false;
     if x.unacked <> [] then begin
       (* don't wait out a backed-off timer: the peer is reachable again *)
       x.rto <- t.cfg.rto;
-      resend_all t ctx peer;
-      arm_retx t ctx peer
+      resend_all t peer;
+      arm_retx t peer
     end
   end
 

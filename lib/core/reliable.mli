@@ -33,7 +33,27 @@
       that conversation names. Symmetrically, restart evidence for a peer
       voids our own retransmission backlog to it.
 
-    The layer claims timer tags [0 .. 2n-1] of the host protocol. *)
+    The layer claims timer tags [0 .. 2n-1] of the host protocol.
+
+    It is {e time-source agnostic}: all clock and timer access goes through
+    the {!io} capabilities captured at {!create}. The simulator passes
+    engine virtual time (via {!io_of_ctx}); the networked runtime
+    ({!Dmx_net}) passes the wall clock — the same layer, unchanged, in both
+    worlds. *)
+
+type io = {
+  now : unit -> float;
+      (** time source — engine virtual time or the wall clock; only read
+          once, at {!create}, to stamp the incarnation number *)
+  send : dst:int -> Messages.t -> unit;  (** the unreliable channel below *)
+  set_timer : delay:float -> tag:int -> unit;
+      (** one-shot timer in the same time base as [now]; expiries are fed
+          back through {!on_timer} *)
+}
+
+val io_of_ctx : Messages.t Dmx_sim.Protocol.ctx -> io
+(** The simulator binding: virtual-time [now], engine [send] and
+    [set_timer]. *)
 
 type config = {
   rto : float;  (** initial retransmission timeout *)
@@ -48,10 +68,10 @@ val default : config
 
 type t
 
-val create : config -> n:int -> self:int -> now:float -> t
-(** [now] becomes this site's incarnation number, so it must be strictly
-    larger than any previous incarnation of the same site (the engine's
-    clock is monotone, so init time qualifies).
+val create : config -> n:int -> self:int -> io:io -> t
+(** [io.now ()] at creation becomes this site's incarnation number, so the
+    time source must be monotone across restarts of the same site (both
+    engine virtual time and the wall clock qualify).
     @raise Invalid_argument on a nonsensical config. *)
 
 type incoming = {
@@ -61,22 +81,23 @@ type incoming = {
   deliveries : Messages.t list;  (** in-order payloads to hand up *)
 }
 
-val send : t -> Messages.t Dmx_sim.Protocol.ctx -> dst:int -> Messages.t -> unit
-(** Wrap and transmit; arms the retransmission timer unless [dst] is
-    suspended. Not for self-sends (those bypass the network). *)
+val send : t -> dst:int -> Messages.t -> unit
+(** Wrap and transmit through [io.send]; arms the retransmission timer
+    unless [dst] is suspended. Not for self-sends (those bypass the
+    network). *)
 
-val on_message : t -> Messages.t Dmx_sim.Protocol.ctx -> src:int -> Messages.t -> incoming
+val on_message : t -> src:int -> Messages.t -> incoming
 (** Feed a received [Data] or [Ack].
     @raise Invalid_argument on any other constructor. *)
 
-val on_timer : t -> Messages.t Dmx_sim.Protocol.ctx -> int -> bool
+val on_timer : t -> int -> bool
 (** [false] if the tag is outside the layer's range (not ours). *)
 
 val suspend : t -> int -> unit
 (** Stop retransmitting to the peer (it is suspected down/unreachable).
     Unacknowledged messages are retained. *)
 
-val resume : t -> Messages.t Dmx_sim.Protocol.ctx -> int -> unit
+val resume : t -> int -> unit
 (** The peer is trusted again: immediately retransmit its backlog with a
     fresh timeout. *)
 

@@ -1,0 +1,486 @@
+module E = Dmx_sim.Engine
+module Trace = Dmx_sim.Trace
+module Oracle = Dmx_sim.Oracle
+module Summary = Dmx_sim.Stats.Summary
+module B = Dmx_quorum.Builder
+
+type config = {
+  n : int;
+  protocol : string;
+  quorum : B.kind;
+  rounds : int;
+  cs_duration : float;
+  seed : int;
+  kills : (float * int) list;
+  restarts : (float * int) list;
+  log_dir : string option;
+  timeout : float;
+  hb_period : float;
+  hb_timeout : float;
+  rto : float;
+}
+
+let default ~n =
+  {
+    n;
+    protocol = "ft-delay-optimal";
+    quorum = B.Tree;
+    rounds = 20;
+    cs_duration = 0.001;
+    seed = 42;
+    kills = [];
+    restarts = [];
+    log_dir = None;
+    timeout = 60.0;
+    hb_period = 0.1;
+    hb_timeout = 1.0;
+    rto = 0.25;
+  }
+
+type outcome = {
+  report : E.report;
+  verdict : Oracle.verdict;
+  entries : Trace.entry list;
+  wall_seconds : float;
+}
+
+(* ---- child process management ---- *)
+
+let alloc_ports k =
+  let fds =
+    List.init k (fun _ ->
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        Unix.setsockopt fd SO_REUSEADDR true;
+        Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, 0));
+        fd)
+  in
+  let ports =
+    List.map
+      (fun fd ->
+        match Unix.getsockname fd with
+        | ADDR_INET (_, p) -> p
+        | _ -> assert false)
+      fds
+  in
+  List.iter Unix.close fds;
+  ports
+
+let spawn_node ~log_dir (spec : Node.spec) =
+  let exe = Sys.executable_name in
+  let env =
+    Array.append
+      (Array.of_seq
+         (Seq.filter
+            (fun kv ->
+              not (String.length kv > 13 && String.sub kv 0 14 = Node.env_var ^ "="))
+            (Array.to_seq (Unix.environment ()))))
+      [| Node.env_var ^ "=" ^ Node.spec_to_string spec |]
+  in
+  let devnull = Unix.openfile "/dev/null" [ O_RDWR ] 0 in
+  let errfd =
+    match log_dir with
+    | None -> devnull
+    | Some d ->
+      Unix.openfile
+        (Filename.concat d (Printf.sprintf "node-%d.log" spec.Node.site))
+        [ O_WRONLY; O_CREAT; O_APPEND ]
+        0o644
+  in
+  let pid = Unix.create_process_env exe [| exe |] env devnull devnull errfd in
+  Unix.close devnull;
+  if errfd <> devnull then Unix.close errfd;
+  pid
+
+let kill_quietly pid =
+  (try Unix.kill pid Sys.sigkill with _ -> ());
+  try ignore (Unix.waitpid [] pid) with _ -> ()
+
+(* ---- report reconstruction from the merged trace ---- *)
+
+let build_report (cfg : config) ~entries ~kind_totals ~net_duration =
+  let per_site = Array.make cfg.n 0 in
+  let request_at = Array.make cfg.n Float.nan in
+  let response = Summary.create () in
+  let sync = Summary.create () in
+  let unavail = Summary.create () in
+  let parked_at = Array.make cfg.n Float.nan in
+  let total_messages = ref 0 in
+  let suspicions = ref 0 in
+  let false_suspicions = ref 0 in
+  (* dead windows, from the supervisor's own Crash/Recover entries *)
+  let dead_since = Array.make cfg.n Float.nan in
+  let waiting = Array.make cfg.n false in
+  let open_handoff = ref Float.nan in
+  let first_event = ref Float.nan in
+  let last_event = ref Float.nan in
+  List.iter
+    (fun (e : Trace.entry) ->
+      let t = e.Trace.time in
+      if Float.is_nan !first_event then first_event := t;
+      last_event := t;
+      let site = e.Trace.site in
+      match e.Trace.kind with
+      | Trace.Request ->
+        request_at.(site) <- t;
+        waiting.(site) <- true
+      | Trace.Enter_cs ->
+        per_site.(site) <- per_site.(site) + 1;
+        waiting.(site) <- false;
+        if not (Float.is_nan request_at.(site)) then begin
+          Summary.add response (t -. request_at.(site));
+          request_at.(site) <- Float.nan
+        end;
+        if not (Float.is_nan !open_handoff) then begin
+          Summary.add sync (t -. !open_handoff);
+          open_handoff := Float.nan
+        end
+      | Trace.Exit_cs ->
+        if Array.exists Fun.id waiting then open_handoff := t
+      | Trace.Send { dst; _ } -> if dst <> site then incr total_messages
+      | Trace.Suspect s ->
+        incr suspicions;
+        if Float.is_nan dead_since.(s) then incr false_suspicions
+      | Trace.Crash ->
+        dead_since.(site) <- t;
+        waiting.(site) <- false;
+        request_at.(site) <- Float.nan
+      | Trace.Recover -> dead_since.(site) <- Float.nan
+      | Trace.Note note ->
+        if note = "parked" then parked_at.(site) <- t
+        else if note = "unparked" && not (Float.is_nan parked_at.(site))
+        then begin
+          Summary.add unavail (t -. parked_at.(site));
+          parked_at.(site) <- Float.nan
+        end
+      | _ -> ())
+    entries;
+  let executions = Array.fold_left ( + ) 0 per_site in
+  let fairness =
+    let xs =
+      Array.to_list per_site
+      |> List.filter (fun x -> x > 0)
+      |> List.map float_of_int
+    in
+    match xs with
+    | [] -> 1.0
+    | xs ->
+      let sum = List.fold_left ( +. ) 0.0 xs in
+      let sq = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+      sum *. sum /. (float_of_int (List.length xs) *. sq)
+  in
+  let assoc_get k l = Option.value ~default:0 (List.assoc_opt k l) in
+  let window =
+    if Float.is_nan !first_event then net_duration
+    else !last_event -. !first_event
+  in
+  {
+    E.protocol = cfg.protocol;
+    params = Format.asprintf "%a quorums, live cluster" B.pp_kind cfg.quorum;
+    n = cfg.n;
+    executions;
+    total_messages = !total_messages;
+    messages_by_kind = List.filter (fun (_, v) -> v > 0) kind_totals;
+    messages_per_cs =
+      (if executions = 0 then 0.0
+       else float_of_int !total_messages /. float_of_int executions);
+    sync_delay = sync;
+    response_time = response;
+    throughput =
+      (if window > 0.0 then float_of_int executions /. window else 0.0);
+    sim_time = net_duration;
+    mean_delay = 1.0;
+    violations = 0 (* patched in by the caller's occupancy scan *);
+    deadlocked = false;
+    pending_at_end =
+      Array.to_list waiting |> List.filter Fun.id |> List.length;
+    per_site_executions = per_site;
+    fairness;
+    retransmissions = assoc_get "retx" kind_totals;
+    acks = assoc_get "ack" kind_totals;
+    detector_messages = 0;
+    suspicions = !suspicions;
+    false_suspicions = !false_suspicions;
+    unavailability = unavail;
+  }
+
+let scan_occupancy (n : int) entries =
+  let occ = Dmx_runtime.Occupancy.create () in
+  let in_cs = Array.make n false in
+  List.iter
+    (fun (e : Trace.entry) ->
+      let site = e.Trace.site in
+      match e.Trace.kind with
+      | Trace.Enter_cs ->
+        Dmx_runtime.Occupancy.enter occ;
+        in_cs.(site) <- true
+      | Trace.Exit_cs ->
+        if in_cs.(site) then begin
+          Dmx_runtime.Occupancy.exit occ;
+          in_cs.(site) <- false
+        end
+      | Trace.Crash ->
+        if in_cs.(site) then begin
+          Dmx_runtime.Occupancy.exit occ;
+          in_cs.(site) <- false
+        end
+      | _ -> ())
+    entries;
+  occ
+
+(* ---- the supervisor ---- *)
+
+let validate (cfg : config) =
+  if cfg.n < 2 then Error "cluster: need at least 2 sites"
+  else if
+    not (List.mem cfg.protocol [ "delay-optimal"; "ft-delay-optimal" ])
+  then
+    Error
+      (Printf.sprintf
+         "cluster: unknown protocol %S (want delay-optimal or \
+          ft-delay-optimal)"
+         cfg.protocol)
+  else if cfg.rounds < 1 then Error "cluster: rounds must be positive"
+  else if not (B.supports cfg.quorum ~n:cfg.n) then
+    Error
+      (Format.asprintf "cluster: quorum %a does not support n=%d" B.pp_kind
+         cfg.quorum cfg.n)
+  else if
+    List.exists (fun (_, s) -> s < 0 || s >= cfg.n) (cfg.kills @ cfg.restarts)
+  then Error "cluster: kill/restart site out of range"
+  else if
+    List.exists
+      (fun (rt, s) ->
+        not (List.exists (fun (kt, ks) -> ks = s && kt < rt) cfg.kills))
+      cfg.restarts
+  then Error "cluster: every restart needs an earlier kill of the same site"
+  else Ok ()
+
+let run (cfg : config) =
+  match validate cfg with
+  | Error _ as e -> e
+  | Ok () -> (
+    let started_wall = Unix.gettimeofday () in
+    let epoch = started_wall in
+    let ports = alloc_ports (cfg.n + 1) in
+    let sup_port = List.nth ports cfg.n in
+    let node_ports = Array.of_list (List.filteri (fun i _ -> i < cfg.n) ports) in
+    let spec_of site =
+      {
+        Node.site;
+        n = cfg.n;
+        node_ports;
+        supervisor_port = sup_port;
+        protocol = cfg.protocol;
+        quorum = Format.asprintf "%a" B.pp_kind cfg.quorum;
+        seed = cfg.seed;
+        epoch;
+        hb_period = cfg.hb_period;
+        hb_timeout = cfg.hb_timeout;
+        rto = cfg.rto;
+        max_seconds = cfg.timeout +. 30.0;
+      }
+    in
+    let transport =
+      Transport.create
+        {
+          Transport.self = cfg.n;
+          listen_port = sup_port;
+          peers =
+            List.init cfg.n (fun i ->
+                (i, Unix.ADDR_INET (Unix.inet_addr_loopback, node_ports.(i))));
+          hb_period = cfg.hb_period;
+          hb_timeout = cfg.hb_timeout;
+          watch = [];
+          hello_inc = epoch;
+        }
+    in
+    let pids = Array.make cfg.n None in
+    let cleanup () =
+      Array.iter (Option.iter kill_quietly) pids;
+      Array.fill pids 0 cfg.n None;
+      Transport.close transport
+    in
+    try
+      Array.iteri
+        (fun site _ -> pids.(site) <- Some (spawn_node ~log_dir:cfg.log_dir (spec_of site)))
+        pids;
+      let now () = Unix.gettimeofday () -. epoch in
+      let deadline = cfg.timeout in
+      (* supervisor-side state *)
+      let hello_inc = Array.make cfg.n Float.nan in
+      let site_entries = Array.make cfg.n [] (* batches, newest first *) in
+      let extra_entries = ref [] in
+      let kind_totals = ref [] in
+      let finished = Array.make cfg.n false in
+      let dead = Array.make cfg.n false in
+      let workload_sent = ref false in
+      let workload_t0 = ref 0.0 in
+      let add_kinds ks =
+        kind_totals :=
+          List.fold_left
+            (fun acc (k, v) ->
+              (k, v + Option.value ~default:0 (List.assoc_opt k acc))
+              :: List.remove_assoc k acc)
+            !kind_totals ks
+      in
+      let handle_event = function
+        | Transport.Frame { frame; _ } -> (
+          match frame with
+          | Wire.Hello { site; inc } when site >= 0 && site < cfg.n ->
+            let newer =
+              Float.is_nan hello_inc.(site) || inc > hello_inc.(site)
+            in
+            if newer then hello_inc.(site) <- inc;
+            if !workload_sent then
+              Transport.send transport ~dst:site
+                (Wire.Workload
+                   { rounds = cfg.rounds; cs_duration = cfg.cs_duration })
+          | Wire.Trace_batch { site; entries } when site >= 0 && site < cfg.n
+            ->
+            site_entries.(site) <- List.rev_append entries site_entries.(site)
+          | Wire.Metrics { site; kinds; _ } when site >= 0 && site < cfg.n ->
+            finished.(site) <- true;
+            add_kinds kinds
+          | _ -> ())
+        | Transport.Peer_down _ | Transport.Peer_up _ -> ()
+      in
+      let drain () =
+        let rec go () =
+          match Transport.poll transport with
+          | Some ev ->
+            handle_event ev;
+            go ()
+          | None -> ()
+        in
+        go ()
+      in
+      (* phase 1: all sites say hello *)
+      while
+        Array.exists Float.is_nan hello_inc
+        && now () < deadline
+      do
+        drain ();
+        Unix.sleepf 0.005
+      done;
+      if Array.exists Float.is_nan hello_inc then
+        failwith "timeout waiting for nodes to come up";
+      (* phase 2: workload, with the kill/restart schedule *)
+      workload_t0 := now ();
+      workload_sent := true;
+      Transport.broadcast transport
+        (Wire.Workload { rounds = cfg.rounds; cs_duration = cfg.cs_duration });
+      let pending_kills =
+        ref (List.sort compare (List.map (fun (t, s) -> (t, s)) cfg.kills))
+      in
+      let pending_restarts =
+        ref (List.sort compare (List.map (fun (t, s) -> (t, s)) cfg.restarts))
+      in
+      let complete () =
+        !pending_kills = [] && !pending_restarts = []
+        && Array.for_all Fun.id
+             (Array.init cfg.n (fun s -> finished.(s) || dead.(s)))
+      in
+      while (not (complete ())) && now () < deadline do
+        drain ();
+        let rel = now () -. !workload_t0 in
+        (match !pending_kills with
+        | (t, site) :: rest when rel >= t ->
+          pending_kills := rest;
+          (match pids.(site) with
+          | Some pid ->
+            kill_quietly pid;
+            pids.(site) <- None
+          | None -> ());
+          dead.(site) <- true;
+          finished.(site) <- false;
+          extra_entries :=
+            { Trace.time = now (); site; kind = Trace.Crash }
+            :: !extra_entries
+        | _ -> ());
+        (match !pending_restarts with
+        | (t, site) :: rest when rel >= t ->
+          pending_restarts := rest;
+          if dead.(site) then begin
+            pids.(site) <- Some (spawn_node ~log_dir:cfg.log_dir (spec_of site));
+            dead.(site) <- false;
+            extra_entries :=
+              { Trace.time = now (); site; kind = Trace.Recover }
+              :: !extra_entries
+          end
+        | _ -> ());
+        Unix.sleepf 0.002
+      done;
+      if not (complete ()) then
+        failwith
+          (Printf.sprintf "timeout: %d/%d sites finished"
+             (Array.to_list finished |> List.filter Fun.id |> List.length)
+             cfg.n);
+      (* phase 3: shutdown, final trace batches, reap *)
+      Transport.broadcast transport Wire.Shutdown;
+      let grace = Unix.gettimeofday () +. 5.0 in
+      let all_reaped () =
+        Array.for_all
+          (function
+            | None -> true
+            | Some pid -> (
+              match Unix.waitpid [ WNOHANG ] pid with
+              | 0, _ -> false
+              | _ -> true
+              | exception _ -> true))
+          pids
+      in
+      let reaped = ref false in
+      while (not !reaped) && Unix.gettimeofday () < grace do
+        drain ();
+        if all_reaped () then reaped := true else Unix.sleepf 0.01
+      done;
+      Array.iter (Option.iter kill_quietly) pids;
+      Array.fill pids 0 cfg.n None;
+      (* one last drain: batches already accepted by our reader threads *)
+      Unix.sleepf 0.05;
+      drain ();
+      Transport.close transport;
+      let entries =
+        Array.to_list site_entries
+        |> List.concat_map List.rev
+        |> List.append !extra_entries
+        |> List.stable_sort (fun (a : Trace.entry) b ->
+               Float.compare a.Trace.time b.Trace.time)
+      in
+      let net_duration = now () in
+      let occ = scan_occupancy cfg.n entries in
+      let crashy = cfg.kills <> [] in
+      let verdict =
+        Oracle.check
+          {
+            (Oracle.default ~n:cfg.n) with
+            Oracle.fifo = not crashy;
+            custody = not crashy;
+          }
+          entries ~truncated:false
+      in
+      let report =
+        {
+          (build_report cfg ~entries ~kind_totals:!kind_totals ~net_duration) with
+          E.violations = Dmx_runtime.Occupancy.violations occ;
+        }
+      in
+      Ok
+        {
+          report;
+          verdict;
+          entries;
+          wall_seconds = Unix.gettimeofday () -. started_wall;
+        }
+    with
+    | Failure msg ->
+      cleanup ();
+      Error ("cluster: " ^ msg)
+    | e ->
+      cleanup ();
+      Error ("cluster: " ^ Printexc.to_string e))
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%a@.occupancy: violations=%d entries=%d wall=%.2fs@.%a"
+    E.pp_report o.report o.report.E.violations (List.length o.entries)
+    o.wall_seconds Oracle.pp_verdict o.verdict

@@ -1,0 +1,53 @@
+(** Cluster supervisor: spawn [n] local node processes, drive a workload,
+    optionally kill and restart sites mid-run, and distil the merged
+    per-site traces into the same artifacts a simulation produces.
+
+    The supervisor re-executes its own binary as the node image (see
+    {!Node.env_var}), so [run] works from the CLI, the test runner, and
+    the bench runner alike. Ports are allocated fresh from the kernel for
+    every run; everything binds the loopback interface.
+
+    The outcome carries a genuine {!Dmx_sim.Engine.report} — executions,
+    per-kind message counts, synchronization delay, response time,
+    fairness, the lot — reconstructed from the merged trace and the nodes'
+    own counters, so the existing report/CSV printers apply unchanged. The
+    merged trace is also scanned with the {!Dmx_runtime.Occupancy} checker
+    and validated by {!Dmx_sim.Oracle} (FIFO and custody checks relax on
+    runs with kills, exactly as the simulator's replay path does). *)
+
+type config = {
+  n : int;
+  protocol : string;  (** ["delay-optimal"] or ["ft-delay-optimal"] *)
+  quorum : Dmx_quorum.Builder.kind;
+  rounds : int;  (** CS entries each site must complete *)
+  cs_duration : float;  (** seconds inside the CS *)
+  seed : int;
+  kills : (float * int) list;
+      (** (seconds after workload start, site): SIGKILL the node process *)
+  restarts : (float * int) list;
+      (** (seconds after workload start, site): respawn a killed site on
+          its old port with fresh state *)
+  log_dir : string option;  (** per-node stderr logs, when given *)
+  timeout : float;  (** hard wall-clock bound on the whole run *)
+  hb_period : float;
+  hb_timeout : float;
+  rto : float;  (** nodes' reliability-layer base timeout *)
+}
+
+val default : n:int -> config
+(** ft-delay-optimal over tree quorums, 20 rounds, 1 ms CS, no kills,
+    60 s timeout, 100 ms heartbeats with a 1 s suspicion timeout. *)
+
+type outcome = {
+  report : Dmx_sim.Engine.report;
+  verdict : Dmx_sim.Oracle.verdict;
+  entries : Dmx_sim.Trace.entry list;  (** merged, time-sorted *)
+  wall_seconds : float;
+}
+
+val run : config -> (outcome, string) result
+(** [Error] on a bad configuration, a node that cannot come up, or the
+    timeout expiring; every child process is reaped on all paths. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** The engine report, the occupancy line, and the oracle verdict. *)

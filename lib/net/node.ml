@@ -1,0 +1,354 @@
+module Proto = Dmx_sim.Protocol
+module Trace = Dmx_sim.Trace
+module B = Dmx_quorum.Builder
+
+type spec = {
+  site : int;
+  n : int;
+  node_ports : int array;
+  supervisor_port : int;
+  protocol : string;
+  quorum : string;
+  seed : int;
+  epoch : float;
+  hb_period : float;
+  hb_timeout : float;
+  rto : float;
+  max_seconds : float;
+}
+
+let env_var = "DMX_NODE_SPEC"
+
+let spec_to_string s =
+  Printf.sprintf
+    "site=%d n=%d ports=%s sup=%d proto=%s quorum=%s seed=%d epoch=%h \
+     hb=%h hbto=%h rto=%h max=%h"
+    s.site s.n
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int s.node_ports)))
+    s.supervisor_port s.protocol s.quorum s.seed s.epoch s.hb_period
+    s.hb_timeout s.rto s.max_seconds
+
+let spec_of_string str =
+  try
+    let kv =
+      String.split_on_char ' ' str
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match String.index_opt s '=' with
+             | Some i ->
+               ( String.sub s 0 i,
+                 String.sub s (i + 1) (String.length s - i - 1) )
+             | None -> failwith ("bad field " ^ s))
+    in
+    let get k =
+      match List.assoc_opt k kv with
+      | Some v -> v
+      | None -> failwith ("missing field " ^ k)
+    in
+    let geti k = int_of_string (get k) in
+    let getf k = float_of_string (get k) in
+    Ok
+      {
+        site = geti "site";
+        n = geti "n";
+        node_ports =
+          get "ports" |> String.split_on_char ','
+          |> List.map int_of_string |> Array.of_list;
+        supervisor_port = geti "sup";
+        protocol = get "proto";
+        quorum = get "quorum";
+        seed = geti "seed";
+        epoch = getf "epoch";
+        hb_period = getf "hb";
+        hb_timeout = getf "hbto";
+        rto = getf "rto";
+        max_seconds = getf "max";
+      }
+  with e -> Error (Printf.sprintf "bad node spec %S: %s" str (Printexc.to_string e))
+
+(* How long a node outlives a silent supervisor before giving up: a
+   crashed/wedged supervisor must not leave orphan daemons behind. *)
+let supervisor_silence_limit = 30.0
+
+let debug =
+  match Sys.getenv_opt "DMX_NET_DEBUG" with Some "1" -> true | _ -> false
+
+let dbg fmt =
+  if debug then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+module Make (P : Proto.PROTOCOL) = struct
+  type codec = {
+    encode : P.message -> string;
+    decode : string -> (P.message, string) result;
+  }
+
+  type timer = { at : float; tag : int; seq : int }
+
+  let run (spec : spec) ~codec (pconfig : P.config) =
+    let now () = Unix.gettimeofday () -. spec.epoch in
+    let started = now () in
+    let peer_list =
+      List.filter_map
+        (fun j ->
+          if j = spec.site then None
+          else
+            Some
+              ( j,
+                Unix.ADDR_INET (Unix.inet_addr_loopback, spec.node_ports.(j))
+              ))
+        (List.init spec.n Fun.id)
+      @ [
+          ( spec.n,
+            Unix.ADDR_INET (Unix.inet_addr_loopback, spec.supervisor_port) );
+        ]
+    in
+    let transport =
+      Transport.create
+        {
+          Transport.self = spec.site;
+          listen_port = spec.node_ports.(spec.site);
+          peers = peer_list;
+          hb_period = spec.hb_period;
+          hb_timeout = spec.hb_timeout;
+          watch =
+            List.init spec.n Fun.id |> List.filter (fun j -> j <> spec.site);
+          hello_inc = Unix.gettimeofday ();
+        }
+    in
+    (* trace buffer, streamed to the supervisor in batches *)
+    let trace_buf : Trace.entry Queue.t = Queue.create () in
+    let last_flush = ref (now ()) in
+    let flush_traces () =
+      if not (Queue.is_empty trace_buf) then begin
+        let entries = List.of_seq (Queue.to_seq trace_buf) in
+        Queue.clear trace_buf;
+        Transport.send transport ~dst:spec.n
+          (Wire.Trace_batch { site = spec.site; entries })
+      end;
+      last_flush := now ()
+    in
+    let trace kind =
+      Queue.push { Trace.time = now (); site = spec.site; kind } trace_buf
+    in
+    let render msg = Format.asprintf "%a" P.pp_message msg in
+    (* metrics, mirroring the engine's counting: network sends only *)
+    let sent = ref 0 in
+    let received = ref 0 in
+    let kinds : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let count_kind k =
+      Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k))
+    in
+    (* timers *)
+    let timer_seq = ref 0 in
+    let timers =
+      Dmx_sim.Heap.create
+        ~cmp:(fun a b ->
+          let c = Float.compare a.at b.at in
+          if c <> 0 then c else Int.compare a.seq b.seq)
+        ()
+    in
+    (* self-sends bypass the network, as in the engine: traced as a Send,
+       delivered at the next loop turn, no Receive entry, not counted *)
+    let selfq : P.message Queue.t = Queue.create () in
+    let pending_enter = ref false in
+    let ctx : P.message Proto.ctx =
+      {
+        Proto.self = spec.site;
+        n = spec.n;
+        now;
+        send =
+          (fun ~dst msg ->
+            trace (Trace.Send { dst; msg = render msg });
+            if dst = spec.site then Queue.push msg selfq
+            else begin
+              incr sent;
+              count_kind (P.message_kind msg);
+              Transport.send transport ~dst
+                (Wire.Proto
+                   { src = spec.site; dst; payload = codec.encode msg })
+            end);
+        enter_cs = (fun () -> pending_enter := true);
+        set_timer =
+          (fun ~delay ~tag ->
+            incr timer_seq;
+            Dmx_sim.Heap.add timers
+              { at = now () +. delay; tag; seq = !timer_seq });
+        rng = Dmx_sim.Rng.create (spec.seed + spec.site + 1);
+        trace_note = (fun s -> trace (Trace.Note s));
+        trace_event = (fun k -> trace k);
+        mark_parked =
+          (fun p -> trace (Trace.Note (if p then "parked" else "unparked")));
+      }
+    in
+    let state = P.init ctx pconfig in
+    (* workload state machine *)
+    let workload = ref None in
+    let completed = ref 0 in
+    let requested = ref false in
+    let in_cs = ref false in
+    let cs_deadline = ref 0.0 in
+    let metrics_sent = ref false in
+    let last_super_contact = ref (now ()) in
+    let shutdown = ref false in
+    while
+      (not !shutdown)
+      && now () -. !last_super_contact < supervisor_silence_limit
+      && now () -. started < spec.max_seconds
+    do
+      (* 1. due timers *)
+      let rec fire_timers () =
+        match Dmx_sim.Heap.peek timers with
+        | Some t when t.at <= now () ->
+          ignore (Dmx_sim.Heap.pop timers);
+          trace (Trace.Timer t.tag);
+          P.on_timer ctx state t.tag;
+          fire_timers ()
+        | Some _ | None -> ()
+      in
+      fire_timers ();
+      (* 2. self-deliveries *)
+      while not (Queue.is_empty selfq) do
+        P.on_message ctx state ~src:spec.site (Queue.pop selfq)
+      done;
+      (* 3. network events *)
+      let rec drain () =
+        match Transport.poll transport with
+        | None -> ()
+        | Some ev ->
+          (match ev with
+          | Transport.Frame { src; frame } ->
+            if src = spec.n then last_super_contact := now ();
+            (match frame with
+            | Wire.Proto { src = psrc; payload; _ } -> (
+              match codec.decode payload with
+              | Ok msg ->
+                incr received;
+                trace (Trace.Receive { src = psrc; msg = render msg });
+                P.on_message ctx state ~src:psrc msg
+              | Error e ->
+                trace (Trace.Note (Printf.sprintf "undecodable message from %d: %s" psrc e)))
+            | Wire.Workload { rounds; cs_duration } ->
+              dbg "node %d: workload rounds=%d" spec.site rounds;
+              if !workload = None then workload := Some (rounds, cs_duration)
+            | Wire.Shutdown ->
+              dbg "node %d: shutdown at %.3f" spec.site (now ());
+              shutdown := true
+            | Wire.Hello _ | Wire.Heartbeat _ | Wire.Trace_batch _
+            | Wire.Metrics _ ->
+              ())
+          | Transport.Peer_down s ->
+            trace (Trace.Suspect s);
+            P.on_failure ctx state s
+          | Transport.Peer_up s ->
+            trace (Trace.Trust s);
+            P.on_recovery ctx state s);
+          drain ()
+      in
+      drain ();
+      (* 4. workload machine (engine-style Request/Enter/Exit bracketing) *)
+      (match !workload with
+      | None -> ()
+      | Some (rounds, cs_duration) ->
+        if !pending_enter then begin
+          pending_enter := false;
+          trace Trace.Enter_cs;
+          in_cs := true;
+          cs_deadline := now () +. cs_duration
+        end;
+        if !in_cs && now () >= !cs_deadline then begin
+          trace Trace.Exit_cs;
+          in_cs := false;
+          incr completed;
+          requested := false;
+          P.release_cs ctx state
+        end;
+        if (not !requested) && (not !in_cs) && !completed < rounds then begin
+          requested := true;
+          trace Trace.Request;
+          P.request_cs ctx state
+        end;
+        if !completed >= rounds && not !metrics_sent then begin
+          metrics_sent := true;
+          Transport.send transport ~dst:spec.n
+            (Wire.Metrics
+               {
+                 site = spec.site;
+                 executions = !completed;
+                 sent = !sent;
+                 received = !received;
+                 kinds = Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds [];
+               })
+        end);
+      (* 5. stream the trace *)
+      if Queue.length trace_buf >= 256 || now () -. !last_flush > 0.2 then
+        flush_traces ();
+      Unix.sleepf 0.0002
+    done;
+    dbg "node %d: exiting at %.3f (shutdown=%b contact_age=%.3f)" spec.site
+      (now ()) !shutdown
+      (now () -. !last_super_contact);
+    flush_traces ();
+    (* let the final batch drain before tearing the sockets down *)
+    Unix.sleepf 0.1;
+    Transport.close transport
+end
+
+let run_named (spec : spec) =
+  match B.parse_kind spec.quorum with
+  | Error e -> Error e
+  | Ok kind -> (
+    let n = spec.n in
+    if spec.site < 0 || spec.site >= n then Error "site out of range"
+    else if Array.length spec.node_ports <> n then Error "ports/n mismatch"
+    else if not (B.supports kind ~n) then
+      Error
+        (Format.asprintf "quorum %a does not support n=%d" B.pp_kind kind n)
+    else
+      match spec.protocol with
+      | "delay-optimal" ->
+        let module N = Make (Dmx_core.Delay_optimal) in
+        N.run spec
+          ~codec:
+            {
+              N.encode = Wire.encode_message;
+              decode = Wire.decode_message;
+            }
+          (Dmx_core.Delay_optimal.config (B.req_sets kind ~n));
+        Ok ()
+      | "ft-delay-optimal" ->
+        let module N = Make (Dmx_core.Ft_delay_optimal) in
+        let reliability =
+          {
+            Dmx_core.Reliable.rto = spec.rto;
+            backoff = 2.0;
+            rto_max = 16.0 *. spec.rto;
+            ack_delay = 0.1 *. spec.rto;
+          }
+        in
+        N.run spec
+          ~codec:
+            {
+              N.encode = Wire.encode_message;
+              decode = Wire.decode_message;
+            }
+          (Dmx_core.Ft_delay_optimal.config_of_kind ~reliability
+             ~trust_detector:false kind ~n ~broadcast:false);
+        Ok ()
+      | p -> Error (Printf.sprintf "unknown protocol %S" p))
+
+let run_as_child_if_requested () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some s -> (
+    match spec_of_string s with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok spec -> (
+      match run_named spec with
+      | Ok () -> exit 0
+      | Error e ->
+        prerr_endline e;
+        exit 2))

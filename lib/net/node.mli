@@ -1,0 +1,65 @@
+(** One networked protocol site: a single-threaded event loop driving any
+    [Dmx_sim.Protocol.PROTOCOL] over the {!Transport}.
+
+    The loop mirrors the simulation engine's contract exactly — same
+    callback discipline, same trace conventions (a [Send] entry for every
+    send including self-sends, a [Receive] for network deliveries only,
+    engine-style [Request]/[Enter_cs]/[Exit_cs] bracketing, suspect/trust
+    entries from the failure detector) and the same rendered message
+    strings — so the supervisor can merge per-site logs and run the
+    unmodified {!Dmx_sim.Oracle} on a real execution.
+
+    Time is the wall clock, measured from a cluster-wide [epoch] chosen by
+    the supervisor and passed through the {!spec}, so entries from
+    different processes sort on a common axis and a restarted site's
+    incarnation numbers stay monotone. *)
+
+(** Everything a node process needs to come up, normally delivered by the
+    cluster supervisor through the {!env_var} trampoline. *)
+type spec = {
+  site : int;
+  n : int;
+  node_ports : int array;  (** listen port of every site, index = site id *)
+  supervisor_port : int;
+  protocol : string;  (** ["delay-optimal"] or ["ft-delay-optimal"] *)
+  quorum : string;  (** a {!Dmx_quorum.Builder.parse_kind} spelling *)
+  seed : int;
+  epoch : float;  (** cluster time zero (absolute [gettimeofday] value) *)
+  hb_period : float;
+  hb_timeout : float;
+  rto : float;  (** reliability-layer base retransmission timeout *)
+  max_seconds : float;  (** failsafe wall-clock limit on the whole life *)
+}
+
+val spec_to_string : spec -> string
+val spec_of_string : string -> (spec, string) result
+
+val env_var : string
+(** [DMX_NODE_SPEC]. When set, the process is a cluster-spawned node: the
+    supervisor re-executes its own binary with this variable holding a
+    {!spec_to_string}, which lets any host executable (the CLI, the test
+    runner, the bench runner) serve as the node image. *)
+
+val run_as_child_if_requested : unit -> unit
+(** Check {!env_var}; when present, run the node to completion and [exit]
+    (0 on a clean shutdown, 2 on a bad spec). Must be called before the
+    host executable does anything else. *)
+
+(** Run a specific protocol; [codec] turns its messages into wire bytes. *)
+module Make (P : Dmx_sim.Protocol.PROTOCOL) : sig
+  type codec = {
+    encode : P.message -> string;
+    decode : string -> (P.message, string) result;
+  }
+
+  val run : spec -> codec:codec -> P.config -> unit
+  (** Blocks until the supervisor's [Shutdown], supervisor silence beyond
+      30 s, or [spec.max_seconds] — whichever comes first. *)
+end
+
+val run_named : spec -> (unit, string) result
+(** Resolve [spec.protocol]/[spec.quorum] and run: ["delay-optimal"] on
+    bare channels, ["ft-delay-optimal"] with the {!Dmx_core.Reliable}
+    retry/ack layer (wall-clock timeouts scaled from [spec.rto]) and the
+    suspicion-safe [trust_detector = false] recovery mode, both over the
+    {!Wire.encode_message} codec. *)

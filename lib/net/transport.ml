@@ -1,0 +1,280 @@
+type event =
+  | Frame of { src : int; frame : Wire.frame }
+  | Peer_down of int
+  | Peer_up of int
+
+type config = {
+  self : int;
+  listen_port : int;
+  peers : (int * Unix.sockaddr) list;
+  hb_period : float;
+  hb_timeout : float;
+  watch : int list;
+  hello_inc : float;
+}
+
+(* Frames buffered per unreachable peer; beyond this the oldest are
+   dropped — the retry/ack layer recovers, as it would from real loss. *)
+let max_pending = 4096
+
+type peer = {
+  id : int;
+  addr : Unix.sockaddr;
+  lock : Mutex.t;  (** guards [fd] and [pending] *)
+  mutable fd : Unix.file_descr option;
+  pending : Wire.frame Queue.t;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  peers : peer list;
+  events : event Queue.t;
+  events_lock : Mutex.t;
+  stop : bool Atomic.t;
+  last_heard : (int, float) Hashtbl.t;  (** guarded by [events_lock] *)
+  suspected : (int, bool) Hashtbl.t;  (** guarded by [events_lock] *)
+  mutable threads : Thread.t list;
+  mutable reader_fds : Unix.file_descr list;  (** guarded by [events_lock] *)
+}
+
+let push_event t ev =
+  Mutex.lock t.events_lock;
+  Queue.push ev t.events;
+  Mutex.unlock t.events_lock
+
+let poll t =
+  Mutex.lock t.events_lock;
+  let ev = if Queue.is_empty t.events then None else Some (Queue.pop t.events) in
+  Mutex.unlock t.events_lock;
+  ev
+
+let heard t src =
+  if src >= 0 then begin
+    Mutex.lock t.events_lock;
+    Hashtbl.replace t.last_heard src (Unix.gettimeofday ());
+    let was_suspected =
+      match Hashtbl.find_opt t.suspected src with Some b -> b | None -> false
+    in
+    if was_suspected then begin
+      Hashtbl.replace t.suspected src false;
+      Queue.push (Peer_up src) t.events
+    end;
+    Mutex.unlock t.events_lock
+  end
+
+(* ---- sending ---- *)
+
+let enqueue_pending p frame =
+  Queue.push frame p.pending;
+  while Queue.length p.pending > max_pending do
+    ignore (Queue.pop p.pending)
+  done
+
+let send_to_peer p frame =
+  Mutex.lock p.lock;
+  (match p.fd with
+  | Some fd -> (
+    try Wire.write_frame fd frame
+    with _ ->
+      (try Unix.close fd with _ -> ());
+      p.fd <- None;
+      enqueue_pending p frame)
+  | None -> enqueue_pending p frame);
+  Mutex.unlock p.lock
+
+let send t ~dst frame =
+  match List.find_opt (fun p -> p.id = dst) t.peers with
+  | Some p -> send_to_peer p frame
+  | None -> ()
+
+let broadcast t frame = List.iter (fun p -> send_to_peer p frame) t.peers
+
+(* ---- dialler: one thread per peer keeps the outbound connection alive ---- *)
+
+let dial t p =
+  let backoff = ref 0.05 in
+  while not (Atomic.get t.stop) do
+    let connected = Mutex.lock p.lock; p.fd <> None |> fun c -> Mutex.unlock p.lock; c in
+    if connected then Unix.sleepf 0.05
+    else begin
+      match
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        (try
+           Unix.connect fd p.addr;
+           Unix.setsockopt fd TCP_NODELAY true;
+           Wire.write_frame fd
+             (Wire.Hello { site = t.cfg.self; inc = t.cfg.hello_inc });
+           fd
+         with e ->
+           (try Unix.close fd with _ -> ());
+           raise e)
+      with
+      | fd ->
+        backoff := 0.05;
+        Mutex.lock p.lock;
+        (* flush everything buffered while the peer was unreachable *)
+        (try
+           while not (Queue.is_empty p.pending) do
+             Wire.write_frame fd (Queue.peek p.pending);
+             ignore (Queue.pop p.pending)
+           done;
+           p.fd <- Some fd
+         with _ -> ( try Unix.close fd with _ -> ()));
+        Mutex.unlock p.lock
+      | exception _ ->
+        Unix.sleepf !backoff;
+        backoff := Float.min (2.0 *. !backoff) 1.0
+    end
+  done;
+  Mutex.lock p.lock;
+  (match p.fd with
+  | Some fd ->
+    (try Unix.close fd with _ -> ());
+    p.fd <- None
+  | None -> ());
+  Mutex.unlock p.lock
+
+(* ---- acceptor and per-connection readers ---- *)
+
+let reader t fd =
+  (* the connection's sender identity, learnt from its Hello (or any frame
+     carrying a source field) *)
+  let src = ref (-1) in
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match (try Wire.read_frame fd with _ -> Error "connection error") with
+      | Error _ -> ()
+      | Ok frame ->
+        (match frame with
+        | Wire.Hello { site; _ }
+        | Wire.Heartbeat { site; _ }
+        | Wire.Trace_batch { site; _ }
+        | Wire.Metrics { site; _ } ->
+          src := site
+        | Wire.Proto { src = s; _ } -> src := s
+        | Wire.Workload _ | Wire.Shutdown -> ());
+        heard t !src;
+        push_event t (Frame { src = !src; frame });
+        loop ()
+  in
+  loop ();
+  try Unix.close fd with _ -> ()
+
+let acceptor t =
+  (* select-with-timeout before accept so [close] can join this thread:
+     closing a listening socket does not portably wake a blocked accept *)
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Unix.setsockopt fd TCP_NODELAY true;
+        Mutex.lock t.events_lock;
+        t.reader_fds <- fd :: t.reader_fds;
+        Mutex.unlock t.events_lock;
+        ignore (Thread.create (fun () -> reader t fd) ())
+      | exception _ -> if not (Atomic.get t.stop) then Unix.sleepf 0.01)
+    | exception _ -> if not (Atomic.get t.stop) then Unix.sleepf 0.01
+  done
+
+(* ---- heartbeat + silence-based failure detection ---- *)
+
+let heartbeat t =
+  let started = Unix.gettimeofday () in
+  while not (Atomic.get t.stop) do
+    let now = Unix.gettimeofday () in
+    broadcast t (Wire.Heartbeat { site = t.cfg.self; time = now });
+    Mutex.lock t.events_lock;
+    List.iter
+      (fun id ->
+        let last =
+          match Hashtbl.find_opt t.last_heard id with
+          | Some ts -> ts
+          | None -> started (* grace period from transport start *)
+        in
+        let suspected =
+          match Hashtbl.find_opt t.suspected id with
+          | Some b -> b
+          | None -> false
+        in
+        if (not suspected) && now -. last > t.cfg.hb_timeout then begin
+          Hashtbl.replace t.suspected id true;
+          Queue.push (Peer_down id) t.events
+        end)
+      t.cfg.watch;
+    Mutex.unlock t.events_lock;
+    Unix.sleepf t.cfg.hb_period
+  done
+
+(* ---- lifecycle ---- *)
+
+let create cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd SO_REUSEADDR true;
+  (try
+     Unix.bind listen_fd
+       (ADDR_INET (Unix.inet_addr_loopback, cfg.listen_port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      listen_fd;
+      peers =
+        List.map
+          (fun (id, addr) ->
+            {
+              id;
+              addr;
+              lock = Mutex.create ();
+              fd = None;
+              pending = Queue.create ();
+            })
+          cfg.peers;
+      events = Queue.create ();
+      events_lock = Mutex.create ();
+      stop = Atomic.make false;
+      last_heard = Hashtbl.create 16;
+      suspected = Hashtbl.create 16;
+      threads = [];
+      reader_fds = [];
+    }
+  in
+  let threads =
+    Thread.create (fun () -> acceptor t) ()
+    :: List.map (fun p -> Thread.create (fun () -> dial t p) ()) t.peers
+  in
+  let threads =
+    if cfg.hb_period > 0.0 then
+      Thread.create (fun () -> heartbeat t) () :: threads
+    else threads
+  in
+  t.threads <- threads;
+  t
+
+let close t =
+  if not (Atomic.exchange t.stop true) then begin
+    (try Unix.close t.listen_fd with _ -> ());
+    Mutex.lock t.events_lock;
+    let readers = t.reader_fds in
+    t.reader_fds <- [];
+    Mutex.unlock t.events_lock;
+    List.iter (fun fd -> try Unix.close fd with _ -> ()) readers;
+    List.iter
+      (fun p ->
+        Mutex.lock p.lock;
+        (match p.fd with
+        | Some fd ->
+          (try Unix.close fd with _ -> ());
+          p.fd <- None
+        | None -> ());
+        Mutex.unlock p.lock)
+      t.peers;
+    List.iter (fun th -> try Thread.join th with _ -> ()) t.threads
+  end

@@ -1,0 +1,75 @@
+(** Versioned binary wire codec for the networked runtime.
+
+    Everything that crosses a socket is a {e frame}: a 4-byte big-endian
+    length prefix followed by a payload whose first byte is the codec
+    {!version} and whose second byte is the frame tag. Protocol messages
+    travel opaquely inside {!frame.Proto} (encoded by a per-protocol codec
+    such as {!encode_message} for {!Dmx_core.Messages.t}), so the framing
+    layer works for any [Dmx_sim.Protocol.PROTOCOL]. Trace entries cross
+    the wire in the {e existing} {!Dmx_sim.Trace} representation, which is
+    what lets the cluster supervisor merge per-site logs and run the same
+    {!Dmx_sim.Oracle} on a real execution as on a simulated one.
+
+    Version negotiation is deliberately minimal (see docs/wire.md): the
+    version byte leads every payload, {!decode} rejects any version other
+    than its own, and a transport that receives such a frame closes the
+    connection — a mixed-version cluster fails fast instead of
+    misinterpreting bytes. Decoding is total: any truncated, trailing or
+    corrupt input yields [Error], never an exception or a garbage value. *)
+
+val version : int
+(** Current codec version (1). *)
+
+val max_frame : int
+(** Upper bound on an accepted payload length (16 MiB); a length prefix
+    above it is treated as corruption, not an allocation request. *)
+
+(** One wire frame. [site] fields identify the {e sender}. *)
+type frame =
+  | Hello of { site : int; inc : float }
+      (** first frame on every connection: who is speaking, and its
+          incarnation number (wall-clock init time) *)
+  | Heartbeat of { site : int; time : float }
+      (** liveness beacon, also the failure-detector input *)
+  | Proto of { src : int; dst : int; payload : string }
+      (** a protocol message, encoded by the protocol's own codec *)
+  | Workload of { rounds : int; cs_duration : float }
+      (** supervisor [->] node: run this many CS entries, holding the CS
+          this long (seconds) *)
+  | Trace_batch of { site : int; entries : Dmx_sim.Trace.entry list }
+      (** node [->] supervisor: a chunk of the site's event log *)
+  | Metrics of {
+      site : int;
+      executions : int;
+      sent : int;
+      received : int;
+      kinds : (string * int) list;  (** per-kind network send counts *)
+    }  (** node [->] supervisor: the site finished its workload *)
+  | Shutdown  (** supervisor [->] node: flush and exit *)
+
+val encode : frame -> string
+(** Payload bytes (version byte included, length prefix excluded). *)
+
+val decode : string -> (frame, string) result
+(** Inverse of {!encode}; [Error] explains the rejection (bad version,
+    bad tag, truncation, trailing bytes). *)
+
+(** {2 Protocol message codec for {!Dmx_core.Messages.t}} *)
+
+val encode_message : Dmx_core.Messages.t -> string
+(** Binary encoding of every constructor, including the recursive
+    reliability envelope [Data]. *)
+
+val decode_message : string -> (Dmx_core.Messages.t, string) result
+(** Inverse of {!encode_message}; total, like {!decode}. *)
+
+(** {2 Framed IO on file descriptors} *)
+
+val write_frame : Unix.file_descr -> frame -> unit
+(** Length-prefix + payload, written fully (loops on short writes).
+    @raise Unix.Unix_error as [Unix.write] does — callers treat any
+    failure as a dead connection. *)
+
+val read_frame : Unix.file_descr -> (frame, string) result
+(** Blocking read of exactly one frame. [Error] on EOF, a corrupt length
+    prefix, or a payload {!decode} rejects. *)

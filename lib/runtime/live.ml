@@ -69,10 +69,9 @@ module Make (P : Dmx_sim.Protocol.PROTOCOL) = struct
     let now () = Unix.gettimeofday () -. start in
     let stop = Atomic.make false in
     let dead = Array.init cfg.n (fun _ -> Atomic.make false) in
-    (* safety: CS occupancy, violations, and the high-water mark *)
-    let occupancy = Atomic.make 0 in
-    let violations = Atomic.make 0 in
-    let max_occ = Atomic.make 0 in
+    (* safety: CS occupancy, violations, and the high-water mark (shared
+       with the networked runtime, so both report identically) *)
+    let occ = Occupancy.create () in
     let messages = Atomic.make 0 in
     let per_site = Array.init cfg.n (fun _ -> Atomic.make 0) in
     let force_exit = Atomic.make false in
@@ -183,15 +182,14 @@ module Make (P : Dmx_sim.Protocol.PROTOCOL) = struct
         (* fail-stop: this site's domain dies at its scheduled time *)
         (match my_crash with
         | Some t when now () >= t && not (Atomic.get dead.(self)) ->
-          if !in_cs then ignore (Atomic.fetch_and_add occupancy (-1));
+          if !in_cs then Occupancy.exit occ;
           Atomic.set dead.(self) true
         | _ -> ());
         if Atomic.get dead.(self) then () (* exit the worker *)
         else begin
         (* leave the CS once its duration elapsed *)
         if !in_cs && now () >= !cs_deadline then begin
-          let occ = Atomic.fetch_and_add occupancy (-1) in
-          ignore occ;
+          Occupancy.exit occ;
           in_cs := false;
           P.release_cs ctx state;
           incr completed;
@@ -201,13 +199,7 @@ module Make (P : Dmx_sim.Protocol.PROTOCOL) = struct
         (* absorb a granted entry *)
         if !pending_enter then begin
           pending_enter := false;
-          let occ = 1 + Atomic.fetch_and_add occupancy 1 in
-          if occ > 1 then Atomic.incr violations;
-          let rec bump () =
-            let m = Atomic.get max_occ in
-            if occ > m && not (Atomic.compare_and_set max_occ m occ) then bump ()
-          in
-          bump ();
+          Occupancy.enter occ;
           in_cs := true;
           cs_deadline := now () +. cfg.cs_duration
         end;
@@ -253,8 +245,8 @@ module Make (P : Dmx_sim.Protocol.PROTOCOL) = struct
     Domain.join postman_d;
     {
       executions = Array.fold_left (fun a c -> a + Atomic.get c) 0 per_site;
-      violations = Atomic.get violations;
-      max_occupancy = Atomic.get max_occ;
+      violations = Occupancy.violations occ;
+      max_occupancy = Occupancy.max_occupancy occ;
       messages = Atomic.get messages;
       wall_seconds = Unix.gettimeofday () -. start;
       per_site = Array.map Atomic.get per_site;

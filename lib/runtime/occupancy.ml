@@ -1,0 +1,27 @@
+type t = {
+  occupancy : int Atomic.t;
+  violations : int Atomic.t;
+  max_occupancy : int Atomic.t;
+}
+
+let create () =
+  {
+    occupancy = Atomic.make 0;
+    violations = Atomic.make 0;
+    max_occupancy = Atomic.make 0;
+  }
+
+let enter t =
+  let occ = 1 + Atomic.fetch_and_add t.occupancy 1 in
+  if occ > 1 then Atomic.incr t.violations;
+  let rec bump () =
+    let m = Atomic.get t.max_occupancy in
+    if occ > m && not (Atomic.compare_and_set t.max_occupancy m occ) then
+      bump ()
+  in
+  bump ()
+
+let exit t = ignore (Atomic.fetch_and_add t.occupancy (-1))
+let current t = Atomic.get t.occupancy
+let violations t = Atomic.get t.violations
+let max_occupancy t = Atomic.get t.max_occupancy

@@ -1,0 +1,33 @@
+(** Atomic critical-section occupancy checker, shared by every live
+    runtime.
+
+    The simulator checks mutual exclusion inside the engine; real
+    executions (the in-process domain runtime {!Live} and the networked
+    runtime [Dmx_net]) share this counter instead, so both report
+    [violations] and [max_occupancy] with identical semantics: a violation
+    is counted on every CS entry that observes another tenure already
+    open, and [max_occupancy] is the high-water mark of simultaneous
+    tenures. All operations are lock-free and safe from any domain or
+    thread. *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> unit
+(** A site entered the CS. Counts a violation when some other tenure is
+    already open and updates the high-water mark. *)
+
+val exit : t -> unit
+(** A site left the CS (normal exit, or a crash voiding its tenure — the
+    caller decides when a crash terminates an open tenure). *)
+
+val current : t -> int
+(** Tenures currently open. *)
+
+val violations : t -> int
+(** CS entries that overlapped another tenure (must end at 0). *)
+
+val max_occupancy : t -> int
+(** Highest simultaneous occupancy observed (must end at 1 for any run
+    with at least one CS execution). *)

@@ -1,5 +1,9 @@
 (* Aggregated alcotest runner for the whole repository. *)
 
+(* The cluster integration tests re-execute this binary as the node
+   image (see Dmx_net.Node.env_var); the trampoline must run first. *)
+let () = Dmx_net.Node.run_as_child_if_requested ()
+
 let () =
   Alcotest.run "dmx"
     [
@@ -30,4 +34,6 @@ let () =
       ("golden-replay", Test_golden.suite);
       ("fuzz", Test_fuzz.suite);
       ("live-runtime", Test_live.suite);
+      ("wire", Test_wire.suite);
+      ("cluster", Test_cluster.suite);
     ]

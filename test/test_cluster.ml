@@ -1,0 +1,119 @@
+(* Integration tests for the networked runtime: real node processes over
+   localhost TCP, supervised by Dmx_net.Cluster, with the merged live
+   trace checked by the same oracle the simulator uses.
+
+   The default suite keeps to a quick 3-node run so `dune runtest` stays
+   fast and robust. The full acceptance scenario — 5 sites under
+   ft-delay-optimal, >= 20 CS entries per site, one kill plus restart
+   mid-run — is gated behind DMX_CLUSTER_FULL=1 and run by the dedicated
+   CI job, which uploads the merged trace as an artifact on failure
+   (written to DMX_CLUSTER_TRACE_DIR). *)
+
+module Cluster = Dmx_net.Cluster
+module Oracle = Dmx_sim.Oracle
+module E = Dmx_sim.Engine
+
+let full_enabled = Sys.getenv_opt "DMX_CLUSTER_FULL" = Some "1"
+
+let dump_trace_on_failure name entries =
+  match Sys.getenv_opt "DMX_CLUSTER_TRACE_DIR" with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+    let path = Filename.concat dir (name ^ ".trace") in
+    let oc = open_out path in
+    let ppf = Format.formatter_of_out_channel oc in
+    List.iter
+      (fun e -> Format.fprintf ppf "%a@." Dmx_sim.Trace.pp_entry e)
+      entries;
+    Format.pp_print_flush ppf ();
+    close_out oc;
+    Printf.eprintf "merged trace written to %s\n%!" path
+
+let check_outcome name ~min_execs (o : Cluster.outcome) =
+  let r = o.Cluster.report in
+  let ok =
+    r.E.violations = 0
+    && Oracle.ok o.Cluster.verdict
+    && r.E.executions >= min_execs
+  in
+  if not ok then begin
+    dump_trace_on_failure name o.Cluster.entries;
+    Format.eprintf "%a@." Cluster.pp_outcome o
+  end;
+  Alcotest.(check int) "mutual exclusion violations" 0 r.E.violations;
+  Alcotest.(check bool) "oracle accepts the merged trace" true
+    (Oracle.ok o.Cluster.verdict);
+  Alcotest.(check bool)
+    (Printf.sprintf "executions >= %d (got %d)" min_execs r.E.executions)
+    true
+    (r.E.executions >= min_execs)
+
+let test_small_cluster () =
+  let cfg =
+    {
+      (Cluster.default ~n:3) with
+      Cluster.protocol = "delay-optimal";
+      rounds = 5;
+      timeout = 30.0;
+    }
+  in
+  match Cluster.run cfg with
+  | Error e -> Alcotest.fail e
+  | Ok o -> check_outcome "small-cluster" ~min_execs:15 o
+
+let test_full_ft_cluster () =
+  if not full_enabled then
+    Alcotest.skip ()
+  else
+    let cfg =
+      {
+        (Cluster.default ~n:5) with
+        Cluster.protocol = "ft-delay-optimal";
+        rounds = 20;
+        kills = [ (2.0, 1) ];
+        restarts = [ (4.0, 1) ];
+        timeout = 120.0;
+      }
+    in
+    match Cluster.run cfg with
+    | Error e -> Alcotest.fail e
+    | Ok o ->
+      (* 4 surviving sites x 20 rounds, plus whatever the killed site's two
+         lives completed: >= 20 per surviving site means >= 100 total with
+         the restarted site's second life included *)
+      check_outcome "full-ft-cluster" ~min_execs:100 o
+
+let test_bad_configs () =
+  let bad cfg = match Cluster.run cfg with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "n too small" true
+    (bad { (Cluster.default ~n:1) with Cluster.timeout = 5.0 });
+  Alcotest.(check bool) "restart without kill" true
+    (bad
+       {
+         (Cluster.default ~n:3) with
+         Cluster.restarts = [ (1.0, 0) ];
+         timeout = 5.0;
+       });
+  Alcotest.(check bool) "kill site out of range" true
+    (bad
+       {
+         (Cluster.default ~n:3) with
+         Cluster.kills = [ (1.0, 7) ];
+         timeout = 5.0;
+       });
+  Alcotest.(check bool) "unknown protocol is rejected" true
+    (bad
+       {
+         (Cluster.default ~n:3) with
+         Cluster.protocol = "nope";
+         timeout = 10.0;
+       })
+
+let suite =
+  [
+    Alcotest.test_case "3-node delay-optimal cluster" `Slow test_small_cluster;
+    Alcotest.test_case "5-node ft cluster with kill+restart (DMX_CLUSTER_FULL)"
+      `Slow test_full_ft_cluster;
+    Alcotest.test_case "bad configurations rejected" `Quick test_bad_configs;
+  ]

@@ -1,37 +1,32 @@
-(* The retry/ack reliability layer, exercised against a stub context that
-   records sends and timer arms. *)
+(* The retry/ack reliability layer, exercised against a stub io that
+   records sends and timer arms — the layer never sees a protocol ctx or
+   an engine, only these capabilities (which is what lets the same code
+   run over virtual time in the simulator and the wall clock in the
+   networked runtime). *)
 
-module Proto = Dmx_sim.Protocol
 module Rel = Dmx_core.Reliable
 module M = Dmx_core.Messages
 
-let stub_ctx ?(self = 0) ?(n = 3) () =
+let stub_io ?(now = 0.0) () =
   let sent = ref [] in
   let timers = ref [] in
-  let ctx =
+  let io =
     {
-      Proto.self;
-      n;
-      now = (fun () -> 0.0);
+      Rel.now = (fun () -> now);
       send = (fun ~dst msg -> sent := (dst, msg) :: !sent);
-      enter_cs = ignore;
       set_timer = (fun ~delay ~tag -> timers := (delay, tag) :: !timers);
-      rng = Dmx_sim.Rng.create 1;
-      trace_note = ignore;
-      trace_event = ignore;
-      mark_parked = ignore;
     }
   in
-  (ctx, sent, timers)
+  (io, sent, timers)
 
 let payload = M.Request { Dmx_sim.Timestamp.sn = 1; site = 0 }
 
 let test_send_wraps_with_sequence () =
-  let ctx, sent, timers = stub_ctx () in
-  let r = Rel.create Rel.default ~n:3 ~self:0 ~now:0.0 in
-  Rel.send r ctx ~dst:1 payload;
-  Rel.send r ctx ~dst:1 M.Fail;
-  Rel.send r ctx ~dst:2 payload;
+  let io, sent, timers = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
+  Rel.send r ~dst:1 payload;
+  Rel.send r ~dst:1 M.Fail;
+  Rel.send r ~dst:2 payload;
   (match List.rev !sent with
   | [ (1, M.Data { seq = 0; base = 0; retx = false; payload = p; _ });
       (1, M.Data { seq = 1; base = 0; _ });
@@ -60,54 +55,54 @@ let data ?(inc = 0.0) ?(dst_inc = 0.0) ?(base = 0) ?(retx = false) seq p =
   M.Data { inc; dst_inc; seq; base; retx; payload = p }
 
 let test_in_order_delivery () =
-  let ctx, _, _ = stub_ctx ~self:1 () in
-  let r = Rel.create Rel.default ~n:3 ~self:1 ~now:0.0 in
+  let io, _, _ = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:1 ~io in
   (* seq 1 arrives before seq 0: buffered, then drained in order *)
-  let i1 = Rel.on_message r ctx ~src:0 (data 1 M.Fail) in
+  let i1 = Rel.on_message r ~src:0 (data 1 M.Fail) in
   Alcotest.(check (list string)) "gap buffered" []
     (List.map M.kind i1.Rel.deliveries);
-  let i0 = Rel.on_message r ctx ~src:0 (data 0 payload) in
+  let i0 = Rel.on_message r ~src:0 (data 0 payload) in
   Alcotest.(check (list string)) "drained in order" [ "request"; "fail" ]
     (List.map M.kind i0.Rel.deliveries);
   Alcotest.(check bool) "no restart" false i0.Rel.restarted
 
 let test_duplicate_suppression () =
-  let ctx, _, _ = stub_ctx ~self:1 () in
-  let r = Rel.create Rel.default ~n:3 ~self:1 ~now:0.0 in
-  let i = Rel.on_message r ctx ~src:0 (data 0 payload) in
+  let io, _, _ = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:1 ~io in
+  let i = Rel.on_message r ~src:0 (data 0 payload) in
   Alcotest.(check int) "delivered once" 1 (List.length i.Rel.deliveries);
-  let i = Rel.on_message r ctx ~src:0 (data 0 payload) in
+  let i = Rel.on_message r ~src:0 (data 0 payload) in
   Alcotest.(check int) "duplicate dropped" 0 (List.length i.Rel.deliveries);
   (* a retransmitted copy of a buffered gap message is not double-buffered *)
-  ignore (Rel.on_message r ctx ~src:0 (data 2 M.Fail));
-  ignore (Rel.on_message r ctx ~src:0 (data ~retx:true 2 M.Fail));
-  let i = Rel.on_message r ctx ~src:0 (data 1 payload) in
+  ignore (Rel.on_message r ~src:0 (data 2 M.Fail));
+  ignore (Rel.on_message r ~src:0 (data ~retx:true 2 M.Fail));
+  let i = Rel.on_message r ~src:0 (data 1 payload) in
   Alcotest.(check int) "gap drain exact" 2 (List.length i.Rel.deliveries)
 
 let test_ack_clears_backlog () =
-  let ctx, _, _ = stub_ctx () in
-  let r = Rel.create Rel.default ~n:3 ~self:0 ~now:0.0 in
-  Rel.send r ctx ~dst:1 payload;
-  Rel.send r ctx ~dst:1 M.Fail;
-  Rel.send r ctx ~dst:1 M.Fail;
+  let io, _, _ = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
+  Rel.send r ~dst:1 payload;
+  Rel.send r ~dst:1 M.Fail;
+  Rel.send r ~dst:1 M.Fail;
   Alcotest.(check int) "three unacked" 3 (Rel.in_flight r 1);
-  ignore (Rel.on_message r ctx ~src:1 (M.Ack { of_inc = 0.0; upto = 1 }));
+  ignore (Rel.on_message r ~src:1 (M.Ack { of_inc = 0.0; upto = 1 }));
   Alcotest.(check int) "cumulative ack" 1 (Rel.in_flight r 1);
-  ignore (Rel.on_message r ctx ~src:1 (M.Ack { of_inc = 0.0; upto = 2 }));
+  ignore (Rel.on_message r ~src:1 (M.Ack { of_inc = 0.0; upto = 2 }));
   Alcotest.(check int) "drained" 0 (Rel.in_flight r 1);
   (* an ack for a previous incarnation of us is ignored *)
-  Rel.send r ctx ~dst:1 M.Fail;
-  ignore (Rel.on_message r ctx ~src:1 (M.Ack { of_inc = -1.0; upto = 9 }));
+  Rel.send r ~dst:1 M.Fail;
+  ignore (Rel.on_message r ~src:1 (M.Ack { of_inc = -1.0; upto = 9 }));
   Alcotest.(check int) "stale-incarnation ack ignored" 1 (Rel.in_flight r 1)
 
 let test_retransmit_with_backoff () =
-  let ctx, sent, timers = stub_ctx () in
-  let r = Rel.create Rel.default ~n:3 ~self:0 ~now:0.0 in
-  Rel.send r ctx ~dst:1 payload;
-  Rel.send r ctx ~dst:1 M.Fail;
+  let io, sent, timers = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
+  Rel.send r ~dst:1 payload;
+  Rel.send r ~dst:1 M.Fail;
   sent := [];
   timers := [];
-  Alcotest.(check bool) "our tag" true (Rel.on_timer r ctx 2);
+  Alcotest.(check bool) "our tag" true (Rel.on_timer r 2);
   (match List.rev !sent with
   | [ (1, M.Data { seq = 0; retx = true; _ });
       (1, M.Data { seq = 1; retx = true; _ })
@@ -116,83 +111,83 @@ let test_retransmit_with_backoff () =
   Alcotest.(check (list (pair (float 1e-9) int)))
     "backed-off re-arm" [ (6.0, 2) ] !timers;
   (* not our tag: n = 3 claims tags 0..5 *)
-  Alcotest.(check bool) "foreign tag" false (Rel.on_timer r ctx 6)
+  Alcotest.(check bool) "foreign tag" false (Rel.on_timer r 6)
 
 let test_ack_progress_defers_retransmission () =
-  let ctx, sent, timers = stub_ctx () in
-  let r = Rel.create Rel.default ~n:3 ~self:0 ~now:0.0 in
-  Rel.send r ctx ~dst:1 payload;
-  Rel.send r ctx ~dst:1 M.Fail;
+  let io, sent, timers = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
+  Rel.send r ~dst:1 payload;
+  Rel.send r ~dst:1 M.Fail;
   (* seq 0 acked before the deadline: seq 1 is young, not overdue *)
-  ignore (Rel.on_message r ctx ~src:1 (M.Ack { of_inc = 0.0; upto = 0 }));
+  ignore (Rel.on_message r ~src:1 (M.Ack { of_inc = 0.0; upto = 0 }));
   sent := [];
   timers := [];
-  ignore (Rel.on_timer r ctx 2);
+  ignore (Rel.on_timer r 2);
   Alcotest.(check int) "no retransmission on a live path" 0
     (List.length !sent);
   Alcotest.(check (list (pair (float 1e-9) int)))
     "re-armed at base rto" [ (3.0, 2) ] !timers;
   (* no further progress: the next deadline really retransmits *)
   sent := [];
-  ignore (Rel.on_timer r ctx 2);
+  ignore (Rel.on_timer r 2);
   (match !sent with
   | [ (1, M.Data { seq = 1; retx = true; _ }) ] -> ()
   | _ -> Alcotest.fail "expected seq 1 retransmitted once overdue")
 
 let test_suspend_resume () =
-  let ctx, sent, _ = stub_ctx () in
-  let r = Rel.create Rel.default ~n:3 ~self:0 ~now:0.0 in
-  Rel.send r ctx ~dst:1 payload;
+  let io, sent, _ = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
+  Rel.send r ~dst:1 payload;
   Rel.suspend r 1;
   sent := [];
-  ignore (Rel.on_timer r ctx 2);
+  ignore (Rel.on_timer r 2);
   Alcotest.(check int) "no retx while suspended" 0 (List.length !sent);
-  Rel.resume r ctx 1;
+  Rel.resume r 1;
   (match !sent with
   | [ (1, M.Data { retx = true; _ }) ] -> ()
   | _ -> Alcotest.fail "resume must retransmit the backlog");
   Alcotest.(check int) "still unacked" 1 (Rel.in_flight r 1)
 
 let test_delayed_cumulative_ack () =
-  let ctx, sent, timers = stub_ctx ~self:1 () in
-  let r = Rel.create Rel.default ~n:3 ~self:1 ~now:0.0 in
-  ignore (Rel.on_message r ctx ~src:0 (data 0 payload));
-  ignore (Rel.on_message r ctx ~src:0 (data 1 M.Fail));
+  let io, sent, timers = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:1 ~io in
+  ignore (Rel.on_message r ~src:0 (data 0 payload));
+  ignore (Rel.on_message r ~src:0 (data 1 M.Fail));
   (* no ack on the wire yet, only the coalescing timer (tag 2*peer+1) *)
   Alcotest.(check int) "no eager ack" 0 (List.length !sent);
   Alcotest.(check (list (pair (float 1e-9) int))) "ack timer" [ (0.5, 1) ] !timers;
-  ignore (Rel.on_timer r ctx 1);
+  ignore (Rel.on_timer r 1);
   (match !sent with
   | [ (0, M.Ack { upto = 1; _ }) ] -> ()
   | _ -> Alcotest.fail "one cumulative ack for the burst");
   (* nothing due: the timer fires empty *)
   sent := [];
-  ignore (Rel.on_timer r ctx 1);
+  ignore (Rel.on_timer r 1);
   Alcotest.(check int) "no spurious ack" 0 (List.length !sent)
 
 let test_incarnation_restart () =
-  let ctx, _, _ = stub_ctx ~self:1 () in
-  let r = Rel.create Rel.default ~n:3 ~self:1 ~now:0.0 in
+  let io, _, _ = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:1 ~io in
   (* first contact at incarnation 5 is NOT a restart (nothing to compare) *)
-  let i = Rel.on_message r ctx ~src:0 (data ~inc:5.0 0 payload) in
+  let i = Rel.on_message r ~src:0 (data ~inc:5.0 0 payload) in
   Alcotest.(check bool) "first contact" false i.Rel.restarted;
   (* a larger incarnation is hard restart evidence; the stream re-bases *)
-  let i = Rel.on_message r ctx ~src:0 (data ~inc:9.0 ~base:3 3 M.Fail) in
+  let i = Rel.on_message r ~src:0 (data ~inc:9.0 ~base:3 3 M.Fail) in
   Alcotest.(check bool) "restart detected" true i.Rel.restarted;
   Alcotest.(check (list string)) "fresh stream delivers from its base"
     [ "fail" ]
     (List.map M.kind i.Rel.deliveries);
   (* stragglers from the dead incarnation are discarded *)
-  let i = Rel.on_message r ctx ~src:0 (data ~inc:5.0 1 payload) in
+  let i = Rel.on_message r ~src:0 (data ~inc:5.0 1 payload) in
   Alcotest.(check bool) "no zombie restart" false i.Rel.restarted;
   Alcotest.(check int) "straggler dropped" 0 (List.length i.Rel.deliveries)
 
 let test_stale_destination_dropped () =
   (* we restarted at t=10; a peer that has not yet heard our Hello keeps
      retransmitting mail addressed to our dead incarnation 0 *)
-  let ctx, sent, timers = stub_ctx ~self:1 () in
-  let r = Rel.create Rel.default ~n:3 ~self:1 ~now:10.0 in
-  let i = Rel.on_message r ctx ~src:0 (data ~dst_inc:0.0 0 payload) in
+  let io, sent, timers = stub_io ~now:10.0 () in
+  let r = Rel.create Rel.default ~n:3 ~self:1 ~io in
+  let i = Rel.on_message r ~src:0 (data ~dst_inc:0.0 0 payload) in
   Alcotest.(check int) "dead-incarnation mail dropped" 0
     (List.length i.Rel.deliveries);
   Alcotest.(check int) "not acked" 0 (List.length !sent);
@@ -200,39 +195,39 @@ let test_stale_destination_dropped () =
   (* first-contact mail (the peer never heard any incarnation of us) and
      current-incarnation mail are delivered *)
   let i =
-    Rel.on_message r ctx ~src:0 (data ~dst_inc:Float.neg_infinity 0 payload)
+    Rel.on_message r ~src:0 (data ~dst_inc:Float.neg_infinity 0 payload)
   in
   Alcotest.(check int) "first contact delivered" 1
     (List.length i.Rel.deliveries);
-  let i = Rel.on_message r ctx ~src:0 (data ~dst_inc:10.0 1 M.Fail) in
+  let i = Rel.on_message r ~src:0 (data ~dst_inc:10.0 1 M.Fail) in
   Alcotest.(check int) "current incarnation delivered" 1
     (List.length i.Rel.deliveries)
 
 let test_restart_evidence_purges_backlog () =
-  let ctx, _, _ = stub_ctx () in
-  let r = Rel.create Rel.default ~n:3 ~self:0 ~now:0.0 in
+  let io, _, _ = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
   (* first contact is NOT a restart: mail sent before ever hearing from
      the peer must survive (purging it would strand the receiver, which
      still waits for those sequence numbers) *)
-  Rel.send r ctx ~dst:1 payload;
-  ignore (Rel.on_message r ctx ~src:1 (data ~inc:5.0 0 payload));
+  Rel.send r ~dst:1 payload;
+  ignore (Rel.on_message r ~src:1 (data ~inc:5.0 0 payload));
   Alcotest.(check int) "first contact keeps backlog" 1 (Rel.in_flight r 1);
-  ignore (Rel.on_message r ctx ~src:1 (M.Ack { of_inc = 0.0; upto = 0 }));
-  Rel.send r ctx ~dst:1 M.Fail;
+  ignore (Rel.on_message r ~src:1 (M.Ack { of_inc = 0.0; upto = 0 }));
+  Rel.send r ~dst:1 M.Fail;
   Alcotest.(check int) "backlog built" 1 (Rel.in_flight r 1);
   (* peer 1 reappears with a larger incarnation: our unacked mail was
      addressed to its dead state and must not be retransmitted to the
      fresh one *)
-  let i = Rel.on_message r ctx ~src:1 (data ~inc:9.0 1 payload) in
+  let i = Rel.on_message r ~src:1 (data ~inc:9.0 1 payload) in
   Alcotest.(check bool) "restart seen" true i.Rel.restarted;
   Alcotest.(check int) "backlog voided" 0 (Rel.in_flight r 1)
 
 let test_rejects_bare_messages () =
-  let ctx, _, _ = stub_ctx () in
-  let r = Rel.create Rel.default ~n:3 ~self:0 ~now:0.0 in
+  let io, _, _ = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
   Alcotest.(check bool) "not an envelope" true
     (try
-       ignore (Rel.on_message r ctx ~src:1 M.Fail);
+       ignore (Rel.on_message r ~src:1 M.Fail);
        false
      with Invalid_argument _ -> true)
 

@@ -1,0 +1,358 @@
+(* Wire-codec round-trip and corruption-rejection tests.
+
+   Every [Dmx_core.Messages.t] constructor, every [Dmx_sim.Trace.kind]
+   constructor and every [Dmx_net.Wire.frame] constructor must survive
+   encode/decode unchanged — including the recursive reliability envelope,
+   sentinel values ([Timestamp.infinity], [neg_infinity] incarnations) and
+   max-size payloads. Decoding must be total: any truncation or corruption
+   yields [Error], never an exception or a silently wrong value. *)
+
+module M = Dmx_core.Messages
+module Ts = Dmx_sim.Timestamp
+module Trace = Dmx_sim.Trace
+module Wire = Dmx_net.Wire
+
+(* ---- generators ---- *)
+
+let ts_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 8,
+          map2
+            (fun sn site -> { Ts.sn; site })
+            (int_range 0 1_000_000) (int_range 0 64) );
+        (1, return Ts.infinity);
+      ])
+
+let small_string_gen = QCheck.Gen.(string_size ~gen:char (int_range 0 64))
+
+let float_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, float);
+        (1, return neg_infinity);
+        (1, return 0.0);
+        (1, return infinity);
+      ])
+
+let msg_gen : M.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let base =
+    frequency
+      [
+        (3, map (fun ts -> M.Request ts) ts_gen);
+        ( 3,
+          map3
+            (fun arbiter for_req next -> M.Reply { arbiter; for_req; next })
+            (int_range 0 64) ts_gen (option ts_gen) );
+        ( 3,
+          map2
+            (fun of_req forwarded_to -> M.Release { of_req; forwarded_to })
+            ts_gen (option ts_gen) );
+        ( 3,
+          map2 (fun target inquire -> M.Transfer { target; inquire }) ts_gen bool
+        );
+        (1, return M.Fail);
+        (2, map (fun of_req -> M.Yield { of_req }) ts_gen);
+        (2, map (fun s -> M.Failure_note s) (int_range 0 64));
+        (1, return M.Hello);
+        ( 2,
+          map2 (fun of_inc upto -> M.Ack { of_inc; upto }) float_gen
+            (int_range 0 1_000_000) );
+      ]
+  in
+  (* wrap roughly a third of messages in one or two Data envelopes, so the
+     recursive case is exercised *)
+  let rec wrap depth m =
+    if depth = 0 then return m
+    else
+      float_gen >>= fun inc ->
+      float_gen >>= fun dst_inc ->
+      int_range 0 10_000 >>= fun seq ->
+      int_range 0 10_000 >>= fun base ->
+      bool >>= fun retx ->
+      wrap (depth - 1) (M.Data { inc; dst_inc; seq; base; retx; payload = m })
+  in
+  base >>= fun m ->
+  int_range 0 2 >>= fun depth -> wrap depth m
+
+let kind_gen : Trace.kind QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [
+      ( 3,
+        map2
+          (fun dst msg -> Trace.Send { dst; msg })
+          (int_range 0 64) small_string_gen );
+      ( 3,
+        map2
+          (fun src msg -> Trace.Receive { src; msg })
+          (int_range 0 64) small_string_gen );
+      (2, return Trace.Enter_cs);
+      (2, return Trace.Exit_cs);
+      (1, map (fun t -> Trace.Timer t) (int_range 0 128));
+      (1, return Trace.Crash);
+      (1, return Trace.Recover);
+      ( 1,
+        map2
+          (fun dst reason -> Trace.Drop { dst; reason })
+          (int_range 0 64) small_string_gen );
+      (1, map (fun dst -> Trace.Duplicate { dst }) (int_range 0 64));
+      (1, map (fun heal -> Trace.Partition { heal }) bool);
+      (1, map (fun s -> Trace.Suspect s) (int_range 0 64));
+      (1, map (fun s -> Trace.Trust s) (int_range 0 64));
+      (1, map (fun s -> Trace.Note s) small_string_gen);
+      (2, return Trace.Request);
+      ( 1,
+        map
+          (fun q -> Trace.Adopt_quorum q)
+          (list_size (int_range 0 12) (int_range 0 64)) );
+      (1, map (fun arbiter -> Trace.Acquire { arbiter }) (int_range 0 64));
+      (1, map (fun arbiter -> Trace.Cede { arbiter }) (int_range 0 64));
+      ( 1,
+        map2
+          (fun arbiter to_ -> Trace.Forward { arbiter; to_ })
+          (int_range 0 64) (int_range 0 64) );
+      (1, map (fun to_ -> Trace.Grant { to_ }) (int_range 0 64));
+    ]
+
+let entry_gen : Trace.entry QCheck.Gen.t =
+  QCheck.Gen.(
+    map3
+      (fun time site kind -> { Trace.time; site; kind })
+      (float_range 0.0 1000.0) (int_range 0 64) kind_gen)
+
+let frame_gen : Wire.frame QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [
+      ( 2,
+        map2
+          (fun site inc -> Wire.Hello { site; inc })
+          (int_range 0 64) float_gen );
+      ( 2,
+        map2
+          (fun site time -> Wire.Heartbeat { site; time })
+          (int_range 0 64) float_gen );
+      ( 4,
+        map3
+          (fun src dst m ->
+            Wire.Proto { src; dst; payload = Wire.encode_message m })
+          (int_range 0 64) (int_range 0 64) msg_gen );
+      ( 1,
+        map2
+          (fun rounds cs_duration -> Wire.Workload { rounds; cs_duration })
+          (int_range 0 10_000) (float_range 0.0 10.0) );
+      ( 3,
+        map2
+          (fun site entries -> Wire.Trace_batch { site; entries })
+          (int_range 0 64)
+          (list_size (int_range 0 32) entry_gen) );
+      ( 2,
+        map3
+          (fun site (executions, sent, received) kinds ->
+            Wire.Metrics { site; executions; sent; received; kinds })
+          (int_range 0 64)
+          (triple (int_range 0 100_000) (int_range 0 100_000)
+             (int_range 0 100_000))
+          (list_size (int_range 0 10)
+             (pair small_string_gen (int_range 0 100_000))) );
+      (1, return Wire.Shutdown);
+    ]
+
+(* ---- printers (shrunk output readability) ---- *)
+
+let msg_print m = Format.asprintf "%a" M.pp m
+
+let frame_print = function
+  | Wire.Hello { site; inc } -> Printf.sprintf "Hello{site=%d;inc=%h}" site inc
+  | Wire.Heartbeat { site; time } ->
+    Printf.sprintf "Heartbeat{site=%d;time=%h}" site time
+  | Wire.Proto { src; dst; payload } ->
+    Printf.sprintf "Proto{src=%d;dst=%d;%d bytes}" src dst
+      (String.length payload)
+  | Wire.Workload { rounds; cs_duration } ->
+    Printf.sprintf "Workload{rounds=%d;cs=%h}" rounds cs_duration
+  | Wire.Trace_batch { site; entries } ->
+    Printf.sprintf "Trace_batch{site=%d;%d entries}" site (List.length entries)
+  | Wire.Metrics { site; executions; _ } ->
+    Printf.sprintf "Metrics{site=%d;executions=%d}" site executions
+  | Wire.Shutdown -> "Shutdown"
+
+(* ---- properties ---- *)
+
+let prop_msg_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"message round-trip"
+    (QCheck.make ~print:msg_print msg_gen) (fun m ->
+      match Wire.decode_message (Wire.encode_message m) with
+      | Ok m' -> m = m'
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"frame round-trip"
+    (QCheck.make ~print:frame_print frame_gen) (fun f ->
+      match Wire.decode (Wire.encode f) with
+      | Ok f' -> f = f'
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+let prop_truncation_rejected =
+  QCheck.Test.make ~count:500 ~name:"every strict prefix rejected"
+    (QCheck.make ~print:frame_print frame_gen) (fun f ->
+      let enc = Wire.encode f in
+      let ok = ref true in
+      for len = 0 to String.length enc - 1 do
+        match Wire.decode (String.sub enc 0 len) with
+        | Error _ -> ()
+        | Ok _ -> ok := false
+      done;
+      !ok)
+
+let prop_trailing_rejected =
+  QCheck.Test.make ~count:500 ~name:"trailing bytes rejected"
+    (QCheck.make ~print:frame_print frame_gen) (fun f ->
+      match Wire.decode (Wire.encode f ^ "\x00") with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let prop_corrupt_never_raises =
+  (* flip one byte anywhere: decode must return, not raise; if it returns
+     Ok, re-encoding must reproduce the corrupted input (i.e. the flip hit
+     a don't-care position — which the exact-consumption decoder makes
+     impossible except inside string payloads or numeric fields, where the
+     decoded value legitimately differs but stays well-formed). *)
+  QCheck.Test.make ~count:1000 ~name:"single-byte corruption never raises"
+    (QCheck.make
+       ~print:(fun (f, pos, byte) ->
+         Printf.sprintf "%s / flip pos %d to %d" (frame_print f) pos byte)
+       QCheck.Gen.(triple frame_gen (int_range 0 1_000_000) (int_range 0 255)))
+    (fun (f, pos, byte) ->
+      let enc = Bytes.of_string (Wire.encode f) in
+      let pos = pos mod Bytes.length enc in
+      Bytes.set_uint8 enc pos byte;
+      match Wire.decode (Bytes.to_string enc) with
+      | Ok _ | Error _ -> true)
+
+(* ---- unit cases: sentinels, max sizes, version gate, framed IO ---- *)
+
+let check_msg m =
+  match Wire.decode_message (Wire.encode_message m) with
+  | Ok m' ->
+    Alcotest.(check bool) (msg_print m) true (m = m')
+  | Error e -> Alcotest.failf "decode_message %s: %s" (msg_print m) e
+
+let test_sentinels () =
+  check_msg (M.Request Ts.infinity);
+  check_msg
+    (M.Reply { arbiter = 0; for_req = Ts.infinity; next = Some Ts.infinity });
+  check_msg
+    (M.Data
+       {
+         inc = neg_infinity;
+         dst_inc = neg_infinity;
+         seq = max_int;
+         base = 0;
+         retx = true;
+         payload = M.Hello;
+       });
+  check_msg (M.Ack { of_inc = nan; upto = 0 }
+             |> fun m ->
+             (* NaN <> NaN structurally; round-trip bit-exactness instead *)
+             (match Wire.decode_message (Wire.encode_message m) with
+              | Ok (M.Ack { of_inc; _ }) ->
+                Alcotest.(check bool) "nan preserved" true (Float.is_nan of_inc)
+              | Ok _ | Error _ -> Alcotest.fail "nan ack decode");
+             M.Hello)
+
+let test_max_payload () =
+  (* a Proto frame carrying a near-max_frame opaque payload round-trips *)
+  let payload = String.make (Wire.max_frame - 64) 'x' in
+  let f = Wire.Proto { src = 1; dst = 2; payload } in
+  match Wire.decode (Wire.encode f) with
+  | Ok (Wire.Proto { payload = p'; _ }) ->
+    Alcotest.(check int) "payload length" (String.length payload)
+      (String.length p')
+  | Ok _ -> Alcotest.fail "wrong frame"
+  | Error e -> Alcotest.failf "decode: %s" e
+
+let test_version_rejected () =
+  let enc = Bytes.of_string (Wire.encode Wire.Shutdown) in
+  Bytes.set_uint8 enc 0 (Wire.version + 1);
+  match Wire.decode (Bytes.to_string enc) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future version accepted"
+
+let test_bad_tag_rejected () =
+  let b = Buffer.create 4 in
+  Buffer.add_uint8 b Wire.version;
+  Buffer.add_uint8 b 250;
+  (match Wire.decode (Buffer.contents b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad frame tag accepted");
+  match Wire.decode_message "\xfa" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad message tag accepted"
+
+let test_framed_io () =
+  (* write_frame/read_frame over a pipe, several frames back-to-back *)
+  let frames =
+    [
+      Wire.Hello { site = 3; inc = 1.5 };
+      Wire.Proto
+        { src = 0; dst = 4; payload = Wire.encode_message (M.Request { Ts.sn = 7; site = 0 }) };
+      Wire.Trace_batch
+        {
+          site = 2;
+          entries =
+            [
+              { Trace.time = 0.25; site = 2; kind = Trace.Request };
+              { Trace.time = 0.5; site = 2; kind = Trace.Enter_cs };
+            ];
+        };
+      Wire.Shutdown;
+    ]
+  in
+  let rd, wr = Unix.pipe () in
+  List.iter (Wire.write_frame wr) frames;
+  Unix.close wr;
+  List.iter
+    (fun expect ->
+      match Wire.read_frame rd with
+      | Ok got -> Alcotest.(check bool) (frame_print expect) true (got = expect)
+      | Error e -> Alcotest.failf "read_frame: %s" e)
+    frames;
+  (match Wire.read_frame rd with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "read past EOF succeeded");
+  Unix.close rd
+
+let test_oversize_length_rejected () =
+  let rd, wr = Unix.pipe () in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Wire.max_frame + 1));
+  ignore (Unix.write wr hdr 0 4);
+  Unix.close wr;
+  (match Wire.read_frame rd with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversize frame accepted");
+  Unix.close rd
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_msg_roundtrip;
+      prop_frame_roundtrip;
+      prop_truncation_rejected;
+      prop_trailing_rejected;
+      prop_corrupt_never_raises;
+    ]
+  @ [
+      Alcotest.test_case "sentinel values round-trip" `Quick test_sentinels;
+      Alcotest.test_case "max-size payload round-trips" `Quick test_max_payload;
+      Alcotest.test_case "future version rejected" `Quick test_version_rejected;
+      Alcotest.test_case "unknown tags rejected" `Quick test_bad_tag_rejected;
+      Alcotest.test_case "framed io over a pipe" `Quick test_framed_io;
+      Alcotest.test_case "oversize length prefix rejected" `Quick
+        test_oversize_length_rejected;
+    ]
