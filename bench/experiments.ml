@@ -9,6 +9,7 @@ module R = Dmx_baselines.Runner
 module B = Dmx_quorum.Builder
 module Av = Dmx_quorum.Availability
 module S = Dmx_sim.Stats.Summary
+module Mdl = Dmx_model.Model
 open Scenarios
 
 let check (r : E.report) =
@@ -143,8 +144,13 @@ let constructions () =
       (fun (kind, n) ->
         let runner = R.delay_optimal ~kind ~n () in
         let stats = B.size_stats (B.req_sets kind ~n) in
-        let l = check (runner.R.run (light ~runs:60 n)) in
-        let h = check (runner.R.run (heavy ~cs:2.0 ~runs:300 n)) in
+        let cfg_l = light ~runs:60 n in
+        let cfg_h = heavy ~cs:2.0 ~runs:300 n in
+        let l = check (runner.R.run cfg_l) in
+        let h = check (runner.R.run cfg_h) in
+        let src load = Printf.sprintf "E11 %s N=%d %s" (B.kind_name kind) n load in
+        Validate.record_report ~source:(src "light") ~kind ~cfg:cfg_l l;
+        Validate.record_report ~source:(src "heavy") ~kind ~cfg:cfg_h h;
         [
           [
             B.kind_name kind;
@@ -282,8 +288,16 @@ let table1 () =
   let rows =
     par_map
       (fun runner ->
-        let l = check (runner.R.run (light ~runs:80 n)) in
-        let h = check (runner.R.run (heavy ~cs:2.0 ~runs:300 n)) in
+        let cfg_l = light ~runs:80 n in
+        let cfg_h = heavy ~cs:2.0 ~runs:300 n in
+        let l = check (runner.R.run cfg_l) in
+        let h = check (runner.R.run cfg_h) in
+        Validate.record_report
+          ~source:(Printf.sprintf "T1 %s light" runner.R.name)
+          ~cfg:cfg_l l;
+        Validate.record_report
+          ~source:(Printf.sprintf "T1 %s heavy" runner.R.name)
+          ~cfg:cfg_h h;
         let msgs_th, delay_th =
           match List.assoc_opt runner.R.name theory with
           | Some (m, d) -> (m, d)
@@ -325,7 +339,9 @@ let light_load () =
     par_map
       (fun n ->
         let k1 = grid_k n - 1 in
-        let r = check ((R.delay_optimal ~n ()).R.run (light ~runs:80 n)) in
+        let cfg = light ~runs:80 n in
+        let r = check ((R.delay_optimal ~n ()).R.run cfg) in
+        Validate.record_report ~source:(Printf.sprintf "E1 N=%d" n) ~cfg r;
         [
           Tbl.i n;
           Tbl.i (k1 + 1);
@@ -404,6 +420,20 @@ let sync_delay () =
         let cfg = heavy ~cs ~delay ~runs:400 n in
         let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
         let rm = check ((R.maekawa ~n ()).R.run cfg) in
+        let src who = Printf.sprintf "E3 %s E=%g %s" mname cs who in
+        Validate.record_report ~source:(src "delay-optimal") ~cfg rd;
+        Validate.record_report ~source:(src "maekawa") ~cfg rm;
+        let shape =
+          match delay with Net.Constant _ -> Mdl.Constant | _ -> Mdl.Random
+        in
+        (* under Constant delay the exact-2x ratio needs E >= 2T (below
+           that some handoffs take the release path and dilute it) *)
+        (match shape with
+        | Mdl.Constant when cs < 2.0 -> ()
+        | shape ->
+          Validate.record_check ~source:(src "maekawa/proposed sync")
+            (Mdl.sync_ratio ~t:1.0 shape)
+            (mean rm.E.sync_delay /. mean rd.E.sync_delay));
         [
           mname;
           Tbl.f1 cs;
@@ -442,6 +472,15 @@ let throughput () =
         let cfg = heavy ~cs:0.1 ~runs:500 n in
         let rd = check ((R.delay_optimal ~n ()).R.run cfg) in
         let rm = check ((R.maekawa ~n ()).R.run cfg) in
+        Validate.record_report
+          ~source:(Printf.sprintf "E4 N=%d delay-optimal" n)
+          ~cfg rd;
+        Validate.record_report ~source:(Printf.sprintf "E4 N=%d maekawa" n) ~cfg
+          rm;
+        Validate.record_check
+          ~source:(Printf.sprintf "E4 N=%d proposed/maekawa throughput" n)
+          (Mdl.throughput_ratio ~e:0.1 ~t:1.0)
+          (rd.E.throughput /. rm.E.throughput);
         [
           Tbl.i n;
           Tbl.f3 rd.E.throughput;
@@ -503,9 +542,9 @@ let load_sweep () =
   let rows =
     par_map
       (fun rate ->
-        let r =
-          check ((R.delay_optimal ~n ()).R.run (poisson ~rate ~runs:300 n))
-        in
+        let cfg = poisson ~rate ~runs:300 n in
+        let r = check ((R.delay_optimal ~n ()).R.run cfg) in
+        Validate.record_report ~source:(Printf.sprintf "E6 rate=%g" rate) ~cfg r;
         [
           Tbl.f4 rate;
           Tbl.f1 r.E.messages_per_cs;

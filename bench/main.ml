@@ -10,7 +10,9 @@
    Flags: --quick (smaller quotas), --check (oracle-verify every run),
    --jobs N (parallel fan-out inside each experiment; output is
    bit-identical at any N), --json[=FILE] (write a BENCH_pr5.json perf
-   snapshot; see PERFORMANCE.md). *)
+   snapshot; see PERFORMANCE.md), --validate[-out=FILE] (re-check the
+   measured tables against the paper's Section 5 closed forms; exit 2
+   on any band violation). *)
 
 (* The cluster-smoke experiment re-executes this binary as the node
    image (see Dmx_net.Node.env_var); the trampoline must run first. *)
@@ -19,7 +21,7 @@ let () = Dmx_net.Node.run_as_child_if_requested ()
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--check] [--jobs N] [--json[=FILE]] \
-     [EXPERIMENT...]";
+     [--validate] [--validate-out=FILE] [EXPERIMENT...]";
   print_endline "experiments:";
   Dmx_bench.Suite.print_experiments ();
   print_endline "  all              run everything (default)"
@@ -30,6 +32,8 @@ let () =
   let check = ref false in
   let jobs = ref (Dmx_sim.Pool.default_jobs ()) in
   let json = ref None in
+  let validate = ref false in
+  let validate_out = ref None in
   let selected = ref [] in
   let bad fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
   let jobs_of s =
@@ -44,10 +48,14 @@ let () =
     | "--jobs" :: v :: rest -> jobs := jobs_of v; parse rest
     | [ "--jobs" ] -> bad "--jobs expects a value"
     | "--json" :: rest -> json := Some "BENCH_pr5.json"; parse rest
+    | "--validate" :: rest -> validate := true; parse rest
     | ("--help" | "-h") :: _ -> usage (); exit 0
     | "all" :: rest -> parse rest
     | a :: rest ->
       (match String.index_opt a '=' with
+      | Some i when String.length a > 14 && String.sub a 0 14 = "--validate-out" ->
+        validate := true;
+        validate_out := Some (String.sub a (i + 1) (String.length a - i - 1))
       | Some i when String.length a > 6 && String.sub a 0 6 = "--jobs" ->
         jobs := jobs_of (String.sub a (i + 1) (String.length a - i - 1))
       | Some i when String.length a > 6 && String.sub a 0 6 = "--json" ->
@@ -63,5 +71,5 @@ let () =
     exit 1
   | Ok to_run ->
     exit
-      (Dmx_bench.Suite.run ~jobs:!jobs ?json:!json ~quick:!quick ~check:!check
-         to_run)
+      (Dmx_bench.Suite.run ~jobs:!jobs ?json:!json ~validate:!validate
+         ?validate_out:!validate_out ~quick:!quick ~check:!check to_run)

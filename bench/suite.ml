@@ -78,10 +78,15 @@ let write_json ~path ~quick ~jobs ~total_wall_s ~oracle_rejected outcomes =
   close_out oc
 
 (* Run [to_run] (pre-validated names) and return the exit code. *)
-let run ?(jobs = Dmx_sim.Pool.default_jobs ()) ?json ~quick ~check to_run =
+let run ?(jobs = Dmx_sim.Pool.default_jobs ()) ?json ?(validate = false)
+    ?validate_out ~quick ~check to_run =
   Scenarios.quick := quick;
   Scenarios.jobs := max 1 jobs;
   if check then Atomic.set R.always_check true;
+  if validate then begin
+    Atomic.set Validate.enabled true;
+    Validate.reset ()
+  end;
   Printf.printf
     "dmx experiment suite - reproduction of Cao et al., ICDCS 1998%s\n"
     (if quick then " (quick mode)" else "");
@@ -121,4 +126,9 @@ let run ?(jobs = Dmx_sim.Pool.default_jobs ()) ?json ~quick ~check to_run =
       (List.rev !outcomes);
     Printf.printf "wrote %s\n" path
   | None -> ());
-  if !failed <> [] || oracle_rejected > 0 then 1 else 0
+  let model_failures =
+    if validate then Validate.summarize ?out:validate_out () else 0
+  in
+  if !failed <> [] || oracle_rejected > 0 then 1
+  else if model_failures > 0 then 2
+  else 0

@@ -2,6 +2,8 @@
 
    dmx-sim run       -- simulate one algorithm and print its report
    dmx-sim compare   -- run every algorithm under the same scenario
+   dmx-sim validate  -- re-check a CSV report or BENCH_*.json snapshot
+                        against the paper's Section 5 closed forms
    dmx-sim quorums   -- print and validate a quorum construction
    dmx-sim avail     -- availability sweep for a construction
    dmx-sim trace     -- short annotated execution trace of a run
@@ -790,7 +792,25 @@ let bench_cmd =
       value & flag
       & info [ "list" ] ~doc:"List the registered experiments and exit.")
   in
-  let action quick check jobs json list exps =
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Re-check the measured tables against the paper's Section 5 \
+             closed forms (Table 1 message bands, sync delay T vs 2T, \
+             throughput bounds, M/M/1 waiting time); exit 2 on any band \
+             violation. Covers the T1/E1/E3/E4/E6/E11 experiments.")
+  in
+  let validate_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate-out" ] ~docv:"FILE"
+          ~doc:"Also write the validation verdicts to $(docv) (implies \
+                $(b,--validate)).")
+  in
+  let action quick check jobs json validate validate_out list exps =
     if list then Dmx_bench.Suite.print_experiments ()
     else
       match Dmx_bench.Suite.resolve exps with
@@ -799,18 +819,189 @@ let bench_cmd =
           (String.concat ", " unknown);
         exit 1
       | Ok to_run ->
-        exit (Dmx_bench.Suite.run ~jobs ?json ~quick ~check to_run)
+        exit
+          (Dmx_bench.Suite.run ~jobs ?json
+             ~validate:(validate || validate_out <> None)
+             ?validate_out ~quick ~check to_run)
   in
   let term =
     Term.(
-      const action $ quick_arg $ check_arg $ jobs_arg $ json_arg $ list_arg
-      $ exps_arg)
+      const action $ quick_arg $ check_arg $ jobs_arg $ json_arg $ validate_arg
+      $ validate_out_arg $ list_arg $ exps_arg)
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Run the paper-reproduction experiment suite (tables, figures, \
           model check, micro-benchmarks).")
+    term
+
+(* ---- validate: re-check past output against the analytic model ---- *)
+
+let validate_cmd =
+  let module Mdl = Dmx_model.Model in
+  let module Snap = Dmx_model.Snapshot in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A CSV report from $(b,run)/$(b,compare)/$(b,sweep) $(b,--csv), \
+             or a $(b,BENCH_*.json) perf snapshot (detected by content).")
+  in
+  let t_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "t" ] ~docv:"T"
+          ~doc:"Mean message delay T the CSV rows were measured at.")
+  in
+  let load_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "light" ] -> Ok Mdl.Light
+      | [ "heavy" ] -> Ok Mdl.Heavy
+      | [ "poisson"; r ] -> (
+        match float_of_string_opt r with
+        | Some r when r > 0.0 -> Ok (Mdl.Poisson r)
+        | _ -> Error (`Msg "bad poisson rate"))
+      | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad load %S (expected light | heavy | poisson:RATE)" s))
+    in
+    let pp ppf = function
+      | Mdl.Light -> Format.pp_print_string ppf "light"
+      | Mdl.Heavy -> Format.pp_print_string ppf "heavy"
+      | Mdl.Poisson r -> Format.fprintf ppf "poisson:%g" r
+    in
+    Arg.conv (parse, pp)
+  in
+  let load_arg =
+    Arg.(
+      value & opt load_conv Mdl.Heavy
+      & info [ "load" ] ~docv:"LOAD"
+          ~doc:
+            "Load regime the CSV rows were measured under: light, heavy \
+             (default) or poisson:RATE.")
+  in
+  let random_arg =
+    Arg.(
+      value & flag
+      & info [ "random-delays" ]
+          ~doc:
+            "The rows were measured under a random delay model (mean T), \
+             not constant delays; widens the sync-delay bands.")
+  in
+  let validate_json file contents =
+    match Snap.parse contents with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 1
+    | Ok (snap, warnings) ->
+      List.iter (fun w -> Printf.printf "warning: %s\n" w) warnings;
+      Format.printf "%a" Snap.pp snap;
+      let issues = Snap.consistency snap in
+      List.iter (fun i -> Printf.printf "FAIL %s\n" i) issues;
+      if issues = [] then print_endline "snapshot OK" else exit 2
+  in
+  let validate_csv file contents ~e ~t ~load ~random =
+    let bad fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s: %s\n" file m; exit 1) fmt in
+    let lines =
+      List.filteri (fun _ l -> String.trim l <> "")
+        (String.split_on_char '\n' contents)
+    in
+    match lines with
+    | [] -> bad "empty file"
+    | header :: rows ->
+      let sweep = String.starts_with ~prefix:"axis,value," header in
+      let expected = if sweep then "axis,value," ^ csv_header else csv_header in
+      if String.trim header <> expected then
+        bad "unrecognized CSV header (expected the %s output of run/compare/sweep --csv)"
+          (if sweep then "sweep" else "run");
+      let shape = if random then Mdl.Random else Mdl.Constant in
+      let verdicts =
+        List.concat_map
+          (fun (lineno, line) ->
+            let cells = String.split_on_char ',' line in
+            let cells =
+              if sweep then match cells with _ :: _ :: r -> r | _ -> []
+              else cells
+            in
+            match cells with
+            | algorithm :: variant :: n :: _execs :: _msgs :: msgs :: sync
+              :: _sync_p99 :: resp :: _resp_p99 :: thr :: _ ->
+              let num what s =
+                match float_of_string_opt s with
+                | Some v -> v
+                | None -> bad "line %d: bad %s %S" lineno what s
+              in
+              let n =
+                match int_of_string_opt n with
+                | Some n when n > 0 -> n
+                | _ -> bad "line %d: bad site count %S" lineno n
+              in
+              let kind =
+                match B.parse_kind variant with Ok k -> Some k | Error _ -> None
+              in
+              let params =
+                Mdl.params ?kind ~algorithm ~n ~e ~t ~load ~delay_shape:shape ()
+              in
+              let m =
+                {
+                  Mdl.source = Printf.sprintf "%s:%d %s" file lineno algorithm;
+                  params;
+                  msgs_per_cs = Some (num "msgs_per_cs" msgs);
+                  (* same rules as Model.of_report: light load has too few
+                     contended handoffs to average sync over; heavy-load
+                     response is queueing-dominated and unpinned by §5 *)
+                  sync_delay =
+                    (match load with
+                    | Mdl.Light -> None
+                    | _ -> Some (num "sync_mean" sync));
+                  response_time =
+                    (match load with
+                    | Mdl.Heavy -> None
+                    | _ -> Some (num "resp_mean" resp));
+                  throughput =
+                    (match load with
+                    | Mdl.Heavy -> Some (num "throughput" thr)
+                    | _ -> None);
+                }
+              in
+              Mdl.check_measurement m
+            | _ -> bad "line %d: too few CSV fields" lineno)
+          (List.mapi (fun i l -> (i + 2, l)) rows)
+      in
+      List.iter
+        (fun (v : Mdl.verdict) ->
+          Printf.printf "%s %s\n" (if v.Mdl.ok then "pass" else "FAIL")
+            v.Mdl.message)
+        verdicts;
+      let failed = List.length (List.filter (fun v -> not v.Mdl.ok) verdicts) in
+      Printf.printf "model verdicts: %d checked, %d failed\n"
+        (List.length verdicts) failed;
+      if failed > 0 then exit 2
+  in
+  let action file e t load random =
+    let contents = In_channel.with_open_bin file In_channel.input_all in
+    let trimmed = String.trim contents in
+    if trimmed <> "" && trimmed.[0] = '{' then validate_json file contents
+    else validate_csv file contents ~e ~t ~load ~random
+  in
+  let term =
+    Term.(const action $ file_arg $ cs_arg $ t_arg $ load_arg $ random_arg)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Re-check measured output against the paper's Section 5 closed \
+          forms: a $(b,--csv) report is checked row by row against the \
+          analytic message/delay/throughput bands (tell it the scenario via \
+          $(b,--cs), $(b,--t), $(b,--load), $(b,--random-delays)); a \
+          $(b,BENCH_*.json) snapshot is schema-checked and audited for \
+          internal consistency. Exit 1 on unreadable input, 2 on any \
+          violation.")
     term
 
 (* ---- cluster / node: the real networked runtime ---- *)
@@ -1060,6 +1251,7 @@ let () =
             compare_cmd;
             sweep_cmd;
             bench_cmd;
+            validate_cmd;
             quorums_cmd;
             avail_cmd;
             trace_cmd;

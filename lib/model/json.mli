@@ -1,0 +1,24 @@
+(** Minimal JSON reader for the [dmx-bench/1] snapshot files.
+
+    The repository deliberately has no JSON dependency; the bench writer
+    emits snapshots by hand and this module reads them back totally:
+    every parse either returns a value or a positioned error — truncated
+    input, trailing garbage, malformed literals and bad escapes are all
+    rejected, never raised through. Numbers are kept as floats (the
+    snapshot schema has no value outside the float-exact range). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** field order preserved; duplicates kept *)
+
+val parse : string -> (t, string) result
+(** Whole-input parse: leading/trailing whitespace allowed, anything else
+    after the top-level value is an error. Error messages carry the byte
+    offset, e.g. ["offset 132: unterminated string"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (compact JSON). *)

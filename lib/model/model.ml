@@ -1,0 +1,369 @@
+(* The paper's Section 5 closed forms as executable tolerance bands.
+   See model.mli for the contract; EXPERIMENTS.md §V1 records the
+   calibration (every band passes the seeded suite in both quick and full
+   modes with daylight to spare, while the canary perturbations fail). *)
+
+module B = Dmx_quorum.Builder
+module E = Dmx_sim.Engine
+module Net = Dmx_sim.Network
+module W = Dmx_sim.Workload
+module S = Dmx_sim.Stats.Summary
+
+type load = Light | Heavy | Poisson of float
+type delay_shape = Constant | Random
+
+type params = {
+  algorithm : string;
+  n : int;
+  k : float;
+  e : float;
+  t : float;
+  load : load;
+  delay_shape : delay_shape;
+}
+
+let quorum_based = function
+  | "delay-optimal" | "ft-delay-optimal" | "maekawa" -> true
+  | _ -> false
+
+let params ?(kind = B.Grid) ~algorithm ~n ~e ~t ~load ~delay_shape () =
+  let k =
+    if quorum_based algorithm && B.supports kind ~n then
+      (B.size_stats (B.req_sets kind ~n)).B.k_mean
+    else 0.0
+  in
+  { algorithm; n; k; e; t; load; delay_shape }
+
+type band = { lo : float; hi : float }
+type tolerance = { abs : float; rel : float }
+
+let default_tolerance = { abs = 0.75; rel = 0.08 }
+
+type metric = Msgs_per_cs | Sync_delay | Response_time | Throughput | Ratio of string
+
+let metric_name = function
+  | Msgs_per_cs -> "msgs/CS"
+  | Sync_delay -> "sync delay"
+  | Response_time -> "response"
+  | Throughput -> "throughput"
+  | Ratio what -> "ratio " ^ what
+
+type expectation = {
+  metric : metric;
+  band : band;
+  tol : tolerance;
+  formula : string;
+  provenance : string;
+}
+
+let expect ?(tol = default_tolerance) metric ~lo ~hi ~formula ~provenance =
+  { metric; band = { lo; hi }; tol; formula; provenance }
+
+(* ---- per-algorithm message bands (Table 1) ---- *)
+
+let log2 x = log x /. log 2.0
+
+(* Returns (lo, hi, formula) for messages per CS, or None when the model
+   has nothing to claim for this algorithm. *)
+let msgs_band p =
+  let nf = float_of_int p.n in
+  let k1 = p.k -. 1.0 in
+  match (p.algorithm, p.load) with
+  | "lamport", _ ->
+    Some (3.0 *. (nf -. 1.0), 3.0 *. (nf -. 1.0),
+          Printf.sprintf "3(N-1) = %g" (3.0 *. (nf -. 1.0)))
+  | "ricart-agrawala", _ ->
+    Some (2.0 *. (nf -. 1.0), 2.0 *. (nf -. 1.0),
+          Printf.sprintf "2(N-1) = %g" (2.0 *. (nf -. 1.0)))
+  | "singhal-dynamic", _ ->
+    Some (nf -. 1.0, 2.0 *. (nf -. 1.0),
+          Printf.sprintf "N-1..2(N-1) = %g..%g" (nf -. 1.0) (2.0 *. (nf -. 1.0)))
+  | ("suzuki-kasami" | "singhal-heuristic"), _ ->
+    Some (0.0, nf, Printf.sprintf "0..N = 0..%g" nf)
+  | ("raymond" | "raymond-chain"), _ ->
+    (* O(log N) average over the token tree; 4·log2 N upper envelope *)
+    Some (0.0, 4.0 *. log2 nf, Printf.sprintf "O(log N) <= 4 log2 N = %.1f" (4.0 *. log2 nf))
+  | ("delay-optimal" | "ft-delay-optimal"), Light ->
+    Some (3.0 *. k1, 3.0 *. k1, Printf.sprintf "3(K-1) = %.1f" (3.0 *. k1))
+  | ("delay-optimal" | "ft-delay-optimal"), Heavy ->
+    (* §5.2 Cases 1/2: request, fail, transfer, reply, release = 5(K-1),
+       plus inquire/yield pushing toward 6(K-1) *)
+    Some (5.0 *. k1, 6.0 *. k1,
+          Printf.sprintf "5(K-1)..6(K-1) = %.1f..%.1f" (5.0 *. k1) (6.0 *. k1))
+  | "maekawa", Light ->
+    Some (3.0 *. k1, 3.0 *. k1, Printf.sprintf "3(K-1) = %.1f" (3.0 *. k1))
+  | "maekawa", Heavy ->
+    Some (3.0 *. k1, 5.0 *. k1,
+          Printf.sprintf "3(K-1)..5(K-1) = %.1f..%.1f" (3.0 *. k1) (5.0 *. k1))
+  | _ -> None
+
+(* ---- synchronization delay (§5.2, Table 1) ---- *)
+
+let sync_band p =
+  let t = p.t in
+  match (p.algorithm, p.delay_shape) with
+  | ("delay-optimal" | "ft-delay-optimal"), Constant ->
+    (* the headline claim: handoff in one hop. With E < 2T a transfer is
+       not always set up before the exit and a residual fraction of
+       handoffs falls back to the release path (measured <= ~1.4T). *)
+    if p.e >= 2.0 *. t then Some (t, t, "T")
+    else Some (t, 1.4 *. t, "T..1.4T (E < 2T: some handoffs take the release path)")
+  | ("delay-optimal" | "ft-delay-optimal"), Random ->
+    Some (0.9 *. t, 2.5 *. t, "~T (order statistics inflate the mean)")
+  | "maekawa", Constant -> Some (2.0 *. t, 2.0 *. t, "2T")
+  | "maekawa", Random -> Some (1.8 *. t, 3.3 *. t, "~2T (inflated by order statistics)")
+  | ("lamport" | "ricart-agrawala" | "singhal-dynamic"), Constant ->
+    Some (t, t, "T")
+  | ("suzuki-kasami" | "singhal-heuristic"), Constant -> Some (t, t, "T")
+  | ("raymond" | "raymond-chain"), Constant ->
+    Some (t, log2 (float_of_int p.n) *. t,
+          Printf.sprintf "T..(log2 N)T = %.1fT..%.1fT" 1.0 (log2 (float_of_int p.n)))
+  | _, Random -> None
+  | _, Constant -> None
+
+(* ---- light-load response (§5.1) ---- *)
+
+let response_band p =
+  let t = p.t in
+  match p.algorithm with
+  | "suzuki-kasami" ->
+    (* broadcast finds the holder in one hop; the holder re-enters free *)
+    Some (0.0, 2.0 *. t, "0..2T (token may already be held)")
+  | "raymond" | "raymond-chain" ->
+    (* the request climbs toward the token holder and the token walks
+       back: up to 2 log2(N) tree hops each taking T *)
+    let hi = 4.0 *. log2 (float_of_int p.n) *. t in
+    Some (0.0, hi,
+          Printf.sprintf "0..4(log2 N)T = 0..%.1fT (request and token walk the tree)" hi)
+  | "singhal-heuristic" ->
+    (* the heuristic request set can miss an idle token holder entirely,
+       leaving the request parked until unrelated traffic finds it — no
+       closed-form light-load bound to hold the algorithm to *)
+    None
+  | _ -> Some (2.0 *. t, 2.0 *. t, "2T (request out, permission back)")
+
+(* ---- heavy-load throughput (§5.2) ---- *)
+
+let throughput_band p =
+  match p.algorithm with
+  | "delay-optimal" | "ft-delay-optimal" ->
+    (* between Maekawa's cycle bound and the T-handoff pipeline bound *)
+    Some (1.0 /. (p.e +. (2.0 *. p.t)), 1.0 /. (p.e +. p.t),
+          Printf.sprintf "1/(E+2T)..1/(E+T) = %.3f..%.3f"
+            (1.0 /. (p.e +. (2.0 *. p.t))) (1.0 /. (p.e +. p.t)))
+  | "maekawa" ->
+    Some (1.0 /. (p.e +. (2.0 *. p.t)), 1.0 /. (p.e +. (2.0 *. p.t)),
+          Printf.sprintf "1/(E+2T) = %.3f" (1.0 /. (p.e +. (2.0 *. p.t))))
+  | _ -> None
+
+(* ---- M/M/1 waiting-time model for the load sweep (E6) ---- *)
+
+type mm1 = { rho : float; response : float option }
+
+let mm1_knee = 0.85
+
+let mm1 ~n ~rate_per_site ~e ~t =
+  let lambda = float_of_int n *. rate_per_site in
+  let mu = 1.0 /. (e +. t) in
+  let rho = lambda /. mu in
+  let response =
+    if rho >= mm1_knee then None
+    else Some ((2.0 *. t) +. (lambda /. (mu *. (mu -. lambda))))
+  in
+  { rho; response }
+
+(* E6 row bands: messages migrate from the §5.1 count to the §5.2 band as
+   rho crosses the knee; response follows the M/M/1 waiting time below it
+   and leaves the light-load regime above it. *)
+let poisson_expectations p rate =
+  let k1 = p.k -. 1.0 in
+  let m = mm1 ~n:p.n ~rate_per_site:rate ~e:p.e ~t:p.t in
+  let msgs =
+    if m.rho < 0.3 then
+      expect Msgs_per_cs ~lo:(3.0 *. k1) ~hi:(4.0 *. k1)
+        ~formula:(Printf.sprintf "rho=%.2f: 3(K-1)..4(K-1) = %.1f..%.1f" m.rho (3.0 *. k1) (4.0 *. k1))
+        ~provenance:"\xc2\xa75.1"
+    else if m.rho < 1.0 then
+      expect Msgs_per_cs ~lo:(3.0 *. k1) ~hi:(6.0 *. k1)
+        ~formula:(Printf.sprintf "rho=%.2f: 3(K-1)..6(K-1) = %.1f..%.1f" m.rho (3.0 *. k1) (6.0 *. k1))
+        ~provenance:"\xc2\xa75.1-\xc2\xa75.2"
+    else
+      expect Msgs_per_cs ~lo:(4.5 *. k1) ~hi:(6.0 *. k1)
+        ~formula:(Printf.sprintf "rho=%.2f: saturated, 5(K-1)..6(K-1) = %.1f..%.1f" m.rho (5.0 *. k1) (6.0 *. k1))
+        ~provenance:"\xc2\xa75.2"
+  in
+  let resp =
+    match m.response with
+    | Some r ->
+      (* the M/M/1 fit is good to ~10% below the knee; allow 30% + slack *)
+      expect Response_time ~tol:{ abs = 0.6; rel = 0.3 } ~lo:(2.0 *. p.t) ~hi:r
+        ~formula:
+          (Printf.sprintf "M/M/1: 2T + L/(mu(mu-L)) = %.2f at rho=%.2f" r m.rho)
+        ~provenance:"E6 (M/M/1)"
+    | None ->
+      expect Response_time ~lo:(4.0 *. p.t) ~hi:infinity
+        ~formula:
+          (Printf.sprintf "rho=%.2f >= %.2f: past the knee, queueing dominates"
+             m.rho mm1_knee)
+        ~provenance:"E6 (M/M/1)"
+  in
+  [ msgs; resp ]
+
+(* ---- assembling expectations ---- *)
+
+let expectations p =
+  match p.load with
+  | Poisson rate when quorum_based p.algorithm -> poisson_expectations p rate
+  | Poisson _ -> []
+  | Light ->
+    let msgs =
+      match msgs_band p with
+      | Some (lo, hi, formula) ->
+        [ expect Msgs_per_cs ~lo ~hi ~formula ~provenance:"\xc2\xa75.1, Table 1" ]
+      | None -> []
+    in
+    let resp =
+      match response_band p with
+      | Some (lo, hi, formula) ->
+        [ expect ~tol:{ abs = 0.35; rel = 0.0 } Response_time ~lo ~hi ~formula
+            ~provenance:"\xc2\xa75.1" ]
+      | None -> []
+    in
+    msgs @ resp
+  | Heavy ->
+    let msgs =
+      match msgs_band p with
+      | Some (lo, hi, formula) ->
+        [ expect Msgs_per_cs ~lo ~hi ~formula ~provenance:"\xc2\xa75.2, Table 1" ]
+      | None -> []
+    in
+    let sync =
+      match sync_band p with
+      | Some (lo, hi, formula) ->
+        [ expect ~tol:{ abs = 0.1; rel = 0.08 } Sync_delay ~lo ~hi ~formula
+            ~provenance:"\xc2\xa75.2, Table 1" ]
+      | None -> []
+    in
+    let tput =
+      match (p.delay_shape, throughput_band p) with
+      | Constant, Some (lo, hi, formula) ->
+        [ expect ~tol:{ abs = 0.01; rel = 0.05 } Throughput ~lo ~hi ~formula
+            ~provenance:"\xc2\xa75.2" ]
+      | _ -> []
+    in
+    msgs @ sync @ tput
+
+let sync_ratio ~t shape =
+  ignore t;
+  match shape with
+  | Constant ->
+    expect ~tol:{ abs = 0.0; rel = 0.1 } (Ratio "sync maekawa/proposed")
+      ~lo:2.0 ~hi:2.0 ~formula:"2T / T = 2" ~provenance:"\xc2\xa75.2"
+  | Random ->
+    expect ~tol:{ abs = 0.05; rel = 0.0 } (Ratio "sync maekawa/proposed")
+      ~lo:1.3 ~hi:2.3
+      ~formula:"structural 2-hop vs 1-hop gap persists: 1.3..2.3"
+      ~provenance:"\xc2\xa75.2 (E3)"
+
+let throughput_ratio ~e ~t =
+  let ideal = ((2.0 *. t) +. e) /. (t +. e) in
+  expect ~tol:{ abs = 0.05; rel = 0.0 } (Ratio "throughput proposed/maekawa")
+    ~lo:1.3 ~hi:ideal
+    ~formula:(Printf.sprintf "1.3..(2T+E)/(T+E) = 1.3..%.2f" ideal)
+    ~provenance:"\xc2\xa75.2"
+
+(* ---- checking ---- *)
+
+type verdict = {
+  source : string;
+  expectation : expectation;
+  value : float;
+  ok : bool;
+  message : string;
+}
+
+let check ?(source = "") ?tol exp value =
+  let tol = match tol with Some t -> t | None -> exp.tol in
+  let slack bound = Float.max tol.abs (tol.rel *. Float.abs bound) in
+  let lo = exp.band.lo -. slack exp.band.lo in
+  let hi =
+    if exp.band.hi = infinity then infinity else exp.band.hi +. slack exp.band.hi
+  in
+  let ok = value >= lo && value <= hi in
+  let name = metric_name exp.metric in
+  let message =
+    if ok then
+      Printf.sprintf "%s%s = %.3f within %s (%s)"
+        (if source = "" then "" else source ^ ": ")
+        name value exp.formula exp.provenance
+    else
+      let side, bound, excess =
+        if value < lo then ("below", lo, lo -. value)
+        else ("above", hi, value -. hi)
+      in
+      Printf.sprintf
+        "%s%s = %.3f is %s the paper band %s (%s): tolerated %s %.3f, off by \
+         %.3f"
+        (if source = "" then "" else source ^ ": ")
+        name value side exp.formula exp.provenance
+        (if side = "below" then "down to" else "up to")
+        bound excess
+  in
+  { source; expectation = exp; value; ok; message }
+
+(* ---- measurements ---- *)
+
+type measurement = {
+  source : string;
+  params : params;
+  msgs_per_cs : float option;
+  sync_delay : float option;
+  response_time : float option;
+  throughput : float option;
+}
+
+let classify_load ~n ~e ~t = function
+  | W.Saturated _ | W.Burst _ -> Heavy
+  | W.Poisson { rate_per_site } ->
+    let rho = float_of_int n *. rate_per_site *. (e +. t) in
+    if rho <= 0.05 then Light else Poisson rate_per_site
+
+let of_report ~source ?kind ~(cfg : E.config) (r : E.report) =
+  let t = Net.mean_delay cfg.E.delay in
+  let e = cfg.E.cs_duration in
+  let load = classify_load ~n:cfg.E.n ~e ~t cfg.E.workload in
+  let delay_shape =
+    match cfg.E.delay with Net.Constant _ -> Constant | _ -> Random
+  in
+  let p =
+    params ?kind ~algorithm:r.E.protocol ~n:cfg.E.n ~e ~t ~load ~delay_shape ()
+  in
+  {
+    source;
+    params = p;
+    msgs_per_cs = Some r.E.messages_per_cs;
+    (* contended handoffs are rare at light load: nothing to average *)
+    sync_delay = (match load with Light -> None | _ -> Some (S.mean r.E.sync_delay));
+    (* heavy-load response is queue-depth-dominated; §5 pins it only at
+       light load, and E6's M/M/1 model covers the Poisson middle *)
+    response_time =
+      (match load with
+      | Heavy -> None
+      | Light | Poisson _ -> Some (S.mean r.E.response_time));
+    throughput = (match load with Heavy -> Some r.E.throughput | _ -> None);
+  }
+
+let check_measurement m =
+  let value_of = function
+    | Msgs_per_cs -> m.msgs_per_cs
+    | Sync_delay -> m.sync_delay
+    | Response_time -> m.response_time
+    | Throughput -> m.throughput
+    | Ratio _ -> None
+  in
+  List.filter_map
+    (fun exp ->
+      match value_of exp.metric with
+      | Some v -> Some (check ~source:m.source exp v)
+      | None -> None)
+    (expectations m.params)

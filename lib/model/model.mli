@@ -1,0 +1,162 @@
+(** Symbolic evaluation of the paper's Section 5 closed forms.
+
+    EXPERIMENTS.md compares measured tables against the paper's analysis
+    by eye; this module turns the same closed forms into machine-checkable
+    tolerance bands. From [(N, K, E, T, load, algorithm)] it derives the
+    expected message count per CS execution for every Table 1 algorithm,
+    the synchronization-delay and light-load-response expectations (T vs
+    Maekawa's 2T; response 2T), the heavy-load throughput bounds
+    [1/(E+T)] vs [1/(E+2T)], and an M/M/1 waiting-time model that
+    predicts where the E6 load sweep leaves the light-load regime.
+
+    Every band is produced by a formula, never by a recorded measurement,
+    so a protocol regression that shifts a metric out of its paper band
+    fails {!check} no matter what the last benchmark happened to print. *)
+
+(** {1 Parameters} *)
+
+type load =
+  | Light  (** arrival rate so low that contention is negligible (§5.1) *)
+  | Heavy  (** every site saturated: a new request on each exit (§5.2) *)
+  | Poisson of float
+      (** per-site Poisson arrival rate, between the two regimes (E6) *)
+
+type delay_shape =
+  | Constant  (** the paper's own setting: every hop takes exactly T *)
+  | Random
+      (** random per-message delays with mean T; handoffs wait for one
+          specific message, so delay expectations widen (see E3) *)
+
+type params = {
+  algorithm : string;  (** runner name, e.g. ["delay-optimal"] *)
+  n : int;  (** number of sites *)
+  k : float;  (** mean quorum size K (ignored by non-quorum algorithms) *)
+  e : float;  (** CS execution time E, in absolute units *)
+  t : float;  (** mean message delay T, in absolute units *)
+  load : load;
+  delay_shape : delay_shape;
+}
+
+val params :
+  ?kind:Dmx_quorum.Builder.kind ->
+  algorithm:string ->
+  n:int ->
+  e:float ->
+  t:float ->
+  load:load ->
+  delay_shape:delay_shape ->
+  unit ->
+  params
+(** Convenience constructor: [k] is computed from the quorum construction
+    ([kind], default [Grid]) via {!Dmx_quorum.Builder.size_stats} — the
+    model never trusts a hand-entered K. *)
+
+(** {1 Expectations: formula-derived tolerance bands} *)
+
+type band = { lo : float; hi : float }
+(** Inclusive closed-form band, before tolerance. [hi] may be infinite. *)
+
+type tolerance = { abs : float; rel : float }
+(** A value [v] passes band [b] under tolerance [tol] when
+    [b.lo - slack <= v <= b.hi + slack] with
+    [slack = max tol.abs (tol.rel *. |bound|)] per side. *)
+
+val default_tolerance : tolerance
+(** [{ abs = 0.75; rel = 0.08 }] — wide enough for seeded simulation
+    noise at quick-mode quotas, narrow enough that e.g. a 2T handoff
+    reported where T is promised still fails by a factor of ~1.8. *)
+
+type metric =
+  | Msgs_per_cs
+  | Sync_delay
+  | Response_time
+  | Throughput
+  | Ratio of string  (** derived cross-algorithm check, e.g. "sync maekawa/proposed" *)
+
+val metric_name : metric -> string
+
+type expectation = {
+  metric : metric;
+  band : band;
+  tol : tolerance;
+  formula : string;  (** human-readable instantiated formula, e.g. "3(K-1) = 24" *)
+  provenance : string;  (** paper section the formula comes from, e.g. "§5.1" *)
+}
+
+val expectations : params -> expectation list
+(** Every band the model can claim for this parameter point. Message
+    bands cover all eight Table 1 families (Lamport 3(N−1),
+    Ricart–Agrawala 2(N−1), Singhal dynamic N−1..2(N−1), Maekawa
+    3(K−1)..5(K−1), delay-optimal 3(K−1)..6(K−1), Suzuki–Kasami and
+    Singhal heuristic 0..N, Raymond O(log N)). Sync-delay and throughput
+    bands are only emitted where the analysis pins them down (heavy load;
+    throughput additionally needs [Constant] delays). [Poisson] loads go
+    through the {!mm1} queueing model instead. *)
+
+val sync_ratio : t:float -> delay_shape -> expectation
+(** Band for [maekawa sync / delay-optimal sync]: exactly 2 under
+    [Constant] delays (§5.2's T vs 2T), persisting as a structural
+    1.3..2.3 factor under [Random] delays (both sides wait on order
+    statistics, see E3). [t] only documents the setting. *)
+
+val throughput_ratio : e:float -> t:float -> expectation
+(** Band for [delay-optimal throughput / maekawa throughput] at heavy
+    load: the §5.2 structural bound (2T+E)/(T+E), approached from below
+    as N grows; the floor is 1.3. *)
+
+(** {1 The M/M/1 waiting-time model for the load sweep (E6)} *)
+
+type mm1 = {
+  rho : float;  (** offered load: N·rate·(E+T) against service rate 1/(E+T) *)
+  response : float option;
+      (** predicted mean request→entry time [2T + λ/(μ(μ−λ))] where
+          [μ = 1/(E+T)]; [None] at or beyond the knee ([rho >= 0.85])
+          where the open-loop queue has no steady state *)
+}
+
+val mm1 : n:int -> rate_per_site:float -> e:float -> t:float -> mm1
+
+(** {1 Checking} *)
+
+type verdict = {
+  source : string;  (** which table/row produced the value *)
+  expectation : expectation;
+  value : float;
+  ok : bool;
+  message : string;
+      (** one line: pass = "source metric = v within formula";
+          fail = pointed diagnostic naming band, tolerance and excess *)
+}
+
+val check : ?source:string -> ?tol:tolerance -> expectation -> float -> verdict
+(** [check exp v]: is [v] inside [exp.band] widened by the tolerance
+    ([tol] overrides [exp.tol])? Never raises. *)
+
+(** {1 Measurements} *)
+
+type measurement = {
+  source : string;
+  params : params;
+  msgs_per_cs : float option;
+  sync_delay : float option;
+  response_time : float option;
+  throughput : float option;
+}
+
+val of_report :
+  source:string ->
+  ?kind:Dmx_quorum.Builder.kind ->
+  cfg:Dmx_sim.Engine.config ->
+  Dmx_sim.Engine.report ->
+  measurement
+(** Derive a measurement from a finished simulation: [load] is classified
+    from the workload (Saturated/Burst → Heavy; Poisson → Light when the
+    offered load N·rate·(E+T) is under 5%, else [Poisson rate]),
+    [delay_shape] from the delay model, [T] from its mean, [E] from the
+    config, [K] from [kind] (default [Grid]). Sync delay is dropped at
+    light load (too few contended handoffs to average), response time at
+    heavy load (queueing-dominated, not pinned by §5). *)
+
+val check_measurement : measurement -> verdict list
+(** {!expectations} of the measurement's parameters, checked against every
+    metric the measurement carries. *)

@@ -1,0 +1,165 @@
+let schema_version = "dmx-bench/1"
+
+type experiment = {
+  name : string;
+  wall_s : float;
+  events : int;
+  events_per_sec : float;
+  ok : bool;
+}
+
+type t = {
+  schema : string;
+  quick : bool;
+  jobs : int;
+  experiments : experiment list;
+  total_wall_s : float;
+  peak_heap_words : int;
+  oracle_rejected : int;
+}
+
+(* Field accessors over a parsed object: every failure is a structured
+   Error naming the field and the shape mismatch. *)
+
+let field ~where fields name =
+  match List.assoc_opt name fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" where name)
+
+let as_string ~where name = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "%s: field %S must be a string" where name)
+
+let as_bool ~where name = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "%s: field %S must be a boolean" where name)
+
+let as_number ~where name = function
+  | Json.Number f -> Ok f
+  | _ -> Error (Printf.sprintf "%s: field %S must be a number" where name)
+
+let as_int ~where name v =
+  match as_number ~where name v with
+  | Error _ as e -> e
+  | Ok f ->
+    if Float.is_integer f then Ok (int_of_float f)
+    else Error (Printf.sprintf "%s: field %S must be an integer" where name)
+
+let ( let* ) = Result.bind
+
+let get fields ~where name conv =
+  let* v = field ~where fields name in
+  conv ~where name v
+
+let warn_unknown ~where ~known fields warnings =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k known) then
+        warnings := Printf.sprintf "%s: unknown field %S (ignored)" where k :: !warnings)
+    fields
+
+let experiment_of_json ~index warnings = function
+  | Json.Obj fields ->
+    let where = Printf.sprintf "experiments[%d]" index in
+    let known = [ "name"; "wall_s"; "events"; "events_per_sec"; "ok" ] in
+    warn_unknown ~where ~known fields warnings;
+    let* name = get fields ~where "name" as_string in
+    let where = Printf.sprintf "experiments[%d] (%s)" index name in
+    let* wall_s = get fields ~where "wall_s" as_number in
+    let* events = get fields ~where "events" as_int in
+    let* events_per_sec = get fields ~where "events_per_sec" as_number in
+    let* ok = get fields ~where "ok" as_bool in
+    Ok { name; wall_s; events; events_per_sec; ok }
+  | _ -> Error (Printf.sprintf "experiments[%d]: must be an object" index)
+
+let rec map_result f i = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f i x in
+    let* ys = map_result f (i + 1) rest in
+    Ok (y :: ys)
+
+let parse contents =
+  let* json =
+    Result.map_error (fun e -> "not valid JSON: " ^ e) (Json.parse contents)
+  in
+  match json with
+  | Json.Obj fields ->
+    let where = "snapshot" in
+    (* schema first: an unknown version must be reported as a version
+       mismatch, not as a pile of shape errors against the wrong schema *)
+    let* schema = get fields ~where "schema" as_string in
+    if schema <> schema_version then
+      Error
+        (Printf.sprintf
+           "unknown schema version %S (this tool understands %S)" schema
+           schema_version)
+    else begin
+      let warnings = ref [] in
+      let known =
+        [
+          "schema"; "quick"; "jobs"; "experiments"; "total_wall_s";
+          "peak_heap_words"; "oracle_rejected";
+        ]
+      in
+      warn_unknown ~where ~known fields warnings;
+      let* quick = get fields ~where "quick" as_bool in
+      let* jobs = get fields ~where "jobs" as_int in
+      let* exps = field ~where fields "experiments" in
+      let* experiments =
+        match exps with
+        | Json.List items -> map_result (fun i x -> experiment_of_json ~index:i warnings x) 0 items
+        | _ -> Error "snapshot: field \"experiments\" must be an array"
+      in
+      let* total_wall_s = get fields ~where "total_wall_s" as_number in
+      let* peak_heap_words = get fields ~where "peak_heap_words" as_int in
+      let* oracle_rejected = get fields ~where "oracle_rejected" as_int in
+      Ok
+        ( { schema; quick; jobs; experiments; total_wall_s; peak_heap_words;
+            oracle_rejected },
+          List.rev !warnings )
+    end
+  | _ -> Error "snapshot: top-level value must be an object"
+
+let consistency t =
+  let issues = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+  if t.jobs < 1 then add "jobs = %d (must be >= 1)" t.jobs;
+  if t.total_wall_s < 0.0 then add "total_wall_s = %g is negative" t.total_wall_s;
+  if t.peak_heap_words < 0 then add "peak_heap_words is negative";
+  if t.oracle_rejected < 0 then add "oracle_rejected is negative"
+  else if t.oracle_rejected > 0 then
+    add "oracle rejected %d run(s) in this snapshot" t.oracle_rejected;
+  List.iter
+    (fun e ->
+      if not e.ok then add "experiment %s recorded ok = false" e.name;
+      if e.wall_s < 0.0 then add "experiment %s: wall_s is negative" e.name;
+      if e.events < 0 then add "experiment %s: events is negative" e.name;
+      if e.wall_s > 0.0 then begin
+        let derived = float_of_int e.events /. e.wall_s in
+        let err =
+          if derived = 0.0 then Float.abs e.events_per_sec
+          else Float.abs (e.events_per_sec -. derived) /. derived
+        in
+        (* events_per_sec is printed at 0.1 resolution; 2% covers that
+           rounding at any realistic rate *)
+        if err > 0.02 && Float.abs (e.events_per_sec -. derived) > 1.0 then
+          add "experiment %s: events_per_sec %.1f disagrees with events/wall_s = %.1f"
+            e.name e.events_per_sec derived
+      end)
+    t.experiments;
+  List.rev !issues
+
+let pp ppf t =
+  Format.fprintf ppf "schema %s, %s mode, %d job(s), %d experiment(s)@."
+    t.schema
+    (if t.quick then "quick" else "full")
+    t.jobs (List.length t.experiments);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-18s %8.2fs %12d events %12.0f ev/s %s@." e.name
+        e.wall_s e.events e.events_per_sec
+        (if e.ok then "ok" else "FAILED"))
+    t.experiments;
+  Format.fprintf ppf "  total %.2fs, peak heap %d words, oracle rejected %d@."
+    t.total_wall_s t.peak_heap_words t.oracle_rejected

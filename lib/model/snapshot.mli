@@ -1,0 +1,49 @@
+(** Typed reader/validator for [BENCH_*.json] perf snapshots.
+
+    The bench driver writes snapshots with schema tag [dmx-bench/1]
+    (field reference in PERFORMANCE.md). [dmx-sim validate FILE.json]
+    uses this module to re-check a snapshot: the schema version must be
+    known, required fields must be present with the right types (a clean
+    [Error], never an exception), unknown fields are reported as
+    warnings (forward compatibility), and the recorded numbers must be
+    internally consistent. *)
+
+val schema_version : string
+(** ["dmx-bench/1"]. *)
+
+type experiment = {
+  name : string;
+  wall_s : float;
+  events : int;
+  events_per_sec : float;
+  ok : bool;
+}
+
+type t = {
+  schema : string;
+  quick : bool;
+  jobs : int;
+  experiments : experiment list;
+  total_wall_s : float;
+  peak_heap_words : int;
+  oracle_rejected : int;
+}
+
+val parse : string -> (t * string list, string) result
+(** [parse contents] returns the snapshot plus a list of warnings (one
+    per unknown field, e.g. ["unknown field \"foo\" (ignored)"]).
+    Errors name what went wrong and where: bad JSON (with byte offset,
+    covering truncated/corrupt files), an unknown [schema] version, a
+    missing required field, or a field of the wrong type. The [schema]
+    field is checked first so a version mismatch is reported as such
+    rather than as a cascade of shape errors. *)
+
+val consistency : t -> string list
+(** Internal-consistency audit of a parsed snapshot; empty = clean.
+    Reports experiments flagged [ok = false], a positive
+    [oracle_rejected] count, negative counters/durations, and
+    [events_per_sec] that disagrees with [events / wall_s] by more than
+    2% (guarding the derived field the bench-diff tooling keys on). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line-per-experiment human summary. *)

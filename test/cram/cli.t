@@ -86,3 +86,38 @@ The trace subcommand ends with a swimlane timeline:
   t: 0.0 .. 6.0
   site   0 |...................................#############........................
   site   1 |...........................................................#############
+
+The validate subcommand re-checks measurements against the paper's
+Section 5 closed forms (lib/model).  A clean deterministic run passes
+every band:
+
+  $ dmx-sim run -a delay-optimal --sites 9 --execs 100 --warmup 10 --csv > good.csv
+  $ dmx-sim validate good.csv
+  pass good.csv:2 delay-optimal: msgs/CS = 19.740 within 5(K-1)..6(K-1) = 20.0..24.0 (§5.2, Table 1)
+  pass good.csv:2 delay-optimal: sync delay = 1.340 within T..1.4T (E < 2T: some handoffs take the release path) (§5.2, Table 1)
+  pass good.csv:2 delay-optimal: throughput = 0.427 within 1/(E+2T)..1/(E+T) = 0.333..0.500 (§5.2)
+  model verdicts: 3 checked, 0 failed
+
+A perturbed measurement -- sync delay forged to 2T, the Maekawa figure,
+on a delay-optimal row -- is rejected with a pointed diagnostic and
+exit code 2:
+
+  $ sed 's/,1.3400,/,2.0000,/' good.csv > pert.csv
+  $ dmx-sim validate pert.csv
+  pass pert.csv:2 delay-optimal: msgs/CS = 19.740 within 5(K-1)..6(K-1) = 20.0..24.0 (§5.2, Table 1)
+  FAIL pert.csv:2 delay-optimal: sync delay = 2.000 is above the paper band T..1.4T (E < 2T: some handoffs take the release path) (§5.2, Table 1): tolerated up to 1.512, off by 0.488
+  pass pert.csv:2 delay-optimal: throughput = 0.427 within 1/(E+2T)..1/(E+T) = 0.333..0.500 (§5.2)
+  model verdicts: 3 checked, 1 failed
+  [2]
+
+A bench snapshot with an unknown schema version, and a truncated one,
+are both rejected cleanly (exit 1), never with an exception:
+
+  $ printf '{ "schema": "dmx-bench/9" }' > bad.json
+  $ dmx-sim validate bad.json
+  bad.json: unknown schema version "dmx-bench/9" (this tool understands "dmx-bench/1")
+  [1]
+  $ printf '{ "schema": "dmx-bench/1", "quick": true, "jo' > trunc.json
+  $ dmx-sim validate trunc.json
+  trunc.json: not valid JSON: offset 45: unterminated string
+  [1]

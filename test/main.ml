@@ -27,6 +27,8 @@ let () =
       ("model-check", Test_model_check.suite);
       ("protocols", Test_protocols.suite);
       ("paper-claims", Test_paper_claims.suite);
+      ("model", Test_model.suite);
+      ("snapshot", Test_snapshot.suite);
       ("baselines", Test_baselines.suite);
       ("fault-tolerance", Test_ft.suite);
       ("fault-soak", Test_fault_soak.suite);

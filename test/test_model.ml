@@ -1,0 +1,265 @@
+(* The analytic model (lib/model): formula bands, tolerance semantics,
+   canary rejection of perturbed measurements, and golden quick-mode
+   simulations re-checked against the paper's Section 5 closed forms. *)
+
+module Mdl = Dmx_model.Model
+module E = Dmx_sim.Engine
+module Net = Dmx_sim.Network
+module W = Dmx_sim.Workload
+module R = Dmx_baselines.Runner
+module B = Dmx_quorum.Builder
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let find_exp metric exps =
+  match List.find_opt (fun e -> e.Mdl.metric = metric) exps with
+  | Some e -> e
+  | None ->
+    Alcotest.fail
+      (Printf.sprintf "no %s expectation emitted" (Mdl.metric_name metric))
+
+let heavy_params ?(algorithm = "delay-optimal") ?(n = 25) ?(e = 2.0) () =
+  Mdl.params ~algorithm ~n ~e ~t:1.0 ~load:Mdl.Heavy ~delay_shape:Mdl.Constant
+    ()
+
+(* ---- the closed forms themselves ---- *)
+
+let test_message_bands_from_formulas () =
+  (* n=25, grid K=9: every Table 1 family *)
+  let band algorithm load =
+    (find_exp Mdl.Msgs_per_cs
+       (Mdl.expectations
+          (Mdl.params ~algorithm ~n:25 ~e:2.0 ~t:1.0 ~load
+             ~delay_shape:Mdl.Constant ())))
+      .Mdl.band
+  in
+  let check name (b : Mdl.band) lo hi =
+    Alcotest.(check (float 1e-6)) (name ^ " lo") lo b.Mdl.lo;
+    Alcotest.(check (float 1e-6)) (name ^ " hi") hi b.Mdl.hi
+  in
+  check "lamport" (band "lamport" Mdl.Heavy) 72.0 72.0;
+  check "ricart-agrawala" (band "ricart-agrawala" Mdl.Heavy) 48.0 48.0;
+  check "singhal-dynamic" (band "singhal-dynamic" Mdl.Heavy) 24.0 48.0;
+  check "maekawa heavy" (band "maekawa" Mdl.Heavy) 24.0 40.0;
+  check "maekawa light" (band "maekawa" Mdl.Light) 24.0 24.0;
+  check "delay-optimal light" (band "delay-optimal" Mdl.Light) 24.0 24.0;
+  check "delay-optimal heavy" (band "delay-optimal" Mdl.Heavy) 40.0 48.0;
+  check "suzuki-kasami" (band "suzuki-kasami" Mdl.Heavy) 0.0 25.0;
+  (* raymond: O(log N) envelope, 4 log2 25 *)
+  let r = band "raymond" Mdl.Heavy in
+  Alcotest.(check (float 1e-6)) "raymond hi" (4.0 *. (log 25.0 /. log 2.0)) r.Mdl.hi
+
+let test_k_computed_from_construction () =
+  (* the model derives K from the coterie, never from a hand-typed value *)
+  let k kind n = (Mdl.params ~kind ~algorithm:"delay-optimal" ~n ~e:1.0 ~t:1.0
+                    ~load:Mdl.Light ~delay_shape:Mdl.Constant ()).Mdl.k in
+  Alcotest.(check (float 1e-6)) "grid 25" 9.0 (k B.Grid 25);
+  Alcotest.(check (float 1e-6)) "majority 25" 13.0 (k B.Majority 25);
+  Alcotest.(check (float 1e-6)) "hqc 27" 8.0 (k B.Hqc 27)
+
+let test_sync_and_throughput_bands () =
+  let exps = Mdl.expectations (heavy_params ()) in
+  let sync = find_exp Mdl.Sync_delay exps in
+  Alcotest.(check (float 1e-6)) "T handoff lo" 1.0 sync.Mdl.band.Mdl.lo;
+  Alcotest.(check (float 1e-6)) "T handoff hi" 1.0 sync.Mdl.band.Mdl.hi;
+  let m = find_exp Mdl.Sync_delay (Mdl.expectations (heavy_params ~algorithm:"maekawa" ())) in
+  Alcotest.(check (float 1e-6)) "maekawa 2T" 2.0 m.Mdl.band.Mdl.lo;
+  let th = find_exp Mdl.Throughput exps in
+  Alcotest.(check (float 1e-6)) "1/(E+2T)" (1.0 /. 4.0) th.Mdl.band.Mdl.lo;
+  Alcotest.(check (float 1e-6)) "1/(E+T)" (1.0 /. 3.0) th.Mdl.band.Mdl.hi
+
+let test_mm1 () =
+  let m = Mdl.mm1 ~n:25 ~rate_per_site:0.01 ~e:1.0 ~t:1.0 in
+  Alcotest.(check (float 1e-9)) "rho" 0.5 m.Mdl.rho;
+  (match m.Mdl.response with
+  | Some r -> Alcotest.(check (float 1e-9)) "2T + W" 4.0 r
+  | None -> Alcotest.fail "steady state expected below the knee");
+  let sat = Mdl.mm1 ~n:25 ~rate_per_site:0.02 ~e:1.0 ~t:1.0 in
+  Alcotest.(check (float 1e-9)) "rho saturated" 1.0 sat.Mdl.rho;
+  Alcotest.(check bool) "no steady state past the knee" true
+    (sat.Mdl.response = None)
+
+(* ---- tolerance semantics ---- *)
+
+let test_tolerance_absolute_and_relative () =
+  let exp_ tol =
+    {
+      Mdl.metric = Mdl.Msgs_per_cs;
+      band = { Mdl.lo = 10.0; hi = 20.0 };
+      tol;
+      formula = "10..20";
+      provenance = "unit";
+    }
+  in
+  let ok tol v = (Mdl.check (exp_ tol) v).Mdl.ok in
+  let abs = { Mdl.abs = 0.5; rel = 0.0 } in
+  Alcotest.(check bool) "below - slack" false (ok abs 9.4);
+  Alcotest.(check bool) "inside lo slack" true (ok abs 9.6);
+  Alcotest.(check bool) "inside band" true (ok abs 15.0);
+  Alcotest.(check bool) "inside hi slack" true (ok abs 20.4);
+  Alcotest.(check bool) "above + slack" false (ok abs 20.6);
+  (* relative slack scales with each bound: 10% of 10 below, of 20 above *)
+  let rel = { Mdl.abs = 0.0; rel = 0.1 } in
+  Alcotest.(check bool) "below rel slack" false (ok rel 8.9);
+  Alcotest.(check bool) "within rel lo" true (ok rel 9.1);
+  Alcotest.(check bool) "within rel hi" true (ok rel 21.9);
+  Alcotest.(check bool) "above rel hi" false (ok rel 22.1)
+
+(* ---- canary negatives: perturbed measurements must be rejected ---- *)
+
+let good_measurement () =
+  {
+    Mdl.source = "canary";
+    params = heavy_params ();
+    msgs_per_cs = Some 41.3;
+    sync_delay = Some 1.0;
+    response_time = None;
+    throughput = Some 0.333;
+  }
+
+let failures vs = List.filter (fun v -> not v.Mdl.ok) vs
+
+let test_canary_clean_measurement_passes () =
+  let vs = Mdl.check_measurement (good_measurement ()) in
+  Alcotest.(check bool) "expectations emitted" true (List.length vs >= 3);
+  Alcotest.(check int) "all pass" 0 (List.length (failures vs))
+
+let test_canary_sync_at_2t_rejected () =
+  (* a regression that loses the T-handoff (sync = 2T, Maekawa-like)
+     must fail the sync expectation with a pointed message *)
+  let vs =
+    Mdl.check_measurement { (good_measurement ()) with sync_delay = Some 2.0 }
+  in
+  match failures vs with
+  | [ v ] ->
+    Alcotest.(check bool) "names the metric" true
+      (contains v.Mdl.message "sync delay");
+    Alcotest.(check bool) "says above band" true
+      (contains v.Mdl.message "above the paper band");
+    Alcotest.(check bool) "quantifies the excess" true
+      (contains v.Mdl.message "off by")
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly the sync failure, got %d" (List.length l))
+
+let test_canary_msgs_ten_percent_high_rejected () =
+  let vs =
+    Mdl.check_measurement
+      { (good_measurement ()) with msgs_per_cs = Some (48.0 *. 1.1) }
+  in
+  match failures vs with
+  | [ v ] ->
+    Alcotest.(check bool) "names msgs/CS" true (contains v.Mdl.message "msgs/CS");
+    Alcotest.(check bool) "cites the formula" true
+      (contains v.Mdl.message "5(K-1)..6(K-1)")
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly the msgs failure, got %d" (List.length l))
+
+let test_canary_throughput_collapse_rejected () =
+  (* throughput falling to Maekawa's 1/(E+2T) = 0.25 is a real regression
+     signal at E=2T and must not slip through the tolerance *)
+  let vs =
+    Mdl.check_measurement { (good_measurement ()) with throughput = Some 0.2 }
+  in
+  Alcotest.(check int) "rejected" 1 (List.length (failures vs))
+
+(* ---- golden quick-mode simulations through the model ---- *)
+
+let light ~n =
+  {
+    (E.default ~n) with
+    seed = 42;
+    cs_duration = 1.0;
+    max_executions = 80;
+    warmup = 5;
+    workload = W.Poisson { rate_per_site = 0.0002 };
+    max_time = 1.0e9;
+  }
+
+let heavy ?(cs = 2.0) ?(delay = Net.Constant 1.0) ~n () =
+  {
+    (E.default ~n) with
+    seed = 42;
+    cs_duration = cs;
+    delay;
+    max_executions = 150;
+    warmup = 30;
+  }
+
+let assert_all_pass vs =
+  List.iter
+    (fun v -> if not v.Mdl.ok then Alcotest.fail v.Mdl.message)
+    vs;
+  Alcotest.(check bool) "some verdicts" true (vs <> [])
+
+let golden ~source runner cfg =
+  let r = runner.R.run cfg in
+  assert_all_pass
+    (Mdl.check_measurement (Mdl.of_report ~source ~cfg r))
+
+let test_golden_table1_small () =
+  (* T1 at n=9: the paper's headline rows, measured then model-checked *)
+  List.iter
+    (fun runner -> golden ~source:("T1 " ^ runner.R.name) runner (heavy ~n:9 ()))
+    [ R.delay_optimal ~n:9 (); R.maekawa ~n:9 (); R.lamport ~n:9;
+      R.ricart_agrawala ~n:9 ]
+
+let test_golden_light_load () =
+  (* E1: 3(K-1) messages, 2T response *)
+  List.iter
+    (fun n -> golden ~source:(Printf.sprintf "E1 N=%d" n)
+        (R.delay_optimal ~n ()) (light ~n))
+    [ 9; 16 ]
+
+let test_golden_sync_delay_random () =
+  (* E3: the T-vs-2T gap under exponential delays *)
+  let cfg = heavy ~cs:1.0 ~delay:(Net.Exponential { mean = 1.0 }) ~n:9 () in
+  golden ~source:"E3 delay-optimal" (R.delay_optimal ~n:9 ()) cfg;
+  golden ~source:"E3 maekawa" (R.maekawa ~n:9 ()) cfg
+
+let test_golden_throughput () =
+  (* E4: heavy-load throughput at E=0.1T against 1/(E+2T)..1/(E+T) *)
+  let cfg = { (heavy ~cs:0.1 ~n:9 ()) with max_executions = 300 } in
+  golden ~source:"E4 delay-optimal" (R.delay_optimal ~n:9 ()) cfg;
+  golden ~source:"E4 maekawa" (R.maekawa ~n:9 ()) cfg
+
+let test_of_report_classifies_load () =
+  (* the classifier keys on offered load rho = N * rate * (E+T) *)
+  let m cfg =
+    (Mdl.of_report ~source:"cls" ~cfg ((R.delay_optimal ~n:9 ()).R.run cfg))
+      .Mdl.params.Mdl.load
+  in
+  (match m (light ~n:9) with
+  | Mdl.Light -> ()
+  | _ -> Alcotest.fail "rare poisson should classify as Light");
+  (match m (heavy ~n:9 ()) with
+  | Mdl.Heavy -> ()
+  | _ -> Alcotest.fail "saturated should classify as Heavy");
+  match
+    m { (light ~n:9) with workload = W.Poisson { rate_per_site = 0.02 } }
+  with
+  | Mdl.Poisson r -> Alcotest.(check (float 1e-9)) "rate kept" 0.02 r
+  | _ -> Alcotest.fail "mid-range poisson should stay Poisson"
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("message bands from formulas", test_message_bands_from_formulas);
+      ("K computed from the construction", test_k_computed_from_construction);
+      ("sync and throughput bands", test_sync_and_throughput_bands);
+      ("M/M/1 waiting-time model", test_mm1);
+      ("tolerance semantics", test_tolerance_absolute_and_relative);
+      ("canary: clean measurement passes", test_canary_clean_measurement_passes);
+      ("canary: sync at 2T rejected", test_canary_sync_at_2t_rejected);
+      ("canary: msgs 10% above band rejected", test_canary_msgs_ten_percent_high_rejected);
+      ("canary: throughput collapse rejected", test_canary_throughput_collapse_rejected);
+      ("golden: Table 1 small", test_golden_table1_small);
+      ("golden: E1 light load", test_golden_light_load);
+      ("golden: E3 sync under random delays", test_golden_sync_delay_random);
+      ("golden: E4 throughput", test_golden_throughput);
+      ("of_report load classification", test_of_report_classifies_load);
+    ]

@@ -301,6 +301,130 @@ let qcheck_tree_substitution_sound =
              (fun fam -> Ct.quorum_inter q fam <> [])
              (Tree.quorum_family t))
 
+(* ---- large-N sampled properties ----
+
+   The exhaustive pairwise check above stops at n=64 because it is
+   O(N^2 K); at a few thousand sites (majority: K > 1000) that blows up.
+   Random pair sampling keeps the same three paper properties —
+   intersection, no-superset minimality, K tracking the closed form —
+   testable at universe sizes in the thousands. Pair choice is seeded
+   from n, so failures replay. *)
+
+let sorted_sets kind ~n =
+  Array.map (fun q -> List.sort_uniq compare q) (B.req_sets kind ~n)
+
+(* both sorted ascending *)
+let rec intersects a b =
+  match (a, b) with
+  | [], _ | _, [] -> false
+  | x :: xs, y :: ys ->
+    if x = y then true else if x < y then intersects xs b else intersects a ys
+
+let rec subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys ->
+    if x = y then subset xs ys else if x > y then subset a ys else false
+
+let sampled_pairs ~n ~count rng =
+  List.init count (fun _ -> (Dmx_sim.Rng.int rng n, Dmx_sim.Rng.int rng n))
+
+(* map a drawn size to one the construction supports, near it *)
+let supported_size kind n =
+  match kind with
+  | B.Fpp -> (
+    match List.rev (Fpp.supported_sizes ~max:(max 7 n)) with
+    | largest :: _ -> largest
+    | [] -> 7)
+  | B.Hqc ->
+    let s = ref 3 in
+    while !s * 3 <= n do s := !s * 3 done;
+    !s
+  | _ -> n
+
+let large_kinds =
+  [ B.Grid; B.Fpp; B.Tree; B.Majority; B.Hqc; B.Grid_set 4 ]
+
+let qcheck_large_n_intersection =
+  QCheck.Test.make ~name:"sampled pairwise intersection, n up to 2500" ~count:10
+    QCheck.(int_range 200 2500)
+    (fun n ->
+      let rng = Dmx_sim.Rng.create (1_000 + n) in
+      List.for_all
+        (fun kind ->
+          let n = supported_size kind n in
+          let rs = sorted_sets kind ~n in
+          List.for_all
+            (fun (i, j) -> intersects rs.(i) rs.(j))
+            (sampled_pairs ~n ~count:150 rng))
+        large_kinds)
+
+let qcheck_large_n_minimality =
+  (* no quorum strictly contains another — on the regular shapes where
+     the paper constructions are minimal (ragged grids are not: a short
+     last row can embed one row-column cross inside another) *)
+  QCheck.Test.make ~name:"sampled no-superset minimality, n up to 2500"
+    ~count:10
+    QCheck.(int_range 200 2500)
+    (fun n ->
+      let rng = Dmx_sim.Rng.create (2_000 + n) in
+      List.for_all
+        (fun kind ->
+          let n =
+            match kind with
+            | B.Grid ->
+              let r = int_of_float (Float.round (sqrt (float_of_int n))) in
+              r * r
+            | _ -> supported_size kind n
+          in
+          let rs = sorted_sets kind ~n in
+          List.for_all
+            (fun (i, j) ->
+              rs.(i) = rs.(j)
+              || (not (subset rs.(i) rs.(j)))
+                 && not (subset rs.(j) rs.(i)))
+            (sampled_pairs ~n ~count:150 rng))
+        [ B.Grid; B.Fpp; B.Tree; B.Majority; B.Hqc ])
+
+let qcheck_large_n_sizes_track_formulas =
+  (* K follows each construction's closed form far beyond the tabulated
+     sizes: grid 2 sqrt(N)-1, majority floor(N/2)+1, fpp q+1 at
+     N=q^2+q+1, hqc 2^k at N=3^k, tree log2(N+1) on complete trees *)
+  QCheck.Test.make ~name:"quorum size formulas, n up to ~2500" ~count:10
+    QCheck.(int_range 15 50)
+    (fun root ->
+      let ok got want = got = want in
+      let grid =
+        let n = root * root in
+        ok (B.size_stats (B.req_sets B.Grid ~n)).B.k_max ((2 * root) - 1)
+      in
+      let majority =
+        let n = (root * root) + (root mod 2) in
+        let st = B.size_stats (B.req_sets B.Majority ~n) in
+        ok st.B.k_max ((n / 2) + 1) && ok st.B.k_min ((n / 2) + 1)
+      in
+      let tree =
+        let k = 8 + (root mod 4) in
+        let n = (1 lsl k) - 1 in
+        ok (B.size_stats (B.req_sets B.Tree ~n)).B.k_max k
+      in
+      let hqc =
+        let k = 5 + (root mod 3) in
+        let n = int_of_float (3.0 ** float_of_int k) in
+        ok (B.size_stats (B.req_sets B.Hqc ~n)).B.k_max (1 lsl k)
+      in
+      let fpp =
+        let n = supported_size B.Fpp (root * root) in
+        let q =
+          int_of_float (Float.round (sqrt (float_of_int n)))
+        in
+        (* n = q^2+q+1 for some prime q near sqrt n; recover q exactly *)
+        let q = if (q * q) + q + 1 = n then q else q - 1 in
+        ok (B.size_stats (B.req_sets B.Fpp ~n)).B.k_max (q + 1)
+      in
+      grid && majority && tree && hqc && fpp)
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -332,4 +456,7 @@ let suite =
         qcheck_tree_any_n;
         qcheck_grouped_any_shape;
         qcheck_tree_substitution_sound;
+        qcheck_large_n_intersection;
+        qcheck_large_n_minimality;
+        qcheck_large_n_sizes_track_formulas;
       ]
