@@ -27,6 +27,7 @@ let registry =
     ("ablation", ("A1/A2: design-choice ablations (piggyback, eager fails)", Experiments.ablation));
     ("micro", ("M1: substrate micro-benchmarks", Micro.run));
     ("cluster-smoke", ("N1: real multi-process TCP cluster smoke", Net_smoke.run));
+    ("cluster-chaos", ("N2: UDP cluster soak under injected loss", Net_chaos.run));
   ]
 
 let names = List.map fst registry

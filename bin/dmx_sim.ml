@@ -1049,11 +1049,99 @@ let rto_arg =
     & info [ "rto" ] ~docv:"SECONDS"
         ~doc:"Reliability-layer base retransmission timeout.")
 
+(* chaos partition windows: GROUPS@FROM-UNTIL, e.g. "0,1|2,3,4@1s-2s"
+   (times are seconds after the workload starts; trailing s optional) *)
+let cluster_partition_conv =
+  let strip_s t =
+    if String.length t > 0 && t.[String.length t - 1] = 's' then
+      String.sub t 0 (String.length t - 1)
+    else t
+  in
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad partition %S (expected GROUPS@FROM-UNTIL, e.g. \
+               0,1|2,3,4@1s-2s)" s))
+    in
+    match String.split_on_char '@' s with
+    | [ groups_s; window ] -> (
+      match String.split_on_char '-' window with
+      | [ from_s; until_s ] -> (
+        match
+          ( float_of_string_opt (strip_s from_s),
+            float_of_string_opt (strip_s until_s) )
+        with
+        | Some from_t, Some until -> (
+          try
+            let groups =
+              List.map
+                (fun g ->
+                  List.map
+                    (fun x ->
+                      match int_of_string_opt (String.trim x) with
+                      | Some v -> v
+                      | None -> raise Exit)
+                    (String.split_on_char ',' g))
+                (String.split_on_char '|' groups_s)
+            in
+            Ok { Dmx_net.Chaos.from_t; until; groups }
+          with Exit -> fail ())
+        | _ -> fail ())
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  let pp ppf (p : Dmx_net.Chaos.partition) =
+    Format.fprintf ppf "%s@%gs-%gs"
+      (String.concat "|"
+         (List.map
+            (fun g -> String.concat "," (List.map string_of_int g))
+            p.Dmx_net.Chaos.groups))
+      p.Dmx_net.Chaos.from_t p.Dmx_net.Chaos.until
+  in
+  Arg.conv (parse, pp)
+
 let cluster_cmd =
   let cn_arg =
     Arg.(
       value & opt int 5
       & info [ "n"; "sites" ] ~docv:"N" ~doc:"Number of node processes.")
+  in
+  let transport_arg =
+    Arg.(
+      value & opt string "tcp"
+      & info [ "transport" ] ~docv:"KIND"
+          ~doc:
+            "Transport between nodes: tcp (streams, lossless) or udp \
+             (datagrams, genuinely lossy).")
+  in
+  let reorder_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "reorder" ] ~docv:"P"
+          ~doc:
+            "Per-frame probability of a bounded holdback (chaos shim), in \
+             [0,1).")
+  in
+  let cpartition_arg =
+    Arg.(
+      value & opt_all cluster_partition_conv []
+      & info [ "partition" ] ~docv:"GROUPS@FROM-UNTIL"
+          ~doc:
+            "Partition the cluster into groups for a window of seconds \
+             after the workload starts, e.g. \
+             $(b,--partition 0,1|2,3,4\\@1s-2s) (sites comma-separated, \
+             groups |-separated; unlisted sites form one extra group). \
+             Repeatable.")
+  in
+  let cspike_arg =
+    Arg.(
+      value & opt_all spike_conv []
+      & info [ "spike" ] ~docv:"FROM:UNTIL:EXTRA"
+          ~doc:
+            "Hold every frame sent between FROM and UNTIL (seconds after \
+             workload start) for EXTRA extra seconds. Repeatable.")
   in
   let rounds_arg =
     Arg.(
@@ -1101,7 +1189,17 @@ let cluster_cmd =
           ~doc:"Hard wall-clock bound on the whole run.")
   in
   let action n protocol quorum rounds cs seed kills restarts log_dir trace_out
-      timeout hb hbto rto csv =
+      timeout hb hbto rto transport loss dup reorder partitions spikes csv =
+    let chaos =
+      {
+        Dmx_net.Chaos.no_faults with
+        Dmx_net.Chaos.loss;
+        duplication = dup;
+        reorder;
+        partitions;
+        delay_spikes = spikes;
+      }
+    in
     let cfg =
       {
         Dmx_net.Cluster.n;
@@ -1117,6 +1215,10 @@ let cluster_cmd =
         hb_period = hb;
         hb_timeout = hbto;
         rto;
+        transport;
+        chaos;
+        hello_timeout = 10.0;
+        ports = None;
       }
     in
     match Dmx_net.Cluster.run cfg with
@@ -1149,15 +1251,18 @@ let cluster_cmd =
     Term.(
       const action $ cn_arg $ proto_arg $ quorum_arg $ rounds_arg $ ccs_arg
       $ seed_arg $ kill_arg $ restart_arg $ log_dir_arg $ trace_out_arg
-      $ timeout_arg $ hb_arg $ hbto_arg $ rto_arg $ csv_arg)
+      $ timeout_arg $ hb_arg $ hbto_arg $ rto_arg $ transport_arg $ loss_arg
+      $ dup_arg $ reorder_arg $ cpartition_arg $ cspike_arg $ csv_arg)
   in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:
-         "Run a real multi-process cluster on localhost TCP: spawn N node \
-          daemons, drive a workload, optionally kill/restart sites \
-          mid-run, then merge the live traces and check them with the \
-          oracle (exit 2 on any violation).")
+         "Run a real multi-process cluster on localhost (TCP streams or \
+          UDP datagrams): spawn N node daemons, drive a workload, \
+          optionally kill/restart sites and inject seeded chaos \
+          ($(b,--loss), $(b,--dup), $(b,--reorder), $(b,--partition), \
+          $(b,--spike)) mid-run, then merge the live traces and check \
+          them with the oracle (exit 2 on any violation).")
     term
 
 let node_cmd =
@@ -1199,7 +1304,14 @@ let node_cmd =
       & info [ "quorum" ] ~docv:"KIND"
           ~doc:"Quorum construction (same spellings as elsewhere).")
   in
-  let action site ports sup protocol quorum seed epoch hb hbto rto max_s =
+  let transport_arg =
+    Arg.(
+      value & opt string "tcp"
+      & info [ "transport" ] ~docv:"KIND"
+          ~doc:"Transport: tcp or udp (must match the rest of the cluster).")
+  in
+  let action site ports sup protocol quorum seed epoch hb hbto rto max_s
+      transport =
     let spec =
       {
         Dmx_net.Node.site;
@@ -1215,6 +1327,8 @@ let node_cmd =
         hb_timeout = hbto;
         rto;
         max_seconds = max_s;
+        transport;
+        chaos = Dmx_net.Chaos.no_faults;
       }
     in
     match Dmx_net.Node.run_named spec with
@@ -1227,7 +1341,7 @@ let node_cmd =
     Term.(
       const action $ site_arg $ ports_arg $ sup_arg $ proto_arg
       $ quorum_str_arg $ seed_arg $ epoch_arg $ hb_arg $ hbto_arg $ rto_arg
-      $ max_arg)
+      $ max_arg $ transport_arg)
   in
   Cmd.v
     (Cmd.info "node"

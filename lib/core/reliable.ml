@@ -57,6 +57,15 @@ type rx = {
   mutable ack_armed : bool;
 }
 
+type stats = {
+  retransmits : int;
+  acks_sent : int;
+  dup_drops : int;
+  stale_drops : int;
+}
+
+let no_stats = { retransmits = 0; acks_sent = 0; dup_drops = 0; stale_drops = 0 }
+
 type t = {
   cfg : config;
   self : int;
@@ -65,6 +74,7 @@ type t = {
   inc : float;  (* this site's incarnation: its init time *)
   txs : tx array;
   rxs : rx array;
+  mutable st : stats;
 }
 
 type incoming = { restarted : bool; deliveries : Messages.t list }
@@ -96,7 +106,20 @@ let create cfg ~n ~self ~io =
             ack_due = false;
             ack_armed = false;
           });
+    st = no_stats;
   }
+
+let stats t = t.st
+
+let stats_alist t =
+  List.filter
+    (fun (_, v) -> v > 0)
+    [
+      ("reliable.retransmits", t.st.retransmits);
+      ("reliable.acks_sent", t.st.acks_sent);
+      ("reliable.dup_drops", t.st.dup_drops);
+      ("reliable.stale_drops", t.st.stale_drops);
+    ]
 
 let retx_tag peer = 2 * peer
 let ack_tag peer = (2 * peer) + 1
@@ -143,6 +166,7 @@ let resend_all t peer =
   | (base, _) :: _ ->
     List.iter
       (fun (seq, payload) ->
+        t.st <- { t.st with retransmits = t.st.retransmits + 1 };
         t.io.send ~dst:peer
           (Messages.Data
              {
@@ -183,6 +207,7 @@ let on_timer t tag =
       r.ack_armed <- false;
       if r.ack_due then begin
         r.ack_due <- false;
+        t.st <- { t.st with acks_sent = t.st.acks_sent + 1 };
         t.io.send ~dst:peer
           (Messages.Ack { of_inc = r.inc; upto = r.expected - 1 })
       end
@@ -211,10 +236,16 @@ let on_message t ~src msg =
     { restarted = false; deliveries = [] }
   | Messages.Data d ->
     let r = t.rxs.(src) in
-    if d.inc < r.inc then { restarted = false; deliveries = [] }
+    if d.inc < r.inc then begin
+      t.st <- { t.st with stale_drops = t.st.stale_drops + 1 };
+      { restarted = false; deliveries = [] }
+    end
       (* straggler from a previous incarnation of [src]: discard *)
     else if d.dst_inc < t.inc && not (Float.equal d.dst_inc Float.neg_infinity)
-    then { restarted = false; deliveries = [] }
+    then begin
+      t.st <- { t.st with stale_drops = t.st.stale_drops + 1 };
+      { restarted = false; deliveries = [] }
+    end
       (* mail addressed to a previous incarnation of THIS site: its state
          died with the crash, so delivering it here would let the restarted
          protocol mistake a pre-crash conversation (whose restarted Lamport
@@ -240,8 +271,9 @@ let on_message t ~src msg =
         end
       end;
       let deliveries = ref [] in
-      if d.seq < r.expected then ()
+      if d.seq < r.expected then
         (* duplicate; the ack below re-tells the sender *)
+        t.st <- { t.st with dup_drops = t.st.dup_drops + 1 }
       else if d.seq = r.expected then begin
         deliveries := [ d.payload ];
         r.expected <- r.expected + 1;
@@ -256,6 +288,9 @@ let on_message t ~src msg =
         in
         drain ()
       end
+      else if List.mem_assoc d.seq r.buffer then
+        (* duplicate of a buffered out-of-order message *)
+        t.st <- { t.st with dup_drops = t.st.dup_drops + 1 }
       else r.buffer <- insert_sorted d.seq d.payload r.buffer;
       mark_ack_due t src;
       { restarted; deliveries = List.rev !deliveries }

@@ -103,3 +103,26 @@ val resume : t -> int -> unit
 
 val in_flight : t -> int -> int
 (** Unacknowledged message count toward the peer (test/debug hook). *)
+
+(** {2 Live counters} — what the layer actually did, for cluster reports
+    and the [Metrics] control frame. *)
+
+type stats = {
+  retransmits : int;  (** envelopes resent by the block timer or {!resume} *)
+  acks_sent : int;  (** cumulative [Ack]s emitted *)
+  dup_drops : int;
+      (** received [Data] suppressed as already-delivered or
+          already-buffered *)
+  stale_drops : int;
+      (** received [Data] discarded for incarnation reasons: a dead
+          sender's straggler, or mail addressed to this site's dead
+          predecessor *)
+}
+
+val no_stats : stats
+
+val stats : t -> stats
+
+val stats_alist : t -> (string * int) list
+(** Nonzero counters as [("reliable.retransmits", v); ...] pairs, ready
+    for a metrics frame. *)

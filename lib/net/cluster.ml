@@ -18,6 +18,10 @@ type config = {
   hb_period : float;
   hb_timeout : float;
   rto : float;
+  transport : string;
+  chaos : Chaos.plan;
+  hello_timeout : float;
+  ports : int list option;
 }
 
 let default ~n =
@@ -35,6 +39,10 @@ let default ~n =
     hb_period = 0.1;
     hb_timeout = 1.0;
     rto = 0.25;
+    transport = "tcp";
+    chaos = Chaos.no_faults;
+    hello_timeout = 10.0;
+    ports = None;
   }
 
 type outcome = {
@@ -42,6 +50,7 @@ type outcome = {
   verdict : Oracle.verdict;
   entries : Trace.entry list;
   wall_seconds : float;
+  live_stats : (string * int) list array;
 }
 
 (* ---- child process management ---- *)
@@ -253,7 +262,21 @@ let validate (cfg : config) =
         not (List.exists (fun (kt, ks) -> ks = s && kt < rt) cfg.kills))
       cfg.restarts
   then Error "cluster: every restart needs an earlier kill of the same site"
-  else Ok ()
+  else if not (List.mem cfg.transport Transports.names) then
+    Error
+      (Printf.sprintf "cluster: unknown transport %S (want %s)" cfg.transport
+         (String.concat " or " Transports.names))
+  else if not (cfg.hello_timeout > 0.0) then
+    Error "cluster: hello_timeout must be positive"
+  else if
+    match cfg.ports with
+    | Some ps -> List.length ps <> cfg.n + 1
+    | None -> false
+  then Error "cluster: ports list must have n+1 entries (nodes + supervisor)"
+  else
+    match Chaos.validate { cfg.chaos with Chaos.n = cfg.n } with
+    | () -> Ok ()
+    | exception Invalid_argument e -> Error ("cluster: " ^ e)
 
 let run (cfg : config) =
   match validate cfg with
@@ -261,9 +284,20 @@ let run (cfg : config) =
   | Ok () -> (
     let started_wall = Unix.gettimeofday () in
     let epoch = started_wall in
-    let ports = alloc_ports (cfg.n + 1) in
+    let ports =
+      match cfg.ports with
+      | Some ps -> ps
+      | None -> alloc_ports (cfg.n + 1)
+    in
     let sup_port = List.nth ports cfg.n in
     let node_ports = Array.of_list (List.filteri (fun i _ -> i < cfg.n) ports) in
+    let plan =
+      {
+        cfg.chaos with
+        Chaos.n = cfg.n;
+        seed = (if cfg.chaos.Chaos.seed = 0 then cfg.seed else cfg.chaos.Chaos.seed);
+      }
+    in
     let spec_of site =
       {
         Node.site;
@@ -278,12 +312,14 @@ let run (cfg : config) =
         hb_timeout = cfg.hb_timeout;
         rto = cfg.rto;
         max_seconds = cfg.timeout +. 30.0;
+        transport = cfg.transport;
+        chaos = plan;
       }
     in
     let transport =
-      Transport.create
+      Transports.create_exn cfg.transport
         {
-          Transport.self = cfg.n;
+          Transport_sig.self = cfg.n;
           listen_port = sup_port;
           peers =
             List.init cfg.n (fun i ->
@@ -298,7 +334,7 @@ let run (cfg : config) =
     let cleanup () =
       Array.iter (Option.iter kill_quietly) pids;
       Array.fill pids 0 cfg.n None;
-      Transport.close transport
+      transport.close ()
     in
     try
       Array.iteri
@@ -311,6 +347,7 @@ let run (cfg : config) =
       let site_entries = Array.make cfg.n [] (* batches, newest first *) in
       let extra_entries = ref [] in
       let kind_totals = ref [] in
+      let live_stats = Array.make cfg.n [] in
       let finished = Array.make cfg.n false in
       let dead = Array.make cfg.n false in
       let workload_sent = ref false in
@@ -323,8 +360,16 @@ let run (cfg : config) =
               :: List.remove_assoc k acc)
             !kind_totals ks
       in
+      let workload_frame () =
+        Wire.Workload
+          {
+            rounds = cfg.rounds;
+            cs_duration = cfg.cs_duration;
+            since = !workload_t0;
+          }
+      in
       let handle_event = function
-        | Transport.Frame { frame; _ } -> (
+        | Transport_sig.Frame { frame; _ } -> (
           match frame with
           | Wire.Hello { site; inc } when site >= 0 && site < cfg.n ->
             let newer =
@@ -332,21 +377,21 @@ let run (cfg : config) =
             in
             if newer then hello_inc.(site) <- inc;
             if !workload_sent then
-              Transport.send transport ~dst:site
-                (Wire.Workload
-                   { rounds = cfg.rounds; cs_duration = cfg.cs_duration })
+              transport.send ~dst:site (workload_frame ())
           | Wire.Trace_batch { site; entries } when site >= 0 && site < cfg.n
             ->
             site_entries.(site) <- List.rev_append entries site_entries.(site)
-          | Wire.Metrics { site; kinds; _ } when site >= 0 && site < cfg.n ->
+          | Wire.Metrics { site; kinds; reliable; _ }
+            when site >= 0 && site < cfg.n ->
             finished.(site) <- true;
+            live_stats.(site) <- reliable;
             add_kinds kinds
           | _ -> ())
-        | Transport.Peer_down _ | Transport.Peer_up _ -> ()
+        | Transport_sig.Peer_down _ | Transport_sig.Peer_up _ -> ()
       in
       let drain () =
         let rec go () =
-          match Transport.poll transport with
+          match transport.poll () with
           | Some ev ->
             handle_event ev;
             go ()
@@ -354,21 +399,65 @@ let run (cfg : config) =
         in
         go ()
       in
-      (* phase 1: all sites say hello *)
+      (* phase 1: all sites say hello, against a dedicated deadline — a
+         node that cannot bind its port (or dies on startup) must fail the
+         run promptly and by name, not wedge the supervisor *)
+      let hello_deadline = Float.min cfg.hello_timeout deadline in
+      let startup_death = ref None in
+      let check_startup_deaths () =
+        Array.iteri
+          (fun site pid ->
+            match pid with
+            | Some pid when Float.is_nan hello_inc.(site) -> (
+              match Unix.waitpid [ WNOHANG ] pid with
+              | 0, _ -> ()
+              | _, status ->
+                pids.(site) <- None;
+                let what =
+                  match status with
+                  | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+                  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+                  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+                in
+                if !startup_death = None then
+                  startup_death := Some (site, what)
+              | exception _ -> ())
+            | _ -> ())
+          pids
+      in
       while
         Array.exists Float.is_nan hello_inc
-        && now () < deadline
+        && !startup_death = None
+        && now () < hello_deadline
       do
         drain ();
+        check_startup_deaths ();
         Unix.sleepf 0.005
       done;
-      if Array.exists Float.is_nan hello_inc then
-        failwith "timeout waiting for nodes to come up";
-      (* phase 2: workload, with the kill/restart schedule *)
+      (match !startup_death with
+      | Some (site, what) ->
+        failwith
+          (Printf.sprintf "node %d died before saying hello (%s)" site what)
+      | None -> ());
+      if Array.exists Float.is_nan hello_inc then begin
+        let missing =
+          Array.to_list
+            (Array.mapi (fun s inc -> (s, Float.is_nan inc)) hello_inc)
+          |> List.filter_map (fun (s, m) -> if m then Some (string_of_int s) else None)
+        in
+        failwith
+          (Printf.sprintf
+             "timeout: node(s) %s never said hello within %.1fs"
+             (String.concat "," missing) cfg.hello_timeout)
+      end;
+      (* phase 2: workload, with the kill/restart schedule. The workload
+         is rebroadcast periodically: on a datagram transport the first
+         copy can be lost, and a restarted node needs one too (nodes treat
+         repeats as no-ops). *)
       workload_t0 := now ();
       workload_sent := true;
-      Transport.broadcast transport
-        (Wire.Workload { rounds = cfg.rounds; cs_duration = cfg.cs_duration });
+      transport.broadcast (workload_frame ());
+      let last_rebroadcast = ref (now ()) in
       let pending_kills =
         ref (List.sort compare (List.map (fun (t, s) -> (t, s)) cfg.kills))
       in
@@ -382,6 +471,14 @@ let run (cfg : config) =
       in
       while (not (complete ())) && now () < deadline do
         drain ();
+        if now () -. !last_rebroadcast >= 1.0 then begin
+          last_rebroadcast := now ();
+          Array.iteri
+            (fun site fin ->
+              if (not fin) && not dead.(site) then
+                transport.send ~dst:site (workload_frame ()))
+            finished
+        end;
         let rel = now () -. !workload_t0 in
         (match !pending_kills with
         | (t, site) :: rest when rel >= t ->
@@ -415,8 +512,12 @@ let run (cfg : config) =
           (Printf.sprintf "timeout: %d/%d sites finished"
              (Array.to_list finished |> List.filter Fun.id |> List.length)
              cfg.n);
-      (* phase 3: shutdown, final trace batches, reap *)
-      Transport.broadcast transport Wire.Shutdown;
+      (* phase 3: shutdown, final trace batches, reap. Shutdown goes out
+         three times: on a datagram transport one copy can be lost, and a
+         node that misses all three still exits on supervisor silence. *)
+      transport.broadcast Wire.Shutdown;
+      let shutdowns_left = ref 2 in
+      let next_shutdown = ref (Unix.gettimeofday () +. 0.2) in
       let grace = Unix.gettimeofday () +. 5.0 in
       let all_reaped () =
         Array.for_all
@@ -432,6 +533,12 @@ let run (cfg : config) =
       let reaped = ref false in
       while (not !reaped) && Unix.gettimeofday () < grace do
         drain ();
+        if !shutdowns_left > 0 && Unix.gettimeofday () >= !next_shutdown
+        then begin
+          decr shutdowns_left;
+          next_shutdown := Unix.gettimeofday () +. 0.2;
+          transport.broadcast Wire.Shutdown
+        end;
         if all_reaped () then reaped := true else Unix.sleepf 0.01
       done;
       Array.iter (Option.iter kill_quietly) pids;
@@ -439,7 +546,7 @@ let run (cfg : config) =
       (* one last drain: batches already accepted by our reader threads *)
       Unix.sleepf 0.05;
       drain ();
-      Transport.close transport;
+      transport.close ();
       let entries =
         Array.to_list site_entries
         |> List.concat_map List.rev
@@ -450,11 +557,19 @@ let run (cfg : config) =
       let net_duration = now () in
       let occ = scan_occupancy cfg.n entries in
       let crashy = cfg.kills <> [] in
+      (* the chaos shim injects loss/duplication/reordering at the wire
+         level, where the per-channel FIFO matcher cannot see through it
+         (a retransmitted copy is a distinct send, a duplicated datagram
+         a receive with no unconsumed send) — relax FIFO exactly as the
+         simulator does for fault plans with duplication; custody is
+         protocol-level, downstream of the reliability layer's in-order
+         exactly-once delivery, so it stays on unless sites are killed *)
+      let lossy = not (Chaos.is_trivial plan) in
       let verdict =
         Oracle.check
           {
             (Oracle.default ~n:cfg.n) with
-            Oracle.fifo = not crashy;
+            Oracle.fifo = not (crashy || lossy);
             custody = not crashy;
           }
           entries ~truncated:false
@@ -471,6 +586,7 @@ let run (cfg : config) =
           verdict;
           entries;
           wall_seconds = Unix.gettimeofday () -. started_wall;
+          live_stats;
         }
     with
     | Failure msg ->
@@ -480,7 +596,24 @@ let run (cfg : config) =
       cleanup ();
       Error ("cluster: " ^ Printexc.to_string e))
 
+let live_totals o =
+  Array.fold_left
+    (fun acc site_stats ->
+      List.fold_left
+        (fun acc (k, v) ->
+          (k, v + Option.value ~default:0 (List.assoc_opt k acc))
+          :: List.remove_assoc k acc)
+        acc site_stats)
+    [] o.live_stats
+  |> List.sort compare
+
 let pp_outcome ppf o =
-  Format.fprintf ppf "%a@.occupancy: violations=%d entries=%d wall=%.2fs@.%a"
+  Format.fprintf ppf "%a@.occupancy: violations=%d entries=%d wall=%.2fs"
     E.pp_report o.report o.report.E.violations (List.length o.entries)
-    o.wall_seconds Oracle.pp_verdict o.verdict
+    o.wall_seconds;
+  (match live_totals o with
+  | [] -> ()
+  | totals ->
+    Format.fprintf ppf "@.live counters:";
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) totals);
+  Format.fprintf ppf "@.%a" Oracle.pp_verdict o.verdict

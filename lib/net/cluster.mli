@@ -32,22 +32,43 @@ type config = {
   hb_period : float;
   hb_timeout : float;
   rto : float;  (** nodes' reliability-layer base timeout *)
+  transport : string;  (** a {!Transports.create} name: ["tcp"]/["udp"] *)
+  chaos : Chaos.plan;
+      (** fault plan injected at every node ({!Chaos.no_faults} runs
+          bare); [n] is filled in from the config, and a zero [seed]
+          inherits [config.seed] *)
+  hello_timeout : float;
+      (** seconds allowed for {e all} nodes to say hello; a node that
+          cannot bind its port or dies on startup fails the run by name
+          instead of wedging it *)
+  ports : int list option;
+      (** fixed ports ([n] node ports then the supervisor's) instead of
+          kernel-allocated ones — test hook for bind-failure injection *)
 }
 
 val default : n:int -> config
 (** ft-delay-optimal over tree quorums, 20 rounds, 1 ms CS, no kills,
-    60 s timeout, 100 ms heartbeats with a 1 s suspicion timeout. *)
+    60 s timeout, 100 ms heartbeats with a 1 s suspicion timeout, TCP
+    transport, no chaos, 10 s hello deadline. *)
 
 type outcome = {
   report : Dmx_sim.Engine.report;
   verdict : Dmx_sim.Oracle.verdict;
   entries : Dmx_sim.Trace.entry list;  (** merged, time-sorted *)
   wall_seconds : float;
+  live_stats : (string * int) list array;
+      (** per-site live counters from the final [Metrics] frames:
+          reliability-layer retransmits/acks/dup-drops, chaos injections,
+          transport totals (a killed site reports nothing) *)
 }
 
 val run : config -> (outcome, string) result
 (** [Error] on a bad configuration, a node that cannot come up, or the
     timeout expiring; every child process is reaped on all paths. *)
 
+val live_totals : outcome -> (string * int) list
+(** {!outcome.live_stats} summed across sites, sorted by counter name. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
-(** The engine report, the occupancy line, and the oracle verdict. *)
+(** The engine report, the occupancy line, aggregated live counters, and
+    the oracle verdict. *)

@@ -15,6 +15,8 @@ type spec = {
   hb_timeout : float;
   rto : float;
   max_seconds : float;
+  transport : string;
+  chaos : Chaos.plan;
 }
 
 let env_var = "DMX_NODE_SPEC"
@@ -22,12 +24,13 @@ let env_var = "DMX_NODE_SPEC"
 let spec_to_string s =
   Printf.sprintf
     "site=%d n=%d ports=%s sup=%d proto=%s quorum=%s seed=%d epoch=%h \
-     hb=%h hbto=%h rto=%h max=%h"
+     hb=%h hbto=%h rto=%h max=%h trans=%s chaos=%s"
     s.site s.n
     (String.concat ","
        (Array.to_list (Array.map string_of_int s.node_ports)))
     s.supervisor_port s.protocol s.quorum s.seed s.epoch s.hb_period
-    s.hb_timeout s.rto s.max_seconds
+    s.hb_timeout s.rto s.max_seconds s.transport
+    (Chaos.plan_to_string s.chaos)
 
 let spec_of_string str =
   try
@@ -64,6 +67,12 @@ let spec_of_string str =
         hb_timeout = getf "hbto";
         rto = getf "rto";
         max_seconds = getf "max";
+        transport =
+          (match List.assoc_opt "trans" kv with Some t -> t | None -> "tcp");
+        chaos =
+          (match List.assoc_opt "chaos" kv with
+          | Some c -> Chaos.plan_of_string c
+          | None -> Chaos.no_faults);
       }
   with e -> Error (Printf.sprintf "bad node spec %S: %s" str (Printexc.to_string e))
 
@@ -86,9 +95,11 @@ module Make (P : Proto.PROTOCOL) = struct
 
   type timer = { at : float; tag : int; seq : int }
 
-  let run (spec : spec) ~codec (pconfig : P.config) =
+  let run (spec : spec) ~codec ?(live_stats = fun _ -> []) (pconfig : P.config)
+      =
     let now () = Unix.gettimeofday () -. spec.epoch in
     let started = now () in
+    let hello_inc = Unix.gettimeofday () in
     let peer_list =
       List.filter_map
         (fun j ->
@@ -104,29 +115,44 @@ module Make (P : Proto.PROTOCOL) = struct
             Unix.ADDR_INET (Unix.inet_addr_loopback, spec.supervisor_port) );
         ]
     in
-    let transport =
-      Transport.create
+    let raw =
+      Transports.create_exn spec.transport
         {
-          Transport.self = spec.site;
+          Transport_sig.self = spec.site;
           listen_port = spec.node_ports.(spec.site);
           peers = peer_list;
           hb_period = spec.hb_period;
           hb_timeout = spec.hb_timeout;
           watch =
             List.init spec.n Fun.id |> List.filter (fun j -> j <> spec.site);
-          hello_inc = Unix.gettimeofday ();
+          hello_inc;
         }
     in
-    (* trace buffer, streamed to the supervisor in batches *)
+    (* every outbound frame — protocol traffic and heartbeats alike — goes
+       through the chaos shim when a fault plan is in force *)
+    let shim =
+      if Chaos.is_trivial spec.chaos then None
+      else
+        Some
+          (Chaos.create spec.chaos ~self:spec.site
+             ~peers:(List.map fst peer_list) ~inner:raw)
+    in
+    let transport =
+      match shim with Some c -> Chaos.handle c | None -> raw
+    in
+    (* trace buffer, streamed to the supervisor in bounded batches (a
+       batch must fit a UDP datagram) *)
     let trace_buf : Trace.entry Queue.t = Queue.create () in
     let last_flush = ref (now ()) in
     let flush_traces () =
-      if not (Queue.is_empty trace_buf) then begin
-        let entries = List.of_seq (Queue.to_seq trace_buf) in
-        Queue.clear trace_buf;
-        Transport.send transport ~dst:spec.n
-          (Wire.Trace_batch { site = spec.site; entries })
-      end;
+      while not (Queue.is_empty trace_buf) do
+        let entries = ref [] in
+        while (not (Queue.is_empty trace_buf)) && List.length !entries < 96 do
+          entries := Queue.pop trace_buf :: !entries
+        done;
+        transport.send ~dst:spec.n
+          (Wire.Trace_batch { site = spec.site; entries = List.rev !entries })
+      done;
       last_flush := now ()
     in
     let trace kind =
@@ -165,7 +191,7 @@ module Make (P : Proto.PROTOCOL) = struct
             else begin
               incr sent;
               count_kind (P.message_kind msg);
-              Transport.send transport ~dst
+              transport.send ~dst
                 (Wire.Proto
                    { src = spec.site; dst; payload = codec.encode msg })
             end);
@@ -191,12 +217,25 @@ module Make (P : Proto.PROTOCOL) = struct
     let cs_deadline = ref 0.0 in
     let metrics_sent = ref false in
     let last_super_contact = ref (now ()) in
+    let last_hb = ref Float.neg_infinity in
     let shutdown = ref false in
     while
       (not !shutdown)
       && now () -. !last_super_contact < supervisor_silence_limit
       && now () -. started < spec.max_seconds
     do
+      (* 0. heartbeat + Hello emission — the owner's job, through the
+         (possibly chaos-wrapped) handle, so injected faults starve the
+         peers' failure detectors exactly as a hostile network would *)
+      if spec.hb_period > 0.0 && now () -. !last_hb >= spec.hb_period then begin
+        last_hb := now ();
+        transport.broadcast (Wire.Heartbeat { site = spec.site; time = now () });
+        (* keep re-introducing ourselves until the workload arrives: on a
+           datagram transport the first Hello can simply be lost *)
+        if !workload = None then
+          transport.send ~dst:spec.n
+            (Wire.Hello { site = spec.site; inc = hello_inc })
+      end;
       (* 1. due timers *)
       let rec fire_timers () =
         match Dmx_sim.Heap.peek timers with
@@ -214,11 +253,11 @@ module Make (P : Proto.PROTOCOL) = struct
       done;
       (* 3. network events *)
       let rec drain () =
-        match Transport.poll transport with
+        match transport.poll () with
         | None -> ()
         | Some ev ->
           (match ev with
-          | Transport.Frame { src; frame } ->
+          | Transport_sig.Frame { src; frame } ->
             if src = spec.n then last_super_contact := now ();
             (match frame with
             | Wire.Proto { src = psrc; payload; _ } -> (
@@ -229,19 +268,25 @@ module Make (P : Proto.PROTOCOL) = struct
                 P.on_message ctx state ~src:psrc msg
               | Error e ->
                 trace (Trace.Note (Printf.sprintf "undecodable message from %d: %s" psrc e)))
-            | Wire.Workload { rounds; cs_duration } ->
+            | Wire.Workload { rounds; cs_duration; since } ->
+              (* anonymous, but only the supervisor sends it *)
+              last_super_contact := now ();
               dbg "node %d: workload rounds=%d" spec.site rounds;
+              (match shim with
+              | Some c -> Chaos.set_zero c (spec.epoch +. since)
+              | None -> ());
               if !workload = None then workload := Some (rounds, cs_duration)
             | Wire.Shutdown ->
+              last_super_contact := now ();
               dbg "node %d: shutdown at %.3f" spec.site (now ());
               shutdown := true
             | Wire.Hello _ | Wire.Heartbeat _ | Wire.Trace_batch _
             | Wire.Metrics _ ->
               ())
-          | Transport.Peer_down s ->
+          | Transport_sig.Peer_down s ->
             trace (Trace.Suspect s);
             P.on_failure ctx state s
-          | Transport.Peer_up s ->
+          | Transport_sig.Peer_up s ->
             trace (Trace.Trust s);
             P.on_recovery ctx state s);
           drain ()
@@ -271,7 +316,12 @@ module Make (P : Proto.PROTOCOL) = struct
         end;
         if !completed >= rounds && not !metrics_sent then begin
           metrics_sent := true;
-          Transport.send transport ~dst:spec.n
+          let reliable =
+            live_stats state
+            @ (match shim with Some c -> Chaos.stats_alist c | None -> [])
+            @ Transport_sig.stats_alist ~prefix:"transport" (transport.stats ())
+          in
+          transport.send ~dst:spec.n
             (Wire.Metrics
                {
                  site = spec.site;
@@ -279,6 +329,7 @@ module Make (P : Proto.PROTOCOL) = struct
                  sent = !sent;
                  received = !received;
                  kinds = Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds [];
+                 reliable;
                })
         end);
       (* 5. stream the trace *)
@@ -292,7 +343,7 @@ module Make (P : Proto.PROTOCOL) = struct
     flush_traces ();
     (* let the final batch drain before tearing the sockets down *)
     Unix.sleepf 0.1;
-    Transport.close transport
+    transport.close ()
 end
 
 let run_named (spec : spec) =
@@ -333,6 +384,10 @@ let run_named (spec : spec) =
               N.encode = Wire.encode_message;
               decode = Wire.decode_message;
             }
+          ~live_stats:(fun st ->
+            match Dmx_core.Ft_delay_optimal.Internal.reliable st with
+            | Some r -> Dmx_core.Reliable.stats_alist r
+            | None -> [])
           (Dmx_core.Ft_delay_optimal.config_of_kind ~reliability
              ~trust_detector:false kind ~n ~broadcast:false);
         Ok ()

@@ -1,5 +1,6 @@
 (** One networked protocol site: a single-threaded event loop driving any
-    [Dmx_sim.Protocol.PROTOCOL] over the {!Transport}.
+    [Dmx_sim.Protocol.PROTOCOL] over a {!Transport_sig.handle} (TCP or
+    UDP, optionally wrapped in the {!Chaos} fault shim).
 
     The loop mirrors the simulation engine's contract exactly — same
     callback discipline, same trace conventions (a [Send] entry for every
@@ -29,6 +30,8 @@ type spec = {
   hb_timeout : float;
   rto : float;  (** reliability-layer base retransmission timeout *)
   max_seconds : float;  (** failsafe wall-clock limit on the whole life *)
+  transport : string;  (** a {!Transports.create} name: ["tcp"]/["udp"] *)
+  chaos : Chaos.plan;  (** fault plan; {!Chaos.no_faults} runs bare *)
 }
 
 val spec_to_string : spec -> string
@@ -52,9 +55,17 @@ module Make (P : Dmx_sim.Protocol.PROTOCOL) : sig
     decode : string -> (P.message, string) result;
   }
 
-  val run : spec -> codec:codec -> P.config -> unit
+  val run :
+    spec ->
+    codec:codec ->
+    ?live_stats:(P.state -> (string * int) list) ->
+    P.config ->
+    unit
   (** Blocks until the supervisor's [Shutdown], supervisor silence beyond
-      30 s, or [spec.max_seconds] — whichever comes first. *)
+      30 s, or [spec.max_seconds] — whichever comes first. [live_stats]
+      (default: none) extracts protocol-level live counters — e.g.
+      {!Dmx_core.Reliable.stats_alist} — included in the final [Metrics]
+      frame alongside chaos and transport counters. *)
 end
 
 val run_named : spec -> (unit, string) result

@@ -1,9 +1,9 @@
-type event =
+type event = Transport_sig.event =
   | Frame of { src : int; frame : Wire.frame }
   | Peer_down of int
   | Peer_up of int
 
-type config = {
+type config = Transport_sig.config = {
   self : int;
   listen_port : int;
   peers : (int * Unix.sockaddr) list;
@@ -29,39 +29,17 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   peers : peer list;
-  events : event Queue.t;
-  events_lock : Mutex.t;
+  book : Transport_sig.Peers.t;
   stop : bool Atomic.t;
-  last_heard : (int, float) Hashtbl.t;  (** guarded by [events_lock] *)
-  suspected : (int, bool) Hashtbl.t;  (** guarded by [events_lock] *)
+  sent : int Atomic.t;
+  received : int Atomic.t;
+  undecodable : int Atomic.t;
   mutable threads : Thread.t list;
-  mutable reader_fds : Unix.file_descr list;  (** guarded by [events_lock] *)
+  reader_lock : Mutex.t;
+  mutable reader_fds : Unix.file_descr list;  (** guarded by [reader_lock] *)
 }
 
-let push_event t ev =
-  Mutex.lock t.events_lock;
-  Queue.push ev t.events;
-  Mutex.unlock t.events_lock
-
-let poll t =
-  Mutex.lock t.events_lock;
-  let ev = if Queue.is_empty t.events then None else Some (Queue.pop t.events) in
-  Mutex.unlock t.events_lock;
-  ev
-
-let heard t src =
-  if src >= 0 then begin
-    Mutex.lock t.events_lock;
-    Hashtbl.replace t.last_heard src (Unix.gettimeofday ());
-    let was_suspected =
-      match Hashtbl.find_opt t.suspected src with Some b -> b | None -> false
-    in
-    if was_suspected then begin
-      Hashtbl.replace t.suspected src false;
-      Queue.push (Peer_up src) t.events
-    end;
-    Mutex.unlock t.events_lock
-  end
+let poll t = Transport_sig.Peers.poll t.book
 
 (* ---- sending ---- *)
 
@@ -71,11 +49,13 @@ let enqueue_pending p frame =
     ignore (Queue.pop p.pending)
   done
 
-let send_to_peer p frame =
+let send_to_peer t p frame =
   Mutex.lock p.lock;
   (match p.fd with
   | Some fd -> (
-    try Wire.write_frame fd frame
+    try
+      Wire.write_frame fd frame;
+      Atomic.incr t.sent
     with _ ->
       (try Unix.close fd with _ -> ());
       p.fd <- None;
@@ -85,10 +65,18 @@ let send_to_peer p frame =
 
 let send t ~dst frame =
   match List.find_opt (fun p -> p.id = dst) t.peers with
-  | Some p -> send_to_peer p frame
+  | Some p -> send_to_peer t p frame
   | None -> ()
 
-let broadcast t frame = List.iter (fun p -> send_to_peer p frame) t.peers
+let broadcast t frame = List.iter (fun p -> send_to_peer t p frame) t.peers
+
+let stats t =
+  {
+    Transport_sig.frames_sent = Atomic.get t.sent;
+    frames_received = Atomic.get t.received;
+    oversize_dropped = 0;
+    undecodable = Atomic.get t.undecodable;
+  }
 
 (* ---- dialler: one thread per peer keeps the outbound connection alive ---- *)
 
@@ -117,7 +105,8 @@ let dial t p =
         (try
            while not (Queue.is_empty p.pending) do
              Wire.write_frame fd (Queue.peek p.pending);
-             ignore (Queue.pop p.pending)
+             ignore (Queue.pop p.pending);
+             Atomic.incr t.sent
            done;
            p.fd <- Some fd
          with _ -> ( try Unix.close fd with _ -> ()));
@@ -147,16 +136,12 @@ let reader t fd =
       match (try Wire.read_frame fd with _ -> Error "connection error") with
       | Error _ -> ()
       | Ok frame ->
-        (match frame with
-        | Wire.Hello { site; _ }
-        | Wire.Heartbeat { site; _ }
-        | Wire.Trace_batch { site; _ }
-        | Wire.Metrics { site; _ } ->
-          src := site
-        | Wire.Proto { src = s; _ } -> src := s
-        | Wire.Workload _ | Wire.Shutdown -> ());
-        heard t !src;
-        push_event t (Frame { src = !src; frame });
+        (match Transport_sig.frame_src frame with
+        | -1 -> ()
+        | s -> src := s);
+        Atomic.incr t.received;
+        Transport_sig.Peers.heard t.book !src;
+        Transport_sig.Peers.push t.book (Frame { src = !src; frame });
         loop ()
   in
   loop ();
@@ -172,41 +157,12 @@ let acceptor t =
       match Unix.accept t.listen_fd with
       | fd, _ ->
         Unix.setsockopt fd TCP_NODELAY true;
-        Mutex.lock t.events_lock;
+        Mutex.lock t.reader_lock;
         t.reader_fds <- fd :: t.reader_fds;
-        Mutex.unlock t.events_lock;
+        Mutex.unlock t.reader_lock;
         ignore (Thread.create (fun () -> reader t fd) ())
       | exception _ -> if not (Atomic.get t.stop) then Unix.sleepf 0.01)
     | exception _ -> if not (Atomic.get t.stop) then Unix.sleepf 0.01
-  done
-
-(* ---- heartbeat + silence-based failure detection ---- *)
-
-let heartbeat t =
-  let started = Unix.gettimeofday () in
-  while not (Atomic.get t.stop) do
-    let now = Unix.gettimeofday () in
-    broadcast t (Wire.Heartbeat { site = t.cfg.self; time = now });
-    Mutex.lock t.events_lock;
-    List.iter
-      (fun id ->
-        let last =
-          match Hashtbl.find_opt t.last_heard id with
-          | Some ts -> ts
-          | None -> started (* grace period from transport start *)
-        in
-        let suspected =
-          match Hashtbl.find_opt t.suspected id with
-          | Some b -> b
-          | None -> false
-        in
-        if (not suspected) && now -. last > t.cfg.hb_timeout then begin
-          Hashtbl.replace t.suspected id true;
-          Queue.push (Peer_down id) t.events
-        end)
-      t.cfg.watch;
-    Mutex.unlock t.events_lock;
-    Unix.sleepf t.cfg.hb_period
   done
 
 (* ---- lifecycle ---- *)
@@ -237,34 +193,28 @@ let create cfg =
               pending = Queue.create ();
             })
           cfg.peers;
-      events = Queue.create ();
-      events_lock = Mutex.create ();
+      book = Transport_sig.Peers.create cfg;
       stop = Atomic.make false;
-      last_heard = Hashtbl.create 16;
-      suspected = Hashtbl.create 16;
+      sent = Atomic.make 0;
+      received = Atomic.make 0;
+      undecodable = Atomic.make 0;
       threads = [];
+      reader_lock = Mutex.create ();
       reader_fds = [];
     }
   in
-  let threads =
+  t.threads <-
     Thread.create (fun () -> acceptor t) ()
-    :: List.map (fun p -> Thread.create (fun () -> dial t p) ()) t.peers
-  in
-  let threads =
-    if cfg.hb_period > 0.0 then
-      Thread.create (fun () -> heartbeat t) () :: threads
-    else threads
-  in
-  t.threads <- threads;
+    :: List.map (fun p -> Thread.create (fun () -> dial t p) ()) t.peers;
   t
 
 let close t =
   if not (Atomic.exchange t.stop true) then begin
     (try Unix.close t.listen_fd with _ -> ());
-    Mutex.lock t.events_lock;
+    Mutex.lock t.reader_lock;
     let readers = t.reader_fds in
     t.reader_fds <- [];
-    Mutex.unlock t.events_lock;
+    Mutex.unlock t.reader_lock;
     List.iter (fun fd -> try Unix.close fd with _ -> ()) readers;
     List.iter
       (fun p ->

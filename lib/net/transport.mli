@@ -1,13 +1,9 @@
-(** TCP transport with per-peer connection management.
+(** TCP stream transport: the default {!Transport_sig.S} implementation.
 
     One transport instance serves one participant (a node or the cluster
-    supervisor). It listens for inbound connections, maintains one
+    supervisor). It listens for inbound connections and maintains one
     {e outbound} connection to every configured peer — dialled eagerly and
-    redialled with exponential backoff after any failure — and runs a
-    heartbeat loop whose silence-based failure detector feeds
-    {!event.Peer_down}/{!event.Peer_up} events to the owner (which turns
-    them into [on_failure]/[on_recovery] protocol calls and
-    suspect/trust trace events).
+    redialled with exponential backoff after any failure.
 
     Connections are {e unidirectional}: the dialler writes, the acceptor
     reads. Every outbound connection opens with a {!Wire.frame.Hello}
@@ -18,51 +14,36 @@
     business of the retry/ack layer ({!Dmx_core.Reliable}), exactly as on
     a real deployment.
 
-    All callbacks into the owner happen via {!poll} on the owner's own
-    thread; internal threads only move bytes. *)
+    Heartbeat {e emission} is the owner's job (see {!Transport_sig});
+    this module only detects silence, inside {!poll}. All callbacks into
+    the owner happen via {!poll} on the owner's own thread; internal
+    threads only move bytes. *)
 
-type event =
+type event = Transport_sig.event =
   | Frame of { src : int; frame : Wire.frame }
-      (** [src] is the sending site as identified by its [Hello] (or the
-          frame's own source field); [-1] when the sender never said hello. *)
   | Peer_down of int
-      (** heartbeat silence exceeded [hb_timeout] — suspicion, not truth *)
-  | Peer_up of int  (** a suspected peer was heard from again *)
+  | Peer_up of int
 
-type config = {
-  self : int;  (** this participant's site id ([n] for the supervisor) *)
+type config = Transport_sig.config = {
+  self : int;
   listen_port : int;
-  peers : (int * Unix.sockaddr) list;  (** outbound dial targets *)
-  hb_period : float;  (** heartbeat interval; [0.] disables the loop *)
-  hb_timeout : float;  (** silence before a watched peer is suspected *)
-  watch : int list;  (** peer ids subject to failure detection *)
+  peers : (int * Unix.sockaddr) list;
+  hb_period : float;
+  hb_timeout : float;
+  watch : int list;
   hello_inc : float;
-      (** incarnation number stamped on every outbound [Hello]; a restarted
-          node uses a fresh (larger) value so the supervisor can tell a new
-          life from a reconnect of the old one *)
 }
 
 type t
 
 val create : config -> t
 (** Binds the listen socket (with [SO_REUSEADDR], so a restarted node can
-    rebind its old port immediately), then starts the acceptor, dialler,
-    and heartbeat threads.
+    rebind its old port immediately), then starts the acceptor and
+    dialler threads.
     @raise Unix.Unix_error if the port cannot be bound. *)
 
 val send : t -> dst:int -> Wire.frame -> unit
-(** Enqueue or write one frame to a configured peer. Never blocks on a
-    dead peer and never raises on connection failure — the frame is
-    buffered for the redial. Sending to an unknown [dst] is a silent
-    no-op (the peer may not have been configured on purpose, e.g. a
-    supervisor without a fixed address). *)
-
 val broadcast : t -> Wire.frame -> unit
-(** {!send} to every configured peer. *)
-
 val poll : t -> event option
-(** Dequeue the next event, if any; the owner's main loop interleaves
-    this with protocol timers. Never blocks. *)
-
+val stats : t -> Transport_sig.stats
 val close : t -> unit
-(** Stop all threads and close every socket. Idempotent. *)

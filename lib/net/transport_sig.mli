@@ -1,0 +1,121 @@
+(** The transport abstraction of the networked runtime.
+
+    A transport moves {!Wire.frame}s between a fixed set of peers and
+    feeds the owner a single event stream: inbound frames, plus
+    {!event.Peer_down}/{!event.Peer_up} transitions from heartbeat-silence
+    failure detection. The node daemon and the cluster supervisor program
+    against the first-class {!handle}, so any implementation of {!S} —
+    TCP streams ({!Transport}), UDP datagrams ({!Udp}), or either wrapped
+    in the {!Chaos} fault shim — slots in without touching them.
+
+    Division of labour, identical for every implementation:
+
+    - {e delivery} is the transport's: reader threads move bytes and push
+      {!event.Frame}s; [poll] never blocks;
+    - {e failure detection} is the transport's: a frame from a peer
+      refreshes its liveness, and [poll] scans the watched peers for
+      heartbeat silence at most once per [hb_period];
+    - {e heartbeat emission} is the owner's: the owning loop broadcasts
+      {!Wire.frame.Heartbeat} every [hb_period] through its (possibly
+      chaos-wrapped) handle, so injected loss, partitions and delays
+      starve the failure detector exactly as a hostile network would —
+      this is what makes detector robustness testable end to end. *)
+
+type event =
+  | Frame of { src : int; frame : Wire.frame }
+      (** [src] is the sending site as identified by the frame itself (or,
+          on TCP, the connection's [Hello]); [-1] when unknown. *)
+  | Peer_down of int
+      (** heartbeat silence exceeded [hb_timeout] — suspicion, not truth *)
+  | Peer_up of int  (** a suspected peer was heard from again *)
+
+type config = {
+  self : int;  (** this participant's site id ([n] for the supervisor) *)
+  listen_port : int;
+  peers : (int * Unix.sockaddr) list;  (** send targets *)
+  hb_period : float;
+      (** heartbeat cadence: the owner emits at this period, and [poll]
+          runs the silence scan at most this often; [0.] disables
+          detection *)
+  hb_timeout : float;  (** silence before a watched peer is suspected *)
+  watch : int list;  (** peer ids subject to failure detection *)
+  hello_inc : float;
+      (** incarnation number stamped on outbound [Hello]s; a restarted
+          node uses a fresh (larger) value so the supervisor can tell a
+          new life from a reconnect of the old one *)
+}
+
+(** Transport-level delivery counters (protocol-blind; the reliability
+    layer keeps its own, see {!Dmx_core.Reliable.stats}). *)
+type stats = {
+  frames_sent : int;  (** frames actually handed to the kernel *)
+  frames_received : int;  (** frames decoded and delivered to the owner *)
+  oversize_dropped : int;
+      (** sends refused by a size guard (UDP datagram bound) *)
+  undecodable : int;  (** inbound payloads {!Wire.decode} rejected *)
+}
+
+val no_stats : stats
+
+val stats_alist : prefix:string -> stats -> (string * int) list
+(** Nonzero counters as [(prefix ^ ".sent", v); ...] pairs, ready for the
+    {!Wire.frame.Metrics} [reliable] list. *)
+
+(** What a transport implementation provides. *)
+module type S = sig
+  type t
+
+  val create : config -> t
+  (** Binds the listen socket and starts the reader machinery.
+      @raise Unix.Unix_error if the port cannot be bound. *)
+
+  val send : t -> dst:int -> Wire.frame -> unit
+  (** Best-effort, never blocks on a dead peer, never raises on delivery
+      failure. Unknown [dst] is a silent no-op. *)
+
+  val broadcast : t -> Wire.frame -> unit
+  (** {!send} to every configured peer. *)
+
+  val poll : t -> event option
+  (** Dequeue the next event, if any; also runs the time-gated
+      heartbeat-silence scan. Never blocks. *)
+
+  val stats : t -> stats
+
+  val close : t -> unit
+  (** Stop all threads and close every socket. Idempotent. *)
+end
+
+(** A transport instance with its type packed away — what the node daemon
+    and cluster supervisor actually hold. *)
+type handle = {
+  send : dst:int -> Wire.frame -> unit;
+  broadcast : Wire.frame -> unit;
+  poll : unit -> event option;
+  stats : unit -> stats;
+  close : unit -> unit;
+}
+
+val handle : (module S with type t = 'a) -> 'a -> handle
+(** Pack a concrete transport into a {!handle}. *)
+
+(** Shared implementation helper: the event queue plus heartbeat-silence
+    bookkeeping every transport embeds. Not for transport owners. *)
+module Peers : sig
+  type t
+
+  val create : config -> t
+  val push : t -> event -> unit
+
+  val heard : t -> int -> unit
+  (** A frame arrived from the given site: refresh liveness, emit
+      [Peer_up] if it was suspected. Negative ids are ignored. *)
+
+  val poll : t -> event option
+  (** Drain one event; runs the silence scan at most once per
+      [hb_period]. *)
+end
+
+val frame_src : Wire.frame -> int
+(** The sending site a frame itself names; [-1] for anonymous frames
+    ([Workload], [Shutdown]). *)

@@ -1,0 +1,16 @@
+let names = [ "tcp"; "udp" ]
+
+let create name cfg =
+  match name with
+  | "tcp" ->
+    Ok (Transport_sig.handle (module Transport) (Transport.create cfg))
+  | "udp" -> Ok (Transport_sig.handle (module Udp) (Udp.create cfg))
+  | other ->
+    Error
+      (Printf.sprintf "unknown transport %S (expected %s)" other
+         (String.concat " or " names))
+
+let create_exn name cfg =
+  match create name cfg with
+  | Ok h -> h
+  | Error e -> invalid_arg e

@@ -289,7 +289,7 @@ type frame =
   | Hello of { site : int; inc : float }
   | Heartbeat of { site : int; time : float }
   | Proto of { src : int; dst : int; payload : string }
-  | Workload of { rounds : int; cs_duration : float }
+  | Workload of { rounds : int; cs_duration : float; since : float }
   | Trace_batch of { site : int; entries : Trace.entry list }
   | Metrics of {
       site : int;
@@ -297,6 +297,7 @@ type frame =
       sent : int;
       received : int;
       kinds : (string * int) list;
+      reliable : (string * int) list;
     }
   | Shutdown
 
@@ -317,16 +318,17 @@ let encode frame =
     wint b src;
     wint b dst;
     wstr b payload
-  | Workload { rounds; cs_duration } ->
+  | Workload { rounds; cs_duration; since } ->
     w8 b 3;
     wint b rounds;
-    wf64 b cs_duration
+    wf64 b cs_duration;
+    wf64 b since
   | Trace_batch { site; entries } ->
     w8 b 4;
     wint b site;
     wint b (List.length entries);
     List.iter (wentry b) entries
-  | Metrics { site; executions; sent; received; kinds } ->
+  | Metrics { site; executions; sent; received; kinds; reliable } ->
     w8 b 5;
     wint b site;
     wint b executions;
@@ -337,7 +339,13 @@ let encode frame =
       (fun (k, v) ->
         wstr b k;
         wint b v)
-      kinds
+      kinds;
+    wint b (List.length reliable);
+    List.iter
+      (fun (k, v) ->
+        wstr b k;
+        wint b v)
+      reliable
   | Shutdown -> w8 b 6);
   Buffer.contents b
 
@@ -365,7 +373,8 @@ let decode s =
       | 3 ->
         let rounds = rint c in
         let cs_duration = rf64 c in
-        Workload { rounds; cs_duration }
+        let since = rf64 c in
+        Workload { rounds; cs_duration; since }
       | 4 ->
         let site = rint c in
         let n = rint c in
@@ -385,7 +394,15 @@ let decode s =
               let v = rint c in
               (k, v))
         in
-        Metrics { site; executions; sent; received; kinds }
+        let m = rint c in
+        if m < 0 || m > 1_000_000 then raise (Bad "bad reliable-count length");
+        let reliable =
+          List.init m (fun _ ->
+              let k = rstr c in
+              let v = rint c in
+              (k, v))
+        in
+        Metrics { site; executions; sent; received; kinds; reliable }
       | 6 -> Shutdown
       | t -> raise (Bad (Printf.sprintf "bad frame tag %d" t))
     in

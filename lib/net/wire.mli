@@ -33,9 +33,11 @@ type frame =
       (** liveness beacon, also the failure-detector input *)
   | Proto of { src : int; dst : int; payload : string }
       (** a protocol message, encoded by the protocol's own codec *)
-  | Workload of { rounds : int; cs_duration : float }
+  | Workload of { rounds : int; cs_duration : float; since : float }
       (** supervisor [->] node: run this many CS entries, holding the CS
-          this long (seconds) *)
+          this long (seconds). [since] is the supervisor's wall-clock
+          workload start — the shared epoch that anchors chaos partition
+          and delay-spike windows on every node, including restarts. *)
   | Trace_batch of { site : int; entries : Dmx_sim.Trace.entry list }
       (** node [->] supervisor: a chunk of the site's event log *)
   | Metrics of {
@@ -44,6 +46,10 @@ type frame =
       sent : int;
       received : int;
       kinds : (string * int) list;  (** per-kind network send counts *)
+      reliable : (string * int) list;
+          (** live reliability/transport/chaos counters
+              (["reliable.retransmits"], ["transport.sent"],
+              ["chaos.lost"], ...); empty when none apply *)
     }  (** node [->] supervisor: the site finished its workload *)
   | Shutdown  (** supervisor [->] node: flush and exit *)
 

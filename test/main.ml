@@ -37,5 +37,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("live-runtime", Test_live.suite);
       ("wire", Test_wire.suite);
+      ("chaos", Test_chaos.suite);
+      ("udp", Test_udp.suite);
       ("cluster", Test_cluster.suite);
     ]

@@ -84,6 +84,115 @@ let test_full_ft_cluster () =
          the restarted site's second life included *)
       check_outcome "full-ft-cluster" ~min_execs:100 o
 
+let test_small_udp_cluster () =
+  let cfg =
+    {
+      (Cluster.default ~n:3) with
+      Cluster.protocol = "ft-delay-optimal";
+      transport = "udp";
+      rounds = 5;
+      timeout = 30.0;
+    }
+  in
+  match Cluster.run cfg with
+  | Error e -> Alcotest.fail e
+  | Ok o -> check_outcome "small-udp-cluster" ~min_execs:15 o
+
+(* the acceptance scenario from the chaos harness: genuine datagram loss,
+   duplication and a kill+restart, with the unmodified oracle on the
+   merged trace and a nonzero live retransmission count *)
+let test_chaos_udp_cluster () =
+  if not full_enabled then
+    Alcotest.skip ()
+  else
+    let cfg =
+      {
+        (Cluster.default ~n:5) with
+        Cluster.protocol = "ft-delay-optimal";
+        transport = "udp";
+        chaos =
+          {
+            Dmx_net.Chaos.no_faults with
+            Dmx_net.Chaos.loss = 0.2;
+            duplication = 0.05;
+          };
+        rounds = 10;
+        seed = 7;
+        kills = [ (2.0, 1) ];
+        restarts = [ (4.0, 1) ];
+        timeout = 180.0;
+      }
+    in
+    match Cluster.run cfg with
+    | Error e -> Alcotest.fail e
+    | Ok o ->
+      check_outcome "chaos-udp-cluster" ~min_execs:40 o;
+      let totals = Cluster.live_totals o in
+      let get k = match List.assoc_opt k totals with Some v -> v | None -> 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos really dropped frames (lost %d)"
+           (get "chaos.lost"))
+        true
+        (get "chaos.lost" > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "reliability layer really retransmitted (retx %d)"
+           (get "reliable.retransmits"))
+        true
+        (get "reliable.retransmits" > 0)
+
+(* a node that cannot bind its port must fail the run quickly, by name —
+   not wedge the supervisor until the global timeout *)
+let test_bind_failure_names_the_node () =
+  (* occupy a port, then force the cluster to assign it to site 1 *)
+  let blocker = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close blocker)
+    (fun () ->
+      Unix.bind blocker (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen blocker 1;
+      let taken =
+        match Unix.getsockname blocker with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      let free () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        let p =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> assert false
+        in
+        Unix.close fd;
+        p
+      in
+      let ports = [ free (); taken; free (); free () ] in
+      let cfg =
+        {
+          (Cluster.default ~n:3) with
+          Cluster.protocol = "delay-optimal";
+          rounds = 2;
+          ports = Some ports;
+          hello_timeout = 5.0;
+          timeout = 30.0;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      match Cluster.run cfg with
+      | Ok _ -> Alcotest.fail "cluster came up on an occupied port"
+      | Error msg ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "error names node 1: %S" msg)
+          true
+          (contains msg "node 1" || contains msg "node(s) 1");
+        Alcotest.(check bool) "failed fast, not at the global timeout" true
+          (Unix.gettimeofday () -. t0 < cfg.Cluster.timeout))
+
 let test_bad_configs () =
   let bad cfg = match Cluster.run cfg with Ok _ -> false | Error _ -> true in
   Alcotest.(check bool) "n too small" true
@@ -115,5 +224,11 @@ let suite =
     Alcotest.test_case "3-node delay-optimal cluster" `Slow test_small_cluster;
     Alcotest.test_case "5-node ft cluster with kill+restart (DMX_CLUSTER_FULL)"
       `Slow test_full_ft_cluster;
+    Alcotest.test_case "3-node ft cluster over UDP" `Slow test_small_udp_cluster;
+    Alcotest.test_case
+      "5-node UDP cluster under 20% loss + kill/restart (DMX_CLUSTER_FULL)"
+      `Slow test_chaos_udp_cluster;
+    Alcotest.test_case "bind failure fails fast and names the node" `Slow
+      test_bind_failure_names_the_node;
     Alcotest.test_case "bad configurations rejected" `Quick test_bad_configs;
   ]

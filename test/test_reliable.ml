@@ -222,6 +222,43 @@ let test_restart_evidence_purges_backlog () =
   Alcotest.(check bool) "restart seen" true i.Rel.restarted;
   Alcotest.(check int) "backlog voided" 0 (Rel.in_flight r 1)
 
+let test_stats_counters () =
+  let io, _, _ = stub_io () in
+  let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
+  Alcotest.(check bool) "fresh layer all zero" true (Rel.stats r = Rel.no_stats);
+  Alcotest.(check (list (pair string int))) "alist elides zeros" []
+    (Rel.stats_alist r);
+  (* two in flight, one deadline: a block retransmission of both *)
+  Rel.send r ~dst:1 payload;
+  Rel.send r ~dst:1 M.Fail;
+  ignore (Rel.on_timer r 2);
+  Alcotest.(check int) "retransmits" 2 (Rel.stats r).Rel.retransmits;
+  (* a delivered frame, then its duplicate *)
+  ignore (Rel.on_message r ~src:1 (data 0 payload));
+  ignore (Rel.on_message r ~src:1 (data 0 payload));
+  Alcotest.(check int) "past-seq duplicate" 1 (Rel.stats r).Rel.dup_drops;
+  (* a retransmitted copy of a still-buffered gap frame *)
+  ignore (Rel.on_message r ~src:1 (data 2 M.Fail));
+  ignore (Rel.on_message r ~src:1 (data ~retx:true 2 M.Fail));
+  Alcotest.(check int) "buffered duplicate" 2 (Rel.stats r).Rel.dup_drops;
+  (* the coalesced ack goes out: peer 1's ack tag is 2*1+1 *)
+  ignore (Rel.on_timer r 3);
+  Alcotest.(check int) "acks sent" 1 (Rel.stats r).Rel.acks_sent;
+  Alcotest.(check (option int)) "alist carries retransmits" (Some 2)
+    (List.assoc_opt "reliable.retransmits" (Rel.stats_alist r))
+
+let test_stats_stale_drops () =
+  (* mail addressed to our dead incarnation (we restarted at t=10) *)
+  let io, _, _ = stub_io ~now:10.0 () in
+  let r = Rel.create Rel.default ~n:3 ~self:1 ~io in
+  ignore (Rel.on_message r ~src:0 (data ~dst_inc:0.0 0 payload));
+  Alcotest.(check int) "stale destination" 1 (Rel.stats r).Rel.stale_drops;
+  (* a straggler from a source incarnation we already superseded *)
+  ignore (Rel.on_message r ~src:0 (data ~inc:5.0 ~dst_inc:10.0 0 payload));
+  ignore (Rel.on_message r ~src:0 (data ~inc:9.0 ~dst_inc:10.0 ~base:3 3 M.Fail));
+  ignore (Rel.on_message r ~src:0 (data ~inc:5.0 ~dst_inc:10.0 1 payload));
+  Alcotest.(check int) "zombie source" 2 (Rel.stats r).Rel.stale_drops
+
 let test_rejects_bare_messages () =
   let io, _, _ = stub_io () in
   let r = Rel.create Rel.default ~n:3 ~self:0 ~io in
@@ -248,5 +285,7 @@ let suite =
       ("incarnation restart evidence", test_incarnation_restart);
       ("stale-destination mail dropped", test_stale_destination_dropped);
       ("restart evidence purges backlog", test_restart_evidence_purges_backlog);
+      ("live stats counters", test_stats_counters);
+      ("stale-drop accounting", test_stats_stale_drops);
       ("bare messages rejected", test_rejects_bare_messages);
     ]

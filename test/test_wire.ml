@@ -142,9 +142,11 @@ let frame_gen : Wire.frame QCheck.Gen.t =
             Wire.Proto { src; dst; payload = Wire.encode_message m })
           (int_range 0 64) (int_range 0 64) msg_gen );
       ( 1,
-        map2
-          (fun rounds cs_duration -> Wire.Workload { rounds; cs_duration })
-          (int_range 0 10_000) (float_range 0.0 10.0) );
+        map3
+          (fun rounds cs_duration since ->
+            Wire.Workload { rounds; cs_duration; since })
+          (int_range 0 10_000) (float_range 0.0 10.0) (float_range 0.0 100.0)
+      );
       ( 3,
         map2
           (fun site entries -> Wire.Trace_batch { site; entries })
@@ -152,13 +154,16 @@ let frame_gen : Wire.frame QCheck.Gen.t =
           (list_size (int_range 0 32) entry_gen) );
       ( 2,
         map3
-          (fun site (executions, sent, received) kinds ->
-            Wire.Metrics { site; executions; sent; received; kinds })
+          (fun site (executions, sent, received) (kinds, reliable) ->
+            Wire.Metrics { site; executions; sent; received; kinds; reliable })
           (int_range 0 64)
           (triple (int_range 0 100_000) (int_range 0 100_000)
              (int_range 0 100_000))
-          (list_size (int_range 0 10)
-             (pair small_string_gen (int_range 0 100_000))) );
+          (pair
+             (list_size (int_range 0 10)
+                (pair small_string_gen (int_range 0 100_000)))
+             (list_size (int_range 0 10)
+                (pair small_string_gen (int_range 0 100_000)))) );
       (1, return Wire.Shutdown);
     ]
 
@@ -173,8 +178,8 @@ let frame_print = function
   | Wire.Proto { src; dst; payload } ->
     Printf.sprintf "Proto{src=%d;dst=%d;%d bytes}" src dst
       (String.length payload)
-  | Wire.Workload { rounds; cs_duration } ->
-    Printf.sprintf "Workload{rounds=%d;cs=%h}" rounds cs_duration
+  | Wire.Workload { rounds; cs_duration; since } ->
+    Printf.sprintf "Workload{rounds=%d;cs=%h;since=%h}" rounds cs_duration since
   | Wire.Trace_batch { site; entries } ->
     Printf.sprintf "Trace_batch{site=%d;%d entries}" site (List.length entries)
   | Wire.Metrics { site; executions; _ } ->
@@ -233,6 +238,44 @@ let prop_corrupt_never_raises =
       Bytes.set_uint8 enc pos byte;
       match Wire.decode (Bytes.to_string enc) with
       | Ok _ | Error _ -> true)
+
+(* ---- datagram-shaped corruption ----
+
+   On the UDP path there is no length prefix: one datagram IS one frame
+   payload, so the decoder's exact-consumption rule is the only framing.
+   Model the datagram failure modes directly: two frames fused into one
+   datagram, a datagram truncated in flight, and random noise. (Truncation
+   of a single frame and single-byte flips are covered above; duplicated
+   datagrams decode independently, which the round-trip property covers.) *)
+
+let prop_fused_datagram_rejected =
+  QCheck.Test.make ~count:500 ~name:"two frames fused into one datagram rejected"
+    (QCheck.make
+       ~print:(fun (a, b) ->
+         Printf.sprintf "%s ++ %s" (frame_print a) (frame_print b))
+       QCheck.Gen.(pair frame_gen frame_gen))
+    (fun (a, b) ->
+      match Wire.decode (Wire.encode a ^ Wire.encode b) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let prop_noise_never_raises =
+  QCheck.Test.make ~count:2000 ~name:"random datagram noise never raises"
+    (QCheck.make
+       ~print:(fun s -> Printf.sprintf "%d noise bytes" (String.length s))
+       QCheck.Gen.(string_size ~gen:char (int_range 0 512)))
+    (fun s -> match Wire.decode s with Ok _ | Error _ -> true)
+
+let prop_oversize_batch_stays_in_datagram =
+  (* the node daemon chunks trace batches at 96 entries; any such chunk
+     must fit a single UDP datagram with room to spare *)
+  QCheck.Test.make ~count:100 ~name:"96-entry trace batch fits a datagram"
+    (QCheck.make
+       ~print:(fun es -> Printf.sprintf "%d entries" (List.length es))
+       QCheck.Gen.(list_size (return 96) entry_gen))
+    (fun entries ->
+      let enc = Wire.encode (Wire.Trace_batch { site = 0; entries }) in
+      String.length enc <= Dmx_net.Udp.max_datagram)
 
 (* ---- unit cases: sentinels, max sizes, version gate, framed IO ---- *)
 
@@ -346,6 +389,9 @@ let suite =
       prop_truncation_rejected;
       prop_trailing_rejected;
       prop_corrupt_never_raises;
+      prop_fused_datagram_rejected;
+      prop_noise_never_raises;
+      prop_oversize_batch_stays_in_datagram;
     ]
   @ [
       Alcotest.test_case "sentinel values round-trip" `Quick test_sentinels;
