@@ -25,6 +25,7 @@ let registry =
     ("unreliable-network", ("E12: loss sweep and partition healing", Experiments.unreliable_network));
     ("model-check", ("MC: exhaustive small-scope schedule exploration", Experiments.model_check));
     ("ablation", ("A1/A2: design-choice ablations (piggyback, eager fails)", Experiments.ablation));
+    ("asymptotics", ("A3: huge-N sqrt(N)/log(N) scaling, machine-checked", Experiments.asymptotics));
     ("micro", ("M1: substrate micro-benchmarks", Micro.run));
     ("cluster-smoke", ("N1: real multi-process TCP cluster smoke", Net_smoke.run));
     ("cluster-chaos", ("N2: UDP cluster soak under injected loss", Net_chaos.run));
@@ -32,8 +33,14 @@ let registry =
 
 let names = List.map fst registry
 
-(* Validate a selection; [] means everything, in registry order. *)
+(* Validate a selection; [] means everything, in registry order. The
+   experiment labels used in EXPERIMENTS.md ("A3") are accepted as
+   aliases. *)
 let resolve selected =
+  let canon a =
+    match String.lowercase_ascii a with "a3" -> "asymptotics" | x -> x
+  in
+  let selected = List.map canon selected in
   let unknown = List.filter (fun a -> not (List.mem_assoc a registry)) selected in
   if unknown <> [] then Error unknown
   else Ok (if selected = [] then names else selected)

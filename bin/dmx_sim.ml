@@ -73,18 +73,27 @@ let workload_conv =
       match float_of_string_opt r with
       | Some r -> Ok (`Poisson r)
       | None -> Error (`Msg "bad poisson rate"))
+    | [ "open-loop"; ar ] -> (
+      match String.split_on_char ',' ar with
+      | [ a; r ] -> (
+        match (int_of_string_opt a, float_of_string_opt r) with
+        | Some active, Some rate -> Ok (`Open_loop (active, rate))
+        | _ -> Error (`Msg "bad open-loop (expected ACTIVE,RATE)"))
+      | _ -> Error (`Msg "bad open-loop (expected ACTIVE,RATE)"))
     | [ "burst" ] -> Ok `Burst_all
     | _ ->
       Error
         (`Msg
            (Printf.sprintf
-              "bad workload %S (expected saturated[:C] | poisson:RATE | burst)"
+              "bad workload %S (expected saturated[:C] | poisson:RATE | \
+               open-loop:ACTIVE,RATE | burst)"
               s))
   in
   let pp ppf = function
     | `Saturated_all -> Format.pp_print_string ppf "saturated"
     | `Saturated c -> Format.fprintf ppf "saturated:%d" c
     | `Poisson r -> Format.fprintf ppf "poisson:%g" r
+    | `Open_loop (a, r) -> Format.fprintf ppf "open-loop:%d,%g" a r
     | `Burst_all -> Format.pp_print_string ppf "burst"
   in
   Arg.conv (parse, pp)
@@ -142,7 +151,10 @@ let workload_arg =
   Arg.(
     value & opt workload_conv `Saturated_all
     & info [ "load" ] ~docv:"WORKLOAD"
-        ~doc:"Workload: saturated[:CONTENDERS], poisson:RATE or burst.")
+        ~doc:
+          "Workload: saturated[:CONTENDERS], poisson:RATE, \
+           open-loop:ACTIVE,RATE (Poisson at the first ACTIVE sites only; \
+           the huge-N workload) or burst.")
 
 let quorum_arg =
   Arg.(
@@ -291,6 +303,8 @@ let make_cfg ?(faults = Net.no_faults) ?(det = `Oracle) n seed execs warmup cs
     | `Saturated_all -> W.Saturated { contenders = n }
     | `Saturated c -> W.Saturated { contenders = min c n }
     | `Poisson rate_per_site -> W.Poisson { rate_per_site }
+    | `Open_loop (active, rate_per_site) ->
+      W.Open_loop { active = min active n; rate_per_site }
     | `Burst_all -> W.Burst { requesters = List.init n Fun.id; at = 0.0 }
   in
   {
@@ -370,33 +384,77 @@ let run_cmd =
              ricart-agrawala, singhal-dynamic, suzuki-kasami, \
              singhal-heuristic, raymond, raymond-chain.")
   in
+  let lazy_arg =
+    Arg.(
+      value & flag
+      & info [ "lazy-coteries" ]
+          ~doc:
+            "Generate quorums on demand from the construction's structure \
+             and instantiate sites lazily: memory follows the sites that \
+             act, not N, so universes of 10^6 sites run in-process. \
+             delay-optimal only; pair with --load open-loop:ACTIVE,RATE or \
+             --load saturated:C.")
+  in
   let action algo kind n seed execs warmup cs delay workload crashes detect det
-      loss dup partitions spikes csv check =
+      loss dup partitions spikes csv check lazy_coteries =
     if check then Atomic.set R.always_check true;
     let faults = faults_of loss dup partitions spikes in
-    match runner_of_algo ~faults ~det algo kind ~n with
-    | Error e ->
-      prerr_endline e;
-      exit 1
-    | Ok runner ->
-      let cfg =
-        make_cfg ~faults ~det n seed execs warmup cs delay workload crashes
-          detect
-      in
-      let r = runner.R.run cfg in
+    let finish (r : E.report) variant =
       if csv then begin
         print_endline csv_header;
-        print_endline (csv_line r runner.R.variant)
+        print_endline (csv_line r variant)
       end
       else Format.printf "%a@." E.pp_report r;
       exit_checked (if r.E.violations > 0 then 2 else 0)
+    in
+    if lazy_coteries then begin
+      if algo <> "delay-optimal" then begin
+        prerr_endline "--lazy-coteries supports only --algo delay-optimal";
+        exit 1
+      end;
+      if check then begin
+        prerr_endline
+          "--lazy-coteries bypasses the trace oracle; drop --check";
+        exit 1
+      end;
+      if not (B.supports kind ~n) then begin
+        Printf.eprintf "%s does not support n=%d\n" (B.kind_name kind) n;
+        exit 1
+      end;
+      let cfg =
+        {
+          (make_cfg ~faults ~det n seed execs warmup cs delay workload crashes
+             detect)
+          with
+          E.lazy_sites = true;
+        }
+      in
+      let module M = E.Make (Dmx_core.Delay_optimal) in
+      let r =
+        M.run cfg
+          (Dmx_core.Delay_optimal.config_of_assignment (B.assignment kind ~n))
+      in
+      finish r (B.kind_name kind)
+    end
+    else
+      match runner_of_algo ~faults ~det algo kind ~n with
+      | Error e ->
+        prerr_endline e;
+        exit 1
+      | Ok runner ->
+        let cfg =
+          make_cfg ~faults ~det n seed execs warmup cs delay workload crashes
+            detect
+        in
+        let r = runner.R.run cfg in
+        finish r runner.R.variant
   in
   let term =
     Term.(
       const action $ algo_arg $ quorum_arg $ n_arg $ seed_arg $ execs_arg
       $ warmup_arg $ cs_arg $ delay_arg $ workload_arg $ crashes_arg
       $ detect_arg $ detector_arg $ loss_arg $ dup_arg $ partition_arg
-      $ spike_arg $ csv_arg $ check_arg)
+      $ spike_arg $ csv_arg $ check_arg $ lazy_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one mutual exclusion algorithm.")
@@ -800,7 +858,7 @@ let bench_cmd =
             "Re-check the measured tables against the paper's Section 5 \
              closed forms (Table 1 message bands, sync delay T vs 2T, \
              throughput bounds, M/M/1 waiting time); exit 2 on any band \
-             violation. Covers the T1/E1/E3/E4/E6/E11 experiments.")
+             violation. Covers the T1/E1/E3/E4/E6/E11/A3 experiments.")
   in
   let validate_out_arg =
     Arg.(

@@ -1,14 +1,26 @@
 module Ts = Dmx_sim.Timestamp
 module Proto = Dmx_sim.Protocol
+module Ct = Dmx_quorum.Coterie
 
 type config = {
-  req_sets : int list array;
+  assignment : Ct.assignment;
+  k_hint : float;
   piggyback_next : bool;
   eager_fails : bool;
 }
 
 let config ?(piggyback_next = true) ?(eager_fails = true) req_sets =
-  { req_sets; piggyback_next; eager_fails }
+  let sizes = Array.map List.length req_sets in
+  let n = Array.length sizes in
+  let k_hint =
+    if n = 0 then 0.0
+    else float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int n
+  in
+  { assignment = Ct.of_req_sets req_sets; k_hint; piggyback_next; eager_fails }
+
+let config_of_assignment ?(piggyback_next = true) ?(eager_fails = true) a =
+  let k_hint = (Dmx_quorum.Builder.assignment_stats a).Dmx_quorum.Builder.k_mean in
+  { assignment = a; k_hint; piggyback_next; eager_fails }
 
 type message = Messages.t
 
@@ -18,6 +30,11 @@ type message = Messages.t
    request at a time) and applied the moment the lock catches up. *)
 type pending_action = Released of Ts.t option | Yielded
 
+(* Per-site protocol state is sparse: every per-peer map below is a
+   hashtable keyed by site id rather than an N-slot array, so a site's
+   memory follows the peers it actually talks to (its quorum plus its
+   requesters — O(K)) instead of the universe size. At N = 10^6 the old
+   arrays were 4 x 8 MB per instantiated site. *)
 type state = {
   self : int;
   piggyback_next : bool;
@@ -26,7 +43,7 @@ type state = {
   clock : Ts.Clock.t;
   (* requester role *)
   mutable req : Ts.t option;  (* outstanding request, None when idle *)
-  replied : bool array;  (* replied.(k): permission of arbiter k held *)
+  replied : (int, unit) Hashtbl.t;  (* arbiters whose permission is held *)
   mutable failed : bool;  (* received a fail or sent a yield this round *)
   mutable in_cs : bool;
   mutable tran_stack : (int * Ts.t) list;  (* (arbiter, target), newest first *)
@@ -35,11 +52,11 @@ type state = {
   mutable lock : Ts.t;  (* request holding this site's permission *)
   queue : Ts_queue.t;  (* waiting requests, best first *)
   mutable inquired : bool;  (* inquire outstanding for the current lock *)
-  fail_noted : bool array;
-      (* fail_noted.(s): a fail was already sent for s's queued request, so
-         it will yield if inquired elsewhere; never fail a request twice *)
-  pending : (Ts.t * pending_action) option array;  (* indexed by site *)
-  dead : bool array;
+  fail_noted : (int, unit) Hashtbl.t;
+      (* sites whose queued request was already failed, so they will yield
+         if inquired elsewhere; never fail a request twice *)
+  pending : (int, Ts.t * pending_action) Hashtbl.t;  (* keyed by site *)
+  dead : (int, unit) Hashtbl.t;
       (* set by the Section 6 recovery only; the arbiter must never assign
          its lock to (or queue) a request from a crashed site — in-flight
          releases can otherwise hand the permission to the dead *)
@@ -47,29 +64,22 @@ type state = {
 
 let name = "delay-optimal"
 
-let describe (c : config) =
-  let stats = Array.map List.length c.req_sets in
-  let n = Array.length stats in
-  let mean =
-    if n = 0 then 0.0
-    else float_of_int (Array.fold_left ( + ) 0 stats) /. float_of_int n
-  in
-  Printf.sprintf "K=%.1f" mean
+let describe (c : config) = Printf.sprintf "K=%.1f" c.k_hint
 
 let message_kind = Messages.kind
 let pp_message = Messages.pp
 
 let init (ctx : message Proto.ctx) (c : config) =
-  if Array.length c.req_sets <> ctx.n then
+  if Ct.assignment_size c.assignment <> ctx.n then
     invalid_arg "Delay_optimal.init: req_sets size mismatch";
   {
     self = ctx.self;
     piggyback_next = c.piggyback_next;
     eager_fails = c.eager_fails;
-    quorum = c.req_sets.(ctx.self);
+    quorum = Ct.quorum_of c.assignment ctx.self;
     clock = Ts.Clock.create ();
     req = None;
-    replied = Array.make ctx.n false;
+    replied = Hashtbl.create 8;
     failed = false;
     in_cs = false;
     tran_stack = [];
@@ -77,16 +87,16 @@ let init (ctx : message Proto.ctx) (c : config) =
     lock = Ts.infinity;
     queue = Ts_queue.create ();
     inquired = false;
-    fail_noted = Array.make ctx.n false;
-    pending = Array.make ctx.n None;
-    dead = Array.make ctx.n false;
+    fail_noted = Hashtbl.create 8;
+    pending = Hashtbl.create 8;
+    dead = Hashtbl.create 8;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Requester role                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let all_replied st = List.for_all (fun k -> st.replied.(k)) st.quorum
+let all_replied st = List.for_all (Hashtbl.mem st.replied) st.quorum
 
 let check_enter (ctx : message Proto.ctx) st =
   if st.req <> None && (not st.in_cs) && all_replied st then begin
@@ -102,9 +112,9 @@ let send_yield (ctx : message Proto.ctx) st arbiter =
   match st.req with
   | None -> ()
   | Some own ->
-    if st.replied.(arbiter) then
+    if Hashtbl.mem st.replied arbiter then
       ctx.trace_event (Dmx_sim.Trace.Cede { arbiter });
-    st.replied.(arbiter) <- false;
+    Hashtbl.remove st.replied arbiter;
     st.failed <- true;
     st.tran_stack <- List.filter (fun (a, _) -> a <> arbiter) st.tran_stack;
     ctx.send ~dst:arbiter (Messages.Yield { of_req = own })
@@ -115,7 +125,7 @@ let send_yield (ctx : message Proto.ctx) st arbiter =
    before the reply arrives the inquire waits in inq_queue. *)
 let process_inquire (ctx : message Proto.ctx) st arbiter =
   if st.req <> None && (not st.in_cs) && not (all_replied st) then begin
-    if st.replied.(arbiter) && st.failed then send_yield ctx st arbiter
+    if Hashtbl.mem st.replied arbiter && st.failed then send_yield ctx st arbiter
     else if not (List.mem arbiter st.inq_queue) then
       st.inq_queue <- arbiter :: st.inq_queue
   end
@@ -142,9 +152,9 @@ let on_reply (ctx : message Proto.ctx) st ~arbiter ~for_req ~next =
       (Messages.Release { of_req = for_req; forwarded_to = None })
   end
   else begin
-    if not st.replied.(arbiter) then
+    if not (Hashtbl.mem st.replied arbiter) then
       ctx.trace_event (Dmx_sim.Trace.Acquire { arbiter });
-    st.replied.(arbiter) <- true;
+    Hashtbl.replace st.replied arbiter ();
     (match next with
     | Some target -> st.tran_stack <- (arbiter, target) :: st.tran_stack
     | None -> ());
@@ -159,7 +169,7 @@ let on_reply (ctx : message Proto.ctx) st ~arbiter ~for_req ~next =
    arbiter's permission; stale ones are dropped. The piggybacked inquire is
    processed (or deferred) regardless. *)
 let on_transfer (ctx : message Proto.ctx) st ~src ~target ~inquire =
-  if st.req <> None && st.replied.(src) then
+  if st.req <> None && Hashtbl.mem st.replied src then
     st.tran_stack <- (src, target) :: st.tran_stack;
   if inquire then process_inquire ctx st src
 
@@ -169,7 +179,7 @@ let request_cs (ctx : message Proto.ctx) st =
   let ts = Ts.Clock.next st.clock ~site:st.self in
   st.req <- Some ts;
   st.failed <- false;
-  Array.fill st.replied 0 (Array.length st.replied) false;
+  Hashtbl.reset st.replied;
   st.tran_stack <- [];
   st.inq_queue <- [];
   ctx.trace_event (Dmx_sim.Trace.Adopt_quorum st.quorum);
@@ -205,7 +215,7 @@ let release_cs (ctx : message Proto.ctx) st =
         (Messages.Release
            { of_req = own; forwarded_to = Hashtbl.find_opt honored j }))
     st.quorum;
-  Array.fill st.replied 0 (Array.length st.replied) false;
+  Hashtbl.reset st.replied;
   st.failed <- false;
   st.inq_queue <- []
 
@@ -228,8 +238,8 @@ let send_transfer (ctx : message Proto.ctx) st target =
    always contains a site holding one permission while ranking behind
    another lock, and the fail is what makes it yield when inquired. *)
 let note_fail (ctx : message Proto.ctx) st (entry : Ts.t) =
-  if not st.fail_noted.(entry.Ts.site) then begin
-    st.fail_noted.(entry.Ts.site) <- true;
+  if not (Hashtbl.mem st.fail_noted entry.Ts.site) then begin
+    Hashtbl.replace st.fail_noted entry.Ts.site ();
     ctx.send ~dst:entry.Ts.site Messages.Fail
   end
 
@@ -244,9 +254,9 @@ let enforce_head_rule (ctx : message Proto.ctx) st =
   end
 
 let take_pending st (ts : Ts.t) =
-  match st.pending.(ts.Ts.site) with
+  match Hashtbl.find_opt st.pending ts.Ts.site with
   | Some (pts, action) when Ts.equal pts ts ->
-    st.pending.(ts.Ts.site) <- None;
+    Hashtbl.remove st.pending ts.Ts.site;
     Some action
   | _ -> None
 
@@ -256,7 +266,7 @@ let take_pending st (ts : Ts.t) =
 let rec assign_lock (ctx : message Proto.ctx) st ts ~announce =
   st.lock <- ts;
   st.inquired <- false;
-  st.fail_noted.(ts.Ts.site) <- false;
+  Hashtbl.remove st.fail_noted ts.Ts.site;
   match take_pending st ts with
   | None -> announce ()
   | Some (Released forwarded_to) -> apply_release ctx st ~forwarded_to
@@ -268,7 +278,7 @@ let rec assign_lock (ctx : message Proto.ctx) st ts ~announce =
    the runner-up (steps A.4 and the release(max) path). *)
 and grant_next (ctx : message Proto.ctx) st =
   match Ts_queue.pop st.queue with
-  | Some best when st.dead.(best.Ts.site) -> grant_next ctx st
+  | Some best when Hashtbl.mem st.dead best.Ts.site -> grant_next ctx st
   | Some best ->
     assign_lock ctx st best ~announce:(fun () ->
         let next =
@@ -292,7 +302,7 @@ and grant_next (ctx : message Proto.ctx) st =
 (* The receiving side of a release (step C.2, DESIGN.md §3.6). *)
 and apply_release (ctx : message Proto.ctx) st ~forwarded_to =
   match forwarded_to with
-  | Some x when not st.dead.(x.Ts.site) ->
+  | Some x when not (Hashtbl.mem st.dead x.Ts.site) ->
     (* The exiting holder already forwarded our permission to [x]. Remove
        exactly that request from the queue (x may have re-requested). A
        target found neither queued nor stashed has been purged since the
@@ -303,7 +313,7 @@ and apply_release (ctx : message Proto.ctx) st ~forwarded_to =
        the lock on a request nobody will ever release. *)
     let queued = Ts_queue.remove_ts st.queue x in
     let stashed =
-      match st.pending.(x.Ts.site) with
+      match Hashtbl.find_opt st.pending x.Ts.site with
       | Some (pts, _) -> Ts.equal pts x
       | None -> false
     in
@@ -328,7 +338,7 @@ let on_request (ctx : message Proto.ctx) st ~src ts =
   (* Note: a stashed action from this site's PREVIOUS request must survive
      the arrival of its next request — the stash resolves precisely when
      the old holder's release assigns the lock to that previous request. *)
-  if st.dead.(src) then () (* a last gasp from a crashed site *)
+  if Hashtbl.mem st.dead src then () (* a last gasp from a crashed site *)
   else if Ts.is_infinity st.lock then
     assign_lock ctx st ts ~announce:(fun () ->
         ctx.trace_event (Dmx_sim.Trace.Grant { to_ = src });
@@ -337,7 +347,7 @@ let on_request (ctx : message Proto.ctx) st ~src ts =
   else begin
     let old_head = Ts_queue.head st.queue in
     Ts_queue.insert st.queue ts;
-    st.fail_noted.(src) <- false;
+    Hashtbl.remove st.fail_noted src;
     match Ts_queue.head st.queue with
     | Some h when Ts.equal h ts ->
       (match old_head with
@@ -357,12 +367,12 @@ let on_yield (ctx : message Proto.ctx) st ~src ~of_req =
     grant_next ctx st
   end
   else if not (Ts.is_infinity st.lock) then
-    st.pending.(src) <- Some (of_req, Yielded)
+    Hashtbl.replace st.pending src (of_req, Yielded)
 
 let on_release (ctx : message Proto.ctx) st ~src ~of_req ~forwarded_to =
   if Ts.equal st.lock of_req then apply_release ctx st ~forwarded_to
   else if not (Ts.is_infinity st.lock) then
-    st.pending.(src) <- Some (of_req, Released forwarded_to)
+    Hashtbl.replace st.pending src (of_req, Released forwarded_to)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -392,7 +402,7 @@ let on_failure _ctx _st _site = ()
    so the arbiter accepts the rejoined site's requests again. *)
 let on_recovery _ctx _st _site = ()
 
-let mark_alive st site = st.dead.(site) <- false
+let mark_alive st site = Hashtbl.remove st.dead site
 
 (* ------------------------------------------------------------------ *)
 (* Section 6 failure recovery, shared with the fault-tolerant variant  *)
@@ -415,7 +425,7 @@ let abandon_request (ctx : message Proto.ctx) st =
     let own = match st.req with Some o -> o | None -> assert false in
     List.iter
       (fun k ->
-        if st.replied.(k) then send_yield ctx st k
+        if Hashtbl.mem st.replied k then send_yield ctx st k
         else
           ctx.send ~dst:k
             (Messages.Release { of_req = own; forwarded_to = None }))
@@ -447,8 +457,8 @@ let purge_stale_tenure (ctx : message Proto.ctx) st ~site =
     | None -> false
   in
   let removed = Ts_queue.remove_site st.queue site in
-  st.fail_noted.(site) <- false;
-  st.pending.(site) <- None;
+  Hashtbl.remove st.fail_noted site;
+  Hashtbl.remove st.pending site;
   if removed && was_head && not (Ts.is_infinity st.lock) then begin
     (match Ts_queue.head st.queue with
     | Some h -> send_transfer ctx st h
@@ -464,7 +474,7 @@ let purge_stale_tenure (ctx : message Proto.ctx) st ~site =
   if st.lock.Ts.site = site then grant_next ctx st
 
 let handle_site_failure (ctx : message Proto.ctx) st ~failed_site ~rebuild =
-  st.dead.(failed_site) <- true;
+  Hashtbl.replace st.dead failed_site ();
   (* Requester side: a quorum containing the dead site can never be
      assembled; release what we hold, pick a new quorum, and re-request
      with a fresh timestamp. A site inside the CS keeps going — its exit
@@ -489,9 +499,8 @@ module Internal = struct
   let request st = st.req
 
   let replied_from st =
-    List.filter
-      (fun k -> st.replied.(k))
-      (List.init (Array.length st.replied) Fun.id)
+    Hashtbl.fold (fun k () acc -> k :: acc) st.replied []
+    |> List.sort Int.compare
 
   let failed st = st.failed
   let in_cs st = st.in_cs
@@ -504,11 +513,11 @@ module Internal = struct
   let copy_state st =
     {
       st with
-      replied = Array.copy st.replied;
+      replied = Hashtbl.copy st.replied;
       queue = Ts_queue.copy st.queue;
-      fail_noted = Array.copy st.fail_noted;
-      pending = Array.copy st.pending;
-      dead = Array.copy st.dead;
+      fail_noted = Hashtbl.copy st.fail_noted;
+      pending = Hashtbl.copy st.pending;
+      dead = Hashtbl.copy st.dead;
       clock = Ts.Clock.copy st.clock;
     }
 

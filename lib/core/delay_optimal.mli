@@ -19,8 +19,14 @@
     preempts. See DESIGN.md §3 for the OCR reconstruction notes. *)
 
 type config = {
-  req_sets : int list array;
-      (** one request set (quorum) per site, e.g. from {!Dmx_quorum.Builder} *)
+  assignment : Dmx_quorum.Coterie.assignment;
+      (** one request set (quorum) per site, materialized or lazy, e.g. from
+          {!Dmx_quorum.Builder}; each site's quorum is looked up exactly
+          once, at [init] *)
+  k_hint : float;
+      (** mean quorum size, for {!describe} only — computed by the
+          constructors, exact for materialized assignments and sampled for
+          lazy ones *)
   piggyback_next : bool;
       (** piggyback a transfer naming the runner-up on direct grants (steps
           A.4 / release(max)); ablation knob — benchmark [ablation] shows
@@ -37,6 +43,12 @@ val config :
   ?piggyback_next:bool -> ?eager_fails:bool -> int list array -> config
 (** [config req_sets] with both flags defaulting to [true] (the correct,
     fully-optimized algorithm). *)
+
+val config_of_assignment :
+  ?piggyback_next:bool -> ?eager_fails:bool ->
+  Dmx_quorum.Coterie.assignment -> config
+(** Same, from a lazy assignment: nothing proportional to N is ever built,
+    which is what makes universes of 10^6 sites runnable. *)
 
 include
   Dmx_sim.Protocol.PROTOCOL

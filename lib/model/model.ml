@@ -29,7 +29,9 @@ let quorum_based = function
 let params ?(kind = B.Grid) ~algorithm ~n ~e ~t ~load ~delay_shape () =
   let k =
     if quorum_based algorithm && B.supports kind ~n then
-      (B.size_stats (B.req_sets kind ~n)).B.k_mean
+      (* lazy + sampled above 4096 sites: exact below, and never O(N·K)
+         memory, so this is safe to call at N = 10^6 *)
+      (B.assignment_stats (B.assignment kind ~n)).B.k_mean
     else 0.0
   in
   { algorithm; n; k; e; t; load; delay_shape }
@@ -253,6 +255,34 @@ let expectations p =
     in
     msgs @ sync @ tput
 
+(* ---- huge-N asymptotics (A3) ---- *)
+
+(* At N = 10^5..10^6 the fixed-contender workloads sit between §5.1's pure
+   light load and §5.2's all-N saturation, so the envelopes are the union of
+   the two regimes rather than either endpoint. What A3 actually verifies is
+   the K-scaling: K itself is measured from the live quorums (√N for grid and
+   FPP, log N for trees), so a construction whose quorums stopped shrinking
+   with the paper's law would blow straight through 3(K-1)..6(K-1). *)
+let asymptotic_expectations p =
+  let k1 = p.k -. 1.0 in
+  match p.load with
+  | Light | Poisson _ ->
+    [ expect ~tol:{ abs = 0.75; rel = 0.05 } Msgs_per_cs ~lo:(3.0 *. k1)
+        ~hi:(3.0 *. k1)
+        ~formula:(Printf.sprintf "3(K-1) = %.1f at N=%d" (3.0 *. k1) p.n)
+        ~provenance:"\xc2\xa75.1 asymptotics" ]
+  | Heavy ->
+    [ expect ~tol:{ abs = 0.75; rel = 0.05 } Msgs_per_cs ~lo:(3.0 *. k1)
+        ~hi:(6.0 *. k1)
+        ~formula:
+          (Printf.sprintf "3(K-1)..6(K-1) = %.1f..%.1f at N=%d" (3.0 *. k1)
+             (6.0 *. k1) p.n)
+        ~provenance:"\xc2\xa75.1-\xc2\xa75.2 asymptotics";
+      expect ~tol:{ abs = 0.1; rel = 0.08 } Sync_delay ~lo:p.t
+        ~hi:(1.5 *. p.t)
+        ~formula:"T..1.5T (contenders \xe2\x89\xaa N: some handoffs take the release path)"
+        ~provenance:"\xc2\xa75.2 asymptotics" ]
+
 let sync_ratio ~t shape =
   ignore t;
   match shape with
@@ -326,6 +356,11 @@ let classify_load ~n ~e ~t = function
   | W.Saturated _ | W.Burst _ -> Heavy
   | W.Poisson { rate_per_site } ->
     let rho = float_of_int n *. rate_per_site *. (e +. t) in
+    if rho <= 0.05 then Light else Poisson rate_per_site
+  | W.Open_loop { active; rate_per_site } ->
+    (* only the active set offers load; the other n - active sites exist
+       solely to blow up K = f(N) *)
+    let rho = float_of_int active *. rate_per_site *. (e +. t) in
     if rho <= 0.05 then Light else Poisson rate_per_site
 
 let of_report ~source ?kind ~(cfg : E.config) (r : E.report) =

@@ -93,6 +93,14 @@ val expectations : params -> expectation list
     throughput additionally needs [Constant] delays). [Poisson] loads go
     through the {!mm1} queueing model instead. *)
 
+val asymptotic_expectations : params -> expectation list
+(** The huge-N bands checked by benchmark A3. At [Light]/[Poisson] load:
+    messages exactly 3(K−1); at [Heavy] (a fixed contender set dwarfed by
+    N): the 3(K−1)..6(K−1) envelope spanning §5.1–§5.2, plus sync delay
+    T..1.5T. [p.k] must come from the live quorums (see
+    {!Dmx_quorum.Builder.assignment_stats}), which is what makes these
+    checks verify the √N (grid, FPP) and log N (tree) scaling laws. *)
+
 val sync_ratio : t:float -> delay_shape -> expectation
 (** Band for [maekawa sync / delay-optimal sync]: exactly 2 under
     [Constant] delays (§5.2's T vs 2T), persisting as a structural

@@ -81,6 +81,38 @@ let req_sets kind ~n =
   | Star -> Array.init n (fun i -> Coterie.normalize_quorum [ 0; i ])
   | All -> Array.init n (fun _ -> List.init n Fun.id)
 
+(* Lazy assignments: each construction already derives req_set(i) from a
+   tiny structural handle (grid shape, tree arity, GF(q) coordinates), so we
+   build that handle once and generate quorums on demand. Only [All] pays
+   O(n) per site — its quorum IS the universe. *)
+let assignment kind ~n =
+  if not (supports kind ~n) then
+    invalid_arg
+      (Printf.sprintf "Builder.assignment: %s does not support n=%d"
+         (kind_name kind) n);
+  match kind with
+  | Grid ->
+    let t = Grid.create ~n in
+    Coterie.assignment ~n (Grid.req_set t)
+  | Fpp -> Fpp.assignment ~n
+  | Tree ->
+    let t = Tree_quorum.create ~n in
+    Coterie.assignment ~n (Tree_quorum.req_set t)
+  | Majority -> Coterie.assignment ~n (Majority.req_set ~n)
+  | Hqc ->
+    let t = Hqc.create ~n in
+    Coterie.assignment ~n (Hqc.req_set t)
+  | Grid_set g ->
+    let t = Grid_set.create ~n ~group:g in
+    Coterie.assignment ~n (Grid_set.req_set t)
+  | Rst g ->
+    let t = Rst.create ~n ~group:g in
+    Coterie.assignment ~n (Rst.req_set t)
+  | Star -> Coterie.assignment ~n (fun i -> Coterie.normalize_quorum [ 0; i ])
+  | All -> Coterie.assignment ~n (fun _ -> List.init n Fun.id)
+
+let quorum_of kind ~n site = Coterie.quorum_of (assignment kind ~n) site
+
 let has_live_quorum kind ~n ~up =
   match kind with
   | Grid -> Grid.has_live_quorum (Grid.create ~n) ~up
@@ -106,6 +138,33 @@ let size_stats req_sets =
       k_mean =
         float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int n;
     }
+
+(* Size statistics straight off a lazy assignment. Below [max_exact] sites
+   this walks every site and agrees exactly with [size_stats] on the
+   materialized array; above it, a deterministic stride sample keeps the
+   cost bounded at huge N (k_mean is then an estimate; k_min/k_max are over
+   the sample). *)
+let assignment_stats ?(max_exact = 4096) a =
+  let n = Coterie.assignment_size a in
+  if n = 0 then { k_min = 0; k_max = 0; k_mean = 0.0 }
+  else begin
+    let step = if n <= max_exact then 1 else n / max_exact in
+    let k_min = ref max_int and k_max = ref 0 and sum = ref 0 and cnt = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let k = List.length (Coterie.quorum_of a !i) in
+      if k < !k_min then k_min := k;
+      if k > !k_max then k_max := k;
+      sum := !sum + k;
+      incr cnt;
+      i := !i + step
+    done;
+    {
+      k_min = !k_min;
+      k_max = !k_max;
+      k_mean = float_of_int !sum /. float_of_int !cnt;
+    }
+  end
 
 let validate ~n req_sets =
   if Array.length req_sets <> n then Error "wrong number of request sets"

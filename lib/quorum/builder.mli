@@ -33,12 +33,26 @@ val req_sets : kind -> n:int -> int list array
 (** Request-set assignment for every site.
     @raise Invalid_argument when [supports kind ~n] is false. *)
 
+val assignment : kind -> n:int -> Coterie.assignment
+(** Lazy equivalent of {!req_sets}: builds the construction's O(1)
+    structural handle once and generates each site's quorum on demand, so
+    huge-N universes never materialize all [n] request sets. Site-for-site
+    equal to {!req_sets} for every construction.
+    @raise Invalid_argument when [supports kind ~n] is false. *)
+
+val quorum_of : kind -> n:int -> int -> Coterie.quorum
+(** [quorum_of kind ~n i] is site [i]'s request set, generated on demand. *)
+
 val has_live_quorum : kind -> n:int -> up:bool array -> bool
 (** Availability oracle: does a fully-live quorum exist in the coterie? *)
 
 type size_stats = { k_min : int; k_max : int; k_mean : float }
 
 val size_stats : int list array -> size_stats
+
+(** Quorum-size statistics without materializing: exact (every site) when
+    [n <= max_exact] (default 4096), a deterministic stride sample above. *)
+val assignment_stats : ?max_exact:int -> Coterie.assignment -> size_stats
 val validate : n:int -> int list array -> (unit, string) result
 (** Checks the Intersection Property over all distinct request sets, and
     that every set is non-empty and in range. Minimality is reported

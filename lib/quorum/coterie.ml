@@ -82,6 +82,32 @@ let dominates c d =
 let assignment_of_req_sets ~n req_sets =
   make ~n (Array.to_list req_sets)
 
+(* Lazy request-set assignments: one quorum per site, generated on demand.
+   This is the huge-N interface — nothing here is proportional to n. *)
+
+type assignment = { univ : int; gen : int -> quorum }
+
+let assignment ~n gen =
+  if n < 0 then invalid_arg "Coterie.assignment: n must be non-negative";
+  { univ = n; gen }
+
+let of_req_sets req_sets =
+  let n = Array.length req_sets in
+  { univ = n; gen = (fun i -> req_sets.(i)) }
+
+let quorum_of a site =
+  if site < 0 || site >= a.univ then
+    invalid_arg
+      (Printf.sprintf "Coterie.quorum_of: site %d outside [0,%d)" site a.univ);
+  a.gen site
+
+let assignment_size a = a.univ
+
+let materialize a =
+  assignment_of_req_sets ~n:a.univ (Array.init a.univ a.gen)
+
+let to_req_sets a = Array.init a.univ a.gen
+
 let pp_quorum ppf q =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int q))
 

@@ -41,6 +41,36 @@ val dominates : t -> t -> bool
 val assignment_of_req_sets : n:int -> int list array -> t
 (** View a request-set assignment as the coterie of its distinct quorums. *)
 
+type assignment
+(** A lazy request-set assignment over [n] sites: site [i]'s quorum is
+    generated on demand from the construction's structure (grid row/column,
+    tree paths, FPP lines) instead of materializing all [n] quorums. This is
+    the huge-N interface — memory is proportional to the quorums actually
+    requested, never to [n]. The materialized {!t} stays as the small-N
+    reference representation. *)
+
+val assignment : n:int -> (int -> quorum) -> assignment
+(** [assignment ~n gen] wraps a generator. [gen i] must return a normalized
+    (sorted, duplicate-free) quorum for every [i] in [0, n); it is only ever
+    called with in-range sites. *)
+
+val of_req_sets : quorum array -> assignment
+(** A lazy view of an already-materialized assignment (small-N reference). *)
+
+val quorum_of : assignment -> int -> quorum
+(** [quorum_of a i] is site [i]'s request set, generated on demand.
+    @raise Invalid_argument if [i] is outside [0, n). *)
+
+val assignment_size : assignment -> int
+(** The universe size [n]. *)
+
+val materialize : assignment -> t
+(** Force every quorum and build the explicit coterie — small N only. *)
+
+val to_req_sets : assignment -> quorum array
+(** Force every quorum into the array form the algorithms consume —
+    small N only. *)
+
 val quorum_mem : int -> quorum -> bool
 val quorum_inter : quorum -> quorum -> quorum
 val quorum_subset : quorum -> quorum -> bool

@@ -89,6 +89,76 @@ let req_sets ~n =
   let t = create ~n in
   Array.init n (req_set t)
 
+(* --- Algebraic per-site path (huge N) ---
+
+   [create] scans all N lines against all N points (O(N·√N) work and O(N·√N)
+   memory), which is fine as a small-N reference but hopeless at N = 10^6.
+   The lazy path below reproduces [req_set] exactly — same canonical
+   (minimum-index) line, same ascending member order — in O(q) time and
+   memory per site, straight from the GF(q) arithmetic.
+
+   Point/line indexing follows [normalized_triples]: index i < q² encodes
+   (1, q−1−i/q, q−1−i mod q); q² ≤ i < q²+q encodes (0, 1, q−1−(i−q²));
+   i = q²+q is (0,0,1). The canonical line of a point is the lowest-index
+   line through it, which by that ordering is the line (1, q−1, b) when one
+   exists (i.e. when p₃ ≠ 0), else (1, a, q−1), else (0, 1, q−1). *)
+
+let rec powmod b e m =
+  if e = 0 then 1
+  else
+    let h = powmod b (e / 2) m in
+    let h2 = h * h mod m in
+    if e land 1 = 1 then h2 * b mod m else h2
+
+(* Fermat inverse; q is prime and x is nonzero mod q at every call site. *)
+let inv x q = powmod (x mod q) (q - 2) q
+let neg x q = (q - (x mod q)) mod q
+
+let point_of_index q i =
+  if i < q * q then (1, q - 1 - (i / q), q - 1 - (i mod q))
+  else if i < (q * q) + q then (0, 1, q - 1 - (i - (q * q)))
+  else (0, 0, 1)
+
+let index_of_point q (p1, p2, p3) =
+  if p1 = 1 then ((q - 1 - p2) * q) + (q - 1 - p3)
+  else if p2 = 1 then (q * q) + (q - 1 - p3)
+  else (q * q) + q
+
+let canonical_line q (p1, p2, p3) =
+  if p3 <> 0 then (1, q - 1, neg (p1 + ((q - 1) * p2)) q * inv p3 q mod q)
+  else if p2 <> 0 then (1, neg p1 q * inv p2 q mod q, q - 1)
+  else (0, 1, q - 1)
+
+(* Members of a canonical line in ascending point-index order. Canonical
+   lines always have l2 ≠ 0 or l3 ≠ 0, so the two-way split is total. *)
+let line_members q (l1, l2, l3) =
+  let part1 =
+    if l3 <> 0 then
+      let i3 = inv l3 q in
+      List.init q (fun k ->
+          let x = q - 1 - k in
+          index_of_point q (1, x, neg (l1 + (x * l2)) q * i3 mod q))
+    else
+      let x0 = neg l1 q * inv l2 q mod q in
+      List.init q (fun k -> index_of_point q (1, x0, q - 1 - k))
+  in
+  let part2 =
+    if l3 <> 0 then [ index_of_point q (0, 1, neg l2 q * inv l3 q mod q) ]
+    else []
+  in
+  let part3 = if l3 = 0 then [ (q * q) + q ] else [] in
+  part1 @ part2 @ part3
+
+let req_set_of_order ~q s =
+  line_members q (canonical_line q (point_of_index q s))
+
+let assignment ~n =
+  match order_for n with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Fpp.assignment: %d is not q^2+q+1 for a prime q" n)
+  | Some q -> Coterie.assignment ~n (fun s -> req_set_of_order ~q s)
+
 let has_live_quorum t ~up =
   if Array.length up <> t.n then invalid_arg "Fpp.has_live_quorum";
   Array.exists (fun line -> List.for_all (fun p -> up.(p)) line) t.lines_by_index

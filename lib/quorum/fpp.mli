@@ -33,4 +33,13 @@ val req_set : t -> int -> int list
 
 val req_sets : n:int -> int list array
 
+val assignment : n:int -> Coterie.assignment
+(** Lazy equivalent of {!req_sets}: site [i]'s canonical line is computed
+    algebraically from the GF(q) coordinates in O(√N) time and memory,
+    without materializing the plane. Agrees with {!req_set} site-for-site.
+    @raise Invalid_argument when {!order_for} [n] is [None]. *)
+
+val req_set_of_order : q:int -> int -> int list
+(** The algebraic kernel behind {!assignment}, for a known prime order. *)
+
 val has_live_quorum : t -> up:bool array -> bool

@@ -15,6 +15,14 @@ type config = {
   faults : Network.fault_plan;
   stall_timeout : float;
   trace : bool;
+  lazy_sites : bool;
+      (* instantiate a site's protocol state on first touch (its first
+         arrival or delivery) instead of all n up front; requires the
+         Oracle detector. Off by default: eager instantiation stays the
+         reference behavior. *)
+  dense_channels : bool;
+      (* force the reference N x N FIFO-watermark matrix instead of the
+         sparse per-channel table (small N only; for equivalence tests) *)
 }
 
 let default ~n =
@@ -33,6 +41,8 @@ let default ~n =
     faults = Network.no_faults;
     stall_timeout = 2000.0;
     trace = false;
+    lazy_sites = false;
+    dense_channels = false;
   }
 
 type report = {
@@ -165,13 +175,12 @@ module Make (P : Protocol.PROTOCOL) = struct
     Event_queue.schedule sim.q ~time ev;
     sim.live_events <- sim.live_events + 1
 
-  (* Builds the per-site contexts and protocol states; mutual recursion with
-     event handling is broken by routing everything through the queue. *)
-  let make_sites sim site_rngs =
-    let states = Array.make sim.cfg.n None in
-    let ctxs =
-      Array.init sim.cfg.n (fun self ->
-          let now () = Event_queue.now sim.q in
+  (* Builds one site's context; mutual recursion with event handling is
+     broken by routing everything through the queue. Contexts are closures
+     over [sim] only — building one has no side effects, so lazy-site mode
+     can defer it to the site's first touch. *)
+  let make_ctx sim site_rngs self =
+    let now () = Event_queue.now sim.q in
           let send ~dst msg =
             if dst = self then begin
               (* Rendering the payload is pure allocation when tracing is
@@ -284,26 +293,25 @@ module Make (P : Protocol.PROTOCOL) = struct
             send;
             enter_cs;
             set_timer;
-            rng = site_rngs.(self);
-            trace_note;
-            trace_event;
-            mark_parked;
-          })
-    in
-    (ctxs, states)
+    rng = site_rngs.(self);
+      trace_note;
+      trace_event;
+      mark_parked;
+    }
 
-  let issue_request sim ctxs states site =
+  (* [ctx_of]/[state_of] below are accessors that instantiate on demand in
+     lazy-site mode; in the default eager mode everything already exists. *)
+
+  let issue_request sim ctx_of state_of site =
     sim.request_time.(site) <- Event_queue.now sim.q;
     sim.outstanding <- sim.outstanding + 1;
     Trace.record sim.trace ~time:(Event_queue.now sim.q) ~site Trace.Request;
-    match states.(site) with
-    | Some st -> P.request_cs ctxs.(site) st
-    | None -> assert false
+    P.request_cs (ctx_of site) (state_of site)
 
-  let handle_arrival sim ctxs states site =
+  let handle_arrival sim ctx_of state_of site =
     (* Open-loop sources immediately schedule the site's next arrival. *)
     (match sim.cfg.workload with
-    | Workload.Poisson _ ->
+    | Workload.Poisson _ | Workload.Open_loop _ ->
       (match
          Workload.next_arrival sim.cfg.workload ~site
            ~now:(Event_queue.now sim.q) ~rng:sim.wl_rng
@@ -314,11 +322,11 @@ module Make (P : Protocol.PROTOCOL) = struct
     | Workload.Saturated _ | Workload.Burst _ -> ());
     if Network.is_up sim.net site then begin
       if Float.is_nan sim.request_time.(site) && sim.in_cs <> site then
-        issue_request sim ctxs states site
+        issue_request sim ctx_of state_of site
       else sim.backlog.(site) <- sim.backlog.(site) + 1
     end
 
-  let handle_cs_exit sim ctxs states site =
+  let handle_cs_exit sim ctx_of state_of site =
     if sim.in_cs = site then sim.in_cs <- -1;
     Trace.record sim.trace ~time:(Event_queue.now sim.q) ~site Trace.Exit_cs;
     sim.executions <- sim.executions + 1;
@@ -335,16 +343,14 @@ module Make (P : Protocol.PROTOCOL) = struct
     sim.had_exit <- true;
     sim.last_exit <- Event_queue.now sim.q;
     sim.waiting_at_exit <- sim.outstanding > 0;
-    (match states.(site) with
-    | Some st -> P.release_cs ctxs.(site) st
-    | None -> assert false);
+    P.release_cs (ctx_of site) (state_of site);
     if sim.executions >= target sim then sim.stop <- true
     else begin
       (* Application layer: serve the local backlog, or re-request in the
          closed-loop (saturated) workload. *)
       if sim.backlog.(site) > 0 then begin
         sim.backlog.(site) <- sim.backlog.(site) - 1;
-        issue_request sim ctxs states site
+        issue_request sim ctx_of state_of site
       end
       else if Workload.is_closed_loop sim.cfg.workload then
         match
@@ -361,7 +367,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       sim.parked_since.(site) <- Float.nan
     end
 
-  let handle_crash sim ctxs states site =
+  let handle_crash sim site =
     Network.crash sim.net site;
     Trace.record sim.trace ~time:(Event_queue.now sim.q) ~site Trace.Crash;
     (* In-flight messages to the dead site are lost; its timers and pending
@@ -384,8 +390,6 @@ module Make (P : Protocol.PROTOCOL) = struct
     end;
     close_park_window sim site ~at:(Event_queue.now sim.q);
     sim.backlog.(site) <- 0;
-    ignore states;
-    ignore ctxs;
     match sim.cfg.detector with
     | Oracle d ->
       List.iter
@@ -405,6 +409,12 @@ module Make (P : Protocol.PROTOCOL) = struct
       invalid_arg "Engine.run: bad execution counts";
     if not (cfg.stall_timeout > 0.0) then
       invalid_arg "Engine.run: stall_timeout must be positive";
+    (match (cfg.lazy_sites, cfg.detector) with
+    | true, Heartbeat _ ->
+      (* every site heartbeats every other site — inherently O(N^2) and it
+         would instantiate the whole universe anyway *)
+      invalid_arg "Engine.run: lazy_sites requires the Oracle detector"
+    | _ -> ());
     let master_rng = Rng.create cfg.seed in
     let net_rng = Rng.split master_rng in
     let site_rngs = Array.init cfg.n (fun _ -> Rng.split master_rng) in
@@ -423,8 +433,10 @@ module Make (P : Protocol.PROTOCOL) = struct
         cfg;
         q = Event_queue.create ();
         net =
-          Network.create ~faults:cfg.faults ~fault_rng ~n:cfg.n
-            ~delay:cfg.delay ~rng:net_rng ();
+          Network.create
+            ~channels:(if cfg.dense_channels then Network.Dense else Network.Sparse)
+            ~faults:cfg.faults ~fault_rng ~n:cfg.n ~delay:cfg.delay
+            ~rng:net_rng ();
         trace;
         counters = Stats.Counter.create ();
         sync_delay = Stats.Summary.create ();
@@ -462,10 +474,34 @@ module Make (P : Protocol.PROTOCOL) = struct
         stop = false;
       }
     in
-    let ctxs, states = make_sites sim site_rngs in
-    for site = 0 to cfg.n - 1 do
-      states.(site) <- Some (P.init ctxs.(site) pcfg)
-    done;
+    let ctxs = Array.make cfg.n None in
+    let states = Array.make cfg.n None in
+    let ctx_of site =
+      match ctxs.(site) with
+      | Some c -> c
+      | None ->
+        let c = make_ctx sim site_rngs site in
+        ctxs.(site) <- Some c;
+        c
+    in
+    let state_of site =
+      match states.(site) with
+      | Some st -> st
+      | None ->
+        let st = P.init (ctx_of site) pcfg in
+        states.(site) <- Some st;
+        st
+    in
+    if not cfg.lazy_sites then begin
+      (* Reference order: every context first, then every init (init may
+         send messages; context creation never does). *)
+      for site = 0 to cfg.n - 1 do
+        ignore (ctx_of site)
+      done;
+      for site = 0 to cfg.n - 1 do
+        ignore (state_of site)
+      done
+    end;
     List.iter
       (fun (time, site) ->
         sched_live sim ~time (Arrival { site }))
@@ -503,9 +539,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             ~time:(Event_queue.now sim.q)
             ~site:dst
             (Trace.Receive { src; msg = Format.asprintf "%a" P.pp_message msg });
-        match states.(dst) with
-        | Some st -> P.on_message ctxs.(dst) st ~src msg
-        | None -> assert false
+        P.on_message (ctx_of dst) (state_of dst) ~src msg
       end
     in
     let handle_heartbeat_tick site time =
@@ -531,9 +565,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             if Network.is_up sim.net failed then
               sim.false_suspicions <- sim.false_suspicions + 1;
             Trace.record sim.trace ~time ~site (Trace.Suspect failed);
-            match states.(site) with
-            | Some st -> P.on_failure ctxs.(site) st failed
-            | None -> assert false)
+            P.on_failure (ctx_of site) (state_of site) failed)
           newly;
         Event_queue.schedule sim.q
           ~time:(time +. c.Detector.period)
@@ -546,9 +578,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         let trust = Detector.heartbeat sim.detectors.(dst) ~src ~now:time in
         if trust then begin
           Trace.record sim.trace ~time ~site:dst (Trace.Trust src);
-          match states.(dst) with
-          | Some st -> P.on_recovery ctxs.(dst) st src
-          | None -> assert false
+          P.on_recovery (ctx_of dst) (state_of dst) src
         end
       end
     in
@@ -588,20 +618,18 @@ module Make (P : Protocol.PROTOCOL) = struct
             | Timer { site; tag } ->
               if Network.is_up sim.net site then begin
                 Trace.record sim.trace ~time ~site (Trace.Timer tag);
-                match states.(site) with
-                | Some st -> P.on_timer ctxs.(site) st tag
-                | None -> assert false
+                P.on_timer (ctx_of site) (state_of site) tag
               end
-            | Arrival { site } -> handle_arrival sim ctxs states site
-            | Cs_exit { site } -> handle_cs_exit sim ctxs states site
-            | Crash_ev { site } -> handle_crash sim ctxs states site
+            | Arrival { site } -> handle_arrival sim ctx_of state_of site
+            | Cs_exit { site } -> handle_cs_exit sim ctx_of state_of site
+            | Crash_ev { site } -> handle_crash sim site
             | Recover_ev { site } ->
               if not (Network.is_up sim.net site) then begin
                 Network.recover sim.net site;
                 Trace.record sim.trace ~time ~site Trace.Recover;
                 (* fail-stop recovery: the site rejoins with FRESH protocol
                    state (its old volatile state died with it) *)
-                states.(site) <- Some (P.init ctxs.(site) pcfg);
+                states.(site) <- Some (P.init (ctx_of site) pcfg);
                 (* Restart its workload source, which died with it. Under the
                    oracle the first arrival waits until every survivor has
                    processed the recovery notification — otherwise its
@@ -640,17 +668,11 @@ module Make (P : Protocol.PROTOCOL) = struct
                     (Heartbeat_tick { site })
               end
             | Detect { observer; failed } ->
-              if Network.is_up sim.net observer then begin
-                match states.(observer) with
-                | Some st -> P.on_failure ctxs.(observer) st failed
-                | None -> assert false
-              end
+              if Network.is_up sim.net observer then
+                P.on_failure (ctx_of observer) (state_of observer) failed
             | Detect_recovery { observer; recovered } ->
-              if Network.is_up sim.net observer then begin
-                match states.(observer) with
-                | Some st -> P.on_recovery ctxs.(observer) st recovered
-                | None -> assert false
-              end
+              if Network.is_up sim.net observer then
+                P.on_recovery (ctx_of observer) (state_of observer) recovered
             | Heartbeat_tick { site } -> handle_heartbeat_tick site time
             | Heartbeat_arrive { src; dst } -> handle_heartbeat_arrive src dst time
             | Partition_edge { heal } ->

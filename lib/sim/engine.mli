@@ -55,6 +55,17 @@ type config = {
           with nothing outstanding and nothing substantive pending stops
           cleanly *)
   trace : bool;  (** record a full event trace *)
+  lazy_sites : bool;
+      (** instantiate a site's context and protocol state only when an event
+          first touches it — the huge-N mode. Requires the [Oracle] detector
+          (heartbeats would touch all N sites) and a workload whose active
+          set is small. Off, every site is built up front in the reference
+          order, so existing seeds reproduce bit-identically. *)
+  dense_channels : bool;
+      (** force the O(N²) per-channel watermark matrix instead of the sparse
+          hashtable. Same observable behavior either way (see {!Network});
+          kept as a cross-check knob for the fingerprint tests. Refused
+          above n = 16384. *)
 }
 
 val default : n:int -> config

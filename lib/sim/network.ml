@@ -32,6 +32,16 @@ let no_faults =
 type drop_reason = [ `Down | `Partitioned | `Faulty ]
 type verdict = Delivered of float list | Lost of drop_reason
 
+type channel_repr = Dense | Sparse
+
+(* FIFO watermarks per directed channel, keyed by [src * n + dst]. The dense
+   form is the original N x N matrix (kept as the small-N reference and for
+   the fingerprint tests); the sparse form creates an entry on first send,
+   so memory follows touched links instead of N^2. A missing sparse entry
+   reads as 0.0, exactly the dense initial value, so the two forms are
+   observationally identical. *)
+type channels = Dense_c of float array | Sparse_c of (int, float) Hashtbl.t
+
 type t = {
   n : int;
   delay : delay_model;
@@ -44,10 +54,20 @@ type t = {
      sites not listed in any group share the implicit "rest" group. *)
   part_groups : int array array;
   up : bool array;
-  (* last_delivery.(src * n + dst): latest delivery time handed out on that
-     channel, used to enforce FIFO under random delays. *)
-  last_delivery : float array;
+  (* last_delivery: latest delivery time handed out per directed channel,
+     used to enforce FIFO under random delays. *)
+  last_delivery : channels;
 }
+
+let watermark t idx =
+  match t.last_delivery with
+  | Dense_c a -> a.(idx)
+  | Sparse_c h -> ( match Hashtbl.find_opt h idx with Some v -> v | None -> 0.0)
+
+let set_watermark t idx v =
+  match t.last_delivery with
+  | Dense_c a -> a.(idx) <- v
+  | Sparse_c h -> Hashtbl.replace h idx v
 
 let validate_faults ~n f =
   let bad fmt = Printf.ksprintf invalid_arg fmt in
@@ -78,8 +98,14 @@ let validate_faults ~n f =
         bad "Network.create: delay spike factor %g must be positive" factor)
     f.delay_spikes
 
-let create ?(faults = no_faults) ?fault_rng ~n ~delay ~rng () =
+let create ?(channels = Sparse) ?(faults = no_faults) ?fault_rng ~n ~delay
+    ~rng () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
+  if channels = Dense && n > 16_384 then
+    invalid_arg
+      (Printf.sprintf
+         "Network.create: dense channels allocate an N x N matrix; n=%d \
+          needs the sparse representation" n);
   validate_faults ~n faults;
   let fault_rng =
     match fault_rng with Some r -> r | None -> Rng.create 0x5eed_fa17
@@ -103,7 +129,10 @@ let create ?(faults = no_faults) ?fault_rng ~n ~delay ~rng () =
     fault_rng;
     part_groups;
     up = Array.make n true;
-    last_delivery = Array.make (n * n) 0.0;
+    last_delivery =
+      (match channels with
+      | Dense -> Dense_c (Array.make (n * n) 0.0)
+      | Sparse -> Sparse_c (Hashtbl.create 64));
   }
 
 let n t = t.n
@@ -147,8 +176,8 @@ let partition_edges t =
     t.faults.partitions
 
 let deliver_one t ~idx ~now ~factor =
-  let at = Float.max (now +. (sample t *. factor)) t.last_delivery.(idx) in
-  t.last_delivery.(idx) <- at;
+  let at = Float.max (now +. (sample t *. factor)) (watermark t idx) in
+  set_watermark t idx at;
   at
 
 let transmit t ~src ~dst ~now =
@@ -183,10 +212,20 @@ let recover t i =
   check_site t i "recover";
   t.up.(i) <- true;
   (* Channels restart empty: reset FIFO watermarks touching this site. *)
-  for j = 0 to t.n - 1 do
-    t.last_delivery.((i * t.n) + j) <- 0.0;
-    t.last_delivery.((j * t.n) + i) <- 0.0
-  done
+  (match t.last_delivery with
+  | Dense_c a ->
+    for j = 0 to t.n - 1 do
+      a.((i * t.n) + j) <- 0.0;
+      a.((j * t.n) + i) <- 0.0
+    done
+  | Sparse_c h ->
+    let touching =
+      Hashtbl.fold
+        (fun idx _ acc ->
+          if idx / t.n = i || idx mod t.n = i then idx :: acc else acc)
+        h []
+    in
+    List.iter (Hashtbl.remove h) touching)
 
 let is_up t i =
   check_site t i "is_up";

@@ -87,6 +87,8 @@ let to_string t =
   (match t.workload with
   | Workload.Poisson { rate_per_site } ->
     line "workload poisson %s" (fstr rate_per_site)
+  | Workload.Open_loop { active; rate_per_site } ->
+    line "workload open-loop %d %s" active (fstr rate_per_site)
   | Workload.Saturated { contenders } -> line "workload saturated %d" contenders
   | Workload.Burst { requesters; at } ->
     line "workload burst %s %s" (fstr at)
@@ -190,6 +192,10 @@ let of_string s =
           | [ "workload"; "poisson"; r ] ->
             let* rate_per_site = float_of r in
             Ok { acc with workload = Workload.Poisson { rate_per_site } }
+          | [ "workload"; "open-loop"; a; r ] ->
+            let* active = int_of a in
+            let* rate_per_site = float_of r in
+            Ok { acc with workload = Workload.Open_loop { active; rate_per_site } }
           | [ "workload"; "saturated"; c ] ->
             let* contenders = int_of c in
             Ok { acc with workload = Workload.Saturated { contenders } }
@@ -270,14 +276,20 @@ let of_string s =
     else
       (* The fold seeds n-dependent defaults with n = 0; re-derive them now
          that n is known, so a file that omits `workload` means "saturated,
-         all sites" exactly as [default ~n] would. *)
-      let workload =
-        match t.workload with
-        | Workload.Saturated { contenders } when contenders <= 0 ->
-          Workload.Saturated { contenders = t.n }
-        | w -> w
-      in
-      Ok { t with workload }
+         all sites" exactly as [default ~n] would. At huge N that implicit
+         default would instantiate every site, so refuse it loudly instead
+         of letting Workload's guard fire deep inside the run. *)
+      match t.workload with
+      | Workload.Saturated { contenders } when contenders <= 0 ->
+        if t.n > Workload.max_eager_sites then
+          err
+            "schedule has n = %d but no explicit workload: the implied \
+             \"saturated, all %d sites\" would instantiate every site; add a \
+             `workload open-loop <active> <rate>` or `workload saturated \
+             <contenders>` line with at most %d active sites"
+            t.n t.n Workload.max_eager_sites
+        else Ok { t with workload = Workload.Saturated { contenders = t.n } }
+      | _ -> Ok t
 
 let to_file t path =
   let oc = open_out path in
@@ -304,6 +316,8 @@ let restrict_n t n =
   let workload =
     match t.workload with
     | Workload.Poisson _ as w -> w
+    | Workload.Open_loop { active; rate_per_site } ->
+      Workload.Open_loop { active = max 1 (min active n); rate_per_site }
     | Workload.Saturated { contenders } ->
       Workload.Saturated { contenders = max 2 (min contenders n) }
     | Workload.Burst { requesters; at } ->

@@ -1,11 +1,21 @@
 type t =
   | Poisson of { rate_per_site : float }
+  | Open_loop of { active : int; rate_per_site : float }
   | Saturated of { contenders : int }
   | Burst of { requesters : int list; at : float }
+
+(* Ceiling on workloads that instantiate an arrival per site up front
+   ([Poisson]) or re-request from every site ([Saturated] with contenders =
+   n). At huge N these would defeat the point of lazy sites and sparse
+   channels: use [Open_loop] (or explicit small contender counts) there. *)
+let max_eager_sites = 65_536
 
 let pp ppf = function
   | Poisson { rate_per_site } ->
     Format.fprintf ppf "poisson(rate=%g/site)" rate_per_site
+  | Open_loop { active; rate_per_site } ->
+    Format.fprintf ppf "open-loop(%d active, rate=%g/site)" active
+      rate_per_site
   | Saturated { contenders } -> Format.fprintf ppf "saturated(%d)" contenders
   | Burst { requesters; at } ->
     Format.fprintf ppf "burst(%d sites at t=%g)" (List.length requesters) at
@@ -14,11 +24,29 @@ let initial_arrivals t ~n ~rng =
   match t with
   | Poisson { rate_per_site } ->
     if rate_per_site <= 0.0 then invalid_arg "Workload: rate must be positive";
+    if n > max_eager_sites then
+      invalid_arg
+        (Printf.sprintf
+           "Workload: poisson would instantiate an arrival at every one of \
+            %d sites; use open-loop(active,rate) above %d sites" n
+           max_eager_sites);
     List.init n (fun site ->
+        (Rng.exponential rng ~mean:(1.0 /. rate_per_site), site))
+  | Open_loop { active; rate_per_site } ->
+    if rate_per_site <= 0.0 then invalid_arg "Workload: rate must be positive";
+    if active <= 0 || active > n then
+      invalid_arg "Workload: active sites out of range";
+    List.init active (fun site ->
         (Rng.exponential rng ~mean:(1.0 /. rate_per_site), site))
   | Saturated { contenders } ->
     if contenders <= 0 || contenders > n then
       invalid_arg "Workload: contenders out of range";
+    if contenders > max_eager_sites then
+      invalid_arg
+        (Printf.sprintf
+           "Workload: saturated would keep %d sites re-requesting forever; \
+            cap contenders at %d and leave the rest of the universe passive"
+           contenders max_eager_sites);
     List.init contenders (fun site -> (0.0, site))
   | Burst { requesters; at } ->
     List.iter
@@ -29,11 +57,11 @@ let initial_arrivals t ~n ~rng =
 
 let next_arrival t ~site ~now ~rng =
   match t with
-  | Poisson { rate_per_site } ->
+  | Poisson { rate_per_site } | Open_loop { rate_per_site; _ } ->
     Some (now +. Rng.exponential rng ~mean:(1.0 /. rate_per_site))
   | Saturated { contenders } -> if site < contenders then Some now else None
   | Burst _ -> None
 
 let is_closed_loop = function
   | Saturated _ -> true
-  | Poisson _ | Burst _ -> false
+  | Poisson _ | Open_loop _ | Burst _ -> false

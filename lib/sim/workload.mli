@@ -13,11 +13,22 @@ type t =
           inter-arrival times of mean [1 /. rate_per_site]. Arrivals at a
           busy site queue locally (a site executes its CS requests
           sequentially, Section 2). *)
+  | Open_loop of { active : int; rate_per_site : float }
+      (** Poisson arrivals at the first [active] sites only; the other
+          [n - active] sites never request and are never instantiated. This
+          is the huge-N workload: memory follows the active set, so the
+          asymptotics sweeps run the same offered load against universes of
+          10⁶ sites. *)
   | Saturated of { contenders : int }
       (** The first [contenders] sites re-request immediately after each
           release: the system never idles. *)
   | Burst of { requesters : int list; at : float }
       (** Each listed site issues exactly one request at time [at]. *)
+
+val max_eager_sites : int
+(** Workloads that touch every site up front ([Poisson], and [Saturated]
+    with that many contenders) are refused above this universe size —
+    they would materialize all N sites and defeat the lazy machinery. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,42 @@
+The A3 asymptotics sweep is reachable by its EXPERIMENTS.md label (case
+folded) as well as by its registry name. DMX_A3_MAX_N caps the tier list,
+so this cram keeps to the N=1000 tier; wall-clock, events/sec and heap
+figures are machine-dependent and are stripped before comparison.
+
+  $ DMX_A3_MAX_N=1000 dmx-sim bench A3 --quick --validate --json bench.json > out.txt 2>&1
+  $ echo "exit=$?"
+  exit=0
+
+The table's shape: one row per construction with N pinned to the tier and
+K following the construction's law (2*sqrt(N)-1 grid, ~sqrt(N) FPP,
+ceil(log2(N+1)) tree), every row passing all three band checks:
+
+  $ grep '^== A3' out.txt
+  == A3 (5.3): huge-N asymptotics, machine-checked (N up to 1000, 8 active sites) ==
+  $ awk -F'|' 'NF>3 { gsub(/ /,"",$2); gsub(/ /,"",$3); gsub(/ /,"",$4); gsub(/ /,"",$9); if ($2 != "" && $2 != "construction") print $2, $3, $4, $9 }' out.txt
+  grid 1000 63.0 3/3
+  fpp 993 32.0 3/3
+  tree 1000 10.0 3/3
+
+Every measurement sits inside its Section 5 band (3 checks x 3
+constructions at this tier):
+
+  $ grep -c '  pass A3' out.txt
+  9
+  $ grep 'model verdicts' out.txt
+  model verdicts: 9 checked, 0 failed
+
+The bench snapshot it wrote is accepted by `dmx-sim validate` (figures
+stripped for determinism):
+
+  $ dmx-sim validate bench.json | sed -e 's/[0-9][0-9.]*s/Xs/g' -e 's/ [0-9]* events/ X events/' -e 's/[0-9.]* ev\/s/X ev\/s/' -e 's/peak heap [0-9]* words/peak heap X words/' | tr -s ' '
+  schema dmx-bench/1, quick mode, 1 job(s), 1 experiment(s)
+   asymptotics Xs X events X ev/s ok
+   total Xs, peak heap X words, oracle rejected 0
+  snapshot OK
+
+A nonsense tier cap is refused rather than silently running nothing:
+
+  $ DMX_A3_MAX_N=50 dmx-sim bench asymptotics --quick 2>&1 | grep FAILED
+  [asymptotics FAILED: DMX_A3_MAX_N too small: the first tier is N=1000]
+  FAILED experiments: asymptotics

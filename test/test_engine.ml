@@ -318,6 +318,84 @@ let test_bad_config_rejected () =
       { (E.default ~n:3) with crashes = [ (1.0, 99) ] };
     ]
 
+let test_sparse_dense_fingerprint () =
+  (* the sparse per-channel watermark table must be observationally
+     IDENTICAL to the dense N x N matrix: same RNG draws, same delivery
+     times, same trace, bit for bit. Run every baseline protocol both ways
+     (random per-message delays so the watermarks actually matter) and
+     compare full traces plus the report's aggregates. *)
+  let module Trace = Dmx_sim.Trace in
+  let module R = Dmx_baselines.Runner in
+  let module Net = Dmx_sim.Network in
+  let n = 9 in
+  let base =
+    {
+      (E.default ~n) with
+      max_executions = 40;
+      warmup = 5;
+      delay = Net.Uniform { lo = 0.5; hi = 1.5 };
+    }
+  in
+  let runners =
+    [
+      R.delay_optimal ~n ();
+      R.maekawa ~n ();
+      R.lamport ~n;
+      R.ricart_agrawala ~n;
+      R.suzuki_kasami ~n;
+      R.raymond ~n ();
+    ]
+  in
+  (* a seeded fault plan drives the loss/duplication/spike and the
+     crash-recovery [Network.recover] code paths, where the two channel
+     representations differ most; the FT variant's reliability layer keeps
+     the run live under them *)
+  let faults =
+    {
+      Net.no_faults with
+      Net.loss = 0.1;
+      duplication = 0.05;
+      delay_spikes = [ (5.0, 15.0, 3.0) ];
+    }
+  in
+  let faulty =
+    ( { base with E.faults; crashes = [ (20.0, 2) ]; recoveries = [ (45.0, 2) ] },
+      R.ft_delay_optimal ~reliability:Dmx_core.Reliable.default ~n () )
+  in
+  let compare_runs label cfg (r : R.t) =
+    let go dense =
+      let sink = Trace.create ~enabled:true () in
+      let rep = r.R.run_traced ~trace_sink:sink { cfg with E.dense_channels = dense } in
+      (rep, Trace.entries sink)
+    in
+    let rep_s, tr_s = go false in
+    let rep_d, tr_d = go true in
+    let lbl what = Printf.sprintf "%s %s: %s" r.R.name label what in
+    Alcotest.(check int) (lbl "trace length") (List.length tr_d)
+      (List.length tr_s);
+    List.iter2
+      (fun (a : Trace.entry) (b : Trace.entry) ->
+        if a <> b then
+          Alcotest.failf "%s: traces diverge at t=%g site=%d"
+            (lbl "entries") a.Trace.time a.Trace.site)
+      tr_d tr_s;
+    Alcotest.(check int) (lbl "messages") rep_d.E.total_messages
+      rep_s.E.total_messages;
+    Alcotest.(check int) (lbl "executions") rep_d.E.executions
+      rep_s.E.executions;
+    Alcotest.(check (float 0.0)) (lbl "sim time") rep_d.E.sim_time
+      rep_s.E.sim_time;
+    Alcotest.(check (float 0.0)) (lbl "throughput") rep_d.E.throughput
+      rep_s.E.throughput;
+    Alcotest.(check int) (lbl "violations") rep_d.E.violations
+      rep_s.E.violations;
+    Alcotest.(check bool) (lbl "per-site counts") true
+      (rep_d.E.per_site_executions = rep_s.E.per_site_executions)
+  in
+  List.iter (fun r -> compare_runs "clean" base r) runners;
+  let cfg, ft = faulty in
+  compare_runs "faulty" cfg ft
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -334,4 +412,5 @@ let suite =
       ("trace consistency", test_trace_consistency);
       ("poisson rate accuracy", test_poisson_rate_accuracy);
       ("bad config rejected", test_bad_config_rejected);
+      ("sparse = dense channel fingerprint", test_sparse_dense_fingerprint);
     ]

@@ -102,6 +102,40 @@ let test_minimal_file_defaults () =
     Alcotest.(check bool) "saturated all sites" true
       (s.Sch.workload = Dmx_sim.Workload.Saturated { contenders = 4 })
 
+let test_huge_n_needs_explicit_workload () =
+  (* the saturated-all default is a trap at huge N: it would instantiate
+     every one of the million sites. The parser must reject it with a
+     pointer at the fix, and accept the same file once a lazy-compatible
+     workload line is present. *)
+  (match Sch.of_string "dmxrepro v1\nalgo delay-optimal\nn 1000000\nexecs 5\n" with
+  | Ok _ -> Alcotest.fail "huge-n schedule without workload must not parse"
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the fix: %s" e)
+      true
+      (let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i =
+           i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+         in
+         go 0
+       in
+       contains e "open-loop"));
+  match
+    Sch.of_string
+      "dmxrepro v1\nalgo delay-optimal\nn 1000000\nexecs 5\nworkload \
+       open-loop 8 0x1.4p-11\n"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "open-loop parsed" true
+      (s.Sch.workload
+      = Dmx_sim.Workload.Open_loop { active = 8; rate_per_site = 0x1.4p-11 });
+    (* and the lazy-compatible form round-trips bit-exactly like the rest *)
+    (match Sch.of_string (Sch.to_string s) with
+    | Error e -> Alcotest.fail e
+    | Ok s' -> Alcotest.(check bool) "round-trips" true (s = s'))
+
 let suite =
   List.map
     (fun ((algo, quorum, _, _) as case) ->
@@ -115,4 +149,6 @@ let suite =
         test_golden_faulty;
       Alcotest.test_case "minimal .dmxrepro gets saturated-all default" `Quick
         test_minimal_file_defaults;
+      Alcotest.test_case "huge-n .dmxrepro needs an explicit workload" `Quick
+        test_huge_n_needs_explicit_workload;
     ]

@@ -425,6 +425,75 @@ let qcheck_large_n_sizes_track_formulas =
       in
       grid && majority && tree && hqc && fpp)
 
+(* ---- lazy assignment equivalence (the huge-N interface) ----
+
+   Builder.assignment generates site i's quorum on demand from the
+   construction's structure; it must agree site-for-site with the
+   materialized reference wherever the latter is affordable, and uphold the
+   paper's intersection/minimality properties at N up to 10^6 without
+   materializing anything. *)
+
+let qcheck_lazy_matches_materialized =
+  QCheck.Test.make ~name:"lazy quorum_of = materialized req_sets, n <= 400"
+    ~count:60
+    QCheck.(int_range 1 400)
+    (fun n ->
+      List.for_all
+        (fun kind ->
+          (not (B.supports kind ~n))
+          ||
+          let rs = B.req_sets kind ~n in
+          let a = B.assignment kind ~n in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if Ct.quorum_of a i <> rs.(i) then ok := false
+          done;
+          !ok)
+        (B.all_kinds ~group:4))
+
+let qcheck_lazy_stats_match_materialized =
+  QCheck.Test.make ~name:"assignment_stats = size_stats below max_exact"
+    ~count:40
+    QCheck.(int_range 1 300)
+    (fun n ->
+      List.for_all
+        (fun kind ->
+          (not (B.supports kind ~n))
+          || B.assignment_stats (B.assignment kind ~n)
+             = B.size_stats (B.req_sets kind ~n))
+        (B.all_kinds ~group:4))
+
+let qcheck_huge_n_lazy_properties =
+  (* intersection, self-membership, and no-superset minimality from sampled
+     pairs alone — no O(N) structure is ever built. Grid is rounded to a
+     perfect square (ragged grids are legitimately non-minimal); majority
+     samples fewer pairs because each quorum is N/2+1 sites long. *)
+  QCheck.Test.make ~name:"lazy sampled intersection+minimality, n up to 10^6"
+    ~count:6
+    QCheck.(int_range 100_000 1_000_000)
+    (fun n ->
+      List.for_all
+        (fun kind ->
+          let n =
+            match kind with
+            | B.Grid ->
+              let r = int_of_float (Float.round (sqrt (float_of_int n))) in
+              r * r
+            | _ -> supported_size kind n
+          in
+          let a = B.assignment kind ~n in
+          let rng = Dmx_sim.Rng.create (3_000 + n) in
+          let pairs = if kind = B.Majority then 6 else 40 in
+          List.for_all
+            (fun (i, j) ->
+              let qi = List.sort_uniq compare (Ct.quorum_of a i)
+              and qj = List.sort_uniq compare (Ct.quorum_of a j) in
+              List.mem i qi
+              && intersects qi qj
+              && (qi = qj || ((not (subset qi qj)) && not (subset qj qi))))
+            (sampled_pairs ~n ~count:pairs rng))
+        [ B.Grid; B.Fpp; B.Tree; B.Majority; B.Hqc ])
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -459,4 +528,7 @@ let suite =
         qcheck_large_n_intersection;
         qcheck_large_n_minimality;
         qcheck_large_n_sizes_track_formulas;
+        qcheck_lazy_matches_materialized;
+        qcheck_lazy_stats_match_materialized;
+        qcheck_huge_n_lazy_properties;
       ]

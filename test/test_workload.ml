@@ -47,6 +47,61 @@ let test_saturated_bounds () =
        false
      with Invalid_argument _ -> true)
 
+let test_open_loop () =
+  let w = W.Open_loop { active = 3; rate_per_site = 0.5 } in
+  let arr = W.initial_arrivals w ~n:1_000_000 ~rng:(rng ()) in
+  Alcotest.(check int) "one per active site" 3 (List.length arr);
+  Alcotest.(check (list int)) "active prefix only" [ 0; 1; 2 ]
+    (List.sort compare (List.map snd arr));
+  Alcotest.(check bool) "open loop" false (W.is_closed_loop w);
+  (match W.next_arrival w ~site:1 ~now:10.0 ~rng:(rng ()) with
+  | Some t -> Alcotest.(check bool) "after now" true (t > 10.0)
+  | None -> Alcotest.fail "open-loop never exhausts");
+  Alcotest.(check bool) "rate validated" true
+    (try
+       ignore
+         (W.initial_arrivals
+            (W.Open_loop { active = 3; rate_per_site = 0.0 })
+            ~n:5 ~rng:(rng ()));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "active > n rejected" true
+    (try
+       ignore (W.initial_arrivals w ~n:2 ~rng:(rng ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_huge_n_eager_workloads_refused () =
+  (* above [max_eager_sites] the per-site workloads would materialize every
+     site and defeat the lazy machinery; they must refuse loudly *)
+  let n = W.max_eager_sites + 1 in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let rejects w =
+    try
+      ignore (W.initial_arrivals w ~n ~rng:(rng ()));
+      false
+    with Invalid_argument m ->
+      (* the error must point at the fix, not just say "no" *)
+      contains m "open-loop" || contains m "contenders"
+  in
+  Alcotest.(check bool) "poisson refused" true
+    (rejects (W.Poisson { rate_per_site = 0.1 }));
+  Alcotest.(check bool) "saturated-all refused" true
+    (rejects (W.Saturated { contenders = n }));
+  (* the lazy-compatible forms still work at the same n *)
+  Alcotest.(check int) "open-loop fine" 4
+    (List.length
+       (W.initial_arrivals
+          (W.Open_loop { active = 4; rate_per_site = 0.1 })
+          ~n ~rng:(rng ())));
+  Alcotest.(check int) "small saturated fine" 4
+    (List.length
+       (W.initial_arrivals (W.Saturated { contenders = 4 }) ~n ~rng:(rng ())))
+
 let test_burst () =
   let w = W.Burst { requesters = [ 2; 4 ]; at = 3.5 } in
   let arr = W.initial_arrivals w ~n:5 ~rng:(rng ()) in
@@ -74,4 +129,6 @@ let suite =
       ("saturated validates contenders", test_saturated_bounds);
       ("burst workload", test_burst);
       ("burst validates sites", test_burst_range_checked);
+      ("open-loop workload", test_open_loop);
+      ("huge-n eager workloads refused", test_huge_n_eager_workloads_refused);
     ]
