@@ -17,6 +17,7 @@
 (* The cluster-smoke experiment re-executes this binary as the node
    image (see Dmx_net.Node.env_var); the trampoline must run first. *)
 let () = Dmx_net.Node.run_as_child_if_requested ()
+let () = Dmx_service.Snode.run_as_child_if_requested ()
 
 let usage () =
   print_endline

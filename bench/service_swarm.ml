@@ -1,0 +1,94 @@
+(* S1: the sharded lock service under a closed-loop client swarm.
+
+   Three runs, each oracle-checked per shard:
+
+   - scale: the deterministic simulator at a population the live driver
+     would need minutes for — 16 shards, thousands of clients — as the
+     perf trajectory for the service core (Host + Lease + protocol).
+   - failover: a mid-run node kill and restart in the simulator; the
+     dead node's sessions must re-home and every shard must still pass
+     the oracle.
+   - live: a small real multi-process swarm over localhost TCP, the
+     end-to-end number (daemon startup, real sockets, driver-side
+     percentiles).
+
+   The latency figures reported are worst-shard percentiles: a single
+   hot or slow shard is exactly what the sharding is supposed to
+   prevent, so it is the number worth tracking. *)
+
+module Swarm = Dmx_service.Swarm
+module Sim_swarm = Dmx_service.Sim_swarm
+module Summary = Dmx_sim.Stats.Summary
+
+let worst_ms (o : Swarm.outcome) p =
+  Array.fold_left
+    (fun acc s -> Float.max acc (Summary.percentile s.Swarm.latency p *. 1e3))
+    0.0 o.Swarm.per_shard
+
+let totals (o : Swarm.outcome) =
+  Array.fold_left
+    (fun (g, e) s -> (g + s.Swarm.grants, e + s.Swarm.expiries))
+    (0, 0) o.Swarm.per_shard
+
+let report name (o : Swarm.outcome) =
+  let grants, expiries = totals o in
+  Printf.printf
+    "lock-service %-8s shards=%d grants=%d expiries=%d rehomed=%d \
+     worst-shard p50/p95/p99=%.1f/%.1f/%.1f ms wall=%.2fs oracle=%s\n%!"
+    name
+    (Array.length o.Swarm.per_shard)
+    grants expiries o.Swarm.rehomed_sessions (worst_ms o 50.0)
+    (worst_ms o 95.0) (worst_ms o 99.0) o.Swarm.wall_seconds
+    (if Swarm.ok o then "ok" else "REJECTED");
+  if not (Swarm.ok o) then failwith ("lock-service: oracle rejected " ^ name)
+
+let run () =
+  let quick = !Scenarios.quick in
+  (* scale: virtual time, many shards, a large population *)
+  let scale =
+    {
+      (Sim_swarm.default ~n:5) with
+      Sim_swarm.shards = 16;
+      clients = (if quick then 300 else 2000);
+      rounds = 2;
+      abandon = 0.05;
+      lease = 0.5;
+      seed = 42;
+    }
+  in
+  (match Sim_swarm.run_named scale with
+  | Error e -> failwith ("lock-service scale: " ^ e)
+  | Ok o -> report "scale" o);
+  (* failover: kill node 1 mid-run, restart it, expect re-homing *)
+  let failover =
+    {
+      (Sim_swarm.default ~n:5) with
+      Sim_swarm.shards = 8;
+      clients = (if quick then 100 else 400);
+      rounds = 4;
+      think = 0.1;
+      protocol = "ft-delay-optimal";
+      lease = 0.4;
+      seed = 7;
+      kills = [ (0.15, 1) ];
+      restarts = [ (1.0, 1) ];
+    }
+  in
+  (match Sim_swarm.run_named failover with
+  | Error e -> failwith ("lock-service failover: " ^ e)
+  | Ok o ->
+    report "failover" o;
+    if o.Swarm.rehomed_sessions = 0 then
+      failwith "lock-service failover: expected sessions to re-home");
+  (* live: real daemons over localhost TCP *)
+  let live =
+    {
+      (Swarm.default ~n:(if quick then 3 else 5)) with
+      Swarm.clients = (if quick then 40 else 200);
+      rounds = 2;
+      timeout = 120.0;
+    }
+  in
+  match Swarm.run live with
+  | Error e -> failwith ("lock-service live: " ^ e)
+  | Ok o -> report "live" o

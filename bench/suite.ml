@@ -29,6 +29,7 @@ let registry =
     ("micro", ("M1: substrate micro-benchmarks", Micro.run));
     ("cluster-smoke", ("N1: real multi-process TCP cluster smoke", Net_smoke.run));
     ("cluster-chaos", ("N2: UDP cluster soak under injected loss", Net_chaos.run));
+    ("lock-service", ("S1: sharded lock service under a client swarm", Service_swarm.run));
   ]
 
 let names = List.map fst registry

@@ -14,6 +14,7 @@
 (* When the cluster supervisor re-executes this binary as a node image,
    the spec arrives in the environment; nothing else may run first. *)
 let () = Dmx_net.Node.run_as_child_if_requested ()
+let () = Dmx_service.Snode.run_as_child_if_requested ()
 
 module E = Dmx_sim.Engine
 module Net = Dmx_sim.Network
@@ -1409,6 +1410,241 @@ let node_cmd =
           manual or multi-host use.")
     term
 
+(* ---- swarm: the sharded lock service ---- *)
+
+let swarm_cmd =
+  let sn_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "n"; "sites" ] ~docv:"N" ~doc:"Number of service nodes.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "clients"; "c" ] ~docv:"COUNT"
+          ~doc:"Closed-loop client population.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"COUNT"
+          ~doc:
+            "Independent protocol instances the lock namespace is hashed \
+             across.")
+  in
+  let locks_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "locks" ] ~docv:"COUNT"
+          ~doc:"Distinct lock names (0 = one per client).")
+  in
+  let srounds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "rounds" ] ~docv:"COUNT"
+          ~doc:"Acquire/release cycles each client completes.")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "think" ] ~docv:"SECONDS"
+          ~doc:"Mean think time between a client's rounds (exponential).")
+  in
+  let hold_arg =
+    Arg.(
+      value & opt float 0.002
+      & info [ "hold" ] ~docv:"SECONDS"
+          ~doc:"How long a client keeps a granted lock before releasing.")
+  in
+  let lease_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "lease" ] ~docv:"SECONDS"
+          ~doc:
+            "Lease duration: an unrenewed hold is expired this long after \
+             its grant (or last renewal).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"COUNT"
+          ~doc:"Leases served per protocol critical-section tenure.")
+  in
+  let abandon_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "abandon" ] ~docv:"P"
+          ~doc:
+            "Probability a granted client vanishes without releasing, \
+             leaving cleanup to lease expiry.")
+  in
+  let kill_arg =
+    Arg.(
+      value & opt_all at_conv []
+      & info [ "kill" ] ~docv:"NODE@TIME"
+          ~doc:
+            "SIGKILL a service node this long after the swarm starts \
+             (repeatable); its sessions re-home to live nodes.")
+  in
+  let restart_arg =
+    Arg.(
+      value & opt_all at_conv []
+      & info [ "restart" ] ~docv:"NODE@TIME"
+          ~doc:"Respawn a killed node with fresh state (repeatable).")
+  in
+  let log_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log-dir" ] ~docv:"DIR"
+          ~doc:"Write per-node stderr logs into $(docv).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 120.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Hard bound on the whole run (wall clock, or virtual time \
+                with $(b,--sim)).")
+  in
+  let transport_arg =
+    Arg.(
+      value & opt string "tcp"
+      & info [ "transport" ] ~docv:"KIND"
+          ~doc:"Transport between processes: tcp or udp.")
+  in
+  let sim_arg =
+    Arg.(
+      value & flag
+      & info [ "sim" ]
+          ~doc:
+            "Run the deterministic virtual-time simulator instead of live \
+             processes: same host logic, same client machines, seeded link \
+             latencies — identical output for identical seeds.")
+  in
+  let latency_arg =
+    Arg.(
+      value & opt float 0.001
+      & info [ "latency" ] ~docv:"SECONDS"
+          ~doc:"Mean one-way link latency ($(b,--sim) only).")
+  in
+  let detect_delay_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "detect-delay" ] ~docv:"SECONDS"
+          ~doc:"Peer failure-notification lag ($(b,--sim) only).")
+  in
+  let reorder_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "reorder" ] ~docv:"P"
+          ~doc:
+            "Per-frame probability of a bounded holdback (chaos shim, live \
+             runs), in [0,1).")
+  in
+  let action n clients shards locks rounds think hold lease max_batch abandon
+      protocol quorum seed kills restarts log_dir timeout hb hbto rto
+      transport loss dup reorder sim latency detect_delay csv =
+    let finish (o : Dmx_service.Swarm.outcome) =
+      if csv then begin
+        print_endline "shard,acquires,grants,expiries,p50_ms,p95_ms,p99_ms,ok";
+        Array.iter
+          (fun (s : Dmx_service.Swarm.shard_outcome) ->
+            let p q =
+              1000.0 *. Dmx_sim.Stats.Summary.percentile s.latency q
+            in
+            Printf.printf "%d,%d,%d,%d,%.3f,%.3f,%.3f,%b\n" s.shard
+              s.acquires s.grants s.expiries (p 50.0) (p 95.0) (p 99.0)
+              (Dmx_service.Swarm.shard_ok s))
+          o.per_shard
+      end
+      else Format.printf "%a@." Dmx_service.Swarm.pp_outcome o;
+      exit (if Dmx_service.Swarm.ok o then 0 else 2)
+    in
+    let result =
+      if sim then
+        Dmx_service.Sim_swarm.run_named
+          {
+            Dmx_service.Sim_swarm.n;
+            shards;
+            clients;
+            locks;
+            rounds;
+            think;
+            hold;
+            lease;
+            max_batch;
+            abandon;
+            protocol;
+            quorum;
+            seed;
+            kills;
+            restarts;
+            latency;
+            detect_delay;
+            rto;
+            max_time = timeout;
+          }
+      else
+        Dmx_service.Swarm.run
+          {
+            Dmx_service.Swarm.n;
+            shards;
+            clients;
+            locks;
+            rounds;
+            think;
+            hold;
+            lease;
+            max_batch;
+            abandon;
+            protocol;
+            quorum;
+            seed;
+            kills;
+            restarts;
+            log_dir;
+            timeout;
+            hb_period = hb;
+            hb_timeout = hbto;
+            rto;
+            transport;
+            chaos =
+              {
+                Dmx_net.Chaos.no_faults with
+                Dmx_net.Chaos.loss;
+                duplication = dup;
+                reorder;
+              };
+            hello_timeout = 10.0;
+          }
+    in
+    match result with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok o -> finish o
+  in
+  let term =
+    Term.(
+      const action $ sn_arg $ clients_arg $ shards_arg $ locks_arg
+      $ srounds_arg $ think_arg $ hold_arg $ lease_arg $ batch_arg
+      $ abandon_arg $ proto_arg $ quorum_arg $ seed_arg $ kill_arg
+      $ restart_arg $ log_dir_arg $ timeout_arg $ hb_arg $ hbto_arg $ rto_arg
+      $ transport_arg $ loss_arg $ dup_arg $ reorder_arg $ sim_arg
+      $ latency_arg $ detect_delay_arg $ csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Run the sharded lock service under a closed-loop client swarm: \
+          hash a lock namespace across independent protocol instances \
+          spread over N nodes, multiplex thousands of leased client \
+          sessions over one connection per node, optionally kill and \
+          restart nodes mid-run, then check every shard's merged trace \
+          with the oracle and report per-shard acquire-latency \
+          percentiles (exit 2 on any violation). $(b,--sim) runs the \
+          deterministic virtual-time twin instead of live processes.")
+    term
+
 let () =
   let doc =
     "Delay-optimal quorum-based distributed mutual exclusion (ICDCS'98) — \
@@ -1430,4 +1666,5 @@ let () =
             replay_cmd;
             cluster_cmd;
             node_cmd;
+            swarm_cmd;
           ]))

@@ -1,0 +1,232 @@
+(* Lease state machine for one shard of the lock service, on one node.
+
+   The machine sits between client sessions and a PROTOCOL instance: it
+   queues client acquires, asks the protocol for the shard's CS exactly
+   when the queue becomes non-empty, and while the protocol holds the CS
+   it hands out one time-bounded lease at a time. It never touches the
+   protocol or the network directly — every consequence of an event is
+   returned as an [action] list for the host to perform, and all clock
+   access goes through the [io] capabilities (mirroring Reliable.io), so
+   the same machine runs on engine virtual time and on the wall clock. *)
+
+type io = {
+  now : unit -> float;
+  set_timer : delay:float -> unit;
+}
+
+type config = {
+  duration : float;
+  max_batch : int;
+}
+
+let default = { duration = 2.0; max_batch = 8 }
+
+let timer_tag = 1_000_000_000
+
+type action =
+  | Grant of { session : int; req : int; deadline : float }
+  | Expire of { session : int; req : int }
+  | Request_cs
+  | Release_cs
+
+type hold = {
+  h_session : int;
+  h_req : int;
+  mutable deadline : float;
+}
+
+type stats = {
+  grants : int;
+  renewals : int;
+  expiries : int;
+  voided : int;
+  tenures : int;
+}
+
+type t = {
+  cfg : config;
+  io : io;
+  (* waiting (session, req) pairs, FIFO *)
+  q : (int * int) Queue.t;
+  mutable requested : bool;  (* protocol request outstanding *)
+  mutable in_cs : bool;  (* protocol-level tenure *)
+  mutable holder : hold option;
+  mutable served : int;  (* holds granted within the current tenure *)
+  mutable timer_armed : bool;
+  mutable grants : int;
+  mutable renewals : int;
+  mutable expiries : int;
+  mutable voided : int;
+  mutable tenures : int;
+}
+
+let create cfg ~io =
+  if cfg.duration <= 0.0 then invalid_arg "Lease: duration must be positive";
+  if cfg.max_batch < 1 then invalid_arg "Lease: max_batch must be >= 1";
+  {
+    cfg;
+    io;
+    q = Queue.create ();
+    requested = false;
+    in_cs = false;
+    holder = None;
+    served = 0;
+    timer_armed = false;
+    grants = 0;
+    renewals = 0;
+    expiries = 0;
+    voided = 0;
+    tenures = 0;
+  }
+
+let holder t = Option.map (fun h -> (h.h_session, h.h_req)) t.holder
+let queue_length t = Queue.length t.q
+let in_cs t = t.in_cs
+let requested t = t.requested
+
+let stats t =
+  {
+    grants = t.grants;
+    renewals = t.renewals;
+    expiries = t.expiries;
+    voided = t.voided;
+    tenures = t.tenures;
+  }
+
+let stats_alist t =
+  List.filter
+    (fun (_, v) -> v > 0)
+    [
+      ("lease.grants", t.grants);
+      ("lease.renewals", t.renewals);
+      ("lease.expiries", t.expiries);
+      ("lease.voided", t.voided);
+      ("lease.tenures", t.tenures);
+    ]
+
+let arm t delay =
+  if not t.timer_armed then begin
+    t.timer_armed <- true;
+    t.io.set_timer ~delay:(Float.max delay 0.0)
+  end
+
+let grant_next t =
+  let session, req = Queue.pop t.q in
+  let deadline = t.io.now () +. t.cfg.duration in
+  t.holder <- Some { h_session = session; h_req = req; deadline };
+  t.served <- t.served + 1;
+  t.grants <- t.grants + 1;
+  arm t t.cfg.duration;
+  Grant { session; req; deadline }
+
+(* Re-establish the invariant after any event: while in the CS with no
+   current hold, either grant the next waiting client (bounded per tenure
+   by [max_batch], so one busy node cannot monopolize the shard) or give
+   the CS back; outside the CS, a non-empty queue demands a request. *)
+let rec step t =
+  if t.in_cs && t.holder = None then
+    if (not (Queue.is_empty t.q)) && t.served < t.cfg.max_batch then begin
+      (* bind first: [::] evaluates right to left, and [step] must see
+         the hold [grant_next] installs *)
+      let g = grant_next t in
+      g :: step t
+    end
+    else begin
+      t.in_cs <- false;
+      t.served <- 0;
+      Release_cs :: step t
+    end
+  else if
+    (not t.in_cs) && (not t.requested) && not (Queue.is_empty t.q)
+  then begin
+    t.requested <- true;
+    [ Request_cs ]
+  end
+  else []
+
+let acquire t ~session ~req =
+  match t.holder with
+  | Some h when h.h_session = session && h.h_req = req ->
+    (* idempotent re-acquire from the current holder: the original Grant
+       was lost in flight (datagram transports) — re-ack it unchanged *)
+    [ Grant { session; req; deadline = h.deadline } ]
+  | _ ->
+    if Queue.fold (fun acc (s, r) -> acc || (s = session && r = req)) false t.q
+    then [] (* duplicate of a queued acquire: still waiting, say nothing *)
+    else begin
+      Queue.push (session, req) t.q;
+      step t
+    end
+
+let release t ~session ~req =
+  match t.holder with
+  | Some h when h.h_session = session && h.h_req = req ->
+    t.holder <- None;
+    step t
+  | _ ->
+    (* Not the current hold: either a stale release that lost the race
+       with expiry (ignore — the client already got its Expire), or a
+       waiting client withdrawing its queued request. *)
+    let kept = Queue.create () in
+    Queue.iter
+      (fun (s, r) -> if not (s = session && r = req) then Queue.push (s, r) kept)
+      t.q;
+    Queue.clear t.q;
+    Queue.transfer kept t.q;
+    step t
+
+let renew t ~session ~req =
+  match t.holder with
+  | Some h when h.h_session = session && h.h_req = req ->
+    h.deadline <- t.io.now () +. t.cfg.duration;
+    t.renewals <- t.renewals + 1;
+    (* the armed timer fires at the old deadline, observes the pushed-out
+       one, and re-arms — exactly one timer in flight per hold chain *)
+    [ Grant { session; req; deadline = h.deadline } ]
+  | _ ->
+    (* too late: the lease is gone (expired or superseded) *)
+    [ Expire { session; req } ]
+
+let granted t =
+  t.in_cs <- true;
+  t.requested <- false;
+  t.served <- 0;
+  t.tenures <- t.tenures + 1;
+  step t
+
+let void_session t ~session =
+  let kept = Queue.create () in
+  let dropped = ref 0 in
+  Queue.iter
+    (fun (s, r) ->
+      if s = session then incr dropped else Queue.push (s, r) kept)
+    t.q;
+  Queue.clear t.q;
+  Queue.transfer kept t.q;
+  let freed =
+    match t.holder with
+    | Some h when h.h_session = session ->
+      t.holder <- None;
+      incr dropped;
+      true
+    | _ -> false
+  in
+  ignore freed;
+  t.voided <- t.voided + !dropped;
+  step t
+
+let on_timer t =
+  t.timer_armed <- false;
+  match t.holder with
+  | None -> []
+  | Some h ->
+    let now = t.io.now () in
+    if now >= h.deadline -. 1e-9 then begin
+      t.holder <- None;
+      t.expiries <- t.expiries + 1;
+      Expire { session = h.h_session; req = h.h_req } :: step t
+    end
+    else begin
+      arm t (h.deadline -. now);
+      []
+    end

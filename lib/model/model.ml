@@ -354,6 +354,15 @@ type measurement = {
 
 let classify_load ~n ~e ~t = function
   | W.Saturated _ | W.Burst _ -> Heavy
+  | W.Think { contenders; mean_think } ->
+    (* machine-repairman: each client cycles think -> service, so the
+       offered rate is contenders / (think + service) *)
+    let rho =
+      float_of_int contenders *. (e +. t) /. (mean_think +. e +. t)
+    in
+    if rho <= 0.05 then Light
+    else if rho >= 1.0 then Heavy
+    else Poisson (1.0 /. (mean_think +. e +. t))
   | W.Poisson { rate_per_site } ->
     let rho = float_of_int n *. rate_per_site *. (e +. t) in
     if rho <= 0.05 then Light else Poisson rate_per_site

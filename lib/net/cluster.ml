@@ -53,56 +53,16 @@ type outcome = {
   live_stats : (string * int) list array;
 }
 
-(* ---- child process management ---- *)
+(* ---- child process management (shared plumbing in Spawn) ---- *)
 
-let alloc_ports k =
-  let fds =
-    List.init k (fun _ ->
-        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-        Unix.setsockopt fd SO_REUSEADDR true;
-        Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, 0));
-        fd)
-  in
-  let ports =
-    List.map
-      (fun fd ->
-        match Unix.getsockname fd with
-        | ADDR_INET (_, p) -> p
-        | _ -> assert false)
-      fds
-  in
-  List.iter Unix.close fds;
-  ports
+let alloc_ports = Spawn.alloc_ports
+let kill_quietly = Spawn.kill_quietly
 
 let spawn_node ~log_dir (spec : Node.spec) =
-  let exe = Sys.executable_name in
-  let env =
-    Array.append
-      (Array.of_seq
-         (Seq.filter
-            (fun kv ->
-              not (String.length kv > 13 && String.sub kv 0 14 = Node.env_var ^ "="))
-            (Array.to_seq (Unix.environment ()))))
-      [| Node.env_var ^ "=" ^ Node.spec_to_string spec |]
-  in
-  let devnull = Unix.openfile "/dev/null" [ O_RDWR ] 0 in
-  let errfd =
-    match log_dir with
-    | None -> devnull
-    | Some d ->
-      Unix.openfile
-        (Filename.concat d (Printf.sprintf "node-%d.log" spec.Node.site))
-        [ O_WRONLY; O_CREAT; O_APPEND ]
-        0o644
-  in
-  let pid = Unix.create_process_env exe [| exe |] env devnull devnull errfd in
-  Unix.close devnull;
-  if errfd <> devnull then Unix.close errfd;
-  pid
-
-let kill_quietly pid =
-  (try Unix.kill pid Sys.sigkill with _ -> ());
-  try ignore (Unix.waitpid [] pid) with _ -> ()
+  Spawn.child ~log_dir
+    ~log_name:(Printf.sprintf "node-%d.log" spec.Node.site)
+    ~env_var:Node.env_var
+    ~spec:(Node.spec_to_string spec)
 
 (* ---- report reconstruction from the merged trace ---- *)
 

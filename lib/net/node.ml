@@ -282,6 +282,13 @@ module Make (P : Proto.PROTOCOL) = struct
               shutdown := true
             | Wire.Hello _ | Wire.Heartbeat _ | Wire.Trace_batch _
             | Wire.Metrics _ ->
+              ()
+            (* lock-service frames: a single-protocol node is not a
+               service host — see Dmx_service.Snode for the daemon that
+               speaks these *)
+            | Wire.Open_session _ | Wire.Acquire _ | Wire.Release_lock _
+            | Wire.Renew _ | Wire.Grant _ | Wire.Deny _ | Wire.Expire _
+            | Wire.Sproto _ | Wire.Strace _ ->
               ())
           | Transport_sig.Peer_down s ->
             trace (Trace.Suspect s);

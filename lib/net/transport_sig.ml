@@ -158,4 +158,11 @@ let frame_src (frame : Wire.frame) =
   | Wire.Metrics { site; _ } ->
     site
   | Wire.Proto { src; _ } -> src
+  | Wire.Sproto { src; _ } -> src
+  | Wire.Strace { site; _ } -> site
   | Wire.Workload _ | Wire.Shutdown -> -1
+  (* session control frames are anonymous: the client side of the service
+     is not a site, and nodes answer on the link the frame arrived on *)
+  | Wire.Open_session _ | Wire.Acquire _ | Wire.Release_lock _
+  | Wire.Renew _ | Wire.Grant _ | Wire.Deny _ | Wire.Expire _ ->
+    -1

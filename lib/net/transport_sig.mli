@@ -118,4 +118,5 @@ end
 
 val frame_src : Wire.frame -> int
 (** The sending site a frame itself names; [-1] for anonymous frames
-    ([Workload], [Shutdown]). *)
+    ([Workload], [Shutdown], and the session control frames, whose
+    client senders are not sites). *)

@@ -300,6 +300,16 @@ type frame =
       reliable : (string * int) list;
     }
   | Shutdown
+  (* ---- lock-service frames (sessions, leases, shards) ---- *)
+  | Open_session of { session : int; inc : float }
+  | Acquire of { session : int; lock : string; req : int }
+  | Release_lock of { session : int; lock : string; req : int }
+  | Renew of { session : int; lock : string; req : int }
+  | Grant of { session : int; lock : string; req : int; deadline : float }
+  | Deny of { session : int; lock : string; req : int; reason : string }
+  | Expire of { session : int; lock : string; req : int }
+  | Sproto of { shard : int; src : int; dst : int; payload : string }
+  | Strace of { shard : int; site : int; entries : Trace.entry list }
 
 let encode frame =
   let b = Buffer.create 64 in
@@ -346,7 +356,55 @@ let encode frame =
         wstr b k;
         wint b v)
       reliable
-  | Shutdown -> w8 b 6);
+  | Shutdown -> w8 b 6
+  | Open_session { session; inc } ->
+    w8 b 7;
+    wint b session;
+    wf64 b inc
+  | Acquire { session; lock; req } ->
+    w8 b 8;
+    wint b session;
+    wstr b lock;
+    wint b req
+  | Release_lock { session; lock; req } ->
+    w8 b 9;
+    wint b session;
+    wstr b lock;
+    wint b req
+  | Renew { session; lock; req } ->
+    w8 b 10;
+    wint b session;
+    wstr b lock;
+    wint b req
+  | Grant { session; lock; req; deadline } ->
+    w8 b 11;
+    wint b session;
+    wstr b lock;
+    wint b req;
+    wf64 b deadline
+  | Deny { session; lock; req; reason } ->
+    w8 b 12;
+    wint b session;
+    wstr b lock;
+    wint b req;
+    wstr b reason
+  | Expire { session; lock; req } ->
+    w8 b 13;
+    wint b session;
+    wstr b lock;
+    wint b req
+  | Sproto { shard; src; dst; payload } ->
+    w8 b 14;
+    wint b shard;
+    wint b src;
+    wint b dst;
+    wstr b payload
+  | Strace { shard; site; entries } ->
+    w8 b 15;
+    wint b shard;
+    wint b site;
+    wint b (List.length entries);
+    List.iter (wentry b) entries);
   Buffer.contents b
 
 let decode s =
@@ -404,6 +462,55 @@ let decode s =
         in
         Metrics { site; executions; sent; received; kinds; reliable }
       | 6 -> Shutdown
+      | 7 ->
+        let session = rint c in
+        let inc = rf64 c in
+        Open_session { session; inc }
+      | 8 ->
+        let session = rint c in
+        let lock = rstr c in
+        let req = rint c in
+        Acquire { session; lock; req }
+      | 9 ->
+        let session = rint c in
+        let lock = rstr c in
+        let req = rint c in
+        Release_lock { session; lock; req }
+      | 10 ->
+        let session = rint c in
+        let lock = rstr c in
+        let req = rint c in
+        Renew { session; lock; req }
+      | 11 ->
+        let session = rint c in
+        let lock = rstr c in
+        let req = rint c in
+        let deadline = rf64 c in
+        Grant { session; lock; req; deadline }
+      | 12 ->
+        let session = rint c in
+        let lock = rstr c in
+        let req = rint c in
+        let reason = rstr c in
+        Deny { session; lock; req; reason }
+      | 13 ->
+        let session = rint c in
+        let lock = rstr c in
+        let req = rint c in
+        Expire { session; lock; req }
+      | 14 ->
+        let shard = rint c in
+        let src = rint c in
+        let dst = rint c in
+        let payload = rstr c in
+        Sproto { shard; src; dst; payload }
+      | 15 ->
+        let shard = rint c in
+        let site = rint c in
+        let n = rint c in
+        if n < 0 || n > 10_000_000 then raise (Bad "bad batch length");
+        let entries = List.init n (fun _ -> rentry c) in
+        Strace { shard; site; entries }
       | t -> raise (Bad (Printf.sprintf "bad frame tag %d" t))
     in
     finished c "frame";

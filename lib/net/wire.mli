@@ -52,6 +52,36 @@ type frame =
               ["chaos.lost"], ...); empty when none apply *)
     }  (** node [->] supervisor: the site finished its workload *)
   | Shutdown  (** supervisor [->] node: flush and exit *)
+  | Open_session of { session : int; inc : float }
+      (** client [->] node: bind (or re-bind, after a re-home) the
+          session to this connection. [inc] is the session's incarnation;
+          a larger one voids any state left by the smaller (the stale
+          client demonstrably restarted — see {!Dmx_core.Lease}) *)
+  | Acquire of { session : int; lock : string; req : int }
+      (** client [->] node: queue for [lock]'s shard. [req] is echoed in
+          the response, so retries over datagrams are idempotent *)
+  | Release_lock of { session : int; lock : string; req : int }
+      (** client [->] node: give the lease back (or withdraw a queued
+          acquire) *)
+  | Renew of { session : int; lock : string; req : int }
+      (** client [->] node: slide the lease deadline out; answered with a
+          fresh {!frame.Grant}, or {!frame.Expire} if the lease is gone *)
+  | Grant of { session : int; lock : string; req : int; deadline : float }
+      (** node [->] client: the lease — hold [lock] until [deadline]
+          (node clock) unless renewed *)
+  | Deny of { session : int; lock : string; req : int; reason : string }
+      (** node [->] client: the request cannot even be queued (unknown
+          session, superseded incarnation, no live quorum) *)
+  | Expire of { session : int; lock : string; req : int }
+      (** node [->] client: the hold ended without a release — the
+          deadline passed, or a renewal arrived too late *)
+  | Sproto of { shard : int; src : int; dst : int; payload : string }
+      (** node [<->] node: a protocol message of one shard's coterie;
+          {!frame.Proto} with a shard id, demultiplexed to that shard's
+          protocol instance *)
+  | Strace of { shard : int; site : int; entries : Dmx_sim.Trace.entry list }
+      (** node [->] supervisor: {!frame.Trace_batch} with a shard id, so
+          the supervisor can run the unmodified oracle per shard *)
 
 val encode : frame -> string
 (** Payload bytes (version byte included, length prefix excluded). *)

@@ -1,0 +1,29 @@
+(* Lock-namespace sharding: lock name -> shard by FNV-1a, and the
+   per-shard rotation that spreads each shard's protocol sites over the
+   node set so no node is the quorum hot spot of every shard at once. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash lock =
+  let h = ref fnv_offset in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h fnv_prime)
+    lock;
+  (* fold to a non-negative int: truncate to the native width, then
+     clear the sign bit *)
+  Int64.to_int !h land max_int
+
+let shard_of_lock ~shards lock =
+  if shards < 1 then invalid_arg "Shard_map: shards must be >= 1";
+  hash lock mod shards
+
+let node_of_site ~shard ~n site =
+  if site < 0 || site >= n then invalid_arg "Shard_map: site out of range";
+  (site + shard) mod n
+
+let site_of_node ~shard ~n node =
+  if node < 0 || node >= n then invalid_arg "Shard_map: node out of range";
+  ((node - shard) mod n + n) mod n

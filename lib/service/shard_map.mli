@@ -1,0 +1,33 @@
+(** Lock-namespace sharding.
+
+    The service turns one mutual-exclusion protocol into a lock
+    {e namespace} by hashing every lock name onto one of [shards]
+    independent protocol instances. Each shard runs its own coterie over
+    all [n] service nodes, but under a per-shard {e rotation} of site
+    ids, so the structurally loaded positions of a coterie (the root of
+    a tree quorum, the busy column of a grid) land on a different node
+    for each shard — quorum load spreads over the node set instead of
+    hammering node 0 in every shard.
+
+    Everything here is pure arithmetic shared by the live daemon, the
+    driver, and the deterministic simulator: all three must agree on
+    where a lock lives and which node plays which site. *)
+
+val hash : string -> int
+(** 64-bit FNV-1a of the lock name, folded to a non-negative OCaml int.
+    Stable across runs and processes (no randomized seeding) — the
+    shard of a lock is part of the service's wire-visible contract. *)
+
+val shard_of_lock : shards:int -> string -> int
+(** The shard arbitrating this lock name.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val node_of_site : shard:int -> n:int -> int -> int
+(** The node that plays protocol site [site] of [shard]: rotation by
+    [shard] modulo [n].
+    @raise Invalid_argument when the site is outside [0, n). *)
+
+val site_of_node : shard:int -> n:int -> int -> int
+(** Inverse of {!node_of_site}: which protocol site of [shard] the given
+    node plays.
+    @raise Invalid_argument when the node is outside [0, n). *)

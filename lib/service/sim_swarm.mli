@@ -1,0 +1,57 @@
+(** The deterministic virtual-time twin of the live {!Swarm} driver.
+
+    Runs the {e same} {!Host} logic and the same client state machines
+    as the live driver, but on a single event heap with a seeded RNG
+    driving think times, abandon decisions and per-frame link latencies
+    (channel-FIFO, like the TCP path). Node kills discard the host
+    (fresh state on restart, stale timers fenced by a generation
+    counter) and notify peers after [detect_delay], mirroring the live
+    failure detector. Two runs with the same config are identical —
+    traces, verdicts, percentiles — so the service is fuzzable and any
+    failure replays from its seed. Results come back as
+    {!Swarm.outcome} ([wall_seconds] is virtual time). *)
+
+module B = Dmx_quorum.Builder
+
+type config = {
+  n : int;
+  shards : int;
+  clients : int;
+  locks : int;  (** distinct lock names; [0] means one per client *)
+  rounds : int;
+  think : float;  (** mean think time (exponential) *)
+  hold : float;
+  lease : float;
+  max_batch : int;
+  abandon : float;  (** P(granted client vanishes without releasing) *)
+  protocol : string;  (** ["delay-optimal"] or ["ft-delay-optimal"] *)
+  quorum : B.kind;
+  seed : int;  (** the whole run is a function of this *)
+  kills : (float * int) list;  (** (virtual seconds, node) *)
+  restarts : (float * int) list;
+  latency : float;  (** mean one-way link latency, seconds *)
+  detect_delay : float;  (** peer failure/recovery notification lag *)
+  rto : float;  (** reliability-layer base RTO (ft protocol) *)
+  max_time : float;  (** virtual-time failsafe *)
+}
+
+val default : n:int -> config
+(** 4 shards, 64 clients x 3 rounds, 1 ms links, 50 ms detection. *)
+
+val validate : config -> (unit, string) result
+
+(** Instantiated per protocol; {!run_named} covers the named ones. *)
+module Run (P : Dmx_sim.Protocol.PROTOCOL) : sig
+  module H : module type of Host.Make (P)
+
+  val run :
+    config ->
+    codec:H.codec ->
+    ?live_stats:(P.state -> (string * int) list) ->
+    (shard:int -> P.config) ->
+    (Swarm.outcome, string) result
+end
+
+val run_named : config -> (Swarm.outcome, string) result
+(** Resolve [protocol]/[quorum] exactly as {!Snode.run_named} does and
+    run the simulation. *)

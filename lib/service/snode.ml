@@ -1,0 +1,369 @@
+(* The live service daemon: one process hosting this node's slice of
+   every shard, over the same transports, chaos shim, heartbeat and
+   trampoline machinery as the single-protocol node daemon (lib/net's
+   Node) — but speaking the session/lease control frames and running a
+   Host instead of one protocol instance. *)
+
+module Trace = Dmx_sim.Trace
+module B = Dmx_quorum.Builder
+module Wire = Dmx_net.Wire
+module Transport_sig = Dmx_net.Transport_sig
+module Transports = Dmx_net.Transports
+module Chaos = Dmx_net.Chaos
+
+type spec = {
+  site : int;
+  n : int;
+  node_ports : int array;
+  supervisor_port : int;
+  protocol : string;
+  quorum : string;
+  shards : int;
+  lease : float;  (* lease duration, seconds *)
+  max_batch : int;
+  seed : int;
+  epoch : float;
+  hb_period : float;
+  hb_timeout : float;
+  rto : float;
+  max_seconds : float;
+  transport : string;
+  chaos : Chaos.plan;
+}
+
+let env_var = "DMX_SERVICE_SPEC"
+
+let spec_to_string s =
+  Printf.sprintf
+    "site=%d n=%d ports=%s sup=%d proto=%s quorum=%s shards=%d lease=%h \
+     batch=%d seed=%d epoch=%h hb=%h hbto=%h rto=%h max=%h trans=%s chaos=%s"
+    s.site s.n
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int s.node_ports)))
+    s.supervisor_port s.protocol s.quorum s.shards s.lease s.max_batch s.seed
+    s.epoch s.hb_period s.hb_timeout s.rto s.max_seconds s.transport
+    (Chaos.plan_to_string s.chaos)
+
+let spec_of_string str =
+  try
+    let kv =
+      String.split_on_char ' ' str
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match String.index_opt s '=' with
+             | Some i ->
+               ( String.sub s 0 i,
+                 String.sub s (i + 1) (String.length s - i - 1) )
+             | None -> failwith ("bad field " ^ s))
+    in
+    let get k =
+      match List.assoc_opt k kv with
+      | Some v -> v
+      | None -> failwith ("missing field " ^ k)
+    in
+    let geti k = int_of_string (get k) in
+    let getf k = float_of_string (get k) in
+    Ok
+      {
+        site = geti "site";
+        n = geti "n";
+        node_ports =
+          get "ports" |> String.split_on_char ','
+          |> List.map int_of_string |> Array.of_list;
+        supervisor_port = geti "sup";
+        protocol = get "proto";
+        quorum = get "quorum";
+        shards = geti "shards";
+        lease = getf "lease";
+        max_batch = geti "batch";
+        seed = geti "seed";
+        epoch = getf "epoch";
+        hb_period = getf "hb";
+        hb_timeout = getf "hbto";
+        rto = getf "rto";
+        max_seconds = getf "max";
+        transport = get "trans";
+        chaos = Chaos.plan_of_string (get "chaos");
+      }
+  with e ->
+    Error (Printf.sprintf "bad service spec %S: %s" str (Printexc.to_string e))
+
+let supervisor_silence_limit = 30.0
+
+let debug =
+  match Sys.getenv_opt "DMX_NET_DEBUG" with Some "1" -> true | _ -> false
+
+let dbg fmt =
+  if debug then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
+  module H = Host.Make (P)
+
+  type timer = { at : float; shard : int; tag : int; seq : int }
+
+  let run (spec : spec) ~(codec : H.codec)
+      ?(live_stats = fun _ -> []) (pconfig : shard:int -> P.config) =
+    let now () = Unix.gettimeofday () -. spec.epoch in
+    let started = now () in
+    let hello_inc = Unix.gettimeofday () in
+    let peer_list =
+      List.filter_map
+        (fun j ->
+          if j = spec.site then None
+          else
+            Some
+              ( j,
+                Unix.ADDR_INET (Unix.inet_addr_loopback, spec.node_ports.(j))
+              ))
+        (List.init spec.n Fun.id)
+      @ [
+          ( spec.n,
+            Unix.ADDR_INET (Unix.inet_addr_loopback, spec.supervisor_port) );
+        ]
+    in
+    let raw =
+      Transports.create_exn spec.transport
+        {
+          Transport_sig.self = spec.site;
+          listen_port = spec.node_ports.(spec.site);
+          peers = peer_list;
+          hb_period = spec.hb_period;
+          hb_timeout = spec.hb_timeout;
+          watch =
+            List.init spec.n Fun.id |> List.filter (fun j -> j <> spec.site);
+          hello_inc;
+        }
+    in
+    let shim =
+      if Chaos.is_trivial spec.chaos then None
+      else
+        Some
+          (Chaos.create spec.chaos ~self:spec.site
+             ~peers:(List.map fst peer_list) ~inner:raw)
+    in
+    let transport =
+      match shim with Some c -> Chaos.handle c | None -> raw
+    in
+    (* timers: protocol and lease timers of every shard in one heap *)
+    let timer_seq = ref 0 in
+    let timers =
+      Dmx_sim.Heap.create
+        ~cmp:(fun a b ->
+          let c = Float.compare a.at b.at in
+          if c <> 0 then c else Int.compare a.seq b.seq)
+        ()
+    in
+    let caps =
+      {
+        Host.now;
+        send_shard =
+          (fun ~shard ~dst_node payload ->
+            transport.send ~dst:dst_node
+              (Wire.Sproto { shard; src = spec.site; dst = dst_node; payload }));
+        send_client = (fun frame -> transport.send ~dst:spec.n frame);
+        set_timer =
+          (fun ~shard ~tag ~delay ->
+            incr timer_seq;
+            Dmx_sim.Heap.add timers
+              { at = now () +. delay; shard; tag; seq = !timer_seq });
+      }
+    in
+    let host =
+      H.create ~caps ~codec ~self:spec.site ~n:spec.n ~shards:spec.shards
+        ~lease:{ Dmx_core.Lease.duration = spec.lease; max_batch = spec.max_batch }
+        ~seed:spec.seed ~pconfig
+    in
+    (* trace streaming: per-shard Strace frames, chunked so a batch fits
+       a UDP datagram like the node daemon's 96-entry chunks *)
+    let last_flush = ref (now ()) in
+    let flush_traces () =
+      List.iter
+        (fun (shard, entries) ->
+          let rec chunks = function
+            | [] -> ()
+            | es ->
+              let rec take k acc = function
+                | rest when k = 0 -> (List.rev acc, rest)
+                | [] -> (List.rev acc, [])
+                | e :: rest -> take (k - 1) (e :: acc) rest
+              in
+              let batch, rest = take 96 [] es in
+              transport.send ~dst:spec.n
+                (Wire.Strace { shard; site = spec.site; entries = batch });
+              chunks rest
+          in
+          chunks entries)
+        (H.drain_traces host);
+      last_flush := now ()
+    in
+    let driver_seen = ref false in
+    let last_super_contact = ref (now ()) in
+    let last_hb = ref Float.neg_infinity in
+    let shutdown = ref false in
+    let metrics () =
+      let reliable =
+        H.lease_stats host
+        @ H.fold_states host (fun acc st -> acc @ live_stats st) []
+        @ (match shim with Some c -> Chaos.stats_alist c | None -> [])
+        @ Transport_sig.stats_alist ~prefix:"transport" (transport.stats ())
+      in
+      let executions =
+        Option.value ~default:0
+          (List.assoc_opt "lease.grants" (H.lease_stats host))
+      in
+      transport.send ~dst:spec.n
+        (Wire.Metrics
+           {
+             site = spec.site;
+             executions;
+             sent = H.sent host;
+             received = H.received host;
+             kinds = H.kinds_alist host;
+             reliable;
+           })
+    in
+    while
+      (not !shutdown)
+      && now () -. !last_super_contact < supervisor_silence_limit
+      && now () -. started < spec.max_seconds
+    do
+      if spec.hb_period > 0.0 && now () -. !last_hb >= spec.hb_period then begin
+        last_hb := now ();
+        transport.broadcast (Wire.Heartbeat { site = spec.site; time = now () });
+        (* keep re-introducing ourselves until the driver speaks: on a
+           datagram transport the first Hello can simply be lost *)
+        if not !driver_seen then
+          transport.send ~dst:spec.n
+            (Wire.Hello { site = spec.site; inc = hello_inc })
+      end;
+      (* due timers *)
+      let rec fire_timers () =
+        match Dmx_sim.Heap.peek timers with
+        | Some tm when tm.at <= now () ->
+          ignore (Dmx_sim.Heap.pop timers);
+          H.on_timer host ~shard:tm.shard ~tag:tm.tag;
+          fire_timers ()
+        | Some _ | None -> ()
+      in
+      fire_timers ();
+      H.tick host;
+      (* network events *)
+      let driver_frame () =
+        driver_seen := true;
+        last_super_contact := now ()
+      in
+      let rec drain () =
+        match transport.poll () with
+        | None -> ()
+        | Some ev ->
+          (match ev with
+          | Transport_sig.Frame { src; frame } ->
+            if src = spec.n then last_super_contact := now ();
+            (match frame with
+            | Wire.Sproto { shard; src = src_node; payload; _ } ->
+              H.on_sproto host ~shard ~src_node payload
+            | Wire.Open_session { session; inc } ->
+              driver_frame ();
+              H.open_session host ~session ~inc
+            | Wire.Acquire { session; lock; req } ->
+              driver_frame ();
+              H.acquire host ~session ~lock ~req
+            | Wire.Release_lock { session; lock; req } ->
+              driver_frame ();
+              H.release host ~session ~lock ~req
+            | Wire.Renew { session; lock; req } ->
+              driver_frame ();
+              H.renew host ~session ~lock ~req
+            | Wire.Shutdown ->
+              driver_frame ();
+              dbg "snode %d: shutdown at %.3f" spec.site (now ());
+              shutdown := true
+            | Wire.Workload _ ->
+              (* the swarm driver has no use for it, but answering the
+                 cluster supervisor's keepalive idiom is harmless *)
+              last_super_contact := now ()
+            | Wire.Hello _ | Wire.Heartbeat _ | Wire.Proto _
+            | Wire.Trace_batch _ | Wire.Metrics _ | Wire.Grant _
+            | Wire.Deny _ | Wire.Expire _ | Wire.Strace _ ->
+              ())
+          | Transport_sig.Peer_down s -> H.on_node_failure host ~node:s
+          | Transport_sig.Peer_up s -> H.on_node_recovery host ~node:s);
+          drain ()
+      in
+      drain ();
+      H.tick host;
+      if now () -. !last_flush > 0.2 then flush_traces ();
+      Unix.sleepf 0.0002
+    done;
+    dbg "snode %d: exiting at %.3f (shutdown=%b)" spec.site (now ()) !shutdown;
+    flush_traces ();
+    metrics ();
+    (* let the final frames drain before tearing the sockets down *)
+    Unix.sleepf 0.1;
+    transport.close ()
+end
+
+let run_named (spec : spec) =
+  match B.parse_kind spec.quorum with
+  | Error e -> Error e
+  | Ok kind -> (
+    let n = spec.n in
+    if spec.site < 0 || spec.site >= n then Error "site out of range"
+    else if Array.length spec.node_ports <> n then Error "ports/n mismatch"
+    else if spec.shards < 1 then Error "shards must be >= 1"
+    else if not (B.supports kind ~n) then
+      Error
+        (Format.asprintf "quorum %a does not support n=%d" B.pp_kind kind n)
+    else
+      match spec.protocol with
+      | "delay-optimal" ->
+        let module R = Run (Dmx_core.Delay_optimal) in
+        R.run spec
+          ~codec:
+            {
+              R.H.encode = Wire.encode_message;
+              decode = Wire.decode_message;
+            }
+          (fun ~shard:_ -> Dmx_core.Delay_optimal.config (B.req_sets kind ~n));
+        Ok ()
+      | "ft-delay-optimal" ->
+        let module R = Run (Dmx_core.Ft_delay_optimal) in
+        let reliability =
+          {
+            Dmx_core.Reliable.rto = spec.rto;
+            backoff = 2.0;
+            rto_max = 16.0 *. spec.rto;
+            ack_delay = 0.1 *. spec.rto;
+          }
+        in
+        R.run spec
+          ~codec:
+            {
+              R.H.encode = Wire.encode_message;
+              decode = Wire.decode_message;
+            }
+          ~live_stats:(fun st ->
+            match Dmx_core.Ft_delay_optimal.Internal.reliable st with
+            | Some r -> Dmx_core.Reliable.stats_alist r
+            | None -> [])
+          (fun ~shard:_ ->
+            Dmx_core.Ft_delay_optimal.config_of_kind ~reliability
+              ~trust_detector:false kind ~n ~broadcast:false);
+        Ok ()
+      | p -> Error (Printf.sprintf "unknown protocol %S" p))
+
+let run_as_child_if_requested () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some s -> (
+    match spec_of_string s with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok spec -> (
+      match run_named spec with
+      | Ok () -> exit 0
+      | Error e ->
+        prerr_endline e;
+        exit 2))

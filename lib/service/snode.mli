@@ -1,0 +1,63 @@
+(** The live lock-service daemon: one process hosting a node's slice of
+    every shard over a real transport.
+
+    Mirrors the single-protocol node daemon ({!Dmx_net.Node}) — same
+    transports, chaos shim, heartbeats, re-exec trampoline, supervisor
+    silence failsafe and trace streaming — but it dispatches the
+    session/lease control frames into a {!Host} and streams each
+    shard's trace as [Strace] frames, so the swarm driver can run the
+    unmodified oracle per shard. All client traffic arrives multiplexed
+    over the driver's link (peer id [n]); responses go back the same
+    way. *)
+
+(** Everything a daemon process needs to come up, delivered through the
+    {!env_var} trampoline by the swarm driver. *)
+type spec = {
+  site : int;
+  n : int;
+  node_ports : int array;  (** listen port of every node, index = id *)
+  supervisor_port : int;  (** the swarm driver's port (peer id [n]) *)
+  protocol : string;  (** ["delay-optimal"] or ["ft-delay-optimal"] *)
+  quorum : string;  (** a {!Dmx_quorum.Builder.parse_kind} spelling *)
+  shards : int;
+  lease : float;  (** lease duration, seconds *)
+  max_batch : int;  (** leases served per protocol CS tenure *)
+  seed : int;
+  epoch : float;  (** cluster time zero (absolute [gettimeofday]) *)
+  hb_period : float;
+  hb_timeout : float;
+  rto : float;  (** reliability-layer base retransmission timeout *)
+  max_seconds : float;  (** failsafe wall-clock limit *)
+  transport : string;  (** a {!Dmx_net.Transports.create} name *)
+  chaos : Dmx_net.Chaos.plan;
+}
+
+val spec_to_string : spec -> string
+val spec_of_string : string -> (spec, string) result
+
+val env_var : string
+(** [DMX_SERVICE_SPEC]; the service twin of {!Dmx_net.Node.env_var}. *)
+
+val run_as_child_if_requested : unit -> unit
+(** Check {!env_var}; when present, run the daemon to completion and
+    [exit]. Must be called before the host executable does anything
+    else (alongside {!Dmx_net.Node.run_as_child_if_requested}). *)
+
+(** Run the daemon for a specific protocol. *)
+module Run (P : Dmx_sim.Protocol.PROTOCOL) : sig
+  module H : module type of Host.Make (P)
+
+  val run :
+    spec ->
+    codec:H.codec ->
+    ?live_stats:(P.state -> (string * int) list) ->
+    (shard:int -> P.config) ->
+    unit
+  (** Blocks until the driver's [Shutdown], driver silence beyond 30 s,
+      or [spec.max_seconds]. [live_stats] extracts per-shard protocol
+      counters for the final [Metrics] frame. *)
+end
+
+val run_named : spec -> (unit, string) result
+(** Resolve [spec.protocol]/[spec.quorum] exactly as
+    {!Dmx_net.Node.run_named} does and run the daemon. *)

@@ -1,0 +1,115 @@
+(** The closed-loop client-swarm driver for the sharded lock service.
+
+    Spawns [n] {!Snode} daemons over a real transport, runs a
+    population of client state machines (think → acquire → hold →
+    release/abandon, for a fixed number of rounds each) with every
+    session multiplexed over the driver's single endpoint, optionally
+    kills and restarts daemons mid-run — re-homing the dead node's
+    sessions onto live nodes with fresh incarnations — and finally
+    merges each shard's streamed trace and runs the unmodified
+    {!Dmx_sim.Oracle} on it, per shard.
+
+    Acquire latency is measured driver-side, from the first [Acquire]
+    send to the matching [Grant], so failover cost (retries, session
+    re-homing after a kill) is part of the distribution, exactly as a
+    client would experience it. *)
+
+module Summary = Dmx_sim.Stats.Summary
+module Oracle = Dmx_sim.Oracle
+module B = Dmx_quorum.Builder
+module Chaos = Dmx_net.Chaos
+
+type config = {
+  n : int;  (** node count (>= 2) *)
+  shards : int;  (** independent protocol instances *)
+  clients : int;  (** closed-loop client population *)
+  locks : int;  (** distinct lock names; [0] means one per client *)
+  rounds : int;  (** acquire/release cycles per client *)
+  think : float;  (** mean think time between rounds (exponential) *)
+  hold : float;  (** hold time once granted, seconds *)
+  lease : float;  (** lease duration handed to the daemons *)
+  max_batch : int;  (** grants served per protocol CS tenure *)
+  abandon : float;
+      (** probability a granted client "crashes": never releases or
+          renews, leaving cleanup to lease expiry *)
+  protocol : string;  (** ["delay-optimal"] or ["ft-delay-optimal"] *)
+  quorum : B.kind;
+  seed : int;  (** drives think times and abandon decisions *)
+  kills : (float * int) list;  (** (seconds after start, node) SIGKILLs *)
+  restarts : (float * int) list;
+      (** (seconds, node); each needs an earlier kill of the same node *)
+  log_dir : string option;  (** daemon stderr logs, when given *)
+  timeout : float;  (** overall failsafe, seconds *)
+  hb_period : float;
+  hb_timeout : float;
+  rto : float;
+  transport : string;  (** a {!Dmx_net.Transports} name *)
+  chaos : Chaos.plan;  (** [n] and zero [seed] are filled in *)
+  hello_timeout : float;  (** startup phase limit *)
+}
+
+val default : n:int -> config
+(** 4 shards, 64 clients x 3 rounds, 50 ms mean think, 2 ms hold, 2 s
+    lease, no kills, no chaos, TCP. *)
+
+val validate : config -> (unit, string) result
+
+(** Per-shard distillation: driver-side counters, the acquire-latency
+    summary, and the oracle's verdict over the merged trace (expressed
+    in the shard's rotated site-id space). *)
+type shard_outcome = {
+  shard : int;
+  acquires : int;  (** rounds started (first [Acquire] sends) *)
+  grants : int;  (** [Grant]s matched to a waiting request *)
+  expiries : int;
+      (** rounds ended by lease expiry rather than release — abandons,
+          kills, and lost frames all land here *)
+  latency : Summary.t;  (** acquire-to-grant, seconds *)
+  verdict : Oracle.verdict;
+  occupancy_violations : int;  (** independent shard-local CS overlap scan *)
+  trace_entries : int;
+}
+
+type outcome = {
+  per_shard : shard_outcome array;
+  wall_seconds : float;
+  completed_clients : int;
+  rehomed_sessions : int;  (** sessions moved off killed nodes *)
+  live_stats : (string * int) list array;
+      (** each node's final [Metrics] counters (lease, protocol,
+          transport, chaos); empty for nodes that died without one *)
+}
+
+val distil :
+  n:int ->
+  crashy:bool ->
+  lossy:bool ->
+  acquires:int array ->
+  grants:int array ->
+  expiries:int array ->
+  latency:Summary.t array ->
+  entries:Dmx_sim.Trace.entry list array ->
+  shard_outcome array
+(** Shared verdict construction (also used by {!Sim_swarm}): sort each
+    shard's merged trace by time, run the oracle — FIFO off when
+    [crashy] or [lossy], custody off when [crashy], exactly as the
+    cluster supervisor relaxes it — plus an independent shard-local
+    occupancy scan. All arrays are indexed by shard. *)
+
+val run : config -> (outcome, string) result
+(** Run the swarm to completion. [Error] covers validation failures,
+    daemons dying before hello, and the overall timeout; daemons are
+    killed and the transport closed on every path. *)
+
+val shard_ok : shard_outcome -> bool
+(** Clean oracle verdict and zero occupancy violations. *)
+
+val ok : outcome -> bool
+(** Every shard is {!shard_ok}. *)
+
+val live_totals : outcome -> (string * int) list
+(** Sum of all nodes' final counters, sorted by key. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** The per-shard table (counts + p50/p95/p99 in ms), totals, live
+    counters, and any violations in full. *)

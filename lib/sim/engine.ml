@@ -319,7 +319,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       | Some at when at <= sim.cfg.max_time ->
         sched_live sim ~time:at (Arrival { site })
       | Some _ | None -> ())
-    | Workload.Saturated _ | Workload.Burst _ -> ());
+    | Workload.Saturated _ | Workload.Think _ | Workload.Burst _ -> ());
     if Network.is_up sim.net site then begin
       if Float.is_nan sim.request_time.(site) && sim.in_cs <> site then
         issue_request sim ctx_of state_of site

@@ -90,6 +90,8 @@ let to_string t =
   | Workload.Open_loop { active; rate_per_site } ->
     line "workload open-loop %d %s" active (fstr rate_per_site)
   | Workload.Saturated { contenders } -> line "workload saturated %d" contenders
+  | Workload.Think { contenders; mean_think } ->
+    line "workload think %d %s" contenders (fstr mean_think)
   | Workload.Burst { requesters; at } ->
     line "workload burst %s %s" (fstr at)
       (if requesters = [] then "-" else ilist requesters));
@@ -199,6 +201,10 @@ let of_string s =
           | [ "workload"; "saturated"; c ] ->
             let* contenders = int_of c in
             Ok { acc with workload = Workload.Saturated { contenders } }
+          | [ "workload"; "think"; c; m ] ->
+            let* contenders = int_of c in
+            let* mean_think = float_of m in
+            Ok { acc with workload = Workload.Think { contenders; mean_think } }
           | [ "workload"; "burst"; at; rs ] ->
             let* at = float_of at in
             let* requesters = if rs = "-" then Ok [] else ints_of rs in
@@ -320,6 +326,8 @@ let restrict_n t n =
       Workload.Open_loop { active = max 1 (min active n); rate_per_site }
     | Workload.Saturated { contenders } ->
       Workload.Saturated { contenders = max 2 (min contenders n) }
+    | Workload.Think { contenders; mean_think } ->
+      Workload.Think { contenders = max 2 (min contenders n); mean_think }
     | Workload.Burst { requesters; at } ->
       let requesters = List.filter keep_site requesters in
       Workload.Burst
@@ -397,6 +405,9 @@ let shrink t =
   (match t.workload with
   | Workload.Saturated { contenders } when contenders > 2 ->
     add { t with workload = Workload.Saturated { contenders = contenders / 2 } }
+  | Workload.Think { contenders; mean_think } when contenders > 2 ->
+    add
+      { t with workload = Workload.Think { contenders = contenders / 2; mean_think } }
   | Workload.Burst { requesters; at } when List.length requesters > 2 ->
     let keep = List.filteri (fun i _ -> i mod 2 = 0) requesters in
     add { t with workload = Workload.Burst { requesters = keep; at } }

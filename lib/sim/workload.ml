@@ -2,6 +2,7 @@ type t =
   | Poisson of { rate_per_site : float }
   | Open_loop of { active : int; rate_per_site : float }
   | Saturated of { contenders : int }
+  | Think of { contenders : int; mean_think : float }
   | Burst of { requesters : int list; at : float }
 
 (* Ceiling on workloads that instantiate an arrival per site up front
@@ -17,6 +18,8 @@ let pp ppf = function
     Format.fprintf ppf "open-loop(%d active, rate=%g/site)" active
       rate_per_site
   | Saturated { contenders } -> Format.fprintf ppf "saturated(%d)" contenders
+  | Think { contenders; mean_think } ->
+    Format.fprintf ppf "think(%d clients, mean=%g)" contenders mean_think
   | Burst { requesters; at } ->
     Format.fprintf ppf "burst(%d sites at t=%g)" (List.length requesters) at
 
@@ -48,6 +51,18 @@ let initial_arrivals t ~n ~rng =
             cap contenders at %d and leave the rest of the universe passive"
            contenders max_eager_sites);
     List.init contenders (fun site -> (0.0, site))
+  | Think { contenders; mean_think } ->
+    if mean_think <= 0.0 then invalid_arg "Workload: think time must be positive";
+    if contenders <= 0 || contenders > n then
+      invalid_arg "Workload: contenders out of range";
+    if contenders > max_eager_sites then
+      invalid_arg
+        (Printf.sprintf
+           "Workload: think would keep %d sites cycling forever; cap \
+            contenders at %d and leave the rest of the universe passive"
+           contenders max_eager_sites);
+    List.init contenders (fun site ->
+        (Rng.exponential rng ~mean:mean_think, site))
   | Burst { requesters; at } ->
     List.iter
       (fun s ->
@@ -60,8 +75,11 @@ let next_arrival t ~site ~now ~rng =
   | Poisson { rate_per_site } | Open_loop { rate_per_site; _ } ->
     Some (now +. Rng.exponential rng ~mean:(1.0 /. rate_per_site))
   | Saturated { contenders } -> if site < contenders then Some now else None
+  | Think { contenders; mean_think } ->
+    if site < contenders then Some (now +. Rng.exponential rng ~mean:mean_think)
+    else None
   | Burst _ -> None
 
 let is_closed_loop = function
-  | Saturated _ -> true
+  | Saturated _ | Think _ -> true
   | Poisson _ | Open_loop _ | Burst _ -> false

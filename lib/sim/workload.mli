@@ -22,6 +22,13 @@ type t =
   | Saturated of { contenders : int }
       (** The first [contenders] sites re-request immediately after each
           release: the system never idles. *)
+  | Think of { contenders : int; mean_think : float }
+      (** Closed-loop interactive population: the first [contenders] sites
+          cycle request [->] CS [->] exponential think time of mean
+          [mean_think] [->] request again. This is the client-swarm model
+          (each site stands for one client of the lock service); between
+          [Saturated] (think [->] 0) and light load (think [->] inf) it
+          sweeps the classic machine-repairman curve. *)
   | Burst of { requesters : int list; at : float }
       (** Each listed site issues exactly one request at time [at]. *)
 

@@ -3,6 +3,7 @@
 (* The cluster integration tests re-execute this binary as the node
    image (see Dmx_net.Node.env_var); the trampoline must run first. *)
 let () = Dmx_net.Node.run_as_child_if_requested ()
+let () = Dmx_service.Snode.run_as_child_if_requested ()
 
 let () =
   Alcotest.run "dmx"
@@ -40,4 +41,6 @@ let () =
       ("chaos", Test_chaos.suite);
       ("udp", Test_udp.suite);
       ("cluster", Test_cluster.suite);
+      ("lease", Test_lease.suite);
+      ("service", Test_service.suite);
     ]

@@ -1,0 +1,213 @@
+(* The lease state machine, driven through a stub io with a manual
+   clock — the same capability-record pattern as the Reliable tests.
+   Covered: the grant/release cycle, expiry when the holder goes silent,
+   the renewal/release and renewal/expiry races, batching bounded per
+   tenure, idempotent duplicate acquires, incarnation voiding (the
+   restart-evidence path used by session re-homing), and the
+   single-timer-chain discipline. *)
+
+module L = Dmx_core.Lease
+
+let stub ?(duration = 2.0) ?(max_batch = 8) () =
+  let now = ref 0.0 in
+  let timers = ref [] in
+  let io =
+    {
+      L.now = (fun () -> !now);
+      set_timer = (fun ~delay -> timers := (!now +. delay) :: !timers);
+    }
+  in
+  let t = L.create { L.duration; max_batch } ~io in
+  (t, now, timers)
+
+let kind = function
+  | L.Grant _ -> "grant"
+  | L.Expire _ -> "expire"
+  | L.Request_cs -> "request"
+  | L.Release_cs -> "release"
+
+let kinds actions = List.map kind actions
+
+let check_kinds what expected actions =
+  Alcotest.(check (list string)) what expected (kinds actions)
+
+(* Fire the armed timer chain once: pop the earliest pending arm, move
+   the clock there, deliver. *)
+let fire t now timers =
+  match List.sort compare !timers with
+  | [] -> Alcotest.fail "no timer armed"
+  | at :: rest ->
+    timers := rest;
+    now := Float.max !now at;
+    L.on_timer t
+
+let test_grant_release_cycle () =
+  let t, _now, _timers = stub () in
+  check_kinds "acquire requests the CS" [ "request" ]
+    (L.acquire t ~session:1 ~req:1);
+  Alcotest.(check bool) "requested" true (L.requested t);
+  check_kinds "tenure grants the head of the queue" [ "grant" ]
+    (L.granted t);
+  Alcotest.(check (option (pair int int)))
+    "holder" (Some (1, 1)) (L.holder t);
+  check_kinds "release with an empty queue gives the CS back"
+    [ "release" ]
+    (L.release t ~session:1 ~req:1);
+  Alcotest.(check bool) "out of cs" false (L.in_cs t);
+  Alcotest.(check int) "one tenure" 1 (L.stats t).L.tenures
+
+let test_expiry_frees_the_shard () =
+  (* the holder vanishes (client crash / partition): the timer expires
+     the hold and the next waiter is granted within the same tenure *)
+  let t, now, timers = stub ~duration:1.0 () in
+  check_kinds "request" [ "request" ] (L.acquire t ~session:1 ~req:1);
+  ignore (L.acquire t ~session:2 ~req:1);
+  check_kinds "grant session 1" [ "grant" ] (L.granted t);
+  let actions = fire t now timers in
+  check_kinds "expiry hands over to session 2" [ "expire"; "grant" ] actions;
+  (match actions with
+  | L.Expire { session = 1; req = 1 } :: _ -> ()
+  | _ -> Alcotest.fail "expected session 1 to expire");
+  Alcotest.(check (option (pair int int)))
+    "session 2 now holds" (Some (2, 1)) (L.holder t);
+  Alcotest.(check int) "one expiry" 1 (L.stats t).L.expiries
+
+let test_renewal_slides_the_deadline () =
+  let t, now, timers = stub ~duration:1.0 () in
+  ignore (L.acquire t ~session:1 ~req:1);
+  ignore (L.granted t);
+  now := 0.6;
+  (match L.renew t ~session:1 ~req:1 with
+  | [ L.Grant { session = 1; req = 1; deadline } ] ->
+    Alcotest.(check (float 1e-9)) "deadline slid" 1.6 deadline
+  | _ -> Alcotest.fail "renewal should re-grant");
+  (* the original timer fires at the old deadline, sees the pushed-out
+     one and re-arms instead of expiring *)
+  check_kinds "stale timer is harmless" [] (fire t now timers);
+  Alcotest.(check (option (pair int int)))
+    "still held" (Some (1, 1)) (L.holder t);
+  (* the re-armed timer finds the true deadline gone *)
+  check_kinds "then the real expiry" [ "expire"; "release" ]
+    (fire t now timers);
+  Alcotest.(check int) "one renewal" 1 (L.stats t).L.renewals
+
+let test_renewal_after_release_expires () =
+  (* the renew/release race: a renewal that loses against the client's
+     own release must answer Expire, not resurrect the hold *)
+  let t, _now, _timers = stub () in
+  ignore (L.acquire t ~session:1 ~req:1);
+  ignore (L.granted t);
+  ignore (L.release t ~session:1 ~req:1);
+  check_kinds "late renewal answers expire" [ "expire" ]
+    (L.renew t ~session:1 ~req:1);
+  Alcotest.(check (option (pair int int))) "no holder" None (L.holder t)
+
+let test_batching_bounded_per_tenure () =
+  let t, _now, _timers = stub ~max_batch:2 () in
+  ignore (L.acquire t ~session:1 ~req:1);
+  ignore (L.acquire t ~session:2 ~req:1);
+  ignore (L.acquire t ~session:3 ~req:1);
+  check_kinds "grant first" [ "grant" ] (L.granted t);
+  check_kinds "second grant within the tenure" [ "grant" ]
+    (L.release t ~session:1 ~req:1);
+  (* batch exhausted: give the CS back and re-request for session 3 *)
+  check_kinds "then yield and re-request" [ "release"; "request" ]
+    (L.release t ~session:2 ~req:1);
+  check_kinds "fresh tenure serves the rest" [ "grant" ] (L.granted t);
+  Alcotest.(check int) "two tenures" 2 (L.stats t).L.tenures
+
+let test_duplicate_acquire_is_idempotent () =
+  let t, _now, _timers = stub () in
+  check_kinds "first acquire requests" [ "request" ]
+    (L.acquire t ~session:1 ~req:1);
+  check_kinds "duplicate while queued says nothing" []
+    (L.acquire t ~session:1 ~req:1);
+  ignore (L.granted t);
+  (* duplicate from the current holder: the Grant was lost in flight —
+     re-ack without touching the deadline *)
+  check_kinds "duplicate from the holder re-grants" [ "grant" ]
+    (L.acquire t ~session:1 ~req:1);
+  Alcotest.(check int) "one real grant counted" 1 (L.stats t).L.grants
+
+let test_incarnation_voids_stale_hold () =
+  (* a restarted client re-opens with a larger incarnation: the host
+     calls void_session, which must free the hold immediately instead of
+     running out the lease clock *)
+  let t, _now, _timers = stub () in
+  ignore (L.acquire t ~session:1 ~req:1);
+  ignore (L.acquire t ~session:2 ~req:1);
+  ignore (L.granted t);
+  check_kinds "void frees the hold and grants the next waiter"
+    [ "grant" ]
+    (L.void_session t ~session:1);
+  Alcotest.(check (option (pair int int)))
+    "session 2 holds" (Some (2, 1)) (L.holder t);
+  Alcotest.(check int) "voided counts the hold" 1 (L.stats t).L.voided;
+  (* voiding a queued request only prunes the queue *)
+  ignore (L.acquire t ~session:3 ~req:1);
+  check_kinds "voiding a waiter is silent" [] (L.void_session t ~session:3)
+
+let test_single_timer_chain () =
+  (* consecutive grants while a timer is already armed must not arm a
+     second chain; the live daemon's timer heap would otherwise grow by
+     one stale entry per grant *)
+  let t, now, timers = stub ~duration:1.0 () in
+  ignore (L.acquire t ~session:1 ~req:1);
+  ignore (L.acquire t ~session:2 ~req:1);
+  ignore (L.granted t);
+  Alcotest.(check (list (float 1e-9)))
+    "one arm after first grant" [ 1.0 ] !timers;
+  now := 0.5;
+  ignore (L.release t ~session:1 ~req:1);
+  (* session 2 granted within the tenure (deadline 1.5); chain already
+     armed, so no second arm *)
+  Alcotest.(check (list (float 1e-9))) "still one pending arm" [ 1.0 ] !timers;
+  (* the chain fires at the old deadline, finds the live hold and
+     re-arms for it *)
+  now := 1.0;
+  timers := [];
+  ignore (L.on_timer t);
+  Alcotest.(check (list (float 1e-9)))
+    "re-armed for the live hold" [ 1.5 ] !timers;
+  Alcotest.(check (option (pair int int)))
+    "session 2 survives" (Some (2, 1)) (L.holder t)
+
+let test_release_withdraws_queued_request () =
+  let t, _now, _timers = stub () in
+  ignore (L.acquire t ~session:1 ~req:1);
+  ignore (L.acquire t ~session:2 ~req:1);
+  (* session 2 gives up before being served *)
+  check_kinds "withdrawal is silent" [] (L.release t ~session:2 ~req:1);
+  check_kinds "grant goes to session 1" [ "grant" ] (L.granted t);
+  check_kinds "queue empty afterwards" [ "release" ]
+    (L.release t ~session:1 ~req:1)
+
+let test_config_validation () =
+  let io = { L.now = (fun () -> 0.0); set_timer = (fun ~delay:_ -> ()) } in
+  Alcotest.check_raises "zero duration"
+    (Invalid_argument "Lease: duration must be positive") (fun () ->
+      ignore (L.create { L.duration = 0.0; max_batch = 1 } ~io));
+  Alcotest.check_raises "zero batch"
+    (Invalid_argument "Lease: max_batch must be >= 1") (fun () ->
+      ignore (L.create { L.duration = 1.0; max_batch = 0 } ~io))
+
+let suite =
+  [
+    Alcotest.test_case "grant/release cycle" `Quick test_grant_release_cycle;
+    Alcotest.test_case "expiry frees the shard" `Quick
+      test_expiry_frees_the_shard;
+    Alcotest.test_case "renewal slides the deadline" `Quick
+      test_renewal_slides_the_deadline;
+    Alcotest.test_case "renewal after release expires" `Quick
+      test_renewal_after_release_expires;
+    Alcotest.test_case "batching bounded per tenure" `Quick
+      test_batching_bounded_per_tenure;
+    Alcotest.test_case "duplicate acquire idempotent" `Quick
+      test_duplicate_acquire_is_idempotent;
+    Alcotest.test_case "incarnation voids stale hold" `Quick
+      test_incarnation_voids_stale_hold;
+    Alcotest.test_case "single timer chain" `Quick test_single_timer_chain;
+    Alcotest.test_case "release withdraws queued request" `Quick
+      test_release_withdraws_queued_request;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+  ]

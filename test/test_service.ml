@@ -1,0 +1,328 @@
+(* The sharded lock service: Shard_map properties, the Host driven
+   through fake capabilities, the deterministic Sim_swarm (including
+   replayability and kill/restart recovery), and — gated behind
+   DMX_CLUSTER_FULL=1 like the heavy cluster scenarios — a live
+   multi-process swarm with a mid-run kill and restart. *)
+
+module SM = Dmx_service.Shard_map
+module Swarm = Dmx_service.Swarm
+module Sim_swarm = Dmx_service.Sim_swarm
+module Wire = Dmx_net.Wire
+module B = Dmx_quorum.Builder
+
+let full_enabled = Sys.getenv_opt "DMX_CLUSTER_FULL" = Some "1"
+
+(* ---- shard map ---- *)
+
+let test_shard_map_ranges () =
+  for i = 0 to 999 do
+    let lock = Printf.sprintf "lock-%d" i in
+    let s = SM.shard_of_lock ~shards:16 lock in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 16);
+    Alcotest.(check int) "stable" s (SM.shard_of_lock ~shards:16 lock)
+  done;
+  (* the rotation is a bijection both ways for every shard *)
+  let n = 7 in
+  for shard = 0 to 4 do
+    for site = 0 to n - 1 do
+      let node = SM.node_of_site ~shard ~n site in
+      Alcotest.(check int) "round-trip" site (SM.site_of_node ~shard ~n node)
+    done
+  done;
+  (* rotation spreads site 0 (the tree root / grid hot spot) over nodes *)
+  let roots = List.init 5 (fun shard -> SM.node_of_site ~shard ~n 0) in
+  Alcotest.(check (list int)) "root rotates" [ 0; 1; 2; 3; 4 ] roots
+
+let test_shard_map_spread () =
+  (* FNV over a realistic namespace should not collapse onto few shards:
+     with 4096 keys over 16 shards, every shard gets a decent share *)
+  let counts = Array.make 16 0 in
+  for i = 0 to 4095 do
+    let s = SM.shard_of_lock ~shards:16 (Printf.sprintf "user/%d/profile" i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      if c < 128 then
+        Alcotest.failf "shard %d got only %d of 4096 keys (expected ~256)" s c)
+    counts
+
+(* ---- host, through fake capabilities ---- *)
+
+module Host = Dmx_service.Host.Make (Dmx_core.Delay_optimal)
+
+type fake = {
+  mutable vnow : float;
+  mutable client_out : Wire.frame list;  (* newest first *)
+  mutable shard_out : (int * int * string) list;
+  mutable timers : (float * int * int) list;  (* (at, shard, tag) *)
+}
+
+let make_host ?(n = 3) ?(shards = 2) ?(lease = 1.0) ?(max_batch = 8) ~self ()
+    =
+  let f = { vnow = 0.0; client_out = []; shard_out = []; timers = [] } in
+  let caps =
+    {
+      Dmx_service.Host.now = (fun () -> f.vnow);
+      send_shard =
+        (fun ~shard ~dst_node payload ->
+          f.shard_out <- (shard, dst_node, payload) :: f.shard_out);
+      send_client = (fun fr -> f.client_out <- fr :: f.client_out);
+      set_timer =
+        (fun ~shard ~tag ~delay ->
+          f.timers <- (f.vnow +. delay, shard, tag) :: f.timers);
+    }
+  in
+  let host =
+    Host.create ~caps
+      ~codec:{ Host.encode = Wire.encode_message; decode = Wire.decode_message }
+      ~self ~n ~shards
+      ~lease:{ Dmx_core.Lease.duration = lease; max_batch }
+      ~seed:1
+      ~pconfig:(fun ~shard:_ ->
+        Dmx_core.Delay_optimal.config (B.req_sets B.Star ~n))
+  in
+  (host, f)
+
+(* Star quorum with rotation: shard s's arbiter (site 0) lives on node
+   s. A host on node [self] can serve shard [self] entirely locally —
+   which lets these tests reach a Grant without a network. *)
+let local_lock host ~shard =
+  let rec go i =
+    if i > 10_000 then Alcotest.fail "no lock name hashed onto the shard"
+    else
+      let lock = Printf.sprintf "k%d" i in
+      if SM.shard_of_lock ~shards:(Host.shard_count host) lock = shard then
+        lock
+      else go (i + 1)
+  in
+  go 0
+
+(* self-arbitration needs the self-send queue drained a few times:
+   request -> arbiter -> reply -> enter_cs *)
+let drain_grant host =
+  for _ = 1 to 4 do
+    Host.tick host
+  done
+
+let test_host_grant_flow () =
+  let self = 1 in
+  let host, f = make_host ~self () in
+  let lock = local_lock host ~shard:self in
+  Host.open_session host ~session:7 ~inc:1.0;
+  Host.acquire host ~session:7 ~lock ~req:1;
+  drain_grant host;
+  (match f.client_out with
+  | [ Wire.Grant { session = 7; lock = l; req = 1; deadline } ] ->
+    Alcotest.(check string) "lock echoed" lock l;
+    Alcotest.(check (float 1e-9)) "deadline = now + lease" 1.0 deadline
+  | other ->
+    Alcotest.failf "expected exactly one Grant, got %d frame(s)"
+      (List.length other));
+  f.client_out <- [];
+  (* release lets the next session in *)
+  Host.open_session host ~session:8 ~inc:1.0;
+  Host.acquire host ~session:8 ~lock ~req:1;
+  Host.release host ~session:7 ~lock ~req:1;
+  drain_grant host;
+  (match f.client_out with
+  | [ Wire.Grant { session = 8; _ } ] -> ()
+  | _ -> Alcotest.fail "release should hand the lock to session 8");
+  let stats = Host.lease_stats host in
+  Alcotest.(check (option int))
+    "two grants counted" (Some 2)
+    (List.assoc_opt "lease.grants" stats)
+
+let test_host_denies_unknown_session () =
+  let host, f = make_host ~self:0 () in
+  Host.acquire host ~session:9 ~lock:"x" ~req:1;
+  (match f.client_out with
+  | [ Wire.Deny { session = 9; reason = "no-session"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Deny no-session");
+  Alcotest.(check (option int))
+    "deny counted" (Some 1)
+    (List.assoc_opt "service.denies" (Host.lease_stats host))
+
+let test_host_expiry_and_incarnation () =
+  let self = 1 in
+  let host, f = make_host ~self ~lease:1.0 () in
+  let lock = local_lock host ~shard:self in
+  Host.open_session host ~session:7 ~inc:1.0;
+  Host.acquire host ~session:7 ~lock ~req:1;
+  drain_grant host;
+  f.client_out <- [];
+  (* the lease timer fires past the deadline: the hold expires *)
+  f.vnow <- 1.5;
+  let due, rest =
+    List.partition (fun (_, _, tag) -> tag = Dmx_core.Lease.timer_tag) f.timers
+  in
+  f.timers <- rest;
+  Alcotest.(check int) "one lease timer armed" 1 (List.length due);
+  List.iter (fun (_, shard, tag) -> Host.on_timer host ~shard ~tag) due;
+  (match f.client_out with
+  | [ Wire.Expire { session = 7; req = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Expire for the silent holder");
+  f.client_out <- [];
+  (* a re-open with a larger incarnation voids what the old life held *)
+  Host.acquire host ~session:7 ~lock ~req:2;
+  drain_grant host;
+  f.client_out <- [];
+  Host.open_session host ~session:7 ~inc:2.0;
+  Alcotest.(check (option int))
+    "stale hold voided" (Some 1)
+    (List.assoc_opt "lease.voided" (Host.lease_stats host))
+
+(* ---- deterministic swarm ---- *)
+
+let fingerprint (o : Swarm.outcome) =
+  Format.asprintf "%a" Swarm.pp_outcome o
+
+let test_sim_swarm_clean () =
+  let cfg =
+    {
+      (Sim_swarm.default ~n:5) with
+      Sim_swarm.clients = 40;
+      shards = 4;
+      rounds = 2;
+      abandon = 0.25;
+      lease = 0.4;
+      seed = 23;
+    }
+  in
+  match Sim_swarm.run_named cfg with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "all shards clean" true (Swarm.ok o);
+    Alcotest.(check int) "all clients finished" 40 o.Swarm.completed_clients;
+    let total_expiries =
+      Array.fold_left (fun a s -> a + s.Swarm.expiries) 0 o.Swarm.per_shard
+    in
+    Alcotest.(check bool)
+      "abandons were cleaned up by expiry" true (total_expiries > 0)
+
+let test_sim_swarm_deterministic () =
+  let cfg =
+    {
+      (Sim_swarm.default ~n:4) with
+      Sim_swarm.clients = 24;
+      shards = 3;
+      rounds = 2;
+      abandon = 0.2;
+      lease = 0.3;
+      quorum = B.Majority;
+      seed = 77;
+    }
+  in
+  match (Sim_swarm.run_named cfg, Sim_swarm.run_named cfg) with
+  | Ok a, Ok b ->
+    Alcotest.(check string)
+      "same seed, same everything" (fingerprint a) (fingerprint b);
+    (match Sim_swarm.run_named { cfg with Sim_swarm.seed = 78 } with
+    | Ok c ->
+      Alcotest.(check bool)
+        "different seed, different run" true
+        (fingerprint a <> fingerprint c)
+    | Error e -> Alcotest.fail e)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_sim_swarm_kill_recovery () =
+  (* kill one node mid-run without restart: its leases expire, its
+     sessions re-home, every shard still finishes clean *)
+  let cfg =
+    {
+      (Sim_swarm.default ~n:5) with
+      Sim_swarm.clients = 30;
+      shards = 4;
+      rounds = 3;
+      think = 0.2;
+      lease = 0.5;
+      kills = [ (0.3, 2) ];
+      seed = 41;
+    }
+  in
+  match Sim_swarm.run_named cfg with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "clean under a kill" true (Swarm.ok o);
+    Alcotest.(check int) "all clients finished" 30 o.Swarm.completed_clients;
+    Alcotest.(check bool)
+      "sessions were re-homed" true
+      (o.Swarm.rehomed_sessions > 0)
+
+let test_swarm_validation () =
+  let bad cfg what =
+    match Swarm.validate cfg with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "expected %s to be rejected" what
+  in
+  let d = Swarm.default ~n:5 in
+  bad { d with Swarm.n = 1 } "n=1";
+  bad { d with Swarm.abandon = 1.5 } "abandon > 1";
+  bad { d with Swarm.kills = [ (1.0, 9) ] } "kill out of range";
+  bad
+    { d with Swarm.restarts = [ (1.0, 2) ] }
+    "restart without an earlier kill";
+  bad
+    {
+      d with
+      Swarm.kills = [ (0.1, 0); (0.1, 1); (0.1, 2); (0.1, 3); (0.1, 4) ];
+    }
+    "killing every node";
+  bad { d with Swarm.protocol = "nope" } "unknown protocol";
+  (match Swarm.validate d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "default should validate: %s" e);
+  match Sim_swarm.validate { (Sim_swarm.default ~n:5) with Sim_swarm.latency = 0.0 } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "zero latency should be rejected"
+
+(* ---- live swarm (gated, like the heavy cluster scenarios) ---- *)
+
+let test_live_swarm_kill_restart () =
+  if not full_enabled then Alcotest.skip ()
+  else
+    let cfg =
+      {
+        (Swarm.default ~n:5) with
+        Swarm.clients = 60;
+        shards = 4;
+        rounds = 3;
+        think = 0.3;
+        lease = 1.0;
+        kills = [ (1.0, 1) ];
+        restarts = [ (3.0, 1) ];
+        timeout = 90.0;
+        seed = 5;
+      }
+    in
+    match Swarm.run cfg with
+    | Error e -> Alcotest.fail e
+    | Ok o ->
+      if not (Swarm.ok o) then
+        Alcotest.failf "live swarm not clean:@.%a" Swarm.pp_outcome o;
+      Alcotest.(check int)
+        "all clients finished" 60 o.Swarm.completed_clients;
+      Alcotest.(check bool)
+        "kill re-homed sessions" true
+        (o.Swarm.rehomed_sessions > 0)
+
+let suite =
+  [
+    Alcotest.test_case "shard map ranges and rotation" `Quick
+      test_shard_map_ranges;
+    Alcotest.test_case "shard map spread" `Quick test_shard_map_spread;
+    Alcotest.test_case "host grant flow" `Quick test_host_grant_flow;
+    Alcotest.test_case "host denies unknown session" `Quick
+      test_host_denies_unknown_session;
+    Alcotest.test_case "host expiry + incarnation voiding" `Quick
+      test_host_expiry_and_incarnation;
+    Alcotest.test_case "sim swarm clean with abandons" `Quick
+      test_sim_swarm_clean;
+    Alcotest.test_case "sim swarm deterministic" `Quick
+      test_sim_swarm_deterministic;
+    Alcotest.test_case "sim swarm kill recovery" `Quick
+      test_sim_swarm_kill_recovery;
+    Alcotest.test_case "config validation" `Quick test_swarm_validation;
+    Alcotest.test_case "live swarm kill+restart (DMX_CLUSTER_FULL)" `Slow
+      test_live_swarm_kill_restart;
+  ]

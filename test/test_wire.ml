@@ -165,6 +165,52 @@ let frame_gen : Wire.frame QCheck.Gen.t =
              (list_size (int_range 0 10)
                 (pair small_string_gen (int_range 0 100_000)))) );
       (1, return Wire.Shutdown);
+      ( 2,
+        map2
+          (fun session inc -> Wire.Open_session { session; inc })
+          (int_range 0 1_000_000) float_gen );
+      ( 2,
+        map3
+          (fun session lock req -> Wire.Acquire { session; lock; req })
+          (int_range 0 1_000_000) small_string_gen (int_range 0 1_000_000) );
+      ( 1,
+        map3
+          (fun session lock req -> Wire.Release_lock { session; lock; req })
+          (int_range 0 1_000_000) small_string_gen (int_range 0 1_000_000) );
+      ( 1,
+        map3
+          (fun session lock req -> Wire.Renew { session; lock; req })
+          (int_range 0 1_000_000) small_string_gen (int_range 0 1_000_000) );
+      ( 2,
+        map3
+          (fun session (lock, req) deadline ->
+            Wire.Grant { session; lock; req; deadline })
+          (int_range 0 1_000_000)
+          (pair small_string_gen (int_range 0 1_000_000))
+          float_gen );
+      ( 1,
+        map3
+          (fun session (lock, req) reason ->
+            Wire.Deny { session; lock; req; reason })
+          (int_range 0 1_000_000)
+          (pair small_string_gen (int_range 0 1_000_000))
+          small_string_gen );
+      ( 1,
+        map3
+          (fun session lock req -> Wire.Expire { session; lock; req })
+          (int_range 0 1_000_000) small_string_gen (int_range 0 1_000_000) );
+      ( 2,
+        map3
+          (fun shard (src, dst) m ->
+            Wire.Sproto { shard; src; dst; payload = Wire.encode_message m })
+          (int_range 0 64)
+          (pair (int_range 0 64) (int_range 0 64))
+          msg_gen );
+      ( 2,
+        map3
+          (fun shard site entries -> Wire.Strace { shard; site; entries })
+          (int_range 0 64) (int_range 0 64)
+          (list_size (int_range 0 32) entry_gen) );
     ]
 
 (* ---- printers (shrunk output readability) ---- *)
@@ -185,6 +231,28 @@ let frame_print = function
   | Wire.Metrics { site; executions; _ } ->
     Printf.sprintf "Metrics{site=%d;executions=%d}" site executions
   | Wire.Shutdown -> "Shutdown"
+  | Wire.Open_session { session; inc } ->
+    Printf.sprintf "Open_session{session=%d;inc=%h}" session inc
+  | Wire.Acquire { session; lock; req } ->
+    Printf.sprintf "Acquire{session=%d;lock=%S;req=%d}" session lock req
+  | Wire.Release_lock { session; lock; req } ->
+    Printf.sprintf "Release_lock{session=%d;lock=%S;req=%d}" session lock req
+  | Wire.Renew { session; lock; req } ->
+    Printf.sprintf "Renew{session=%d;lock=%S;req=%d}" session lock req
+  | Wire.Grant { session; lock; req; deadline } ->
+    Printf.sprintf "Grant{session=%d;lock=%S;req=%d;deadline=%h}" session lock
+      req deadline
+  | Wire.Deny { session; lock; req; reason } ->
+    Printf.sprintf "Deny{session=%d;lock=%S;req=%d;reason=%S}" session lock req
+      reason
+  | Wire.Expire { session; lock; req } ->
+    Printf.sprintf "Expire{session=%d;lock=%S;req=%d}" session lock req
+  | Wire.Sproto { shard; src; dst; payload } ->
+    Printf.sprintf "Sproto{shard=%d;src=%d;dst=%d;%d bytes}" shard src dst
+      (String.length payload)
+  | Wire.Strace { shard; site; entries } ->
+    Printf.sprintf "Strace{shard=%d;site=%d;%d entries}" shard site
+      (List.length entries)
 
 (* ---- properties ---- *)
 
