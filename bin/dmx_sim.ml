@@ -1247,8 +1247,18 @@ let cluster_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Hard wall-clock bound on the whole run.")
   in
+  let metrics_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-base-port" ] ~docv:"PORT"
+          ~doc:
+            "Each node serves its metrics registry over HTTP on \
+             $(docv)+site (Prometheus text at /metrics, JSON at \
+             /metrics.json); 0 disables.")
+  in
   let action n protocol quorum rounds cs seed kills restarts log_dir trace_out
-      timeout hb hbto rto transport loss dup reorder partitions spikes csv =
+      timeout hb hbto rto transport loss dup reorder partitions spikes
+      metrics_base_port csv =
     let chaos =
       {
         Dmx_net.Chaos.no_faults with
@@ -1278,6 +1288,7 @@ let cluster_cmd =
         chaos;
         hello_timeout = 10.0;
         ports = None;
+        metrics_base_port;
       }
     in
     match Dmx_net.Cluster.run cfg with
@@ -1311,7 +1322,8 @@ let cluster_cmd =
       const action $ cn_arg $ proto_arg $ quorum_arg $ rounds_arg $ ccs_arg
       $ seed_arg $ kill_arg $ restart_arg $ log_dir_arg $ trace_out_arg
       $ timeout_arg $ hb_arg $ hbto_arg $ rto_arg $ transport_arg $ loss_arg
-      $ dup_arg $ reorder_arg $ cpartition_arg $ cspike_arg $ csv_arg)
+      $ dup_arg $ reorder_arg $ cpartition_arg $ cspike_arg $ metrics_arg
+      $ csv_arg)
   in
   Cmd.v
     (Cmd.info "cluster"
@@ -1369,8 +1381,16 @@ let node_cmd =
       & info [ "transport" ] ~docv:"KIND"
           ~doc:"Transport: tcp or udp (must match the rest of the cluster).")
   in
+  let mport_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve this node's metrics registry over HTTP on $(docv) \
+             (/metrics and /metrics.json); 0 disables.")
+  in
   let action site ports sup protocol quorum seed epoch hb hbto rto max_s
-      transport =
+      transport metrics_port =
     let spec =
       {
         Dmx_net.Node.site;
@@ -1388,6 +1408,7 @@ let node_cmd =
         max_seconds = max_s;
         transport;
         chaos = Dmx_net.Chaos.no_faults;
+        metrics_port;
       }
     in
     match Dmx_net.Node.run_named spec with
@@ -1400,7 +1421,7 @@ let node_cmd =
     Term.(
       const action $ site_arg $ ports_arg $ sup_arg $ proto_arg
       $ quorum_str_arg $ seed_arg $ epoch_arg $ hb_arg $ hbto_arg $ rto_arg
-      $ max_arg $ transport_arg)
+      $ max_arg $ transport_arg $ mport_arg)
   in
   Cmd.v
     (Cmd.info "node"
@@ -1540,10 +1561,40 @@ let swarm_cmd =
             "Per-frame probability of a bounded holdback (chaos shim, live \
              runs), in [0,1).")
   in
+  let metrics_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-base-port" ] ~docv:"PORT"
+          ~doc:
+            "Each daemon serves its metrics registry over HTTP on \
+             $(docv)+site (live runs only); 0 disables.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's merged metrics snapshot (every node's final \
+             registry plus the driver's own acquire-latency histograms) \
+             as dmx-metrics/1 JSON to $(docv). Works for both live and \
+             $(b,--sim) runs; under $(b,--sim) the file is a pure \
+             function of the seed.")
+  in
   let action n clients shards locks rounds think hold lease max_batch abandon
       protocol quorum seed kills restarts log_dir timeout hb hbto rto
-      transport loss dup reorder sim latency detect_delay csv =
+      transport loss dup reorder sim latency detect_delay metrics_base_port
+      metrics_out csv =
     let finish (o : Dmx_service.Swarm.outcome) =
+      (match metrics_out with
+      | Some file ->
+        let snap =
+          Dmx_obs.Snapshot.merge_all
+            [ Dmx_service.Swarm.merged_snapshot o; o.driver_snapshot ]
+        in
+        let oc = open_out file in
+        output_string oc (Dmx_obs.Export.json snap);
+        close_out oc
+      | None -> ());
       if csv then begin
         print_endline "shard,acquires,grants,expiries,p50_ms,p95_ms,p99_ms,ok";
         Array.iter
@@ -1615,6 +1666,7 @@ let swarm_cmd =
                 reorder;
               };
             hello_timeout = 10.0;
+            metrics_base_port;
           }
     in
     match result with
@@ -1630,7 +1682,8 @@ let swarm_cmd =
       $ abandon_arg $ proto_arg $ quorum_arg $ seed_arg $ kill_arg
       $ restart_arg $ log_dir_arg $ timeout_arg $ hb_arg $ hbto_arg $ rto_arg
       $ transport_arg $ loss_arg $ dup_arg $ reorder_arg $ sim_arg
-      $ latency_arg $ detect_delay_arg $ csv_arg)
+      $ latency_arg $ detect_delay_arg $ metrics_arg $ metrics_out_arg
+      $ csv_arg)
   in
   Cmd.v
     (Cmd.info "swarm"
@@ -1643,6 +1696,202 @@ let swarm_cmd =
           with the oracle and report per-shard acquire-latency \
           percentiles (exit 2 on any violation). $(b,--sim) runs the \
           deterministic virtual-time twin instead of live processes.")
+    term
+
+(* ---- top: live rates from a running cluster's scrape endpoints ---- *)
+
+let top_cmd =
+  let ports_arg =
+    Arg.(
+      non_empty & opt_all int []
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:
+            "A metrics port to poll (repeatable) — what the daemons were \
+             given via $(b,--metrics-base-port)/$(b,--metrics-port).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Host the daemons listen on.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"Seconds between polls.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Exit after $(docv) polls (0 = run until interrupted).")
+  in
+  let no_clear_arg =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:"Append ticks instead of redrawing the screen.")
+  in
+  let action ports host interval count no_clear =
+    if interval <= 0.0 then begin
+      prerr_endline "top: interval must be positive";
+      exit 1
+    end;
+    let fetch () =
+      List.filter_map
+        (fun port ->
+          match Dmx_net.Scrape.http_get ~host ~port "/metrics.json" with
+          | Ok (200, body) -> (
+            match Dmx_model.Metrics_json.parse body with
+            | Ok snap -> Some snap
+            | Error e ->
+              Printf.eprintf "top: port %d: %s\n%!" port e;
+              None)
+          | Ok (code, _) ->
+            Printf.eprintf "top: port %d: HTTP %d\n%!" port code;
+            None
+          | Error e ->
+            Printf.eprintf "top: port %d: %s\n%!" port e;
+            None)
+        ports
+    in
+    let render_key (s : Dmx_obs.Snapshot.series) =
+      match s.labels with
+      | [] -> s.name
+      | ls ->
+        s.name ^ "{"
+        ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+        ^ "}"
+    in
+    let render ~rates snap =
+      List.iter
+        (fun (s : Dmx_obs.Snapshot.series) ->
+          match s.value with
+          | Dmx_obs.Snapshot.Counter 0 -> ()
+          | Dmx_obs.Snapshot.Counter v ->
+            if rates then
+              Printf.printf "%-52s %12.1f/s\n" (render_key s)
+                (float_of_int v /. interval)
+            else Printf.printf "%-52s %12d\n" (render_key s) v
+          | Dmx_obs.Snapshot.Gauge v ->
+            Printf.printf "%-52s %12d  gauge\n" (render_key s) v
+          | Dmx_obs.Snapshot.Histogram h ->
+            if h.count > 0 then
+              Printf.printf "%-52s %12d obs  p50=%dus p99=%dus max=%dus\n"
+                (render_key s) h.count
+                (Dmx_obs.Snapshot.quantile h 50.0)
+                (Dmx_obs.Snapshot.quantile h 99.0)
+                h.max)
+        snap
+    in
+    let prev = ref None in
+    let tick i =
+      let snaps = fetch () in
+      if snaps = [] && i = 0 then begin
+        prerr_endline "top: no endpoint answered";
+        exit 1
+      end;
+      let merged = Dmx_obs.Snapshot.merge_all snaps in
+      let window =
+        Option.map (fun p -> Dmx_obs.Snapshot.diff ~older:p ~newer:merged) !prev
+      in
+      prev := Some merged;
+      if not no_clear then print_string "\027[2J\027[H";
+      (match window with
+      | None ->
+        Printf.printf "dmx-sim top — %d/%d endpoint(s), totals (rates from \
+                       the next poll)\n"
+          (List.length snaps) (List.length ports);
+        render ~rates:false merged
+      | Some w ->
+        Printf.printf "dmx-sim top — %d/%d endpoint(s), last %.1fs\n"
+          (List.length snaps) (List.length ports) interval;
+        render ~rates:true w);
+      flush stdout
+    in
+    let i = ref 0 in
+    while count = 0 || !i < count do
+      tick !i;
+      incr i;
+      if count = 0 || !i < count then Unix.sleepf interval
+    done
+  in
+  let term =
+    Term.(
+      const action $ ports_arg $ host_arg $ interval_arg $ count_arg
+      $ no_clear_arg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll the /metrics.json scrape endpoints of a running cluster or \
+          swarm and redraw a merged live view: counter rates over the \
+          poll interval, gauge values, histogram percentiles. Start the \
+          daemons with $(b,--metrics-base-port) and point $(b,--port) at \
+          them.")
+    term
+
+(* ---- bench-diff: the perf-snapshot ratchet ---- *)
+
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline dmx-bench/1 snapshot.")
+  in
+  let new_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate dmx-bench/1 snapshot.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Regression threshold as a percentage: fail when an \
+             experiment's events/sec falls more than $(docv)% below the \
+             baseline.")
+  in
+  let action old_file new_file pct =
+    if pct <= 0.0 || pct >= 100.0 then begin
+      prerr_endline "bench-diff: threshold must be in (0, 100)";
+      exit 1
+    end;
+    let read_snapshot file =
+      let contents =
+        try In_channel.with_open_bin file In_channel.input_all
+        with Sys_error e ->
+          prerr_endline ("bench-diff: " ^ e);
+          exit 1
+      in
+      match Dmx_model.Snapshot.parse contents with
+      | Error e ->
+        Printf.eprintf "bench-diff: %s: %s\n" file e;
+        exit 1
+      | Ok (snap, warnings) ->
+        List.iter
+          (fun w -> Printf.eprintf "bench-diff: %s: %s\n" file w)
+          warnings;
+        snap
+    in
+    let old_ = read_snapshot old_file in
+    let new_ = read_snapshot new_file in
+    let report =
+      Dmx_model.Bench_diff.compare ~threshold:(pct /. 100.0) old_ new_
+    in
+    Format.printf "%a@?" Dmx_model.Bench_diff.pp_report report;
+    exit (if report.Dmx_model.Bench_diff.regressions > 0 then 2 else 0)
+  in
+  let term = Term.(const action $ old_arg $ new_arg $ threshold_arg) in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two dmx-bench/1 perf snapshots experiment by experiment \
+          and exit 2 when any experiment's events/sec regressed beyond \
+          the threshold — the CI ratchet over $(b,dmx-sim bench --json) \
+          output. Zero-event experiments and experiments present in only \
+          one snapshot never fail the diff.")
     term
 
 let () =
@@ -1667,4 +1916,6 @@ let () =
             cluster_cmd;
             node_cmd;
             swarm_cmd;
+            top_cmd;
+            bench_diff_cmd;
           ]))

@@ -53,11 +53,12 @@ type t = {
   mutable holder : hold option;
   mutable served : int;  (* holds granted within the current tenure *)
   mutable timer_armed : bool;
-  mutable grants : int;
-  mutable renewals : int;
-  mutable expiries : int;
-  mutable voided : int;
-  mutable tenures : int;
+  (* lib/obs cells, so a host can [attach] them to its metrics registry *)
+  grants : Dmx_obs.Metric.Counter.t;
+  renewals : Dmx_obs.Metric.Counter.t;
+  expiries : Dmx_obs.Metric.Counter.t;
+  voided : Dmx_obs.Metric.Counter.t;
+  tenures : Dmx_obs.Metric.Counter.t;
 }
 
 let create cfg ~io =
@@ -72,11 +73,11 @@ let create cfg ~io =
     holder = None;
     served = 0;
     timer_armed = false;
-    grants = 0;
-    renewals = 0;
-    expiries = 0;
-    voided = 0;
-    tenures = 0;
+    grants = Dmx_obs.Metric.Counter.create ();
+    renewals = Dmx_obs.Metric.Counter.create ();
+    expiries = Dmx_obs.Metric.Counter.create ();
+    voided = Dmx_obs.Metric.Counter.create ();
+    tenures = Dmx_obs.Metric.Counter.create ();
   }
 
 let holder t = Option.map (fun h -> (h.h_session, h.h_req)) t.holder
@@ -86,22 +87,32 @@ let requested t = t.requested
 
 let stats t =
   {
-    grants = t.grants;
-    renewals = t.renewals;
-    expiries = t.expiries;
-    voided = t.voided;
-    tenures = t.tenures;
+    grants = Dmx_obs.Metric.Counter.get t.grants;
+    renewals = Dmx_obs.Metric.Counter.get t.renewals;
+    expiries = Dmx_obs.Metric.Counter.get t.expiries;
+    voided = Dmx_obs.Metric.Counter.get t.voided;
+    tenures = Dmx_obs.Metric.Counter.get t.tenures;
   }
 
+let attach ?labels t reg =
+  Dmx_obs.Registry.attach_counter ?labels reg "lease.grants" t.grants;
+  Dmx_obs.Registry.attach_counter ?labels reg "lease.renewals" t.renewals;
+  Dmx_obs.Registry.attach_counter ?labels reg "lease.expiries" t.expiries;
+  Dmx_obs.Registry.attach_counter ?labels reg "lease.voided" t.voided;
+  Dmx_obs.Registry.attach_counter ?labels reg "lease.tenures" t.tenures;
+  Dmx_obs.Registry.gauge_probe ?labels reg "lease.queue_depth" (fun () ->
+      Queue.length t.q)
+
 let stats_alist t =
+  let st = stats t in
   List.filter
     (fun (_, v) -> v > 0)
     [
-      ("lease.grants", t.grants);
-      ("lease.renewals", t.renewals);
-      ("lease.expiries", t.expiries);
-      ("lease.voided", t.voided);
-      ("lease.tenures", t.tenures);
+      ("lease.grants", st.grants);
+      ("lease.renewals", st.renewals);
+      ("lease.expiries", st.expiries);
+      ("lease.voided", st.voided);
+      ("lease.tenures", st.tenures);
     ]
 
 let arm t delay =
@@ -115,7 +126,7 @@ let grant_next t =
   let deadline = t.io.now () +. t.cfg.duration in
   t.holder <- Some { h_session = session; h_req = req; deadline };
   t.served <- t.served + 1;
-  t.grants <- t.grants + 1;
+  Dmx_obs.Metric.Counter.incr t.grants;
   arm t t.cfg.duration;
   Grant { session; req; deadline }
 
@@ -179,7 +190,7 @@ let renew t ~session ~req =
   match t.holder with
   | Some h when h.h_session = session && h.h_req = req ->
     h.deadline <- t.io.now () +. t.cfg.duration;
-    t.renewals <- t.renewals + 1;
+    Dmx_obs.Metric.Counter.incr t.renewals;
     (* the armed timer fires at the old deadline, observes the pushed-out
        one, and re-arms — exactly one timer in flight per hold chain *)
     [ Grant { session; req; deadline = h.deadline } ]
@@ -191,7 +202,7 @@ let granted t =
   t.in_cs <- true;
   t.requested <- false;
   t.served <- 0;
-  t.tenures <- t.tenures + 1;
+  Dmx_obs.Metric.Counter.incr t.tenures;
   step t
 
 let void_session t ~session =
@@ -212,7 +223,7 @@ let void_session t ~session =
     | _ -> false
   in
   ignore freed;
-  t.voided <- t.voided + !dropped;
+  Dmx_obs.Metric.Counter.add t.voided !dropped;
   step t
 
 let on_timer t =
@@ -223,7 +234,7 @@ let on_timer t =
     let now = t.io.now () in
     if now >= h.deadline -. 1e-9 then begin
       t.holder <- None;
-      t.expiries <- t.expiries + 1;
+      Dmx_obs.Metric.Counter.incr t.expiries;
       Expire { session = h.h_session; req = h.h_req } :: step t
     end
     else begin

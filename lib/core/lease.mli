@@ -127,3 +127,8 @@ val stats : t -> stats
 
 val stats_alist : t -> (string * int) list
 (** Nonzero counters as [("lease.grants", v); ...] pairs. *)
+
+val attach : ?labels:(string * string) list -> t -> Dmx_obs.Registry.t -> unit
+(** Bind the machine's counter cells into a metrics registry under the
+    [lease.*] names, plus a [lease.queue_depth] gauge probe (polled at
+    snapshot time). [labels] distinguishes shards: [("shard", "3")]. *)

@@ -66,6 +66,10 @@ type stats = {
 
 let no_stats = { retransmits = 0; acks_sent = 0; dup_drops = 0; stale_drops = 0 }
 
+(* The counters are lib/obs cells rather than plain ints so a runtime can
+   bind them into its metrics registry ([attach]) and have the scrape
+   endpoint see live values with no polling glue; the record path is the
+   same single int store either way. *)
 type t = {
   cfg : config;
   self : int;
@@ -74,7 +78,10 @@ type t = {
   inc : float;  (* this site's incarnation: its init time *)
   txs : tx array;
   rxs : rx array;
-  mutable st : stats;
+  c_retransmits : Dmx_obs.Metric.Counter.t;
+  c_acks_sent : Dmx_obs.Metric.Counter.t;
+  c_dup_drops : Dmx_obs.Metric.Counter.t;
+  c_stale_drops : Dmx_obs.Metric.Counter.t;
 }
 
 type incoming = { restarted : bool; deliveries : Messages.t list }
@@ -106,19 +113,39 @@ let create cfg ~n ~self ~io =
             ack_due = false;
             ack_armed = false;
           });
-    st = no_stats;
+    c_retransmits = Dmx_obs.Metric.Counter.create ();
+    c_acks_sent = Dmx_obs.Metric.Counter.create ();
+    c_dup_drops = Dmx_obs.Metric.Counter.create ();
+    c_stale_drops = Dmx_obs.Metric.Counter.create ();
   }
 
-let stats t = t.st
+let stats t =
+  {
+    retransmits = Dmx_obs.Metric.Counter.get t.c_retransmits;
+    acks_sent = Dmx_obs.Metric.Counter.get t.c_acks_sent;
+    dup_drops = Dmx_obs.Metric.Counter.get t.c_dup_drops;
+    stale_drops = Dmx_obs.Metric.Counter.get t.c_stale_drops;
+  }
+
+let attach ?labels t reg =
+  Dmx_obs.Registry.attach_counter ?labels reg "reliable.retransmits"
+    t.c_retransmits;
+  Dmx_obs.Registry.attach_counter ?labels reg "reliable.acks_sent"
+    t.c_acks_sent;
+  Dmx_obs.Registry.attach_counter ?labels reg "reliable.dup_drops"
+    t.c_dup_drops;
+  Dmx_obs.Registry.attach_counter ?labels reg "reliable.stale_drops"
+    t.c_stale_drops
 
 let stats_alist t =
+  let st = stats t in
   List.filter
     (fun (_, v) -> v > 0)
     [
-      ("reliable.retransmits", t.st.retransmits);
-      ("reliable.acks_sent", t.st.acks_sent);
-      ("reliable.dup_drops", t.st.dup_drops);
-      ("reliable.stale_drops", t.st.stale_drops);
+      ("reliable.retransmits", st.retransmits);
+      ("reliable.acks_sent", st.acks_sent);
+      ("reliable.dup_drops", st.dup_drops);
+      ("reliable.stale_drops", st.stale_drops);
     ]
 
 let retx_tag peer = 2 * peer
@@ -166,7 +193,7 @@ let resend_all t peer =
   | (base, _) :: _ ->
     List.iter
       (fun (seq, payload) ->
-        t.st <- { t.st with retransmits = t.st.retransmits + 1 };
+        Dmx_obs.Metric.Counter.incr t.c_retransmits;
         t.io.send ~dst:peer
           (Messages.Data
              {
@@ -207,7 +234,7 @@ let on_timer t tag =
       r.ack_armed <- false;
       if r.ack_due then begin
         r.ack_due <- false;
-        t.st <- { t.st with acks_sent = t.st.acks_sent + 1 };
+        Dmx_obs.Metric.Counter.incr t.c_acks_sent;
         t.io.send ~dst:peer
           (Messages.Ack { of_inc = r.inc; upto = r.expected - 1 })
       end
@@ -237,13 +264,13 @@ let on_message t ~src msg =
   | Messages.Data d ->
     let r = t.rxs.(src) in
     if d.inc < r.inc then begin
-      t.st <- { t.st with stale_drops = t.st.stale_drops + 1 };
+      Dmx_obs.Metric.Counter.incr t.c_stale_drops;
       { restarted = false; deliveries = [] }
     end
       (* straggler from a previous incarnation of [src]: discard *)
     else if d.dst_inc < t.inc && not (Float.equal d.dst_inc Float.neg_infinity)
     then begin
-      t.st <- { t.st with stale_drops = t.st.stale_drops + 1 };
+      Dmx_obs.Metric.Counter.incr t.c_stale_drops;
       { restarted = false; deliveries = [] }
     end
       (* mail addressed to a previous incarnation of THIS site: its state
@@ -273,7 +300,7 @@ let on_message t ~src msg =
       let deliveries = ref [] in
       if d.seq < r.expected then
         (* duplicate; the ack below re-tells the sender *)
-        t.st <- { t.st with dup_drops = t.st.dup_drops + 1 }
+        Dmx_obs.Metric.Counter.incr t.c_dup_drops
       else if d.seq = r.expected then begin
         deliveries := [ d.payload ];
         r.expected <- r.expected + 1;
@@ -290,7 +317,7 @@ let on_message t ~src msg =
       end
       else if List.mem_assoc d.seq r.buffer then
         (* duplicate of a buffered out-of-order message *)
-        t.st <- { t.st with dup_drops = t.st.dup_drops + 1 }
+        Dmx_obs.Metric.Counter.incr t.c_dup_drops
       else r.buffer <- insert_sorted d.seq d.payload r.buffer;
       mark_ack_due t src;
       { restarted; deliveries = List.rev !deliveries }

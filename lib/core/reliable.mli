@@ -126,3 +126,10 @@ val stats : t -> stats
 val stats_alist : t -> (string * int) list
 (** Nonzero counters as [("reliable.retransmits", v); ...] pairs, ready
     for a metrics frame. *)
+
+val attach : ?labels:(string * string) list -> t -> Dmx_obs.Registry.t -> unit
+(** Bind the layer's counter cells into a metrics registry under the
+    [reliable.*] names (with [labels] distinguishing instances — e.g.
+    [("shard", "3")] when a host runs one layer per shard). The registry
+    then sees live values with no polling: the cells registered are the
+    very ints the hot path increments. *)

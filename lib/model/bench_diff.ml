@@ -1,0 +1,79 @@
+type verdict = {
+  name : string;
+  old_eps : float;
+  new_eps : float;
+  ratio : float;
+  regressed : bool;
+}
+
+type report = {
+  verdicts : verdict list;
+  skipped : string list;
+  only_old : string list;
+  only_new : string list;
+  regressions : int;
+}
+
+let compare ?(threshold = 0.10) (old_ : Snapshot.t) (new_ : Snapshot.t) =
+  let find name exps =
+    List.find_opt (fun (e : Snapshot.experiment) -> e.name = name) exps
+  in
+  let verdicts = ref [] in
+  let skipped = ref [] in
+  let only_old = ref [] in
+  List.iter
+    (fun (o : Snapshot.experiment) ->
+      match find o.name new_.experiments with
+      | None -> only_old := o.name :: !only_old
+      | Some n ->
+        if o.events = 0 || n.events = 0 then skipped := o.name :: !skipped
+        else
+          let ratio =
+            if o.events_per_sec > 0.0 then n.events_per_sec /. o.events_per_sec
+            else Float.infinity
+          in
+          verdicts :=
+            {
+              name = o.name;
+              old_eps = o.events_per_sec;
+              new_eps = n.events_per_sec;
+              ratio;
+              regressed = ratio < 1.0 -. threshold;
+            }
+            :: !verdicts)
+    old_.experiments;
+  let only_new =
+    List.filter_map
+      (fun (n : Snapshot.experiment) ->
+        if find n.name old_.experiments = None then Some n.name else None)
+      new_.experiments
+  in
+  let verdicts = List.rev !verdicts in
+  {
+    verdicts;
+    skipped = List.rev !skipped;
+    only_old = List.rev !only_old;
+    only_new;
+    regressions =
+      List.length (List.filter (fun v -> v.regressed) verdicts);
+  }
+
+let pp_report ppf r =
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "%-24s %10.0f -> %10.0f ev/s  (x%.2f)  %s@." v.name
+        v.old_eps v.new_eps v.ratio
+        (if v.regressed then "REGRESSED" else "ok"))
+    r.verdicts;
+  (match r.skipped with
+  | [] -> ()
+  | l ->
+    Format.fprintf ppf "skipped (zero events): %s@." (String.concat ", " l));
+  (match r.only_old with
+  | [] -> ()
+  | l -> Format.fprintf ppf "only in old snapshot: %s@." (String.concat ", " l));
+  (match r.only_new with
+  | [] -> ()
+  | l -> Format.fprintf ppf "only in new snapshot: %s@." (String.concat ", " l));
+  Format.fprintf ppf "%d experiment(s) compared, %d regression(s)@."
+    (List.length r.verdicts) r.regressions

@@ -1,0 +1,34 @@
+(** The bench-diff CI ratchet: compare two [dmx-bench/1] perf snapshots
+    ({!Snapshot}) experiment by experiment and flag throughput
+    regressions.
+
+    The keyed figure is [events_per_sec]; an experiment regresses when
+    the new reading falls more than [threshold] (default 10%) below the
+    old one. Experiments with zero events on either side carry no
+    throughput signal (model checks, availability tables) and are
+    skipped; experiments present on only one side are reported but never
+    fail the ratchet — the suite is allowed to grow. *)
+
+type verdict = {
+  name : string;
+  old_eps : float;
+  new_eps : float;
+  ratio : float;  (** [new_eps /. old_eps] *)
+  regressed : bool;
+}
+
+type report = {
+  verdicts : verdict list;  (** experiments present in both snapshots *)
+  skipped : string list;  (** zero-event experiments, no throughput signal *)
+  only_old : string list;  (** dropped from the new snapshot *)
+  only_new : string list;  (** added by the new snapshot *)
+  regressions : int;
+}
+
+val compare : ?threshold:float -> Snapshot.t -> Snapshot.t -> report
+(** [compare old_snapshot new_snapshot]. [threshold] is a fraction in
+    (0, 1); default [0.10]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per verdict ([ok]/[REGRESSED] with the ratio), then the
+    skip/only-one-side notes and the regression count. *)

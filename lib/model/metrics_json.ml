@@ -1,0 +1,86 @@
+module Snap = Dmx_obs.Snapshot
+
+let field name = function
+  | Json.Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name))
+  | _ -> Error (Printf.sprintf "expected an object around field %S" name)
+
+let as_string what = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "%s: expected a string" what)
+
+let as_int what = function
+  | Json.Number f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "%s: expected an integer" what)
+
+let as_list what = function
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "%s: expected a list" what)
+
+let ( let* ) = Result.bind
+
+let labels_of = function
+  | Json.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let* acc = acc in
+        let* v = as_string (Printf.sprintf "label %S" k) v in
+        Ok ((k, v) :: acc))
+      (Ok []) fields
+    |> Result.map List.rev
+  | _ -> Error "labels: expected an object"
+
+let series_of j =
+  let* name = Result.bind (field "name" j) (as_string "name") in
+  let* labels = Result.bind (field "labels" j) labels_of in
+  let* kind = Result.bind (field "kind" j) (as_string "kind") in
+  let* value =
+    match kind with
+    | "counter" ->
+      let* v = Result.bind (field "value" j) (as_int "value") in
+      Ok (Snap.Counter v)
+    | "gauge" ->
+      let* v = Result.bind (field "value" j) (as_int "value") in
+      Ok (Snap.Gauge v)
+    | "histogram" ->
+      let* count = Result.bind (field "count" j) (as_int "count") in
+      let* sum = Result.bind (field "sum" j) (as_int "sum") in
+      let* max = Result.bind (field "max" j) (as_int "max") in
+      let* raw = Result.bind (field "buckets" j) (as_list "buckets") in
+      let* buckets =
+        List.fold_left
+          (fun acc b ->
+            let* acc = acc in
+            let* b = as_int "bucket" b in
+            Ok (b :: acc))
+          (Ok []) raw
+        |> Result.map (fun l -> Array.of_list (List.rev l))
+      in
+      Ok (Snap.Histogram { buckets; count; sum; max })
+    | k -> Error (Printf.sprintf "series %S: unknown kind %S" name k)
+  in
+  Ok (Snap.series ~name ~labels value)
+
+let parse s =
+  let* j = Json.parse s in
+  let* schema = Result.bind (field "schema" j) (as_string "schema") in
+  if schema <> Dmx_obs.Export.schema_version then
+    Error
+      (Printf.sprintf "unknown schema %S (want %S)" schema
+         Dmx_obs.Export.schema_version)
+  else
+    let* raw = Result.bind (field "series" j) (as_list "series") in
+    let* series =
+      List.fold_left
+        (fun acc sj ->
+          let* acc = acc in
+          let* s = series_of sj in
+          Ok (s :: acc))
+        (Ok []) raw
+      |> Result.map List.rev
+    in
+    match Snap.normalize series with
+    | snap -> Ok snap
+    | exception Invalid_argument e -> Error e

@@ -1,0 +1,14 @@
+(** Reader for the [dmx-metrics/1] JSON export ({!Dmx_obs.Export.json}).
+
+    The inverse of the exporter, for consumers on the far side of a
+    scrape: [dmx-sim top] polls a daemon's [/metrics.json] endpoint and
+    needs the snapshot back as structured data to diff against the
+    previous poll. Total like the other readers in this library — bad
+    JSON, a wrong [schema] tag, missing fields and type mismatches all
+    come back as a positioned [Error], never an exception. *)
+
+val parse : string -> (Dmx_obs.Snapshot.t, string) result
+(** Parse an export back into a canonical snapshot. Histogram series
+    rebuild from the raw [buckets]/[count]/[sum]/[max] fields (the
+    derived [p50]/[p90]/[p99] readouts are ignored — they re-derive).
+    Duplicate [(name, labels)] keys are an error. *)

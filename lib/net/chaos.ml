@@ -268,6 +268,14 @@ let stats_alist t =
       ("chaos.partition_dropped", Atomic.get t.dropped_partition);
     ]
 
+let register_obs ?labels reg t =
+  let p name a = Dmx_obs.Registry.probe ?labels reg name (fun () -> Atomic.get a) in
+  p "chaos.lost" t.lost;
+  p "chaos.duplicated" t.duplicated;
+  p "chaos.reordered" t.reordered;
+  p "chaos.delayed" t.delayed_n;
+  p "chaos.partition_dropped" t.dropped_partition
+
 (* per-link decisions require per-destination sends, so broadcast fans
    out through the shim rather than the inner broadcast *)
 let broadcast t frame =

@@ -79,6 +79,12 @@ val stats_alist : t -> (string * int) list
 (** Nonzero injected-fault counters, [("chaos.lost", v); ...] — ready for
     the [Metrics] frame's [reliable] list. *)
 
+val register_obs :
+  ?labels:(string * string) list -> Dmx_obs.Registry.t -> t -> unit
+(** Register the injected-fault counters as registry probes under the
+    [chaos.*] names {!stats_alist} uses (zeros included — a scrape shows
+    the series exists even before the first injected fault). *)
+
 (** {2 Plan transport} — compact single-token encoding (no spaces, no
     ['=']) so a plan rides the [DMX_NODE_SPEC] environment trampoline. *)
 

@@ -22,6 +22,7 @@ type config = {
   chaos : Chaos.plan;
   hello_timeout : float;
   ports : int list option;
+  metrics_base_port : int;
 }
 
 let default ~n =
@@ -43,6 +44,7 @@ let default ~n =
     chaos = Chaos.no_faults;
     hello_timeout = 10.0;
     ports = None;
+    metrics_base_port = 0;
   }
 
 type outcome = {
@@ -51,7 +53,10 @@ type outcome = {
   entries : Trace.entry list;
   wall_seconds : float;
   live_stats : (string * int) list array;
+  snapshots : Dmx_obs.Snapshot.t array;
 }
+
+let merged_snapshot o = Dmx_obs.Snapshot.merge_all (Array.to_list o.snapshots)
 
 (* ---- child process management (shared plumbing in Spawn) ---- *)
 
@@ -274,6 +279,9 @@ let run (cfg : config) =
         max_seconds = cfg.timeout +. 30.0;
         transport = cfg.transport;
         chaos = plan;
+        metrics_port =
+          (if cfg.metrics_base_port = 0 then 0
+           else cfg.metrics_base_port + site);
       }
     in
     let transport =
@@ -308,6 +316,7 @@ let run (cfg : config) =
       let extra_entries = ref [] in
       let kind_totals = ref [] in
       let live_stats = Array.make cfg.n [] in
+      let snapshots = Array.make cfg.n Dmx_obs.Snapshot.empty in
       let finished = Array.make cfg.n false in
       let dead = Array.make cfg.n false in
       let workload_sent = ref false in
@@ -346,6 +355,9 @@ let run (cfg : config) =
             finished.(site) <- true;
             live_stats.(site) <- reliable;
             add_kinds kinds
+          | Wire.Metrics_v2 { site; snapshot } when site >= 0 && site < cfg.n
+            ->
+            snapshots.(site) <- snapshot
           | _ -> ())
         | Transport_sig.Peer_down _ | Transport_sig.Peer_up _ -> ()
       in
@@ -547,6 +559,7 @@ let run (cfg : config) =
           entries;
           wall_seconds = Unix.gettimeofday () -. started_wall;
           live_stats;
+          snapshots;
         }
     with
     | Failure msg ->
@@ -556,16 +569,22 @@ let run (cfg : config) =
       cleanup ();
       Error ("cluster: " ^ Printexc.to_string e))
 
+(* Fleet totals come from the registry snapshots (summed series-wise by
+   [Snapshot.merge]); the legacy per-site alists are only a fallback for
+   an outcome whose nodes predate Metrics_v2. *)
 let live_totals o =
-  Array.fold_left
-    (fun acc site_stats ->
-      List.fold_left
-        (fun acc (k, v) ->
-          (k, v + Option.value ~default:0 (List.assoc_opt k acc))
-          :: List.remove_assoc k acc)
-        acc site_stats)
-    [] o.live_stats
-  |> List.sort compare
+  match merged_snapshot o with
+  | [] ->
+    Array.fold_left
+      (fun acc site_stats ->
+        List.fold_left
+          (fun acc (k, v) ->
+            (k, v + Option.value ~default:0 (List.assoc_opt k acc))
+            :: List.remove_assoc k acc)
+          acc site_stats)
+      [] o.live_stats
+    |> List.sort compare
+  | merged -> Dmx_obs.Snapshot.to_alist merged
 
 let pp_outcome ppf o =
   Format.fprintf ppf "%a@.occupancy: violations=%d entries=%d wall=%.2fs"

@@ -44,6 +44,10 @@ type config = {
   ports : int list option;
       (** fixed ports ([n] node ports then the supervisor's) instead of
           kernel-allocated ones — test hook for bind-failure injection *)
+  metrics_base_port : int;
+      (** when nonzero, node [i] serves its metrics registry over HTTP on
+          loopback port [metrics_base_port + i] ({!Scrape}); [0] (the
+          default) starts no listeners *)
 }
 
 val default : n:int -> config
@@ -60,14 +64,25 @@ type outcome = {
       (** per-site live counters from the final [Metrics] frames:
           reliability-layer retransmits/acks/dup-drops, chaos injections,
           transport totals (a killed site reports nothing) *)
+  snapshots : Dmx_obs.Snapshot.t array;
+      (** per-site metrics-registry snapshots from the final
+          {!Wire.frame.Metrics_v2} frames — the same registries the nodes
+          serve on their [--metrics-port] scrape endpoints (empty for a
+          site that reported nothing) *)
 }
+
+val merged_snapshot : outcome -> Dmx_obs.Snapshot.t
+(** All sites' snapshots summed with {!Dmx_obs.Snapshot.merge} — fleet
+    totals for every series. *)
 
 val run : config -> (outcome, string) result
 (** [Error] on a bad configuration, a node that cannot come up, or the
     timeout expiring; every child process is reaped on all paths. *)
 
 val live_totals : outcome -> (string * int) list
-(** {!outcome.live_stats} summed across sites, sorted by counter name. *)
+(** Nonzero fleet totals as [(name, value)] pairs, rendered from
+    {!merged_snapshot} (falling back to summing {!outcome.live_stats}
+    when no site shipped a snapshot). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** The engine report, the occupancy line, aggregated live counters, and

@@ -17,6 +17,7 @@ type spec = {
   max_seconds : float;
   transport : string;
   chaos : Chaos.plan;
+  metrics_port : int;  (* 0 = no scrape listener *)
 }
 
 let env_var = "DMX_NODE_SPEC"
@@ -24,13 +25,14 @@ let env_var = "DMX_NODE_SPEC"
 let spec_to_string s =
   Printf.sprintf
     "site=%d n=%d ports=%s sup=%d proto=%s quorum=%s seed=%d epoch=%h \
-     hb=%h hbto=%h rto=%h max=%h trans=%s chaos=%s"
+     hb=%h hbto=%h rto=%h max=%h trans=%s chaos=%s mport=%d"
     s.site s.n
     (String.concat ","
        (Array.to_list (Array.map string_of_int s.node_ports)))
     s.supervisor_port s.protocol s.quorum s.seed s.epoch s.hb_period
     s.hb_timeout s.rto s.max_seconds s.transport
     (Chaos.plan_to_string s.chaos)
+    s.metrics_port
 
 let spec_of_string str =
   try
@@ -73,6 +75,10 @@ let spec_of_string str =
           (match List.assoc_opt "chaos" kv with
           | Some c -> Chaos.plan_of_string c
           | None -> Chaos.no_faults);
+        metrics_port =
+          (match List.assoc_opt "mport" kv with
+          | Some p -> int_of_string p
+          | None -> 0);
       }
   with e -> Error (Printf.sprintf "bad node spec %S: %s" str (Printexc.to_string e))
 
@@ -95,8 +101,8 @@ module Make (P : Proto.PROTOCOL) = struct
 
   type timer = { at : float; tag : int; seq : int }
 
-  let run (spec : spec) ~codec ?(live_stats = fun _ -> []) (pconfig : P.config)
-      =
+  let run (spec : spec) ~codec ?(live_stats = fun _ -> [])
+      ?(attach_obs = fun _ _ -> ()) (pconfig : P.config) =
     let now () = Unix.gettimeofday () -. spec.epoch in
     let started = now () in
     let hello_inc = Unix.gettimeofday () in
@@ -140,6 +146,11 @@ module Make (P : Proto.PROTOCOL) = struct
     let transport =
       match shim with Some c -> Chaos.handle c | None -> raw
     in
+    (* one metrics registry per node process: the scrape endpoint, the
+       Metrics_v2 frame, and the old Metrics frame all read from it *)
+    let reg = Dmx_obs.Registry.create () in
+    Transport_sig.register_obs reg ~prefix:"transport" transport;
+    (match shim with Some c -> Chaos.register_obs reg c | None -> ());
     (* trace buffer, streamed to the supervisor in bounded batches (a
        batch must fit a UDP datagram) *)
     let trace_buf : Trace.entry Queue.t = Queue.create () in
@@ -159,12 +170,21 @@ module Make (P : Proto.PROTOCOL) = struct
       Queue.push { Trace.time = now (); site = spec.site; kind } trace_buf
     in
     let render msg = Format.asprintf "%a" P.pp_message msg in
-    (* metrics, mirroring the engine's counting: network sends only *)
+    (* metrics, mirroring the engine's counting: network sends only. The
+       Hashtbl feeds the legacy Metrics frame; the registry counters feed
+       the scrape endpoint and Metrics_v2. *)
     let sent = ref 0 in
     let received = ref 0 in
+    let c_sent = Dmx_obs.Registry.counter reg "node.sent" in
+    let c_received = Dmx_obs.Registry.counter reg "node.received" in
+    let c_exec = Dmx_obs.Registry.counter reg "node.executions" in
     let kinds : (string, int) Hashtbl.t = Hashtbl.create 8 in
     let count_kind k =
-      Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k))
+      Hashtbl.replace kinds k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
+      Dmx_obs.Metric.Counter.incr
+        (Dmx_obs.Registry.counter reg "node.messages.kind"
+           ~labels:[ ("kind", k) ])
     in
     (* timers *)
     let timer_seq = ref 0 in
@@ -190,6 +210,7 @@ module Make (P : Proto.PROTOCOL) = struct
             if dst = spec.site then Queue.push msg selfq
             else begin
               incr sent;
+              Dmx_obs.Metric.Counter.incr c_sent;
               count_kind (P.message_kind msg);
               transport.send ~dst
                 (Wire.Proto
@@ -209,6 +230,14 @@ module Make (P : Proto.PROTOCOL) = struct
       }
     in
     let state = P.init ctx pconfig in
+    attach_obs state reg;
+    let scrape =
+      if spec.metrics_port > 0 then
+        Some
+          (Scrape.start ~port:spec.metrics_port (fun () ->
+               Dmx_obs.Registry.snapshot reg))
+      else None
+    in
     (* workload state machine *)
     let workload = ref None in
     let completed = ref 0 in
@@ -264,6 +293,7 @@ module Make (P : Proto.PROTOCOL) = struct
               match codec.decode payload with
               | Ok msg ->
                 incr received;
+                Dmx_obs.Metric.Counter.incr c_received;
                 trace (Trace.Receive { src = psrc; msg = render msg });
                 P.on_message ctx state ~src:psrc msg
               | Error e ->
@@ -281,7 +311,7 @@ module Make (P : Proto.PROTOCOL) = struct
               dbg "node %d: shutdown at %.3f" spec.site (now ());
               shutdown := true
             | Wire.Hello _ | Wire.Heartbeat _ | Wire.Trace_batch _
-            | Wire.Metrics _ ->
+            | Wire.Metrics _ | Wire.Metrics_v2 _ ->
               ()
             (* lock-service frames: a single-protocol node is not a
                service host — see Dmx_service.Snode for the daemon that
@@ -313,6 +343,7 @@ module Make (P : Proto.PROTOCOL) = struct
           trace Trace.Exit_cs;
           in_cs := false;
           incr completed;
+          Dmx_obs.Metric.Counter.incr c_exec;
           requested := false;
           P.release_cs ctx state
         end;
@@ -337,6 +368,14 @@ module Make (P : Proto.PROTOCOL) = struct
                  received = !received;
                  kinds = Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds [];
                  reliable;
+               });
+          (* the full registry rides alongside: what the supervisor
+             aggregates is exactly what the scrape endpoint serves *)
+          transport.send ~dst:spec.n
+            (Wire.Metrics_v2
+               {
+                 site = spec.site;
+                 snapshot = Dmx_obs.Registry.snapshot reg;
                })
         end);
       (* 5. stream the trace *)
@@ -350,6 +389,7 @@ module Make (P : Proto.PROTOCOL) = struct
     flush_traces ();
     (* let the final batch drain before tearing the sockets down *)
     Unix.sleepf 0.1;
+    (match scrape with Some s -> Scrape.stop s | None -> ());
     transport.close ()
 end
 
@@ -395,6 +435,10 @@ let run_named (spec : spec) =
             match Dmx_core.Ft_delay_optimal.Internal.reliable st with
             | Some r -> Dmx_core.Reliable.stats_alist r
             | None -> [])
+          ~attach_obs:(fun st reg ->
+            match Dmx_core.Ft_delay_optimal.Internal.reliable st with
+            | Some r -> Dmx_core.Reliable.attach r reg
+            | None -> ())
           (Dmx_core.Ft_delay_optimal.config_of_kind ~reliability
              ~trust_detector:false kind ~n ~broadcast:false);
         Ok ()

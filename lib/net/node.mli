@@ -32,6 +32,9 @@ type spec = {
   max_seconds : float;  (** failsafe wall-clock limit on the whole life *)
   transport : string;  (** a {!Transports.create} name: ["tcp"]/["udp"] *)
   chaos : Chaos.plan;  (** fault plan; {!Chaos.no_faults} runs bare *)
+  metrics_port : int;
+      (** serve the node's metrics registry over HTTP ({!Scrape}) on this
+          loopback port; [0] disables the listener *)
 }
 
 val spec_to_string : spec -> string
@@ -59,13 +62,22 @@ module Make (P : Dmx_sim.Protocol.PROTOCOL) : sig
     spec ->
     codec:codec ->
     ?live_stats:(P.state -> (string * int) list) ->
+    ?attach_obs:(P.state -> Dmx_obs.Registry.t -> unit) ->
     P.config ->
     unit
   (** Blocks until the supervisor's [Shutdown], supervisor silence beyond
       30 s, or [spec.max_seconds] — whichever comes first. [live_stats]
       (default: none) extracts protocol-level live counters — e.g.
       {!Dmx_core.Reliable.stats_alist} — included in the final [Metrics]
-      frame alongside chaos and transport counters. *)
+      frame alongside chaos and transport counters.
+
+      The node keeps one {!Dmx_obs.Registry} for its whole life:
+      transport/chaos stats are registered as probes, protocol sends and
+      receives are counted live, and [attach_obs] (default: nothing)
+      lets the protocol bind its own cells — e.g.
+      {!Dmx_core.Reliable.attach}. The registry feeds the
+      [spec.metrics_port] scrape endpoint and the final
+      {!Wire.frame.Metrics_v2} frame. *)
 end
 
 val run_named : spec -> (unit, string) result

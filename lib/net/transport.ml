@@ -34,6 +34,9 @@ type t = {
   sent : int Atomic.t;
   received : int Atomic.t;
   undecodable : int Atomic.t;
+  bytes_sent : int Atomic.t;
+  bytes_received : int Atomic.t;
+  connects : int Atomic.t;
   mutable threads : Thread.t list;
   reader_lock : Mutex.t;
   mutable reader_fds : Unix.file_descr list;  (** guarded by [reader_lock] *)
@@ -54,7 +57,8 @@ let send_to_peer t p frame =
   (match p.fd with
   | Some fd -> (
     try
-      Wire.write_frame fd frame;
+      let n = Wire.write_frame_count fd frame in
+      ignore (Atomic.fetch_and_add t.bytes_sent n);
       Atomic.incr t.sent
     with _ ->
       (try Unix.close fd with _ -> ());
@@ -76,6 +80,10 @@ let stats t =
     frames_received = Atomic.get t.received;
     oversize_dropped = 0;
     undecodable = Atomic.get t.undecodable;
+    bytes_sent = Atomic.get t.bytes_sent;
+    bytes_received = Atomic.get t.bytes_received;
+    connects = Atomic.get t.connects;
+    silences = Transport_sig.Peers.silences t.book;
   }
 
 (* ---- dialler: one thread per peer keeps the outbound connection alive ---- *)
@@ -100,11 +108,13 @@ let dial t p =
       with
       | fd ->
         backoff := 0.05;
+        Atomic.incr t.connects;
         Mutex.lock p.lock;
         (* flush everything buffered while the peer was unreachable *)
         (try
            while not (Queue.is_empty p.pending) do
-             Wire.write_frame fd (Queue.peek p.pending);
+             let n = Wire.write_frame_count fd (Queue.peek p.pending) in
+             ignore (Atomic.fetch_and_add t.bytes_sent n);
              ignore (Queue.pop p.pending);
              Atomic.incr t.sent
            done;
@@ -133,13 +143,16 @@ let reader t fd =
   let rec loop () =
     if Atomic.get t.stop then ()
     else
-      match (try Wire.read_frame fd with _ -> Error "connection error") with
+      match
+        (try Wire.read_frame_count fd with _ -> Error "connection error")
+      with
       | Error _ -> ()
-      | Ok frame ->
+      | Ok (frame, n) ->
         (match Transport_sig.frame_src frame with
         | -1 -> ()
         | s -> src := s);
         Atomic.incr t.received;
+        ignore (Atomic.fetch_and_add t.bytes_received n);
         Transport_sig.Peers.heard t.book !src;
         Transport_sig.Peers.push t.book (Frame { src = !src; frame });
         loop ()
@@ -198,6 +211,9 @@ let create cfg =
       sent = Atomic.make 0;
       received = Atomic.make 0;
       undecodable = Atomic.make 0;
+      bytes_sent = Atomic.make 0;
+      bytes_received = Atomic.make 0;
+      connects = Atomic.make 0;
       threads = [];
       reader_lock = Mutex.create ();
       reader_fds = [];

@@ -18,10 +18,23 @@ type stats = {
   frames_received : int;
   oversize_dropped : int;
   undecodable : int;
+  bytes_sent : int;
+  bytes_received : int;
+  connects : int;
+  silences : int;
 }
 
 let no_stats =
-  { frames_sent = 0; frames_received = 0; oversize_dropped = 0; undecodable = 0 }
+  {
+    frames_sent = 0;
+    frames_received = 0;
+    oversize_dropped = 0;
+    undecodable = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+    connects = 0;
+    silences = 0;
+  }
 
 let stats_alist ~prefix s =
   List.filter
@@ -31,6 +44,10 @@ let stats_alist ~prefix s =
       (prefix ^ ".received", s.frames_received);
       (prefix ^ ".oversize", s.oversize_dropped);
       (prefix ^ ".undecodable", s.undecodable);
+      (prefix ^ ".bytes_sent", s.bytes_sent);
+      (prefix ^ ".bytes_received", s.bytes_received);
+      (prefix ^ ".connects", s.connects);
+      (prefix ^ ".silences", s.silences);
     ]
 
 module type S = sig
@@ -61,6 +78,20 @@ let handle (type a) (module T : S with type t = a) (t : a) =
     close = (fun () -> T.close t);
   }
 
+(* Register every stats field of a handle as registry probes. Probes are
+   polled at snapshot time only — the transport keeps its own atomics and
+   pays nothing extra on the hot path. *)
+let register_obs ?labels reg ~prefix (h : handle) =
+  let p name read = Dmx_obs.Registry.probe ?labels reg (prefix ^ name) (fun () -> read (h.stats ())) in
+  p ".sent" (fun s -> s.frames_sent);
+  p ".received" (fun s -> s.frames_received);
+  p ".oversize" (fun s -> s.oversize_dropped);
+  p ".undecodable" (fun s -> s.undecodable);
+  p ".bytes_sent" (fun s -> s.bytes_sent);
+  p ".bytes_received" (fun s -> s.bytes_received);
+  p ".connects" (fun s -> s.connects);
+  p ".silences" (fun s -> s.silences)
+
 (* ---- shared event-queue + silence-detection state ----
 
    Both concrete transports (TCP streams, UDP datagrams) hand delivery
@@ -80,6 +111,7 @@ module Peers = struct
     suspected : (int, bool) Hashtbl.t;
     started : float;
     mutable last_check : float;
+    mutable silences : int;  (* Peer_down transitions ever signalled *)
   }
 
   let create cfg =
@@ -92,7 +124,14 @@ module Peers = struct
       suspected = Hashtbl.create 16;
       started = now;
       last_check = now;
+      silences = 0;
     }
+
+  let silences t =
+    Mutex.lock t.lock;
+    let v = t.silences in
+    Mutex.unlock t.lock;
+    v
 
   let push t ev =
     Mutex.lock t.lock;
@@ -133,6 +172,7 @@ module Peers = struct
           in
           if (not suspected) && now -. last > t.cfg.hb_timeout then begin
             Hashtbl.replace t.suspected id true;
+            t.silences <- t.silences + 1;
             Queue.push (Peer_down id) t.events
           end)
         t.cfg.watch
@@ -155,7 +195,8 @@ let frame_src (frame : Wire.frame) =
   | Wire.Hello { site; _ }
   | Wire.Heartbeat { site; _ }
   | Wire.Trace_batch { site; _ }
-  | Wire.Metrics { site; _ } ->
+  | Wire.Metrics { site; _ }
+  | Wire.Metrics_v2 { site; _ } ->
     site
   | Wire.Proto { src; _ } -> src
   | Wire.Sproto { src; _ } -> src

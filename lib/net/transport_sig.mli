@@ -53,6 +53,12 @@ type stats = {
   oversize_dropped : int;
       (** sends refused by a size guard (UDP datagram bound) *)
   undecodable : int;  (** inbound payloads {!Wire.decode} rejected *)
+  bytes_sent : int;  (** wire bytes out (frame payloads + any framing) *)
+  bytes_received : int;  (** wire bytes in, decoded frames only *)
+  connects : int;  (** successful outbound connection establishments
+                       (TCP dials; 0 on datagram transports) *)
+  silences : int;  (** heartbeat-silence [Peer_down] transitions ever
+                       signalled by the failure detector *)
 }
 
 val no_stats : stats
@@ -99,6 +105,18 @@ type handle = {
 val handle : (module S with type t = 'a) -> 'a -> handle
 (** Pack a concrete transport into a {!handle}. *)
 
+val register_obs :
+  ?labels:(string * string) list ->
+  Dmx_obs.Registry.t ->
+  prefix:string ->
+  handle ->
+  unit
+(** Register every field of the handle's {!stats} as counter probes named
+    [prefix ^ ".sent"], [".received"], [".oversize"], [".undecodable"],
+    [".bytes_sent"], [".bytes_received"], [".connects"], [".silences"].
+    Probes are polled only at snapshot time — nothing is added to the
+    transport's hot path. *)
+
 (** Shared implementation helper: the event queue plus heartbeat-silence
     bookkeeping every transport embeds. Not for transport owners. *)
 module Peers : sig
@@ -114,6 +132,9 @@ module Peers : sig
   val poll : t -> event option
   (** Drain one event; runs the silence scan at most once per
       [hb_period]. *)
+
+  val silences : t -> int
+  (** Total [Peer_down] transitions ever signalled. *)
 end
 
 val frame_src : Wire.frame -> int

@@ -24,6 +24,8 @@ type t = {
   received : int Atomic.t;
   oversize : int Atomic.t;
   undecodable : int Atomic.t;
+  bytes_sent : int Atomic.t;
+  bytes_received : int Atomic.t;
   mutable reader : Thread.t option;
 }
 
@@ -65,7 +67,9 @@ let send_to_peer t p frame =
          (ICMP port unreachable surfacing as ECONNREFUSED, ...) is just
          loss — the reliability layer retries *)
       match Unix.write_substring fd payload 0 len with
-      | _ -> Atomic.incr t.sent
+      | _ ->
+        Atomic.incr t.sent;
+        ignore (Atomic.fetch_and_add t.bytes_sent len)
       | exception _ -> ())
 
 let send t ~dst frame =
@@ -81,6 +85,10 @@ let stats t =
     frames_received = Atomic.get t.received;
     oversize_dropped = Atomic.get t.oversize;
     undecodable = Atomic.get t.undecodable;
+    bytes_sent = Atomic.get t.bytes_sent;
+    bytes_received = Atomic.get t.bytes_received;
+    connects = 0;
+    silences = Transport_sig.Peers.silences t.book;
   }
 
 (* ---- receiving: one reader thread over the bound socket ---- *)
@@ -98,6 +106,7 @@ let reader t =
         | Error _ -> Atomic.incr t.undecodable
         | Ok frame ->
           Atomic.incr t.received;
+          ignore (Atomic.fetch_and_add t.bytes_received n);
           let src = Transport_sig.frame_src frame in
           Transport_sig.Peers.heard t.book src;
           Transport_sig.Peers.push t.book (Frame { src; frame }))
@@ -136,6 +145,8 @@ let create (cfg : Transport_sig.config) =
       received = Atomic.make 0;
       oversize = Atomic.make 0;
       undecodable = Atomic.make 0;
+      bytes_sent = Atomic.make 0;
+      bytes_received = Atomic.make 0;
       reader = None;
     }
   in

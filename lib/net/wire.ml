@@ -310,6 +310,58 @@ type frame =
   | Expire of { session : int; lock : string; req : int }
   | Sproto of { shard : int; src : int; dst : int; payload : string }
   | Strace of { shard : int; site : int; entries : Trace.entry list }
+  | Metrics_v2 of { site : int; snapshot : Dmx_obs.Snapshot.t }
+
+(* ---- Dmx_obs.Snapshot series ---- *)
+
+let wseries b (s : Dmx_obs.Snapshot.series) =
+  wstr b s.Dmx_obs.Snapshot.name;
+  wint b (List.length s.labels);
+  List.iter
+    (fun (k, v) ->
+      wstr b k;
+      wstr b v)
+    s.labels;
+  match s.value with
+  | Dmx_obs.Snapshot.Counter v ->
+    w8 b 0;
+    wint b v
+  | Dmx_obs.Snapshot.Gauge v ->
+    w8 b 1;
+    wint b v
+  | Dmx_obs.Snapshot.Histogram h ->
+    w8 b 2;
+    wint b (Array.length h.buckets);
+    Array.iter (wint b) h.buckets;
+    wint b h.count;
+    wint b h.sum;
+    wint b h.max
+
+let rseries c =
+  let name = rstr c in
+  let n = rint c in
+  if n < 0 || n > 64 then raise (Bad "bad label count");
+  let labels =
+    List.init n (fun _ ->
+        let k = rstr c in
+        let v = rstr c in
+        (k, v))
+  in
+  let value =
+    match r8 c with
+    | 0 -> Dmx_obs.Snapshot.Counter (rint c)
+    | 1 -> Dmx_obs.Snapshot.Gauge (rint c)
+    | 2 ->
+      let nb = rint c in
+      if nb < 0 || nb > 1024 then raise (Bad "bad bucket count");
+      let buckets = Array.init nb (fun _ -> rint c) in
+      let count = rint c in
+      let sum = rint c in
+      let max = rint c in
+      Dmx_obs.Snapshot.Histogram { buckets; count; sum; max }
+    | t -> raise (Bad (Printf.sprintf "bad series kind %d" t))
+  in
+  Dmx_obs.Snapshot.series ~name ~labels value
 
 let encode frame =
   let b = Buffer.create 64 in
@@ -404,7 +456,12 @@ let encode frame =
     wint b shard;
     wint b site;
     wint b (List.length entries);
-    List.iter (wentry b) entries);
+    List.iter (wentry b) entries
+  | Metrics_v2 { site; snapshot } ->
+    w8 b 16;
+    wint b site;
+    wint b (List.length snapshot);
+    List.iter (wseries b) snapshot);
   Buffer.contents b
 
 let decode s =
@@ -511,6 +568,14 @@ let decode s =
         if n < 0 || n > 10_000_000 then raise (Bad "bad batch length");
         let entries = List.init n (fun _ -> rentry c) in
         Strace { shard; site; entries }
+      | 16 ->
+        let site = rint c in
+        let n = rint c in
+        if n < 0 || n > 1_000_000 then raise (Bad "bad series count");
+        let raw = List.init n (fun _ -> rseries c) in
+        (* re-canonicalize: order is a property of snapshots, not the wire *)
+        let snapshot = Dmx_obs.Snapshot.normalize raw in
+        Metrics_v2 { site; snapshot }
       | t -> raise (Bad (Printf.sprintf "bad frame tag %d" t))
     in
     finished c "frame";
@@ -530,13 +595,16 @@ let write_all fd bytes =
   in
   go 0
 
-let write_frame fd frame =
+let write_frame_count fd frame =
   let payload = encode frame in
   let len = String.length payload in
   let out = Bytes.create (4 + len) in
   Bytes.set_int32_be out 0 (Int32.of_int len);
   Bytes.blit_string payload 0 out 4 len;
-  write_all fd out
+  write_all fd out;
+  4 + len
+
+let write_frame fd frame = ignore (write_frame_count fd frame)
 
 (* Reads exactly [len] bytes; [None] on EOF (clean close mid-read is also
    just EOF for our purposes). *)
@@ -551,7 +619,7 @@ let read_exact fd len =
   in
   go 0
 
-let read_frame fd =
+let read_frame_count fd =
   match read_exact fd 4 with
   | None -> Error "eof"
   | Some hdr ->
@@ -561,4 +629,9 @@ let read_frame fd =
     else (
       match read_exact fd len with
       | None -> Error "eof inside frame"
-      | Some payload -> decode (Bytes.unsafe_to_string payload))
+      | Some payload ->
+        Result.map
+          (fun frame -> (frame, 4 + len))
+          (decode (Bytes.unsafe_to_string payload)))
+
+let read_frame fd = Result.map fst (read_frame_count fd)

@@ -82,6 +82,14 @@ type frame =
   | Strace of { shard : int; site : int; entries : Dmx_sim.Trace.entry list }
       (** node [->] supervisor: {!frame.Trace_batch} with a shard id, so
           the supervisor can run the unmodified oracle per shard *)
+  | Metrics_v2 of { site : int; snapshot : Dmx_obs.Snapshot.t }
+      (** node [->] supervisor: the node's full metrics-registry snapshot
+          (every counter, gauge and histogram the daemon serves on its
+          [--metrics-port] scrape endpoint). Supersedes the hard-coded
+          counter struct of {!frame.Metrics} — supervisors aggregate these
+          with [Dmx_obs.Snapshot.merge] to get fleet totals. The decoder
+          re-canonicalizes series order, so snapshot equality is
+          wire-transport independent. *)
 
 val encode : frame -> string
 (** Payload bytes (version byte included, length prefix excluded). *)
@@ -109,3 +117,10 @@ val write_frame : Unix.file_descr -> frame -> unit
 val read_frame : Unix.file_descr -> (frame, string) result
 (** Blocking read of exactly one frame. [Error] on EOF, a corrupt length
     prefix, or a payload {!decode} rejects. *)
+
+val write_frame_count : Unix.file_descr -> frame -> int
+(** {!write_frame}, returning the bytes put on the wire (length prefix
+    included) — the transports' byte counters read this. *)
+
+val read_frame_count : Unix.file_descr -> (frame * int, string) result
+(** {!read_frame}, with the bytes consumed from the wire. *)

@@ -1,0 +1,151 @@
+let schema_version = "dmx-metrics/1"
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+           labels)
+    ^ "}"
+
+(* [le] bounds plus extra label pairs, rendered together *)
+let prom_labels_le labels le =
+  let le = ("le", le) in
+  prom_labels (labels @ [ le ])
+
+let prometheus (snap : Snapshot.t) =
+  let b = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (s : Snapshot.series) ->
+      let name = sanitize s.name in
+      match s.value with
+      | Snapshot.Counter v ->
+        type_line name "counter";
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" name (prom_labels s.labels) v)
+      | Snapshot.Gauge v ->
+        type_line name "gauge";
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" name (prom_labels s.labels) v)
+      | Snapshot.Histogram h ->
+        type_line name "histogram";
+        let cum = ref 0 in
+        Array.iteri
+          (fun i n ->
+            if n > 0 || i = 0 then begin
+              cum := !cum + n;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (prom_labels_le s.labels
+                      (string_of_int (Metric.Histogram.bucket_upper i)))
+                   !cum)
+            end
+            else cum := !cum + n)
+          h.buckets;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" name
+             (prom_labels_le s.labels "+Inf") h.count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %d\n" name (prom_labels s.labels) h.sum);
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" name (prom_labels s.labels)
+             h.count))
+    snap;
+  Buffer.contents b
+
+let json_string v =
+  let b = Buffer.create (String.length v + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json (snap : Snapshot.t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"schema\": %s,\n  \"series\": [\n"
+       (json_string schema_version));
+  let labels_json labels =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> json_string k ^ ": " ^ json_string v)
+           labels)
+    ^ "}"
+  in
+  List.iteri
+    (fun i (s : Snapshot.series) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let common =
+        Printf.sprintf "\"name\": %s, \"labels\": %s" (json_string s.name)
+          (labels_json s.labels)
+      in
+      (match s.value with
+      | Snapshot.Counter v ->
+        Buffer.add_string b
+          (Printf.sprintf "    {%s, \"kind\": \"counter\", \"value\": %d}"
+             common v)
+      | Snapshot.Gauge v ->
+        Buffer.add_string b
+          (Printf.sprintf "    {%s, \"kind\": \"gauge\", \"value\": %d}"
+             common v)
+      | Snapshot.Histogram h ->
+        let buckets =
+          h.buckets |> Array.to_list |> List.map string_of_int
+          |> String.concat ", "
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {%s, \"kind\": \"histogram\", \"count\": %d, \"sum\": %d, \
+              \"max\": %d, \"p50\": %d, \"p90\": %d, \"p99\": %d, \
+              \"buckets\": [%s]}"
+             common h.count h.sum h.max
+             (Snapshot.quantile h 50.0)
+             (Snapshot.quantile h 90.0)
+             (Snapshot.quantile h 99.0)
+             buckets));
+      ())
+    snap;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

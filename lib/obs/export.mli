@@ -1,0 +1,23 @@
+(** Render a snapshot for external consumers.
+
+    Two formats, both deterministic (canonical series order, fixed number
+    formatting) so golden tests and the sim twin's bit-reproducibility
+    check can compare exports byte for byte:
+
+    - {!prometheus}: the Prometheus text exposition format. Dotted
+      instrument names are sanitized ([.] becomes [_]); histograms render
+      as native Prometheus histograms (cumulative [_bucket{le="..."}]
+      series over the log2 bucket bounds, plus [_sum] and [_count]).
+    - {!json}: a self-describing JSON document ([dmx-metrics/1]) carrying
+      every series with its kind, labels, and — for histograms — the raw
+      bucket array plus the p50/p90/p99/max readouts. *)
+
+val schema_version : string
+(** ["dmx-metrics/1"], the [schema] field of the JSON export. *)
+
+val sanitize : string -> string
+(** Prometheus metric-name sanitization: every character outside
+    [\[A-Za-z0-9_:\]] becomes [_]. *)
+
+val prometheus : Snapshot.t -> string
+val json : Snapshot.t -> string

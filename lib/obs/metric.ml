@@ -1,0 +1,72 @@
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+end
+
+module Gauge = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let set t v = Atomic.set t v
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+end
+
+module Histogram = struct
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable max : int;
+  }
+
+  let buckets = 64
+
+  let create () = { buckets = Array.make buckets 0; count = 0; sum = 0; max = 0 }
+
+  (* Bit-length by tail recursion: ints stay unboxed, nothing allocates. *)
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1)
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else
+      let b = bits 0 v in
+      if b > buckets - 1 then buckets - 1 else b
+
+  let observe t v =
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    if v > t.max then t.max <- v
+
+  let observe_s t dt = observe t (int_of_float (dt *. 1e6))
+  let count t = t.count
+  let sum t = t.sum
+  let max t = t.max
+  let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+  let bucket_counts t = Array.copy t.buckets
+
+  let bucket_upper i =
+    if i <= 0 then 0
+    else if i >= Sys.int_size - 1 then Stdlib.max_int
+    else (1 lsl i) - 1
+
+  let quantile t p =
+    if t.count = 0 then (
+      ignore (Quantile.nearest_rank ~count:1 p) (* still validate p *);
+      0)
+    else begin
+      let rank = Quantile.nearest_rank ~count:t.count p in
+      let b = ref 0 and seen = ref 0 in
+      while !seen + t.buckets.(!b) <= rank do
+        seen := !seen + t.buckets.(!b);
+        incr b
+      done;
+      Stdlib.min (bucket_upper !b) t.max
+    end
+end

@@ -1,0 +1,81 @@
+(** Instrument cells: the mutable state behind every registered metric.
+
+    All three instruments are allocation-free on the record path — an
+    observation is one or two int stores (counters and gauges use
+    [Atomic.t], so concurrent writers — e.g. a transport reader thread and
+    the node main loop — never lose increments). Cells are plain values:
+    they can be created standalone (a protocol layer that must stay
+    registry-agnostic, like [Dmx_core.Reliable], owns its cells directly)
+    and bound to names later via {!Registry.attach_counter} and friends. *)
+
+(** Monotonic counter. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** Negative deltas are permitted (the engine's warmup reset uses them);
+      exporters still treat the cell as cumulative. *)
+
+  val get : t -> int
+end
+
+(** Instantaneous value (queue depth, in-flight count, heap size). *)
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+(** Fixed-bucket log2 histogram over non-negative ints.
+
+    Bucket [0] counts observations [<= 0]; bucket [i >= 1] counts
+    observations [v] with [2^(i-1) <= v < 2^i] (i.e. [i] is the bit-length
+    of [v]), capped at bucket {!buckets}[-1]. Count, sum and max are exact;
+    quantiles are bucket-resolution (within a factor of 2), with the top
+    rank clamped to the exact max. The record path is single-writer: one
+    thread observes, any thread may read (reads of individual int fields
+    never tear).
+
+    Convention: latency histograms in this repo record integer
+    microseconds ([observe_s] converts from seconds). *)
+module Histogram : sig
+  type t
+
+  val buckets : int
+  (** Number of buckets (64: one underflow bucket plus one per bit). *)
+
+  val create : unit -> t
+  val observe : t -> int -> unit
+  val observe_s : t -> float -> unit
+  (** [observe_s h dt] records [dt] seconds as integer microseconds. *)
+
+  val count : t -> int
+  val sum : t -> int
+  val max : t -> int
+  (** 0 when empty. *)
+
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val bucket_counts : t -> int array
+  (** A copy of the bucket array. *)
+
+  val bucket_of : int -> int
+  (** The bucket index an observation lands in. *)
+
+  val bucket_upper : int -> int
+  (** Inclusive upper bound of bucket [i]: 0 for bucket 0, [2^i - 1]
+      otherwise (capped for the last bucket). *)
+
+  val quantile : t -> float -> int
+  (** Nearest-rank quantile (same rank formula as
+      [Dmx_sim.Stats.Summary.percentile], via {!Quantile.nearest_rank}),
+      read at bucket resolution: the reported value is the containing
+      bucket's upper bound, clamped to the exact {!max}. 0 when empty.
+      Raises [Invalid_argument] unless [0 <= p <= 100]. *)
+end

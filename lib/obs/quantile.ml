@@ -1,0 +1,7 @@
+let nearest_rank ~count p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Quantile.nearest_rank";
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int count)) - 1 in
+  if rank < 0 then 0 else if rank > count - 1 then count - 1 else rank
+
+let percentile_sorted a n p =
+  if n = 0 then 0.0 else a.(nearest_rank ~count:n p)

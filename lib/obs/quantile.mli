@@ -1,0 +1,15 @@
+(** Nearest-rank quantile selection, shared by every percentile readout in
+    the repo: [Dmx_sim.Stats.Summary.percentile] (exact, over retained
+    samples) and [Metric.Histogram] (bucketed) both defer to the same rank
+    formula so the two readouts agree on what "p99" means. *)
+
+val nearest_rank : count:int -> float -> int
+(** [nearest_rank ~count p] is the 0-based index of the nearest-rank
+    p-th percentile in a sorted population of [count] observations:
+    [ceil (p/100 * count) - 1], clamped to [\[0, count-1\]].
+    Raises [Invalid_argument] unless [0 <= p <= 100]. [count] must be
+    positive. *)
+
+val percentile_sorted : float array -> int -> float -> float
+(** [percentile_sorted a n p] reads the nearest-rank p-th percentile from
+    the first [n] elements of the sorted array [a]; 0.0 when [n = 0]. *)

@@ -1,0 +1,126 @@
+type instrument =
+  | Counter of Metric.Counter.t
+  | Gauge of Metric.Gauge.t
+  | Histogram of Metric.Histogram.t
+  | Probe of (unit -> int)
+  | Gauge_probe of (unit -> int)
+
+type key = { name : string; labels : (string * string) list }
+type t = { mu : Mutex.t; table : (key, instrument) Hashtbl.t }
+
+let create () = { mu = Mutex.create (); table = Hashtbl.create 64 }
+
+let key name labels =
+  { name; labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Probe _ | Gauge_probe _ -> "probe"
+
+let mismatch k existing wanted =
+  invalid_arg
+    (Printf.sprintf "Obs.Registry: %s already registered as a %s, not a %s"
+       k.name (kind_name existing) wanted)
+
+let counter ?(labels = []) t name =
+  let k = key name labels in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some (Counter c) -> c
+      | Some i -> mismatch k i "counter"
+      | None ->
+        let c = Metric.Counter.create () in
+        Hashtbl.add t.table k (Counter c);
+        c)
+
+let gauge ?(labels = []) t name =
+  let k = key name labels in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some (Gauge g) -> g
+      | Some i -> mismatch k i "gauge"
+      | None ->
+        let g = Metric.Gauge.create () in
+        Hashtbl.add t.table k (Gauge g);
+        g)
+
+let histogram ?(labels = []) t name =
+  let k = key name labels in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some (Histogram h) -> h
+      | Some i -> mismatch k i "histogram"
+      | None ->
+        let h = Metric.Histogram.create () in
+        Hashtbl.add t.table k (Histogram h);
+        h)
+
+let attach ?(labels = []) t name inst ~same =
+  let k = key name labels in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | None -> Hashtbl.add t.table k inst
+      | Some existing ->
+        if not (same existing) then
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Registry: %s already bound to a different instrument"
+               k.name))
+
+let attach_counter ?labels t name c =
+  attach ?labels t name (Counter c) ~same:(function
+    | Counter c' -> c' == c
+    | _ -> false)
+
+let attach_gauge ?labels t name g =
+  attach ?labels t name (Gauge g) ~same:(function
+    | Gauge g' -> g' == g
+    | _ -> false)
+
+let attach_histogram ?labels t name h =
+  attach ?labels t name (Histogram h) ~same:(function
+    | Histogram h' -> h' == h
+    | _ -> false)
+
+let add_probe ?(labels = []) t name inst =
+  let k = key name labels in
+  locked t (fun () ->
+      if Hashtbl.mem t.table k then
+        invalid_arg
+          (Printf.sprintf "Obs.Registry: duplicate probe %s" k.name)
+      else Hashtbl.add t.table k inst)
+
+let probe ?labels t name f = add_probe ?labels t name (Probe f)
+let gauge_probe ?labels t name f = add_probe ?labels t name (Gauge_probe f)
+
+let capture = function
+  | Counter c -> Snapshot.Counter (Metric.Counter.get c)
+  | Gauge g -> Snapshot.Gauge (Metric.Gauge.get g)
+  | Probe f -> Snapshot.Counter (f ())
+  | Gauge_probe f -> Snapshot.Gauge (f ())
+  | Histogram h ->
+    Snapshot.Histogram
+      {
+        Snapshot.buckets = Metric.Histogram.bucket_counts h;
+        count = Metric.Histogram.count h;
+        sum = Metric.Histogram.sum h;
+        max = Metric.Histogram.max h;
+      }
+
+let snapshot t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun k inst acc ->
+          Snapshot.series ~name:k.name ~labels:k.labels (capture inst) :: acc)
+        t.table [])
+  |> Snapshot.normalize
+
+let names t =
+  locked t (fun () -> Hashtbl.fold (fun k _ acc -> k.name :: acc) t.table [])
+  |> List.sort_uniq String.compare

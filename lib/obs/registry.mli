@@ -1,0 +1,54 @@
+(** A named collection of instruments.
+
+    Handles are resolved once, at setup time ([counter], [gauge],
+    [histogram] are get-or-create, so calling with the same name and
+    labels again returns the same cell — that is what a "labeled family"
+    is: one name, many label values, each resolving to its own cell).
+    The record path then touches only the cell. [snapshot] copies every
+    cell under the registry mutex into a canonical {!Snapshot.t}, so
+    readers (the scrape listener thread, the supervisor) never race
+    writers over structured state — cells are ints, and the snapshot is
+    fresh immutable data.
+
+    Registries are plain values, not process globals: the live daemons
+    create one per process (what [--metrics-port] serves), while the sim
+    twin creates one per run so a seeded run's snapshot is a pure
+    function of the seed. *)
+
+type t
+
+val create : unit -> t
+
+val counter : ?labels:(string * string) list -> t -> string -> Metric.Counter.t
+(** Get-or-create. Raises [Invalid_argument] if [(name, labels)] is
+    already registered as a different instrument kind. *)
+
+val gauge : ?labels:(string * string) list -> t -> string -> Metric.Gauge.t
+val histogram : ?labels:(string * string) list -> t -> string -> Metric.Histogram.t
+
+val attach_counter :
+  ?labels:(string * string) list -> t -> string -> Metric.Counter.t -> unit
+(** Bind an existing cell (one owned by a protocol layer such as
+    [Dmx_core.Reliable]) under a name. Raises [Invalid_argument] if the
+    key is already bound to a different cell or kind. Re-attaching the
+    same cell is a no-op. *)
+
+val attach_gauge :
+  ?labels:(string * string) list -> t -> string -> Metric.Gauge.t -> unit
+
+val attach_histogram :
+  ?labels:(string * string) list -> t -> string -> Metric.Histogram.t -> unit
+
+val probe : ?labels:(string * string) list -> t -> string -> (unit -> int) -> unit
+(** Register a counter series whose value is polled at snapshot time —
+    for sources that keep their own totals (transport stats structs).
+    The closure runs only on the snapshot path, never on a record path.
+    Raises [Invalid_argument] on a duplicate key. *)
+
+val gauge_probe :
+  ?labels:(string * string) list -> t -> string -> (unit -> int) -> unit
+(** Like {!probe} but snapshots as a gauge (queue depth, in-flight). *)
+
+val snapshot : t -> Snapshot.t
+val names : t -> string list
+(** Registered names, sorted, deduplicated across label sets. *)

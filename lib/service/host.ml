@@ -48,11 +48,18 @@ module Make (P : Proto.PROTOCOL) = struct
     mutable sent : int;
     mutable received : int;
     mutable denies : int;
+    mutable obs : Dmx_obs.Registry.t option;  (* set by [attach_obs] *)
   }
 
   let count_kind t k =
     Hashtbl.replace t.kinds k
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.kinds k))
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.kinds k));
+    match t.obs with
+    | None -> ()
+    | Some reg ->
+      Dmx_obs.Metric.Counter.incr
+        (Dmx_obs.Registry.counter reg "service.messages.kind"
+           ~labels:[ ("kind", k) ])
 
   let render msg = Format.asprintf "%a" P.pp_message msg
 
@@ -80,6 +87,7 @@ module Make (P : Proto.PROTOCOL) = struct
         sent = 0;
         received = 0;
         denies = 0;
+        obs = None;
       }
     in
     let make_shard index =
@@ -330,4 +338,22 @@ module Make (P : Proto.PROTOCOL) = struct
 
   let fold_states t f acc =
     Array.fold_left (fun acc sh -> f acc sh.pstate) acc t.shards
+
+  (* Bind every shard's lease cells (labelled by shard index) plus the
+     host-level counters into a registry; [proto] lets the caller bind
+     protocol-owned cells too — e.g. Reliable.attach — under the same
+     per-shard labels. *)
+  let attach_obs ?(proto = fun _ ~labels:_ _ -> ()) t reg =
+    Array.iter
+      (fun sh ->
+        let labels = [ ("shard", string_of_int sh.index) ] in
+        Lease.attach ~labels sh.lease reg;
+        proto sh.pstate ~labels reg)
+      t.shards;
+    Dmx_obs.Registry.probe reg "service.sent" (fun () -> t.sent);
+    Dmx_obs.Registry.probe reg "service.received" (fun () -> t.received);
+    Dmx_obs.Registry.probe reg "service.denies" (fun () -> t.denies);
+    Dmx_obs.Registry.gauge_probe reg "service.sessions" (fun () ->
+        Hashtbl.length t.sessions);
+    t.obs <- Some reg
 end

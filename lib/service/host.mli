@@ -123,4 +123,18 @@ module Make (P : Dmx_sim.Protocol.PROTOCOL) : sig
   (** Fold over the per-shard protocol states — live-counter extraction
       (e.g. {!Dmx_core.Reliable.stats_alist}) without exposing the shard
       array. *)
+
+  val attach_obs :
+    ?proto:
+      (P.state -> labels:(string * string) list -> Dmx_obs.Registry.t -> unit) ->
+    t ->
+    Dmx_obs.Registry.t ->
+    unit
+  (** Bind the host into a metrics registry: every shard's lease cells
+      ({!Dmx_core.Lease.attach}, labelled [("shard", i)]), probes for
+      [service.sent]/[service.received]/[service.denies], a
+      [service.sessions] gauge probe, and live [service.messages.kind]
+      counters. [proto] (default: nothing) binds protocol-owned cells
+      under the same per-shard labels — e.g.
+      {!Dmx_core.Reliable.attach}. *)
 end

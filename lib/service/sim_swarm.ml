@@ -118,8 +118,9 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
 
   type sched = { at : float; seq : int; ev : ev }
 
-  let run (cfg : config) ~(codec : H.codec)
-      ?(live_stats = fun _ -> []) (pconfig : shard:int -> P.config) =
+  let run (cfg : config) ~(codec : H.codec) ?(live_stats = fun _ -> [])
+      ?(attach_obs = fun _ ~labels:_ _ -> ())
+      (pconfig : shard:int -> P.config) =
     match validate cfg with
     | Error _ as e -> e
     | Ok () ->
@@ -167,6 +168,29 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
       let latency = Array.init cfg.shards (fun _ -> Summary.create ()) in
       let rehomed = ref 0 in
       let completed = ref 0 in
+      (* the twin of the live driver's registry: same series names, same
+         histogram buckets, but every observation is virtual time — so a
+         seeded run's snapshot is a pure function of the config *)
+      let obs = Dmx_obs.Registry.create () in
+      let acq_hist =
+        Array.init cfg.shards (fun shard ->
+            Dmx_obs.Registry.histogram obs
+              ~labels:[ ("shard", string_of_int shard) ]
+              "swarm.acquire_latency")
+      in
+      for shard = 0 to cfg.shards - 1 do
+        let labels = [ ("shard", string_of_int shard) ] in
+        Dmx_obs.Registry.probe obs ~labels "swarm.acquires" (fun () ->
+            acquires.(shard));
+        Dmx_obs.Registry.probe obs ~labels "swarm.grants" (fun () ->
+            grants.(shard));
+        Dmx_obs.Registry.probe obs ~labels "swarm.expiries" (fun () ->
+            expiries.(shard))
+      done;
+      Dmx_obs.Registry.probe obs "swarm.rehomed_sessions" (fun () -> !rehomed);
+      Dmx_obs.Registry.probe obs "swarm.completed_clients" (fun () ->
+          !completed);
+      let node_regs = Array.init cfg.n (fun _ -> Dmx_obs.Registry.create ()) in
       let make_host node =
         let caps =
           {
@@ -189,9 +213,17 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
                   (Timer { node; gen = gens.(node); shard; tag }));
           }
         in
-        H.create ~caps ~codec ~self:node ~n:cfg.n ~shards:cfg.shards
-          ~lease:{ Dmx_core.Lease.duration = cfg.lease; max_batch = cfg.max_batch }
-          ~seed:(cfg.seed + node) ~pconfig
+        let host =
+          H.create ~caps ~codec ~self:node ~n:cfg.n ~shards:cfg.shards
+            ~lease:
+              { Dmx_core.Lease.duration = cfg.lease; max_batch = cfg.max_batch }
+            ~seed:(cfg.seed + node) ~pconfig
+        in
+        (* fresh registry per incarnation, like a restarted daemon *)
+        let reg = Dmx_obs.Registry.create () in
+        H.attach_obs ~proto:attach_obs host reg;
+        node_regs.(node) <- reg;
+        host
       in
       let hosts = Array.init cfg.n (fun node -> make_host node) in
       let collect_traces node =
@@ -265,6 +297,8 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
           | Waiting { sent_at; _ } when req = c.req ->
             grants.(c.shard) <- grants.(c.shard) + 1;
             Summary.add latency.(c.shard) (!now -. sent_at);
+            Dmx_obs.Metric.Histogram.observe_s acq_hist.(c.shard)
+              (!now -. sent_at);
             if cfg.abandon > 0.0 && Rng.float rng 1.0 < cfg.abandon then begin
               c.phase <- Draining;
               wake ~at:(!now +. (2.0 *. cfg.lease) +. 1.0) c Failsafe
@@ -437,13 +471,15 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
              !completed cfg.clients !now)
       else begin
         let live_stats_arr = Array.make cfg.n [] in
+        let snapshots = Array.make cfg.n Dmx_obs.Snapshot.empty in
         Array.iteri
           (fun node host ->
             if alive.(node) then begin
               collect_traces node;
               live_stats_arr.(node) <-
                 H.lease_stats host
-                @ H.fold_states host (fun acc st -> acc @ live_stats st) []
+                @ H.fold_states host (fun acc st -> acc @ live_stats st) [];
+              snapshots.(node) <- Dmx_obs.Registry.snapshot node_regs.(node)
             end)
           hosts;
         let per_shard =
@@ -459,6 +495,8 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
             completed_clients = !completed;
             rehomed_sessions = !rehomed;
             live_stats = live_stats_arr;
+            snapshots;
+            driver_snapshot = Dmx_obs.Registry.snapshot obs;
           }
       end
 end
@@ -487,6 +525,10 @@ let run_named (cfg : config) =
         match Dmx_core.Ft_delay_optimal.Internal.reliable st with
         | Some r -> Dmx_core.Reliable.stats_alist r
         | None -> [])
+      ~attach_obs:(fun st ~labels reg ->
+        match Dmx_core.Ft_delay_optimal.Internal.reliable st with
+        | Some r -> Dmx_core.Reliable.attach ~labels r reg
+        | None -> ())
       (fun ~shard:_ ->
         Dmx_core.Ft_delay_optimal.config_of_kind ~reliability
           ~trust_detector:false cfg.quorum ~n:cfg.n ~broadcast:false)

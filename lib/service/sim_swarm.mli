@@ -48,8 +48,15 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) : sig
     config ->
     codec:H.codec ->
     ?live_stats:(P.state -> (string * int) list) ->
+    ?attach_obs:
+      (P.state -> labels:(string * string) list -> Dmx_obs.Registry.t -> unit) ->
     (shard:int -> P.config) ->
     (Swarm.outcome, string) result
+  (** [attach_obs] binds protocol-owned metric cells under per-shard
+      labels, exactly as in {!Snode.Run.run} — here into per-host
+      registries recorded under virtual time, so the outcome's
+      [snapshots] and [driver_snapshot] are a pure function of the
+      config (the determinism suite checks bit-identity across runs). *)
 end
 
 val run_named : config -> (Swarm.outcome, string) result

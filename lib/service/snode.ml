@@ -29,6 +29,7 @@ type spec = {
   max_seconds : float;
   transport : string;
   chaos : Chaos.plan;
+  metrics_port : int;  (* 0 = no scrape listener *)
 }
 
 let env_var = "DMX_SERVICE_SPEC"
@@ -36,13 +37,15 @@ let env_var = "DMX_SERVICE_SPEC"
 let spec_to_string s =
   Printf.sprintf
     "site=%d n=%d ports=%s sup=%d proto=%s quorum=%s shards=%d lease=%h \
-     batch=%d seed=%d epoch=%h hb=%h hbto=%h rto=%h max=%h trans=%s chaos=%s"
+     batch=%d seed=%d epoch=%h hb=%h hbto=%h rto=%h max=%h trans=%s chaos=%s \
+     mport=%d"
     s.site s.n
     (String.concat ","
        (Array.to_list (Array.map string_of_int s.node_ports)))
     s.supervisor_port s.protocol s.quorum s.shards s.lease s.max_batch s.seed
     s.epoch s.hb_period s.hb_timeout s.rto s.max_seconds s.transport
     (Chaos.plan_to_string s.chaos)
+    s.metrics_port
 
 let spec_of_string str =
   try
@@ -84,6 +87,10 @@ let spec_of_string str =
         max_seconds = getf "max";
         transport = get "trans";
         chaos = Chaos.plan_of_string (get "chaos");
+        metrics_port =
+          (match List.assoc_opt "mport" kv with
+          | Some p -> int_of_string p
+          | None -> 0);
       }
   with e ->
     Error (Printf.sprintf "bad service spec %S: %s" str (Printexc.to_string e))
@@ -102,8 +109,9 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
 
   type timer = { at : float; shard : int; tag : int; seq : int }
 
-  let run (spec : spec) ~(codec : H.codec)
-      ?(live_stats = fun _ -> []) (pconfig : shard:int -> P.config) =
+  let run (spec : spec) ~(codec : H.codec) ?(live_stats = fun _ -> [])
+      ?(attach_obs = fun _ ~labels:_ _ -> ()) (pconfig : shard:int -> P.config)
+      =
     let now () = Unix.gettimeofday () -. spec.epoch in
     let started = now () in
     let hello_inc = Unix.gettimeofday () in
@@ -174,6 +182,20 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
         ~lease:{ Dmx_core.Lease.duration = spec.lease; max_batch = spec.max_batch }
         ~seed:spec.seed ~pconfig
     in
+    (* one registry per daemon: lease cells per shard, protocol cells via
+       [attach_obs], transport/chaos probes — served on [metrics_port]
+       and shipped in the final Metrics_v2 frame *)
+    let reg = Dmx_obs.Registry.create () in
+    H.attach_obs ~proto:attach_obs host reg;
+    Transport_sig.register_obs reg ~prefix:"transport" transport;
+    (match shim with Some c -> Chaos.register_obs reg c | None -> ());
+    let scrape =
+      if spec.metrics_port > 0 then
+        Some
+          (Dmx_net.Scrape.start ~port:spec.metrics_port (fun () ->
+               Dmx_obs.Registry.snapshot reg))
+      else None
+    in
     (* trace streaming: per-shard Strace frames, chunked so a batch fits
        a UDP datagram like the node daemon's 96-entry chunks *)
     let last_flush = ref (now ()) in
@@ -221,7 +243,10 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
              received = H.received host;
              kinds = H.kinds_alist host;
              reliable;
-           })
+           });
+      transport.send ~dst:spec.n
+        (Wire.Metrics_v2
+           { site = spec.site; snapshot = Dmx_obs.Registry.snapshot reg })
     in
     while
       (not !shutdown)
@@ -284,8 +309,8 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
                  cluster supervisor's keepalive idiom is harmless *)
               last_super_contact := now ()
             | Wire.Hello _ | Wire.Heartbeat _ | Wire.Proto _
-            | Wire.Trace_batch _ | Wire.Metrics _ | Wire.Grant _
-            | Wire.Deny _ | Wire.Expire _ | Wire.Strace _ ->
+            | Wire.Trace_batch _ | Wire.Metrics _ | Wire.Metrics_v2 _
+            | Wire.Grant _ | Wire.Deny _ | Wire.Expire _ | Wire.Strace _ ->
               ())
           | Transport_sig.Peer_down s -> H.on_node_failure host ~node:s
           | Transport_sig.Peer_up s -> H.on_node_recovery host ~node:s);
@@ -301,6 +326,7 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) = struct
     metrics ();
     (* let the final frames drain before tearing the sockets down *)
     Unix.sleepf 0.1;
+    (match scrape with Some s -> Dmx_net.Scrape.stop s | None -> ());
     transport.close ()
 end
 
@@ -347,6 +373,10 @@ let run_named (spec : spec) =
             match Dmx_core.Ft_delay_optimal.Internal.reliable st with
             | Some r -> Dmx_core.Reliable.stats_alist r
             | None -> [])
+          ~attach_obs:(fun st ~labels reg ->
+            match Dmx_core.Ft_delay_optimal.Internal.reliable st with
+            | Some r -> Dmx_core.Reliable.attach ~labels r reg
+            | None -> ())
           (fun ~shard:_ ->
             Dmx_core.Ft_delay_optimal.config_of_kind ~reliability
               ~trust_detector:false kind ~n ~broadcast:false);

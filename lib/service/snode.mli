@@ -30,6 +30,9 @@ type spec = {
   max_seconds : float;  (** failsafe wall-clock limit *)
   transport : string;  (** a {!Dmx_net.Transports.create} name *)
   chaos : Dmx_net.Chaos.plan;
+  metrics_port : int;
+      (** serve the daemon's metrics registry over HTTP
+          ({!Dmx_net.Scrape}) on this loopback port; [0] disables *)
 }
 
 val spec_to_string : spec -> string
@@ -51,11 +54,17 @@ module Run (P : Dmx_sim.Protocol.PROTOCOL) : sig
     spec ->
     codec:H.codec ->
     ?live_stats:(P.state -> (string * int) list) ->
+    ?attach_obs:
+      (P.state -> labels:(string * string) list -> Dmx_obs.Registry.t -> unit) ->
     (shard:int -> P.config) ->
     unit
   (** Blocks until the driver's [Shutdown], driver silence beyond 30 s,
       or [spec.max_seconds]. [live_stats] extracts per-shard protocol
-      counters for the final [Metrics] frame. *)
+      counters for the final [Metrics] frame; [attach_obs] binds
+      protocol-owned metric cells into the daemon's registry under
+      per-shard labels (see {!Host.Make.attach_obs}), which feeds the
+      [spec.metrics_port] scrape endpoint and the final
+      {!Dmx_net.Wire.frame.Metrics_v2}. *)
 end
 
 val run_named : spec -> (unit, string) result

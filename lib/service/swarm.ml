@@ -45,6 +45,7 @@ type config = {
   transport : string;
   chaos : Chaos.plan;
   hello_timeout : float;
+  metrics_base_port : int;  (* daemon [site] scrapes on base + site; 0 = off *)
 }
 
 let default ~n =
@@ -72,6 +73,7 @@ let default ~n =
     transport = "tcp";
     chaos = Chaos.no_faults;
     hello_timeout = 10.0;
+    metrics_base_port = 0;
   }
 
 type shard_outcome = {
@@ -91,7 +93,11 @@ type outcome = {
   completed_clients : int;
   rehomed_sessions : int;
   live_stats : (string * int) list array;
+  snapshots : Dmx_obs.Snapshot.t array;
+  driver_snapshot : Dmx_obs.Snapshot.t;
 }
+
+let merged_snapshot o = Dmx_obs.Snapshot.merge_all (Array.to_list o.snapshots)
 
 (* ---- client state machines ---- *)
 
@@ -254,6 +260,9 @@ let run (cfg : config) =
         max_seconds = cfg.timeout +. 30.0;
         transport = cfg.transport;
         chaos = plan;
+        metrics_port =
+          (if cfg.metrics_base_port = 0 then 0
+           else cfg.metrics_base_port + site);
       }
     in
     let spawn site =
@@ -297,12 +306,35 @@ let run (cfg : config) =
         if es <> [] then shard_batches.(shard) <- es :: shard_batches.(shard)
       in
       let live_stats = Array.make cfg.n [] in
+      let snapshots = Array.make cfg.n Dmx_obs.Snapshot.empty in
       let acquires = Array.make cfg.shards 0 in
       let grants = Array.make cfg.shards 0 in
       let expiries = Array.make cfg.shards 0 in
       let latency = Array.init cfg.shards (fun _ -> Summary.create ()) in
       let rehomed = ref 0 in
       let completed = ref 0 in
+      (* the driver's own registry: per-shard acquire-to-grant latency
+         histograms (observed where [Summary.add] runs, so failover cost
+         lands in both readouts) plus probes over the round counters *)
+      let obs = Dmx_obs.Registry.create () in
+      let acq_hist =
+        Array.init cfg.shards (fun shard ->
+            Dmx_obs.Registry.histogram obs
+              ~labels:[ ("shard", string_of_int shard) ]
+              "swarm.acquire_latency")
+      in
+      for shard = 0 to cfg.shards - 1 do
+        let labels = [ ("shard", string_of_int shard) ] in
+        Dmx_obs.Registry.probe obs ~labels "swarm.acquires" (fun () ->
+            acquires.(shard));
+        Dmx_obs.Registry.probe obs ~labels "swarm.grants" (fun () ->
+            grants.(shard));
+        Dmx_obs.Registry.probe obs ~labels "swarm.expiries" (fun () ->
+            expiries.(shard))
+      done;
+      Dmx_obs.Registry.probe obs "swarm.rehomed_sessions" (fun () -> !rehomed);
+      Dmx_obs.Registry.probe obs "swarm.completed_clients" (fun () ->
+          !completed);
       (* clients *)
       let clients =
         Array.init cfg.clients (fun id ->
@@ -387,6 +419,8 @@ let run (cfg : config) =
           push_batch shard entries
         | Wire.Metrics { site; reliable; _ } when site >= 0 && site < cfg.n ->
           live_stats.(site) <- reliable
+        | Wire.Metrics_v2 { site; snapshot } when site >= 0 && site < cfg.n ->
+          snapshots.(site) <- snapshot
         | Wire.Grant { session; req; deadline = _; _ }
           when session >= 0 && session < cfg.clients -> (
           let c = clients.(session) in
@@ -394,6 +428,8 @@ let run (cfg : config) =
           | Waiting { sent_at; _ } when req = c.req ->
             grants.(c.shard) <- grants.(c.shard) + 1;
             Summary.add latency.(c.shard) (now () -. sent_at);
+            Dmx_obs.Metric.Histogram.observe_s acq_hist.(c.shard)
+              (now () -. sent_at);
             if cfg.abandon > 0.0 && Rng.float rng 1.0 < cfg.abandon then
               (* simulate a client crash while holding: no release, no
                  renewal — the lease must clean up after us *)
@@ -665,6 +701,8 @@ let run (cfg : config) =
           completed_clients = !completed;
           rehomed_sessions = !rehomed;
           live_stats;
+          snapshots;
+          driver_snapshot = Dmx_obs.Registry.snapshot obs;
         }
     with
     | Failure msg ->
@@ -680,15 +718,20 @@ let shard_ok s = Oracle.ok s.verdict && s.occupancy_violations = 0
 let ok o = Array.for_all shard_ok o.per_shard
 
 let live_totals o =
-  Array.fold_left
-    (fun acc site_stats ->
-      List.fold_left
-        (fun acc (k, v) ->
-          (k, v + Option.value ~default:0 (List.assoc_opt k acc))
-          :: List.remove_assoc k acc)
-        acc site_stats)
-    [] o.live_stats
-  |> List.sort compare
+  match merged_snapshot o with
+  | [] ->
+    (* no node shipped a Metrics_v2 snapshot (old daemon, or all died
+       before the final drain): fall back to the legacy alist fold *)
+    Array.fold_left
+      (fun acc site_stats ->
+        List.fold_left
+          (fun acc (k, v) ->
+            (k, v + Option.value ~default:0 (List.assoc_opt k acc))
+            :: List.remove_assoc k acc)
+          acc site_stats)
+      [] o.live_stats
+    |> List.sort compare
+  | merged -> Dmx_obs.Snapshot.to_alist merged
 
 let pp_outcome ppf o =
   Format.fprintf ppf

@@ -46,6 +46,9 @@ type config = {
   transport : string;  (** a {!Dmx_net.Transports} name *)
   chaos : Chaos.plan;  (** [n] and zero [seed] are filled in *)
   hello_timeout : float;  (** startup phase limit *)
+  metrics_base_port : int;
+      (** daemon [site] serves its metrics registry over HTTP on
+          [metrics_base_port + site] ({!Dmx_net.Scrape}); [0] disables *)
 }
 
 val default : n:int -> config
@@ -78,7 +81,20 @@ type outcome = {
   live_stats : (string * int) list array;
       (** each node's final [Metrics] counters (lease, protocol,
           transport, chaos); empty for nodes that died without one *)
+  snapshots : Dmx_obs.Snapshot.t array;
+      (** each node's final registry snapshot ([Metrics_v2]);
+          {!Dmx_obs.Snapshot.empty} for nodes that died without one *)
+  driver_snapshot : Dmx_obs.Snapshot.t;
+      (** the driver's own registry: per-shard
+          [swarm.acquire_latency{shard=i}] histograms (observed
+          driver-side, so failover cost is in the distribution) plus
+          [swarm.acquires]/[swarm.grants]/[swarm.expiries] counters *)
 }
+
+val merged_snapshot : outcome -> Dmx_obs.Snapshot.t
+(** {!Dmx_obs.Snapshot.merge_all} over every node's snapshot (the
+    driver's own snapshot is {e not} folded in — it measures the client
+    side, not the fleet). *)
 
 val distil :
   n:int ->
@@ -108,7 +124,9 @@ val ok : outcome -> bool
 (** Every shard is {!shard_ok}. *)
 
 val live_totals : outcome -> (string * int) list
-(** Sum of all nodes' final counters, sorted by key. *)
+(** Sum of all nodes' final counters, sorted by key — rendered from
+    {!merged_snapshot} when any node shipped a [Metrics_v2] snapshot,
+    falling back to the legacy per-node alist fold otherwise. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** The per-shard table (counts + p50/p95/p99 in ms), totals, live

@@ -23,6 +23,11 @@ type config = {
   dense_channels : bool;
       (* force the reference N x N FIFO-watermark matrix instead of the
          sparse per-channel table (small N only; for equivalence tests) *)
+  obs : Dmx_obs.Registry.t option;
+      (* metrics registry the run flushes its totals into (events, heap
+         ops, executions, messages, per-kind counts). Flushed once at the
+         end of the run — virtual time, so the registry contents are a
+         pure function of the seed — never touched on the hot path. *)
 }
 
 let default ~n =
@@ -43,6 +48,7 @@ let default ~n =
     trace = false;
     lazy_sites = false;
     dense_channels = false;
+    obs = None;
   }
 
 type report = {
@@ -683,6 +689,27 @@ module Make (P : Protocol.PROTOCOL) = struct
     in
     loop ();
     ignore (Atomic.fetch_and_add events_total !processed);
+    (match cfg.obs with
+    | None -> ()
+    | Some reg ->
+      let module O = Dmx_obs in
+      let c name v = O.Metric.Counter.add (O.Registry.counter reg name) v in
+      c "engine.events" !processed;
+      c "engine.heap.push" (Event_queue.pushes sim.q);
+      c "engine.heap.pop" (Event_queue.pops sim.q);
+      O.Metric.Gauge.set (O.Registry.gauge reg "engine.heap.peak")
+        (max (Event_queue.peak sim.q)
+           (O.Metric.Gauge.get (O.Registry.gauge reg "engine.heap.peak")));
+      c "engine.executions" (max 0 (sim.executions - cfg.warmup));
+      c "engine.messages" sim.messages;
+      List.iter
+        (fun (k, v) ->
+          if v > 0 then
+            O.Metric.Counter.add
+              (O.Registry.counter reg "engine.messages.kind"
+                 ~labels:[ ("kind", k) ])
+              v)
+        (Stats.Counter.bindings sim.counters));
     (match inspect with
     | Some f ->
       Array.iteri

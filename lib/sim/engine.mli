@@ -66,6 +66,14 @@ type config = {
           hashtable. Same observable behavior either way (see {!Network});
           kept as a cross-check knob for the fingerprint tests. Refused
           above n = 16384. *)
+  obs : Dmx_obs.Registry.t option;
+      (** metrics registry the run flushes into when the run ends:
+          [engine.events], [engine.heap.push]/[pop]/[peak],
+          [engine.executions], [engine.messages] and the per-kind
+          [engine.messages.kind{kind=...}] family. Flushing happens under
+          virtual time, so a seeded run's registry snapshot is
+          bit-reproducible (see docs/observability.md). [None] (the
+          default) records nothing and costs nothing. *)
 }
 
 val default : n:int -> config

@@ -4,6 +4,8 @@ type 'a t = {
   heap : 'a event Heap.t;
   mutable next_seq : int;
   mutable clock : float;
+  mutable pops : int;
+  mutable peak : int;  (* high-water heap length, for the obs registry *)
 }
 
 let compare_events a b =
@@ -11,7 +13,13 @@ let compare_events a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () =
-  { heap = Heap.create ~cmp:compare_events (); next_seq = 0; clock = 0.0 }
+  {
+    heap = Heap.create ~cmp:compare_events ();
+    next_seq = 0;
+    clock = 0.0;
+    pops = 0;
+    peak = 0;
+  }
 
 let schedule t ~time payload =
   if not (Float.is_finite time) then
@@ -21,19 +29,25 @@ let schedule t ~time payload =
       (Printf.sprintf "Event_queue.schedule: time %g is before now %g" time
          t.clock);
   Heap.add t.heap { time; seq = t.next_seq; payload };
-  t.next_seq <- t.next_seq + 1
+  t.next_seq <- t.next_seq + 1;
+  let len = Heap.length t.heap in
+  if len > t.peak then t.peak <- len
 
 let next t =
   match Heap.pop t.heap with
   | None -> None
   | Some ev ->
     t.clock <- ev.time;
+    t.pops <- t.pops + 1;
     Some ev
 
 let peek_time t = Option.map (fun ev -> ev.time) (Heap.peek t.heap)
 let is_empty t = Heap.is_empty t.heap
 let length t = Heap.length t.heap
 let now t = t.clock
+let pushes t = t.next_seq
+let pops t = t.pops
+let peak t = t.peak
 let drop_if t p =
   let before = Heap.length t.heap in
   Heap.filter_in_place t.heap (fun ev -> not (p ev.payload));

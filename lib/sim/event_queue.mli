@@ -28,6 +28,16 @@ val length : 'a t -> int
 val now : 'a t -> float
 (** Time of the last popped event, 0.0 initially. *)
 
+val pushes : 'a t -> int
+(** Total events ever scheduled. *)
+
+val pops : 'a t -> int
+(** Total events ever popped via {!next}. *)
+
+val peak : 'a t -> int
+(** High-water heap length — the engine flushes these three into its
+    metrics registry ([engine.heap.*]) at the end of a run. *)
+
 val drop_if : 'a t -> ('a -> bool) -> int
 (** Remove pending events whose payload satisfies the predicate (used for
     crash injection: dropping in-flight messages to a dead site). Returns

@@ -58,16 +58,15 @@ module Summary = struct
       t.sorted <- true
     end
 
+  (* Rank selection is shared with the lib/obs histogram readout
+     (Dmx_obs.Quantile), so "p99" means the same thing whether it is read
+     exactly here or at bucket resolution from a metrics snapshot. *)
   let percentile t p =
     if t.n_samples = 0 then 0.0
     else begin
       if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile";
       ensure_sorted t;
-      let rank =
-        int_of_float (ceil (p /. 100.0 *. float_of_int t.n_samples)) - 1
-      in
-      let rank = Stdlib.max 0 (Stdlib.min (t.n_samples - 1) rank) in
-      t.samples.(rank)
+      Dmx_obs.Quantile.percentile_sorted t.samples t.n_samples p
     end
 
   let pp ppf t =

@@ -37,6 +37,7 @@ let () =
       ("golden-replay", Test_golden.suite);
       ("fuzz", Test_fuzz.suite);
       ("live-runtime", Test_live.suite);
+      ("obs", Test_obs.suite);
       ("wire", Test_wire.suite);
       ("chaos", Test_chaos.suite);
       ("udp", Test_udp.suite);

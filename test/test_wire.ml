@@ -124,6 +124,43 @@ let entry_gen : Trace.entry QCheck.Gen.t =
       (fun time site kind -> { Trace.time; site; kind })
       (float_range 0.0 1000.0) (int_range 0 64) kind_gen)
 
+(* index-unique names keep [Snapshot.normalize] from seeing duplicate
+   (name, labels) keys; the decoder re-normalizes, so round-trip equality
+   needs a canonical input *)
+let snapshot_gen : Dmx_obs.Snapshot.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let value_gen =
+    frequency
+      [
+        (4, map (fun v -> Dmx_obs.Snapshot.Counter v) (int_range 0 1_000_000));
+        ( 2,
+          map
+            (fun v -> Dmx_obs.Snapshot.Gauge v)
+            (int_range (-1_000) 1_000_000) );
+        ( 2,
+          map3
+            (fun buckets (count, sum) max ->
+              Dmx_obs.Snapshot.Histogram
+                { buckets = Array.of_list buckets; count; sum; max })
+            (list_size (int_range 0 64) (int_range 0 10_000))
+            (pair (int_range 0 10_000) (int_range 0 1_000_000))
+            (int_range 0 1_000_000) );
+      ]
+  in
+  let series_gen i =
+    map2
+      (fun labeled value ->
+        Dmx_obs.Snapshot.series
+          ~name:(Printf.sprintf "metric.%d" i)
+          ~labels:
+            (if labeled then [ ("shard", string_of_int (i mod 4)) ] else [])
+          value)
+      bool value_gen
+  in
+  int_range 0 8 >>= fun n ->
+  flatten_l (List.init n series_gen) >>= fun raw ->
+  return (Dmx_obs.Snapshot.normalize raw)
+
 let frame_gen : Wire.frame QCheck.Gen.t =
   let open QCheck.Gen in
   frequency
@@ -211,6 +248,10 @@ let frame_gen : Wire.frame QCheck.Gen.t =
           (fun shard site entries -> Wire.Strace { shard; site; entries })
           (int_range 0 64) (int_range 0 64)
           (list_size (int_range 0 32) entry_gen) );
+      ( 2,
+        map2
+          (fun site snapshot -> Wire.Metrics_v2 { site; snapshot })
+          (int_range 0 64) snapshot_gen );
     ]
 
 (* ---- printers (shrunk output readability) ---- *)
@@ -253,6 +294,8 @@ let frame_print = function
   | Wire.Strace { shard; site; entries } ->
     Printf.sprintf "Strace{shard=%d;site=%d;%d entries}" shard site
       (List.length entries)
+  | Wire.Metrics_v2 { site; snapshot } ->
+    Printf.sprintf "Metrics_v2{site=%d;%d series}" site (List.length snapshot)
 
 (* ---- properties ---- *)
 
